@@ -1,0 +1,287 @@
+//! The Saraph-Herlihy two-phase OCC scheduler \[27\].
+//!
+//! Phase 1 speculatively executes **every** transaction of the block against
+//! the *pre-block* snapshot (conceptually in parallel). Any transaction whose
+//! footprint overlaps another transaction's write set is marked conflicting.
+//! Phase 2 re-executes the conflicting transactions **serially in block
+//! order** on top of the phase-1 survivors.
+//!
+//! Because each surviving transaction conflicts with *nobody*, its effects
+//! commute with every other transaction in the block, so
+//! survivors-then-conflicts reproduces the serial block execution exactly —
+//! which is asserted by the tests and by the Figure 7(a) harness.
+
+use std::collections::HashMap;
+
+use bp_evm::{execute_transaction, BlockEnv, Transaction, TxError, WorldView};
+use bp_state::WorldState;
+use bp_types::{AccessKey, Gas, U256};
+
+/// Result of a two-phase OCC run.
+#[derive(Debug)]
+pub struct OccOutcome {
+    /// Post-state (equal to serial execution of the block).
+    pub post_state: WorldState,
+    /// Indices of transactions that survived phase 1 (ran "in parallel").
+    pub parallel: Vec<usize>,
+    /// Indices re-executed serially in phase 2, in block order.
+    pub serial: Vec<usize>,
+    /// Gas of each transaction's final (committed) execution.
+    pub gas: Vec<Gas>,
+    /// Total gas.
+    pub gas_used: Gas,
+}
+
+impl OccOutcome {
+    /// Virtual-time makespan on `threads` workers: phase 1 packs the
+    /// parallel transactions LPT-style onto the workers; phase 2 is the
+    /// serial tail.
+    pub fn makespan_gas(&self, threads: usize) -> Gas {
+        let mut loads = vec![0u64; threads.max(1)];
+        let mut parallel_gas: Vec<Gas> = self.parallel.iter().map(|&i| self.gas[i]).collect();
+        parallel_gas.sort_unstable_by(|a, b| b.cmp(a));
+        for g in parallel_gas {
+            let min = (0..loads.len()).min_by_key(|&t| loads[t]).expect("non-empty");
+            loads[min] += g;
+        }
+        let phase1 = loads.into_iter().max().unwrap_or(0);
+        let phase2: Gas = self.serial.iter().map(|&i| self.gas[i]).sum();
+        phase1 + phase2
+    }
+}
+
+/// Runs the two-phase OCC baseline over `txs` on `base`.
+///
+/// Transactions invalid even under serial execution are an error, as in the
+/// serial baseline.
+pub fn occ_two_phase(
+    base: &WorldState,
+    env: &BlockEnv,
+    txs: &[Transaction],
+) -> Result<OccOutcome, (usize, TxError)> {
+    let n = txs.len();
+
+    // Phase 1: speculate everyone against the pre-block snapshot.
+    let view = WorldView(base);
+    let mut speculative = Vec::with_capacity(n);
+    for tx in txs.iter() {
+        // A speculation failure (e.g. nonce chain within the block) just
+        // marks the transaction conflicting; phase 2 will handle it.
+        speculative.push(execute_transaction(&view, env, tx).ok());
+    }
+
+    // Conflict detection: a transaction survives iff no key it touches is
+    // written by any *other* transaction, and no key it writes is touched by
+    // any other transaction.
+    // Count, per key, how many *distinct transactions* write it and how
+    // many touch it at all (a transaction that both reads and writes a key —
+    // e.g. its own balance — counts once).
+    let mut writers: HashMap<AccessKey, u32> = HashMap::new();
+    let mut touchers: HashMap<AccessKey, u32> = HashMap::new();
+    for spec in speculative.iter().flatten() {
+        for key in spec.rw.writes.keys() {
+            *writers.entry(*key).or_default() += 1;
+            *touchers.entry(*key).or_default() += 1;
+        }
+        for key in spec.rw.reads.keys() {
+            if !spec.rw.writes.contains_key(key) {
+                *touchers.entry(*key).or_default() += 1;
+            }
+        }
+    }
+    let survives = |i: usize| -> bool {
+        let Some(spec) = &speculative[i] else {
+            return false;
+        };
+        // A read key written by any *other* transaction conflicts; a written
+        // key touched by any other transaction conflicts.
+        let read_ok = spec.rw.reads.keys().all(|k| {
+            let others = writers.get(k).copied().unwrap_or(0)
+                - u32::from(spec.rw.writes.contains_key(k));
+            others == 0
+        });
+        let write_ok = spec
+            .rw
+            .writes
+            .keys()
+            .all(|k| touchers.get(k).copied().unwrap_or(0) == 1);
+        read_ok && write_ok
+    };
+
+    // A failed speculation has an *unknown* footprint, so no later
+    // transaction may be hoisted past it: survivors must precede the first
+    // failure in block order.
+    let first_failure = speculative
+        .iter()
+        .position(Option::is_none)
+        .unwrap_or(n);
+    let mut parallel = Vec::new();
+    let mut serial = Vec::new();
+    for i in 0..n {
+        if i < first_failure && survives(i) {
+            parallel.push(i);
+        } else {
+            serial.push(i);
+        }
+    }
+
+    // Commit phase-1 survivors (their effects commute), then phase 2:
+    // re-execute the conflicting transactions serially in block order.
+    let mut world = base.clone();
+    let mut gas = vec![0u64; n];
+    let mut fees = U256::ZERO;
+    for &i in &parallel {
+        let spec = speculative[i].as_ref().expect("survivor was executed");
+        world.apply_writes(&spec.rw.writes);
+        for (addr, code) in &spec.deployed {
+            world.set_code(*addr, (**code).clone());
+        }
+        gas[i] = spec.receipt.gas_used;
+        fees = fees + spec.receipt.fee;
+    }
+    for &i in &serial {
+        let result = {
+            let view = WorldView(&world);
+            execute_transaction(&view, env, &txs[i]).map_err(|e| (i, e))?
+        };
+        world.apply_writes(&result.rw.writes);
+        for (addr, code) in &result.deployed {
+            world.set_code(*addr, (**code).clone());
+        }
+        gas[i] = result.receipt.gas_used;
+        fees = fees + result.receipt.fee;
+    }
+    if !fees.is_zero() {
+        let cb = world.balance(&env.coinbase);
+        world.set_balance(env.coinbase, cb + fees);
+    }
+
+    let gas_used = gas.iter().sum();
+    Ok(OccOutcome {
+        post_state: world,
+        parallel,
+        serial,
+        gas,
+        gas_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::execute_block_serially;
+    use bp_evm::contracts;
+    use bp_types::Address;
+
+    fn addr(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    fn world() -> WorldState {
+        let mut w = WorldState::new();
+        for i in 1..=20 {
+            w.set_balance(addr(i), U256::from(1_000_000_000u64));
+        }
+        w
+    }
+
+    #[test]
+    fn disjoint_transfers_all_parallel() {
+        let base = world();
+        let env = BlockEnv::default();
+        let txs: Vec<_> = (1..=8u64)
+            .map(|i| Transaction::transfer(addr(i), addr(i + 10), U256::ONE, 0, 1))
+            .collect();
+        let out = occ_two_phase(&base, &env, &txs).unwrap();
+        assert_eq!(out.parallel.len(), 8);
+        assert!(out.serial.is_empty());
+        let serial = execute_block_serially(&base, &env, &txs).unwrap();
+        assert_eq!(out.post_state.state_root(), serial.post_state.state_root());
+        // Makespan with 8 threads = one transfer's gas.
+        assert_eq!(out.makespan_gas(8), 21_000);
+    }
+
+    #[test]
+    fn counter_contention_goes_serial() {
+        let mut base = world();
+        let c = addr(100);
+        base.set_code(c, contracts::counter());
+        let env = BlockEnv::default();
+        let txs: Vec<_> = (1..=6u64)
+            .map(|i| Transaction {
+                sender: addr(i),
+                to: Some(c),
+                value: U256::ZERO,
+                nonce: 0,
+                gas_limit: 200_000,
+                gas_price: 1,
+                data: vec![],
+            })
+            .collect();
+        let out = occ_two_phase(&base, &env, &txs).unwrap();
+        // Every call writes the same slot: all conflict.
+        assert!(out.parallel.is_empty());
+        assert_eq!(out.serial, vec![0, 1, 2, 3, 4, 5]);
+        let serial = execute_block_serially(&base, &env, &txs).unwrap();
+        assert_eq!(out.post_state.state_root(), serial.post_state.state_root());
+    }
+
+    #[test]
+    fn mixed_block_matches_serial_root() {
+        let mut base = world();
+        let c = addr(100);
+        base.set_code(c, contracts::counter());
+        let env = BlockEnv::default();
+        let mut txs = Vec::new();
+        for i in 1..=4u64 {
+            txs.push(Transaction {
+                sender: addr(i),
+                to: Some(c),
+                value: U256::ZERO,
+                nonce: 0,
+                gas_limit: 200_000,
+                gas_price: 1,
+                data: vec![],
+            });
+            txs.push(Transaction::transfer(addr(i + 10), addr(i + 14), U256::ONE, 0, 1));
+        }
+        let out = occ_two_phase(&base, &env, &txs).unwrap();
+        assert_eq!(out.parallel.len(), 4); // wait: transfers 15..18 overlap? senders 11..14 -> recipients 15..18, all distinct
+        assert_eq!(out.serial.len(), 4);
+        let serial = execute_block_serially(&base, &env, &txs).unwrap();
+        assert_eq!(out.post_state.state_root(), serial.post_state.state_root());
+        assert_eq!(out.gas_used, serial.gas_used);
+    }
+
+    #[test]
+    fn same_sender_chain_is_conflicting() {
+        let base = world();
+        let env = BlockEnv::default();
+        let txs = vec![
+            Transaction::transfer(addr(1), addr(5), U256::ONE, 0, 1),
+            Transaction::transfer(addr(1), addr(6), U256::ONE, 1, 1),
+        ];
+        let out = occ_two_phase(&base, &env, &txs).unwrap();
+        // The second tx fails speculation (nonce 1 against the nonce-0
+        // snapshot) and re-runs serially; the first precedes the failure and
+        // conflicts with nothing *known*, so it may commit in phase 1 —
+        // phase 2 runs after phase 1, preserving block order between them.
+        assert_eq!(out.parallel, vec![0]);
+        assert_eq!(out.serial, vec![1]);
+        let serial = execute_block_serially(&base, &env, &txs).unwrap();
+        assert_eq!(out.post_state.state_root(), serial.post_state.state_root());
+    }
+
+    #[test]
+    fn makespan_reflects_serial_tail() {
+        let base = world();
+        let env = BlockEnv::default();
+        let txs: Vec<_> = (1..=4u64)
+            .map(|i| Transaction::transfer(addr(i), addr(i + 10), U256::ONE, 0, 1))
+            .collect();
+        let out = occ_two_phase(&base, &env, &txs).unwrap();
+        // 4 parallel transfers on 2 threads: 2 each.
+        assert_eq!(out.makespan_gas(2), 42_000);
+        assert_eq!(out.makespan_gas(1), 84_000);
+    }
+}

@@ -1,0 +1,115 @@
+//! Criterion benchmarks for the framework itself: the validator scheduler,
+//! the OCC-WSI proposer (real threads), the validator pipeline (real
+//! threads), and the serial baseline, all over one seeded mainnet-like
+//! block.
+//!
+//! On a single-core runner these measure the *absolute cost* of each path —
+//! the speedup figures come from the virtual-time harness binaries, where
+//! the schedule (not the wall clock) is what is measured.
+//!
+//! Run with `cargo bench -p bp-bench --bench framework`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use blockpilot_core::{
+    ConflictGranularity, OccWsiConfig, OccWsiProposer, PipelineConfig, Scheduler,
+    ValidatorPipeline,
+};
+use bp_baseline::{execute_block_serially, occ_two_phase};
+use bp_bench::generate_fixtures;
+use bp_txpool::TxPool;
+use bp_types::BlockHash;
+use bp_workload::WorkloadConfig;
+
+fn fixture() -> bp_bench::BlockFixture {
+    let config = WorkloadConfig {
+        txs_per_block: 60,
+        tx_jitter: 0,
+        accounts: 300,
+        ..WorkloadConfig::default()
+    };
+    generate_fixtures(config, 1).remove(0)
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(30);
+    for granularity in [ConflictGranularity::Account, ConflictGranularity::Slot] {
+        let s = Scheduler::new(granularity);
+        g.bench_function(format!("{granularity:?}_60tx_16lanes"), |b| {
+            b.iter(|| s.schedule(&f.profile, 16))
+        });
+    }
+    g.finish();
+}
+
+fn bench_serial_baseline(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("baseline");
+    g.sample_size(15);
+    g.bench_function("serial_60tx", |b| {
+        b.iter(|| execute_block_serially(&f.pre_state, &f.env, &f.txs).unwrap())
+    });
+    g.bench_function("occ_two_phase_60tx", |b| {
+        b.iter(|| occ_two_phase(&f.pre_state, &f.env, &f.txs).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_proposer(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("proposer");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_function(format!("occ_wsi_60tx_{threads}t"), |b| {
+            b.iter(|| {
+                let pool = TxPool::new();
+                for tx in &f.txs {
+                    pool.add(tx.clone());
+                }
+                let proposer = OccWsiProposer::new(OccWsiConfig {
+                    threads,
+                    env: f.env,
+                    ..OccWsiConfig::default()
+                });
+                proposer.propose(&pool, Arc::clone(&f.pre_state), BlockHash::ZERO, 1)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let f = fixture();
+    let parent = BlockHash::from_low_u64(1);
+    let block = f.seal(parent, 1);
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    for workers in [1usize, 4] {
+        g.bench_function(format!("validate_60tx_{workers}w"), |b| {
+            let pipeline = ValidatorPipeline::new(PipelineConfig {
+                workers,
+                granularity: ConflictGranularity::Account,
+            });
+            pipeline.register_state(parent, Arc::clone(&f.pre_state));
+            b.iter(|| {
+                let outcome = pipeline.validate_block(block.clone());
+                assert!(outcome.is_valid());
+                outcome
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_serial_baseline,
+    bench_proposer,
+    bench_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation: account-level vs slot-level conflict detection in the
+//! validator scheduler (DESIGN.md §5, decision 2).
+//!
+//! The paper detects conflicts at account granularity. Slot granularity
+//! produces smaller subgraphs (more parallelism) at a higher analysis cost;
+//! this ablation reports both sides of the trade.
+//!
+//! Usage: `cargo run -p bp-bench --release --bin ablation_conflict_granularity`
+
+use std::time::Instant;
+
+use blockpilot_core::scheduler::{ConflictGranularity, Scheduler};
+use bp_bench::{block_count, generate_fixtures, mean};
+use bp_sim::{simulate_validator, CostModel};
+use bp_workload::WorkloadConfig;
+
+fn main() {
+    let blocks = block_count(60);
+    println!("=== Ablation: conflict-detection granularity (validator, 16 threads) ===");
+    println!("workload: {blocks} mainnet-like blocks\n");
+
+    let fixtures = generate_fixtures(WorkloadConfig::default(), blocks);
+    let model = CostModel::default();
+
+    println!(
+        "{:>10} {:>14} {:>18} {:>16} {:>16}",
+        "mode", "mean speedup", "largest subgraph", "subgraphs/blk", "sched time/blk"
+    );
+    for granularity in [ConflictGranularity::Account, ConflictGranularity::Slot] {
+        let scheduler = Scheduler::new(granularity);
+        let mut speedups = Vec::new();
+        let mut ratios = Vec::new();
+        let mut counts = Vec::new();
+        let t0 = Instant::now();
+        for f in &fixtures {
+            let schedule = scheduler.schedule(&f.profile, 16);
+            let r = simulate_validator(&schedule, &f.profile, &model);
+            speedups.push(r.speedup);
+            ratios.push(r.largest_subgraph_ratio);
+            counts.push(schedule.subgraphs.len() as f64);
+        }
+        let elapsed = t0.elapsed();
+        println!(
+            "{:>10} {:>13.2}x {:>17.1}% {:>16.1} {:>13.0}us",
+            format!("{granularity:?}"),
+            mean(&speedups),
+            100.0 * mean(&ratios),
+            mean(&counts),
+            elapsed.as_micros() as f64 / fixtures.len() as f64
+        );
+    }
+    println!("\nSlot granularity yields finer subgraphs and higher idealized speedup;");
+    println!("account granularity is what the paper ships (cheap, and safe even when");
+    println!("storage writes move the account's storage root).");
+}

@@ -1,0 +1,337 @@
+//! RLP wire encoding for blocks.
+//!
+//! Dissemination (the first leg of DiCE) ships whole blocks — header,
+//! transactions **and the BlockPilot block profile** — between nodes. The
+//! profile is part of BlockPilot's protocol surface (§4.2), so it gets a
+//! canonical encoding too: each entry is `[reads, writes, gas]`, where reads
+//! are `[key, version]` pairs and writes are `[key, value]` pairs.
+//!
+//! Decoding is strict (inherited from `bp_crypto::rlp`): any mutation of the
+//! byte stream fails to decode or changes the block hash.
+
+use bp_crypto::rlp::{self, DecodeError, Item, RlpStream};
+use bp_evm::Transaction;
+use bp_types::{AccessKey, ReadSet, WriteSet};
+
+use crate::{Block, BlockHeader, BlockProfile, TxProfile};
+
+/// Encodes a block for broadcast.
+pub fn encode_block(block: &Block) -> Vec<u8> {
+    let mut s = RlpStream::new();
+    s.begin_list(3);
+    append_header(&mut s, &block.header);
+    s.begin_list(block.transactions.len().max(1));
+    if block.transactions.is_empty() {
+        s.append_bytes(&[]);
+    } else {
+        for tx in &block.transactions {
+            append_tx(&mut s, tx);
+        }
+    }
+    s.begin_list(block.profile.entries.len().max(1));
+    if block.profile.entries.is_empty() {
+        s.append_bytes(&[]);
+    } else {
+        for entry in &block.profile.entries {
+            append_profile_entry(&mut s, entry);
+        }
+    }
+    s.out()
+}
+
+/// Decodes a broadcast block.
+pub fn decode_block(data: &[u8]) -> Result<Block, DecodeError> {
+    let item = rlp::decode(data)?;
+    let l = expect_list(&item, 3)?;
+    let header = decode_header(&l[0])?;
+    let txs_list = l[1].as_list()?;
+    let transactions = if is_empty_marker(txs_list) {
+        Vec::new()
+    } else {
+        txs_list.iter().map(decode_tx).collect::<Result<_, _>>()?
+    };
+    let profile_list = l[2].as_list()?;
+    let entries = if is_empty_marker(profile_list) {
+        Vec::new()
+    } else {
+        profile_list
+            .iter()
+            .map(decode_profile_entry)
+            .collect::<Result<_, _>>()?
+    };
+    Ok(Block {
+        header,
+        transactions,
+        profile: BlockProfile { entries },
+    })
+}
+
+/// An empty collection is encoded as a one-element list holding the empty
+/// string (RLP lists of length zero collide with our fixed-arity scheme).
+fn is_empty_marker(items: &[Item]) -> bool {
+    matches!(items, [Item::Bytes(b)] if b.is_empty())
+}
+
+fn expect_list(item: &Item, len: usize) -> Result<&[Item], DecodeError> {
+    let l = item.as_list()?;
+    if l.len() != len {
+        return Err(DecodeError::TypeMismatch);
+    }
+    Ok(l)
+}
+
+fn append_header(s: &mut RlpStream, h: &BlockHeader) {
+    s.begin_list(10);
+    s.append_h256(&h.parent_hash);
+    s.append_u64(h.height);
+    s.append_h256(&h.state_root);
+    s.append_h256(&h.tx_root);
+    s.append_h256(&h.receipts_root);
+    s.append_u64(h.gas_used);
+    s.append_u64(h.gas_limit);
+    s.append_address(&h.coinbase);
+    s.append_u64(h.timestamp);
+    s.append_u64(h.proposer_seed);
+}
+
+fn decode_header(item: &Item) -> Result<BlockHeader, DecodeError> {
+    let l = expect_list(item, 10)?;
+    Ok(BlockHeader {
+        parent_hash: l[0].as_h256()?,
+        height: l[1].as_u64()?,
+        state_root: l[2].as_h256()?,
+        tx_root: l[3].as_h256()?,
+        receipts_root: l[4].as_h256()?,
+        gas_used: l[5].as_u64()?,
+        gas_limit: l[6].as_u64()?,
+        coinbase: l[7].as_address()?,
+        timestamp: l[8].as_u64()?,
+        proposer_seed: l[9].as_u64()?,
+    })
+}
+
+fn append_tx(s: &mut RlpStream, tx: &Transaction) {
+    s.begin_list(7);
+    s.append_address(&tx.sender);
+    match &tx.to {
+        Some(to) => s.append_address(to),
+        None => s.append_bytes(&[]),
+    }
+    s.append_u256(&tx.value);
+    s.append_u64(tx.nonce);
+    s.append_u64(tx.gas_limit);
+    s.append_u64(tx.gas_price);
+    s.append_bytes(&tx.data);
+}
+
+fn decode_tx(item: &Item) -> Result<Transaction, DecodeError> {
+    let l = expect_list(item, 7)?;
+    let to_bytes = l[1].as_bytes()?;
+    let to = if to_bytes.is_empty() {
+        None
+    } else {
+        Some(l[1].as_address()?)
+    };
+    Ok(Transaction {
+        sender: l[0].as_address()?,
+        to,
+        value: l[2].as_u256()?,
+        nonce: l[3].as_u64()?,
+        gas_limit: l[4].as_u64()?,
+        gas_price: l[5].as_u64()?,
+        data: l[6].as_bytes()?.to_vec(),
+    })
+}
+
+fn append_access_key(s: &mut RlpStream, key: &AccessKey) {
+    s.begin_list(3);
+    match key {
+        AccessKey::Balance(a) => {
+            s.append_u64(0);
+            s.append_address(a);
+            s.append_bytes(&[]);
+        }
+        AccessKey::Nonce(a) => {
+            s.append_u64(1);
+            s.append_address(a);
+            s.append_bytes(&[]);
+        }
+        AccessKey::Storage(a, slot) => {
+            s.append_u64(2);
+            s.append_address(a);
+            s.append_h256(slot);
+        }
+        AccessKey::Code(a) => {
+            s.append_u64(3);
+            s.append_address(a);
+            s.append_bytes(&[]);
+        }
+    }
+}
+
+fn decode_access_key(item: &Item) -> Result<AccessKey, DecodeError> {
+    let l = expect_list(item, 3)?;
+    let tag = l[0].as_u64()?;
+    let addr = l[1].as_address()?;
+    Ok(match tag {
+        0 => AccessKey::Balance(addr),
+        1 => AccessKey::Nonce(addr),
+        2 => AccessKey::Storage(addr, l[2].as_h256()?),
+        3 => AccessKey::Code(addr),
+        _ => return Err(DecodeError::TypeMismatch),
+    })
+}
+
+fn append_profile_entry(s: &mut RlpStream, entry: &TxProfile) {
+    s.begin_list(3);
+    s.begin_list(entry.reads.len().max(1));
+    if entry.reads.is_empty() {
+        s.append_bytes(&[]);
+    } else {
+        for (key, version) in &entry.reads {
+            s.begin_list(2);
+            append_access_key(s, key);
+            s.append_u64(*version);
+        }
+    }
+    s.begin_list(entry.writes.len().max(1));
+    if entry.writes.is_empty() {
+        s.append_bytes(&[]);
+    } else {
+        for (key, value) in &entry.writes {
+            s.begin_list(2);
+            append_access_key(s, key);
+            s.append_u256(value);
+        }
+    }
+    s.append_u64(entry.gas_used);
+}
+
+fn decode_profile_entry(item: &Item) -> Result<TxProfile, DecodeError> {
+    let l = expect_list(item, 3)?;
+    let mut reads: ReadSet = Default::default();
+    let reads_list = l[0].as_list()?;
+    if !is_empty_marker(reads_list) {
+        for pair in reads_list {
+            let p = expect_list(pair, 2)?;
+            reads.insert(decode_access_key(&p[0])?, p[1].as_u64()?);
+        }
+    }
+    let mut writes: WriteSet = Default::default();
+    let writes_list = l[1].as_list()?;
+    if !is_empty_marker(writes_list) {
+        for pair in writes_list {
+            let p = expect_list(pair, 2)?;
+            writes.insert(decode_access_key(&p[0])?, p[1].as_u256()?);
+        }
+    }
+    Ok(TxProfile {
+        reads,
+        writes,
+        gas_used: l[2].as_u64()?,
+    })
+}
+
+/// Convenience: the round trip used by tests and the dissemination layer.
+pub fn roundtrip(block: &Block) -> Result<Block, DecodeError> {
+    decode_block(&encode_block(block))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genesis_header;
+    use bp_types::{Address, RwSet, H256, U256};
+
+    fn sample_block() -> Block {
+        let mut header = genesis_header(H256::from_low_u64(9));
+        header.height = 3;
+        header.gas_used = 63_000;
+        let txs = vec![
+            Transaction::transfer(Address::from_index(1), Address::from_index(2), U256::ONE, 0, 5),
+            Transaction {
+                sender: Address::from_index(3),
+                to: None,
+                value: U256::from(7u64),
+                nonce: 2,
+                gas_limit: 100_000,
+                gas_price: 9,
+                data: vec![0x60, 0x00, 0xF3],
+            },
+        ];
+        let mut profile = BlockProfile::new();
+        for tx in &txs {
+            let mut rw = RwSet::new();
+            rw.record_read(AccessKey::Balance(tx.sender), 0);
+            rw.record_read(AccessKey::Nonce(tx.sender), 1);
+            rw.record_write(AccessKey::Balance(tx.sender), U256::from(100u64));
+            rw.record_write(
+                AccessKey::Storage(Address::from_index(50), H256::from_low_u64(3)),
+                U256::from(8u64),
+            );
+            rw.record_write(AccessKey::Code(Address::from_index(51)), U256::ONE);
+            profile.push(TxProfile::from_rw(&rw, 21_000));
+        }
+        Block {
+            header,
+            transactions: txs,
+            profile,
+        }
+    }
+
+    #[test]
+    fn block_roundtrips() {
+        let block = sample_block();
+        let decoded = roundtrip(&block).unwrap();
+        assert_eq!(decoded, block);
+        assert_eq!(decoded.hash(), block.hash());
+    }
+
+    #[test]
+    fn empty_block_roundtrips() {
+        let block = Block {
+            header: genesis_header(H256::from_low_u64(1)),
+            transactions: vec![],
+            profile: BlockProfile::new(),
+        };
+        let decoded = roundtrip(&block).unwrap();
+        assert_eq!(decoded, block);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let bytes = encode_block(&sample_block());
+        for cut in [1usize, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_block(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bitflips_never_yield_the_same_block() {
+        let block = sample_block();
+        let bytes = encode_block(&block);
+        // Flip one byte at a sample of positions: the result must either
+        // fail to decode or decode to a *different* block (a flipped
+        // transaction byte leaves the header hash intact but trips the
+        // header's tx_root during validation — the content difference is
+        // what matters here).
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 0x01;
+            match decode_block(&mutated) {
+                Err(_) => {}
+                Ok(other) => {
+                    assert_ne!(other, block, "bitflip at {pos} went unnoticed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn create_transaction_roundtrips() {
+        let block = sample_block();
+        let decoded = roundtrip(&block).unwrap();
+        assert_eq!(decoded.transactions[1].to, None);
+        assert_eq!(decoded.transactions[1].data, vec![0x60, 0x00, 0xF3]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Concurrency utilities shared by the OCC-WSI proposer and the validator
+//! pipeline.
+//!
+//! The hot structures in BlockPilot are maps keyed by [`bp_types::AccessKey`]
+//! that every worker thread reads and writes: the multi-version state and the
+//! OCC *reserve table*. Wrapping a single `HashMap` in one lock would
+//! serialize the workers, so [`ShardedMap`] stripes the key space over many
+//! small `parking_lot::RwLock`ed maps. [`ReserveTable`] builds the versioned
+//! write-reservation semantics of Algorithm 1 on top of it, and
+//! [`VersionAllocator`] hands out the monotonically increasing commit
+//! versions.
+
+#![warn(missing_docs)]
+
+pub mod latch;
+pub mod reserve;
+pub mod sharded;
+pub mod version;
+
+pub use latch::CountdownLatch;
+pub use reserve::ReserveTable;
+pub use sharded::ShardedMap;
+pub use version::VersionAllocator;

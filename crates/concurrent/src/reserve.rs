@@ -1,0 +1,141 @@
+//! The OCC-WSI *reserve table* (Algorithm 1 of the paper).
+//!
+//! The table maps every state key to the **version** of the last committed
+//! transaction that wrote it. A transaction that executed against snapshot
+//! version `v` validates by checking, for every key in its read set, that the
+//! table entry is still ≤ `v`; a larger entry means a concurrent transaction
+//! committed a write the snapshot did not see, so the reader must abort
+//! (write-snapshot isolation: readers abort, blind writers do not).
+
+use bp_types::AccessKey;
+
+use crate::sharded::ShardedMap;
+
+/// Versioned write-reservation table keyed by [`AccessKey`].
+///
+/// Keys absent from the table implicitly carry version 0 (the pre-block
+/// state), matching the paper's initialization "each key is assigned with
+/// version 0".
+pub struct ReserveTable {
+    table: ShardedMap<AccessKey, u64>,
+}
+
+impl ReserveTable {
+    /// Creates a table sized for `threads` concurrent workers.
+    pub fn new(threads: usize) -> Self {
+        ReserveTable {
+            table: ShardedMap::for_threads(threads),
+        }
+    }
+
+    /// The committed version of `key` (0 if never written in this block).
+    pub fn version_of(&self, key: &AccessKey) -> u64 {
+        self.table.get(key).unwrap_or(0)
+    }
+
+    /// Validation check for one read: did any transaction with a version
+    /// newer than `snapshot_version` write `key`?
+    pub fn is_stale(&self, key: &AccessKey, snapshot_version: u64) -> bool {
+        self.version_of(key) > snapshot_version
+    }
+
+    /// Records that the transaction committed at `version` wrote `keys`.
+    ///
+    /// Versions are monotone per key: a lagging writer can never roll an
+    /// entry backwards (commits are serialized by the proposer's commit lock,
+    /// but the invariant is cheap to keep unconditionally).
+    pub fn publish<'a>(&self, keys: impl IntoIterator<Item = &'a AccessKey>, version: u64) {
+        for key in keys {
+            self.table.update(*key, |slot| {
+                let cur = slot.unwrap_or(0);
+                if version > cur {
+                    *slot = Some(version);
+                }
+            });
+        }
+    }
+
+    /// Number of distinct keys written so far in this block.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Resets the table for the next block.
+    pub fn clear(&self) {
+        self.table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_types::Address;
+
+    fn key(i: u64) -> AccessKey {
+        AccessKey::Balance(Address::from_index(i))
+    }
+
+    #[test]
+    fn fresh_keys_have_version_zero() {
+        let t = ReserveTable::new(4);
+        assert_eq!(t.version_of(&key(1)), 0);
+        assert!(!t.is_stale(&key(1), 0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn publish_and_staleness() {
+        let t = ReserveTable::new(4);
+        t.publish([key(1), key(2)].iter(), 3);
+        assert_eq!(t.version_of(&key(1)), 3);
+        // A snapshot taken at version 2 missed the write at version 3.
+        assert!(t.is_stale(&key(1), 2));
+        // A snapshot at version 3 or later saw it.
+        assert!(!t.is_stale(&key(1), 3));
+        assert!(!t.is_stale(&key(1), 5));
+        // Unwritten keys never go stale.
+        assert!(!t.is_stale(&key(9), 0));
+    }
+
+    #[test]
+    fn versions_are_monotone() {
+        let t = ReserveTable::new(4);
+        t.publish([key(1)].iter(), 5);
+        t.publish([key(1)].iter(), 3); // late, lower version: ignored
+        assert_eq!(t.version_of(&key(1)), 5);
+        t.publish([key(1)].iter(), 7);
+        assert_eq!(t.version_of(&key(1)), 7);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = ReserveTable::new(4);
+        t.publish([key(1)].iter(), 1);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert_eq!(t.version_of(&key(1)), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn concurrent_publishes_keep_max() {
+        use std::sync::Arc;
+        let t = Arc::new(ReserveTable::new(8));
+        let mut handles = Vec::new();
+        for v in 1..=16u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                t.publish([key(0)].iter(), v);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.version_of(&key(0)), 16);
+    }
+}

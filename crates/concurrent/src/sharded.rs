@@ -1,0 +1,229 @@
+//! A lock-striped concurrent hash map.
+
+use core::hash::{BuildHasher, Hash, Hasher};
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+/// A concurrent map striped over `2^shard_bits` independent
+/// `RwLock<HashMap>` shards.
+///
+/// Readers of different keys proceed in parallel; writers only contend when
+/// their keys land in the same shard. This is the backing store for the
+/// OCC-WSI reserve table and the multi-version state overlay, where the
+/// access pattern is many point reads/writes from all worker threads.
+pub struct ShardedMap<K, V, S = RandomState> {
+    shards: Vec<RwLock<HashMap<K, V, S>>>,
+    mask: usize,
+    hasher: S,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// Creates a map with a shard count suited to `threads` workers (at least
+    /// 4× the thread count, rounded up to a power of two, capped at 256).
+    pub fn for_threads(threads: usize) -> Self {
+        let want = (threads.max(1) * 4).next_power_of_two().min(256);
+        Self::with_shards(want)
+    }
+
+    /// Creates a map with exactly `shards` shards (rounded up to a power of
+    /// two).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedMap {
+            shards: (0..n).map(|_| RwLock::new(HashMap::default())).collect(),
+            mask: n - 1,
+            hasher: RandomState::new(),
+        }
+    }
+}
+
+impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::with_shards(16)
+    }
+}
+
+impl<K: Hash + Eq, V, S: BuildHasher> ShardedMap<K, V, S> {
+    #[inline]
+    fn shard_for(&self, key: &K) -> &RwLock<HashMap<K, V, S>> {
+        let mut h = self.hasher.build_hasher();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & self.mask]
+    }
+
+    /// Returns a clone of the value for `key`.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shard_for(key).read().get(key).cloned()
+    }
+
+    /// Applies `f` to the value for `key` under the shard read lock, avoiding
+    /// a clone for large values.
+    pub fn with<R>(&self, key: &K, f: impl FnOnce(Option<&V>) -> R) -> R {
+        f(self.shard_for(key).read().get(key))
+    }
+
+    /// Inserts, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard_for(&key).write().insert(key, value)
+    }
+
+    /// Removes, returning the previous value if any.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard_for(key).write().remove(key)
+    }
+
+    /// True iff the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shard_for(key).read().contains_key(key)
+    }
+
+    /// Read-modify-write of one entry under the shard write lock; returns
+    /// whatever `f` returns.
+    pub fn update<R>(&self, key: K, f: impl FnOnce(&mut Option<V>) -> R) -> R {
+        let shard = self.shard_for(&key);
+        let mut guard = shard.write();
+        // Work on an Option so `f` can insert, mutate or remove.
+        let mut slot = guard.remove(&key);
+        let out = f(&mut slot);
+        if let Some(v) = slot {
+            guard.insert(key, v);
+        }
+        out
+    }
+
+    /// Total number of entries (takes every shard's read lock in turn; not a
+    /// linearizable snapshot).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True iff no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Clears all shards.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.write().clear();
+        }
+    }
+
+    /// Snapshots all entries into a `Vec` (shard by shard).
+    pub fn snapshot(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let g = s.read();
+            out.extend(g.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+
+    /// Number of shards (for tests and tuning).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn basic_ops() {
+        let m: ShardedMap<u64, String> = ShardedMap::default();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, "a".into()), None);
+        assert_eq!(m.insert(1, "b".into()), Some("a".into()));
+        assert_eq!(m.get(&1), Some("b".into()));
+        assert!(m.contains_key(&1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(&1), Some("b".into()));
+        assert!(m.get(&1).is_none());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let m: ShardedMap<u64, u64> = ShardedMap::with_shards(5);
+        assert_eq!(m.shard_count(), 8);
+        let m: ShardedMap<u64, u64> = ShardedMap::for_threads(16);
+        assert_eq!(m.shard_count(), 64);
+        let m: ShardedMap<u64, u64> = ShardedMap::for_threads(1000);
+        assert_eq!(m.shard_count(), 256);
+    }
+
+    #[test]
+    fn update_can_insert_mutate_remove() {
+        let m: ShardedMap<u64, u64> = ShardedMap::default();
+        m.update(7, |slot| {
+            assert!(slot.is_none());
+            *slot = Some(1);
+        });
+        assert_eq!(m.get(&7), Some(1));
+        m.update(7, |slot| {
+            *slot.as_mut().unwrap() += 10;
+        });
+        assert_eq!(m.get(&7), Some(11));
+        m.update(7, |slot| {
+            *slot = None;
+        });
+        assert!(m.get(&7).is_none());
+    }
+
+    #[test]
+    fn with_borrows_without_clone() {
+        let m: ShardedMap<u64, Vec<u8>> = ShardedMap::default();
+        m.insert(1, vec![1, 2, 3]);
+        let sum: u32 = m.with(&1, |v| v.unwrap().iter().map(|&b| b as u32).sum());
+        assert_eq!(sum, 6);
+        let missing = m.with(&2, |v| v.is_none());
+        assert!(missing);
+    }
+
+    #[test]
+    fn snapshot_collects_everything() {
+        let m: ShardedMap<u64, u64> = ShardedMap::with_shards(4);
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        let mut snap = m.snapshot();
+        snap.sort_unstable();
+        assert_eq!(snap.len(), 100);
+        assert_eq!(snap[10], (10, 20));
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn concurrent_counters_are_exact() {
+        let m: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::for_threads(8));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let key = (t * 1000 + i) % 64; // heavy sharing across threads
+                    m.update(key, |slot| {
+                        *slot = Some(slot.unwrap_or(0) + 1);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = m.snapshot().into_iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 8000);
+    }
+}

@@ -1,0 +1,548 @@
+//! OCC-WSI: the proposer's optimistic parallel execution (Algorithm 1).
+//!
+//! Worker threads repeatedly pop the highest-priority pending transaction,
+//! take a snapshot of the multi-version block state at the current commit
+//! version, execute optimistically, then validate-and-commit atomically:
+//!
+//! * **validation** (write-snapshot isolation): abort iff some key in the
+//!   transaction's *read set* was written by a transaction that committed
+//!   after our snapshot (`Table[rec] > snapshot.version`). Write-write
+//!   overlap alone does not abort — blind writes still serialize in commit
+//!   order;
+//! * **commit**: allocate the next version, publish the write set to the
+//!   multi-version state and the reserve table, append the transaction to
+//!   the block under construction, and record its read/write sets in the
+//!   **block profile** for the validators.
+//!
+//! The committed sequence is a serializable schedule by construction, and it
+//! *is* the block order.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bp_block::{receipts_root, tx_root, Block, BlockHeader, BlockProfile, TxProfile};
+use bp_concurrent::{ReserveTable, VersionAllocator};
+use bp_evm::{execute_transaction, BlockEnv, MvSnapshot, Receipt, Transaction, TxError};
+use bp_state::{MultiVersionState, WorldState};
+use bp_txpool::TxPool;
+use bp_types::{BlockHash, Gas, Height, U256};
+use parking_lot::Mutex;
+
+/// Configuration for a proposal run.
+#[derive(Clone, Debug)]
+pub struct OccWsiConfig {
+    /// Worker thread count (Algorithm 1's thread pool).
+    pub threads: usize,
+    /// Block gas limit: packing stops when no pending transaction fits.
+    pub gas_limit: Gas,
+    /// Execution environment for the new block.
+    pub env: BlockEnv,
+    /// Optional ceiling on transactions per block (0 = unlimited).
+    pub max_txs: usize,
+}
+
+impl Default for OccWsiConfig {
+    fn default() -> Self {
+        OccWsiConfig {
+            threads: 4,
+            gas_limit: 30_000_000,
+            env: BlockEnv::default(),
+            max_txs: 0,
+        }
+    }
+}
+
+/// Statistics from one proposal run (feeds the Figure 6 harness and the
+/// WSI-vs-OCC ablation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProposerStats {
+    /// Transactions committed into the block.
+    pub committed: u64,
+    /// Optimistic executions that failed WSI validation and were re-queued.
+    pub aborts: u64,
+    /// Transactions discarded as permanently invalid (bad nonce, no funds).
+    pub discarded: u64,
+    /// Total executions (committed + aborted + discarded attempts).
+    pub executions: u64,
+}
+
+/// The outcome of one proposal: a sealed block plus everything a caller
+/// needs to adopt it locally.
+pub struct Proposal {
+    /// The sealed block (header, ordered transactions, block profile).
+    pub block: Block,
+    /// Receipts in block order.
+    pub receipts: Vec<Receipt>,
+    /// The post-state the block commits to.
+    pub post_state: WorldState,
+    /// Run statistics.
+    pub stats: ProposerStats,
+}
+
+/// The OCC-WSI proposer.
+pub struct OccWsiProposer {
+    config: OccWsiConfig,
+}
+
+impl OccWsiProposer {
+    /// A proposer with the given configuration.
+    pub fn new(config: OccWsiConfig) -> Self {
+        assert!(config.threads > 0, "need at least one worker");
+        OccWsiProposer { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &OccWsiConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1: executes transactions from `pool` in parallel over
+    /// `parent_state` until the gas limit is reached or the pool drains,
+    /// then seals the block on top of `parent`.
+    pub fn propose(
+        &self,
+        pool: &TxPool,
+        parent_state: Arc<WorldState>,
+        parent: BlockHash,
+        height: Height,
+    ) -> Proposal {
+        let mv = MultiVersionState::new(Arc::clone(&parent_state), self.config.threads);
+        let reserve = ReserveTable::new(self.config.threads);
+        let versions = VersionAllocator::new();
+        let builder = Mutex::new(BlockBuilder::default());
+        let cur_gas = AtomicU64::new(0);
+        let full = AtomicBool::new(false);
+        let aborts = AtomicU64::new(0);
+        let discarded = AtomicU64::new(0);
+        let executions = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.threads {
+                scope.spawn(|| {
+                    self.worker(
+                        pool, &mv, &reserve, &versions, &builder, &cur_gas, &full, &aborts,
+                        &discarded, &executions,
+                    )
+                });
+            }
+        });
+
+        let built = builder.into_inner();
+        let gas_used = cur_gas.load(Ordering::Acquire);
+
+        // Seal: materialize the post-state, credit aggregated fees to the
+        // coinbase, and build the header.
+        let mut post_state = mv.materialize(versions.current());
+        let fees: U256 = built.receipts.iter().map(|r| r.fee).sum();
+        if !fees.is_zero() {
+            let coinbase = self.config.env.coinbase;
+            let bal = post_state.balance(&coinbase);
+            post_state.set_balance(coinbase, bal + fees);
+        }
+
+        let header = BlockHeader {
+            parent_hash: parent,
+            height,
+            state_root: post_state.state_root(),
+            tx_root: tx_root(&built.txs),
+            receipts_root: receipts_root(&built.receipts),
+            gas_used,
+            gas_limit: self.config.gas_limit,
+            coinbase: self.config.env.coinbase,
+            timestamp: self.config.env.timestamp,
+            proposer_seed: self.config.env.number,
+        };
+
+        Proposal {
+            block: Block {
+                header,
+                transactions: built.txs,
+                profile: built.profile,
+            },
+            receipts: built.receipts,
+            post_state,
+            stats: ProposerStats {
+                committed: built.profile_len as u64,
+                aborts: aborts.load(Ordering::Acquire),
+                discarded: discarded.load(Ordering::Acquire),
+                executions: executions.load(Ordering::Acquire),
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn worker(
+        &self,
+        pool: &TxPool,
+        mv: &MultiVersionState,
+        reserve: &ReserveTable,
+        versions: &VersionAllocator,
+        builder: &Mutex<BlockBuilder>,
+        cur_gas: &AtomicU64,
+        full: &AtomicBool,
+        aborts: &AtomicU64,
+        discarded: &AtomicU64,
+        executions: &AtomicU64,
+    ) {
+        let mut idle_spins = 0u32;
+        // Future-nonce transactions (a predecessor from the same sender has
+        // not committed yet) are retried, but only while commits are still
+        // happening: a gap whose predecessor is not in the system at all
+        // would otherwise livelock the worker.
+        let mut futile: std::collections::HashMap<bp_types::TxHash, (u64, u32)> =
+            std::collections::HashMap::new();
+        const MAX_FUTILE_RETRIES: u32 = 50;
+        loop {
+            if full.load(Ordering::Acquire) {
+                return;
+            }
+            let Some(tx) = pool.pop() else {
+                // The pool may refill when an in-flight transaction of some
+                // sender commits; spin briefly before giving up.
+                if pool.is_empty() || idle_spins > 64 {
+                    return;
+                }
+                idle_spins += 1;
+                std::thread::yield_now();
+                continue;
+            };
+            idle_spins = 0;
+
+            // snapshot(thread, version) <- State(version)
+            let snapshot_version = versions.current();
+            let snapshot = MvSnapshot::new(mv, snapshot_version);
+            executions.fetch_add(1, Ordering::Relaxed);
+            let exec = execute_transaction(&snapshot, &self.config.env, &tx);
+
+            match exec {
+                Err(TxError::BadNonce { expected, got }) if got > expected => {
+                    // A prerequisite from the same sender hasn't committed
+                    // yet. Retry while the block is still making progress;
+                    // if nothing commits across repeated attempts the
+                    // prerequisite is missing entirely — drop the tx.
+                    let version_now = versions.current();
+                    let entry = futile.entry(tx.hash()).or_insert((version_now, 0));
+                    if entry.0 == version_now {
+                        entry.1 += 1;
+                    } else {
+                        *entry = (version_now, 1);
+                    }
+                    if entry.1 >= MAX_FUTILE_RETRIES {
+                        discarded.fetch_add(1, Ordering::Relaxed);
+                        pool.discard(&tx);
+                    } else {
+                        aborts.fetch_add(1, Ordering::Relaxed);
+                        pool.push_back(&tx);
+                        std::thread::yield_now();
+                    }
+                    continue;
+                }
+                Err(_) => {
+                    discarded.fetch_add(1, Ordering::Relaxed);
+                    pool.discard(&tx);
+                    continue;
+                }
+                Ok(result) => {
+                    // DetectConflict + commit, atomically.
+                    let mut b = builder.lock();
+                    if full.load(Ordering::Acquire) {
+                        pool.push_back(&tx);
+                        return;
+                    }
+                    // WSI validation over the read set.
+                    let stale = result
+                        .rw
+                        .reads
+                        .keys()
+                        .any(|key| reserve.is_stale(key, snapshot_version));
+                    if stale {
+                        drop(b);
+                        aborts.fetch_add(1, Ordering::Relaxed);
+                        pool.push_back(&tx);
+                        continue;
+                    }
+                    // Gas-limit check.
+                    let gas_after = cur_gas.load(Ordering::Acquire) + result.receipt.gas_used;
+                    if gas_after > self.config.gas_limit
+                        || (self.config.max_txs > 0 && b.txs.len() >= self.config.max_txs)
+                    {
+                        full.store(true, Ordering::Release);
+                        drop(b);
+                        pool.push_back(&tx);
+                        return;
+                    }
+                    // Commit.
+                    let version = versions.allocate();
+                    mv.commit_writes(&result.rw.writes, version);
+                    for (addr, code) in &result.deployed {
+                        mv.install_code(*addr, Arc::clone(code));
+                    }
+                    reserve.publish(result.rw.writes.keys(), version);
+                    cur_gas.store(gas_after, Ordering::Release);
+                    b.profile.push(TxProfile::from_rw(&result.rw, result.receipt.gas_used));
+                    b.profile_len += 1;
+                    b.txs.push(tx.clone());
+                    b.receipts.push(result.receipt);
+                    drop(b);
+                    pool.commit(&tx);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct BlockBuilder {
+    txs: Vec<Transaction>,
+    receipts: Vec<Receipt>,
+    profile: BlockProfile,
+    profile_len: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_evm::contracts;
+    use bp_types::{AccessKey, Address};
+
+    fn addr(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    fn funded_world(accounts: u64) -> WorldState {
+        let mut w = WorldState::new();
+        for i in 1..=accounts {
+            w.set_balance(addr(i), U256::from(1_000_000_000u64));
+        }
+        w
+    }
+
+    fn proposer(threads: usize) -> OccWsiProposer {
+        OccWsiProposer::new(OccWsiConfig {
+            threads,
+            ..OccWsiConfig::default()
+        })
+    }
+
+    /// Replays a block's transactions serially in block order; the result
+    /// must equal the proposer's post-state (serializability witness).
+    fn serial_replay(block: &Block, base: &WorldState, env: &BlockEnv) -> WorldState {
+        let mut world = base.clone();
+        let mut fees = U256::ZERO;
+        for tx in &block.transactions {
+            let view = bp_evm::WorldView(&world);
+            let result = execute_transaction(&view, env, tx).expect("replay must accept");
+            world.apply_writes(&result.rw.writes);
+            for (a, code) in &result.deployed {
+                world.set_code(*a, (**code).clone());
+            }
+            fees = fees + result.receipt.fee;
+        }
+        let cb = world.balance(&env.coinbase);
+        world.set_balance(env.coinbase, cb + fees);
+        world
+    }
+
+    #[test]
+    fn proposes_disjoint_transfers() {
+        let world = Arc::new(funded_world(20));
+        let pool = TxPool::new();
+        for i in 1..=10u64 {
+            pool.add(Transaction::transfer(addr(i), addr(i + 10), U256::from(5u64), 0, i));
+        }
+        let p = proposer(4);
+        let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
+        assert_eq!(proposal.block.tx_count(), 10);
+        assert_eq!(proposal.stats.committed, 10);
+        assert!(pool.is_empty());
+        // Serializability: replaying the block order serially reproduces the
+        // exact post-state root.
+        let replay = serial_replay(&proposal.block, &world, &p.config.env);
+        assert_eq!(replay.state_root(), proposal.post_state.state_root());
+        assert_eq!(proposal.block.header.state_root, replay.state_root());
+    }
+
+    #[test]
+    fn conflicting_counter_calls_all_commit_serializably() {
+        let mut w = funded_world(20);
+        let c = addr(100);
+        w.set_code(c, contracts::counter());
+        let world = Arc::new(w);
+        let pool = TxPool::new();
+        for i in 1..=8u64 {
+            pool.add(Transaction {
+                sender: addr(i),
+                to: Some(c),
+                value: U256::ZERO,
+                nonce: 0,
+                gas_limit: 200_000,
+                gas_price: 1,
+                data: vec![],
+            });
+        }
+        let p = proposer(4);
+        let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
+        assert_eq!(proposal.block.tx_count(), 8);
+        // The counter must reach exactly 8: lost updates would show here.
+        assert_eq!(
+            proposal.post_state.storage(&c, &bp_types::H256::from_low_u64(0)),
+            U256::from(8u64)
+        );
+        let replay = serial_replay(&proposal.block, &world, &p.config.env);
+        assert_eq!(replay.state_root(), proposal.post_state.state_root());
+    }
+
+    #[test]
+    fn aborted_transactions_are_retried_not_lost() {
+        let mut w = funded_world(20);
+        let c = addr(100);
+        w.set_code(c, contracts::counter());
+        let world = Arc::new(w);
+        let pool = TxPool::new();
+        for i in 1..=12u64 {
+            pool.add(Transaction {
+                sender: addr(i),
+                to: Some(c),
+                value: U256::ZERO,
+                nonce: 0,
+                gas_limit: 200_000,
+                gas_price: 1,
+                data: vec![],
+            });
+        }
+        let p = proposer(8);
+        let proposal = p.propose(&pool, world, BlockHash::ZERO, 1);
+        assert_eq!(proposal.stats.committed, 12);
+        assert_eq!(proposal.stats.discarded, 0);
+        // Executions ≥ commits; the surplus is aborted attempts.
+        assert!(proposal.stats.executions >= proposal.stats.committed);
+        assert_eq!(
+            proposal.stats.executions - proposal.stats.committed,
+            proposal.stats.aborts
+        );
+    }
+
+    #[test]
+    fn same_sender_nonce_chain_commits_in_order() {
+        let world = Arc::new(funded_world(5));
+        let pool = TxPool::new();
+        for nonce in 0..5u64 {
+            pool.add(Transaction::transfer(addr(1), addr(2), U256::ONE, nonce, 10));
+        }
+        let p = proposer(4);
+        let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
+        assert_eq!(proposal.block.tx_count(), 5);
+        let nonces: Vec<u64> = proposal.block.transactions.iter().map(|t| t.nonce).collect();
+        assert_eq!(nonces, vec![0, 1, 2, 3, 4]);
+        assert_eq!(proposal.post_state.nonce(&addr(1)), 5);
+        assert_eq!(proposal.post_state.balance(&addr(2)), U256::from(1_000_000_005u64));
+    }
+
+    #[test]
+    fn gas_limit_bounds_the_block() {
+        let world = Arc::new(funded_world(30));
+        let pool = TxPool::new();
+        for i in 1..=20u64 {
+            pool.add(Transaction::transfer(addr(i), addr(99), U256::ONE, 0, 1));
+        }
+        let p = OccWsiProposer::new(OccWsiConfig {
+            threads: 4,
+            gas_limit: 21_000 * 5, // exactly five transfers
+            ..OccWsiConfig::default()
+        });
+        let proposal = p.propose(&pool, world, BlockHash::ZERO, 1);
+        assert_eq!(proposal.block.tx_count(), 5);
+        assert_eq!(proposal.block.header.gas_used, 21_000 * 5);
+        // The remaining transactions stay pending.
+        assert_eq!(pool.len(), 15);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn max_txs_caps_the_block() {
+        let world = Arc::new(funded_world(30));
+        let pool = TxPool::new();
+        for i in 1..=20u64 {
+            pool.add(Transaction::transfer(addr(i), addr(99), U256::ONE, 0, 1));
+        }
+        let p = OccWsiProposer::new(OccWsiConfig {
+            threads: 2,
+            max_txs: 7,
+            ..OccWsiConfig::default()
+        });
+        let proposal = p.propose(&pool, world, BlockHash::ZERO, 1);
+        assert_eq!(proposal.block.tx_count(), 7);
+    }
+
+    #[test]
+    fn invalid_transactions_are_discarded() {
+        let world = Arc::new(funded_world(3));
+        let pool = TxPool::new();
+        // Sender 50 has no funds.
+        pool.add(Transaction::transfer(addr(50), addr(1), U256::ONE, 0, 1));
+        pool.add(Transaction::transfer(addr(1), addr(2), U256::ONE, 0, 1));
+        let p = proposer(2);
+        let proposal = p.propose(&pool, world, BlockHash::ZERO, 1);
+        assert_eq!(proposal.block.tx_count(), 1);
+        assert_eq!(proposal.stats.discarded, 1);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn profile_covers_every_transaction() {
+        let world = Arc::new(funded_world(10));
+        let pool = TxPool::new();
+        for i in 1..=6u64 {
+            pool.add(Transaction::transfer(addr(i), addr(9), U256::ONE, 0, 1));
+        }
+        let p = proposer(3);
+        let proposal = p.propose(&pool, world, BlockHash::ZERO, 1);
+        assert_eq!(proposal.block.profile.len(), proposal.block.tx_count());
+        for (i, tx) in proposal.block.transactions.iter().enumerate() {
+            let entry = &proposal.block.profile.entries[i];
+            assert!(entry
+                .writes
+                .contains_key(&AccessKey::Nonce(tx.sender)));
+            assert_eq!(entry.gas_used, proposal.receipts[i].gas_used);
+        }
+    }
+
+    #[test]
+    fn empty_pool_seals_empty_block() {
+        let world = Arc::new(funded_world(1));
+        let pool = TxPool::new();
+        let p = proposer(2);
+        let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 7);
+        assert_eq!(proposal.block.tx_count(), 0);
+        assert_eq!(proposal.block.header.height, 7);
+        assert_eq!(proposal.block.header.state_root, world.state_root());
+    }
+
+    #[test]
+    fn hotspot_block_is_serializable_with_many_threads() {
+        // Heavy contention: all transactions hit one AMM pair.
+        let mut w = funded_world(32);
+        let amm = addr(200);
+        w.set_code(amm, contracts::amm_pair());
+        w.set_storage(amm, contracts::amm_reserve_slot(0), U256::from(10_000_000u64));
+        w.set_storage(amm, contracts::amm_reserve_slot(1), U256::from(10_000_000u64));
+        let world = Arc::new(w);
+        let pool = TxPool::new();
+        for i in 1..=16u64 {
+            pool.add(Transaction {
+                sender: addr(i),
+                to: Some(amm),
+                value: U256::ZERO,
+                nonce: 0,
+                gas_limit: 300_000,
+                gas_price: 1,
+                data: contracts::amm_swap_calldata((i % 2) as u8, U256::from(1000 + i)),
+            });
+        }
+        let p = proposer(8);
+        let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
+        assert_eq!(proposal.block.tx_count(), 16);
+        let replay = serial_replay(&proposal.block, &world, &p.config.env);
+        assert_eq!(replay.state_root(), proposal.post_state.state_root());
+    }
+}

@@ -1,0 +1,833 @@
+//! The validator pipeline (§4.3): preparation → transaction execution →
+//! block validation → block commitment.
+//!
+//! * **Preparation** — the scheduler splits the block into conflict-free
+//!   lanes from its profile (dependency subgraphs, gas-LPT assignment).
+//! * **Transaction execution** — a shared *worker pool* executes lanes from
+//!   *any* in-flight block: two blocks at the same height overlap fully,
+//!   exactly as in the paper's Figure 5.
+//! * **Block validation** — the *applier* gathers lane results, checks every
+//!   transaction's read/write sets against the block profile (Algorithm 2),
+//!   applies writes in block order, credits aggregated fees, and compares
+//!   the resulting MPT root with the proposed header.
+//! * **Block commitment** — a validated block's post-state is indexed by its
+//!   hash; blocks at the next height that were parked waiting for this
+//!   parent are released, which is precisely the paper's rule that a block
+//!   may not enter validation before its predecessor has cleared it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bp_block::{receipts_root, tx_root, Block, BlockProfile};
+use bp_evm::{
+    execute_transaction, BlockEnv, Receipt, StateView, Transaction, TxError,
+};
+use bp_state::WorldState;
+use bp_types::{AccessKey, Address, BlockHash, Gas, RwSet, U256};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::scheduler::{ConflictGranularity, Scheduler};
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Worker-pool size (the paper evaluates 2–16).
+    pub workers: usize,
+    /// Conflict granularity for the preparation phase.
+    pub granularity: ConflictGranularity,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workers: 4,
+            granularity: ConflictGranularity::Account,
+        }
+    }
+}
+
+/// Why a block was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A transaction's replayed footprint diverged from the block profile.
+    ProfileMismatch {
+        /// Index of the offending transaction.
+        index: usize,
+    },
+    /// A transaction was outright invalid on replay (nonce/funds).
+    TxRejected {
+        /// Index of the offending transaction.
+        index: usize,
+    },
+    /// Replayed cumulative gas differs from the header.
+    GasMismatch {
+        /// Header value.
+        expected: Gas,
+        /// Replayed value.
+        got: Gas,
+    },
+    /// The transaction-list commitment does not match the header.
+    TxRootMismatch,
+    /// The receipt commitment does not match the header.
+    ReceiptsRootMismatch,
+    /// The final MPT root does not match the header.
+    StateRootMismatch,
+    /// The parent block failed validation, so this block can never validate.
+    ParentInvalid,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::ProfileMismatch { index } => {
+                write!(f, "tx {index}: footprint does not match block profile")
+            }
+            ValidationError::TxRejected { index } => write!(f, "tx {index}: invalid on replay"),
+            ValidationError::GasMismatch { expected, got } => {
+                write!(f, "gas used {got} != header {expected}")
+            }
+            ValidationError::TxRootMismatch => write!(f, "tx root mismatch"),
+            ValidationError::ReceiptsRootMismatch => write!(f, "receipts root mismatch"),
+            ValidationError::StateRootMismatch => write!(f, "state root mismatch"),
+            ValidationError::ParentInvalid => write!(f, "parent block invalid"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Wall-clock spent in each pipeline stage for one block.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Preparation (scheduling).
+    pub prepare: Duration,
+    /// Transaction execution (first lane start → last lane end).
+    pub execute: Duration,
+    /// Block validation (applier).
+    pub validate: Duration,
+}
+
+/// The pipeline's verdict on one block.
+#[derive(Clone, Debug)]
+pub struct ValidationOutcome {
+    /// The validated block.
+    pub block_hash: BlockHash,
+    /// Its height.
+    pub height: u64,
+    /// `Ok` iff the block is valid.
+    pub result: Result<(), ValidationError>,
+    /// Post-state for valid blocks.
+    pub post_state: Option<Arc<WorldState>>,
+    /// Receipts replayed by this validator (valid blocks only).
+    pub receipts: Vec<Receipt>,
+    /// Per-stage timings.
+    pub timings: StageTimings,
+}
+
+impl ValidationOutcome {
+    /// True iff the block validated.
+    pub fn is_valid(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// A handle to one submitted block's eventual outcome.
+pub struct ValidationHandle {
+    rx: Receiver<ValidationOutcome>,
+}
+
+impl ValidationHandle {
+    /// Blocks until the pipeline has a verdict.
+    pub fn wait(self) -> ValidationOutcome {
+        self.rx.recv().expect("pipeline dropped without verdict")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal structures
+// ---------------------------------------------------------------------------
+
+struct TxOutcome {
+    rw: RwSet,
+    receipt: Receipt,
+    deployed: Vec<(Address, Arc<Vec<u8>>)>,
+    error: Option<usize>, // index, when replay rejected the tx
+}
+
+struct BlockTask {
+    block: Arc<Block>,
+    base: Arc<WorldState>,
+    env: BlockEnv,
+    results: Mutex<Vec<Option<TxOutcome>>>,
+    remaining_lanes: AtomicUsize,
+    verdict: Sender<ValidationOutcome>,
+    prepare: Duration,
+    exec_start: Instant,
+}
+
+struct LaneJob {
+    task: Arc<BlockTask>,
+    lane: Vec<usize>,
+}
+
+enum ApplierMsg {
+    BlockDone(Arc<BlockTask>, Duration),
+    Shutdown,
+}
+
+struct StateIndex {
+    states: HashMap<BlockHash, Arc<WorldState>>,
+    waiting: HashMap<BlockHash, Vec<(Block, Sender<ValidationOutcome>)>>,
+    invalid: std::collections::HashSet<BlockHash>,
+}
+
+/// Everything needed to push a prepared block into the worker pool. Shared
+/// by the public API and the applier (which releases parked children).
+struct Starter {
+    scheduler: Scheduler,
+    workers: usize,
+    lane_tx: Sender<LaneJob>,
+    applier_tx: Sender<ApplierMsg>,
+    index: Arc<Mutex<StateIndex>>,
+}
+
+/// The four-stage validator pipeline.
+pub struct ValidatorPipeline {
+    config: PipelineConfig,
+    starter: Arc<Starter>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    applier: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ValidatorPipeline {
+    /// Spawns the worker pool and applier.
+    pub fn new(config: PipelineConfig) -> Self {
+        assert!(config.workers > 0);
+        let (lane_tx, lane_rx) = unbounded::<LaneJob>();
+        let (applier_tx, applier_rx) = unbounded::<ApplierMsg>();
+        let index = Arc::new(Mutex::new(StateIndex {
+            states: HashMap::new(),
+            waiting: HashMap::new(),
+            invalid: std::collections::HashSet::new(),
+        }));
+        let starter = Arc::new(Starter {
+            scheduler: Scheduler::new(config.granularity),
+            workers: config.workers,
+            lane_tx,
+            applier_tx,
+            index,
+        });
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let lane_rx: Receiver<LaneJob> = lane_rx.clone();
+            let applier_tx = starter.applier_tx.clone();
+            workers.push(std::thread::spawn(move || {
+                while let Ok(job) = lane_rx.recv() {
+                    run_lane(&job);
+                    if job.task.remaining_lanes.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let exec = job.task.exec_start.elapsed();
+                        let _ = applier_tx.send(ApplierMsg::BlockDone(job.task, exec));
+                    }
+                }
+            }));
+        }
+
+        let applier = {
+            let starter = Arc::clone(&starter);
+            std::thread::spawn(move || {
+                while let Ok(msg) = applier_rx.recv() {
+                    match msg {
+                        ApplierMsg::BlockDone(task, exec) => apply_block(task, exec, &starter),
+                        ApplierMsg::Shutdown => break,
+                    }
+                }
+                // Dropping `starter` here closes the lane channel (the
+                // public handle replaced its copy at shutdown), which ends
+                // the worker loops.
+            })
+        };
+
+        ValidatorPipeline {
+            config,
+            starter,
+            workers,
+            applier: Some(applier),
+        }
+    }
+
+    /// Registers a trusted base state (e.g. the genesis post-state) so
+    /// blocks naming `hash` as parent can start.
+    pub fn register_state(&self, hash: BlockHash, state: Arc<WorldState>) {
+        let ready = {
+            let mut idx = self.starter.index.lock();
+            idx.states.insert(hash, state);
+            idx.waiting.remove(&hash).unwrap_or_default()
+        };
+        for (block, verdict) in ready {
+            self.starter.start_block(block, verdict);
+        }
+    }
+
+    /// Submits a block (preparation phase). Returns immediately; the
+    /// outcome arrives through the handle. Blocks whose parent state is not
+    /// yet known are parked until the parent validates — the paper's
+    /// cross-height ordering rule. The execution environment is derived from
+    /// the block header.
+    pub fn submit(&self, block: Block) -> ValidationHandle {
+        let (tx, rx) = unbounded();
+        let parent = block.header.parent_hash;
+        let parked = {
+            let mut idx = self.starter.index.lock();
+            if idx.invalid.contains(&parent) {
+                None // fall through to immediate rejection below
+            } else if idx.states.contains_key(&parent) {
+                Some(false)
+            } else {
+                idx.waiting.entry(parent).or_default().push((block.clone(), tx.clone()));
+                Some(true)
+            }
+        };
+        match parked {
+            Some(false) => self.starter.start_block(block, tx),
+            Some(true) => {}
+            None => {
+                let _ = tx.send(ValidationOutcome {
+                    block_hash: block.hash(),
+                    height: block.height(),
+                    result: Err(ValidationError::ParentInvalid),
+                    post_state: None,
+                    receipts: vec![],
+                    timings: StageTimings::default(),
+                });
+            }
+        }
+        ValidationHandle { rx }
+    }
+
+    /// Convenience: submit and wait.
+    pub fn validate_block(&self, block: Block) -> ValidationOutcome {
+        self.submit(block).wait()
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Shuts the pipeline down, joining all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.applier.is_none() {
+            return; // already shut down
+        }
+        // Ask the applier to stop, then drop this handle's channel senders
+        // by swapping in a dead Starter. The applier's own Arc<Starter> (and
+        // with it the last lane sender) dies when its thread exits, which in
+        // turn ends the worker loops.
+        let applier_tx = self.starter.applier_tx.clone();
+        let (dead_lane, _) = unbounded();
+        let (dead_applier, _) = unbounded();
+        self.starter = Arc::new(Starter {
+            scheduler: self.starter.scheduler,
+            workers: self.starter.workers,
+            lane_tx: dead_lane,
+            applier_tx: dead_applier,
+            index: Arc::clone(&self.starter.index),
+        });
+        let _ = applier_tx.send(ApplierMsg::Shutdown);
+        drop(applier_tx);
+        if let Some(a) = self.applier.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ValidatorPipeline {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transaction-execution phase
+// ---------------------------------------------------------------------------
+
+/// A lane's view: the pre-block world plus the writes of the lane's already
+/// executed transactions. Lanes are conflict-free against each other, so no
+/// other lane's writes can be observed by these transactions in a serial
+/// replay either.
+struct LaneView<'a> {
+    base: &'a WorldState,
+    overlay: HashMap<AccessKey, U256>,
+    code_overlay: HashMap<Address, Arc<Vec<u8>>>,
+}
+
+impl StateView for LaneView<'_> {
+    fn read_key(&self, key: &AccessKey) -> (U256, u64) {
+        match self.overlay.get(key) {
+            Some(v) => (*v, 0),
+            None => (self.base.read_key(key), 0),
+        }
+    }
+
+    fn code(&self, addr: &Address) -> Arc<Vec<u8>> {
+        self.code_overlay
+            .get(addr)
+            .cloned()
+            .unwrap_or_else(|| self.base.code(addr))
+    }
+}
+
+fn run_lane(job: &LaneJob) {
+    let task = &job.task;
+    let mut view = LaneView {
+        base: &task.base,
+        overlay: HashMap::new(),
+        code_overlay: HashMap::new(),
+    };
+    for &i in &job.lane {
+        let tx: &Transaction = &task.block.transactions[i];
+        let outcome = match execute_transaction(&view, &task.env, tx) {
+            Ok(result) => {
+                for (key, value) in &result.rw.writes {
+                    view.overlay.insert(*key, *value);
+                }
+                for (addr, code) in &result.deployed {
+                    view.code_overlay.insert(*addr, Arc::clone(code));
+                }
+                TxOutcome {
+                    rw: result.rw,
+                    deployed: result.deployed.into_iter().collect(),
+                    receipt: result.receipt,
+                    error: None,
+                }
+            }
+            Err(TxError::BadNonce { .. }) | Err(TxError::InsufficientFunds) | Err(TxError::IntrinsicGas) => TxOutcome {
+                rw: RwSet::new(),
+                receipt: Receipt {
+                    success: false,
+                    gas_used: 0,
+                    output: vec![],
+                    logs: vec![],
+                    fee: U256::ZERO,
+                    created: None,
+                },
+                deployed: vec![],
+                error: Some(i),
+            },
+        };
+        task.results.lock()[i] = Some(outcome);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block-validation + commitment phases (the applier)
+// ---------------------------------------------------------------------------
+
+impl Starter {
+    /// Preparation phase for a block whose parent state is available.
+    fn start_block(&self, block: Block, verdict: Sender<ValidationOutcome>) {
+        let base = {
+            let idx = self.index.lock();
+            Arc::clone(
+                idx.states
+                    .get(&block.header.parent_hash)
+                    .expect("start_block requires parent state"),
+            )
+        };
+        let env = BlockEnv {
+            coinbase: block.header.coinbase,
+            number: block.header.height,
+            timestamp: block.header.timestamp,
+            gas_limit: block.header.gas_limit,
+        };
+        let t0 = Instant::now();
+        // A malformed profile (wrong length) cannot drive scheduling; fall
+        // back to one serial lane over the real transaction list — the
+        // applier will reject the block with a precise error.
+        let lanes: Vec<Vec<usize>> = if block.profile.len() == block.transactions.len() {
+            let schedule = self.scheduler.schedule(&block.profile, self.workers);
+            schedule.lanes.into_iter().filter(|l| !l.is_empty()).collect()
+        } else {
+            let all: Vec<usize> = (0..block.transactions.len()).collect();
+            if all.is_empty() {
+                Vec::new()
+            } else {
+                vec![all]
+            }
+        };
+        let prepare = t0.elapsed();
+        let n = block.transactions.len();
+        let task = Arc::new(BlockTask {
+            block: Arc::new(block),
+            base,
+            env,
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            remaining_lanes: AtomicUsize::new(lanes.len()),
+            verdict,
+            prepare,
+            exec_start: Instant::now(),
+        });
+        if lanes.is_empty() {
+            // Empty block: straight to the applier.
+            let _ = self
+                .applier_tx
+                .send(ApplierMsg::BlockDone(task, Duration::ZERO));
+            return;
+        }
+        for lane in lanes {
+            let _ = self.lane_tx.send(LaneJob {
+                task: Arc::clone(&task),
+                lane,
+            });
+        }
+    }
+}
+
+fn apply_block(task: Arc<BlockTask>, exec: Duration, starter: &Starter) {
+    let t0 = Instant::now();
+    let block = &task.block;
+    let hash = block.hash();
+    let result = validate_and_apply(&task);
+    let validate = t0.elapsed();
+
+    let timings = StageTimings {
+        prepare: task.prepare,
+        execute: exec,
+        validate,
+    };
+    let (verdict_result, post_state, receipts) = match result {
+        Ok((state, receipts)) => (Ok(()), Some(Arc::new(state)), receipts),
+        Err(e) => (Err(e), None, vec![]),
+    };
+
+    // Commitment phase: index the post-state and release parked children —
+    // or mark the subtree invalid.
+    let ready = {
+        let mut idx = starter.index.lock();
+        match &post_state {
+            Some(state) => {
+                idx.states.insert(hash, Arc::clone(state));
+            }
+            None => {
+                idx.invalid.insert(hash);
+            }
+        }
+        idx.waiting.remove(&hash).unwrap_or_default()
+    };
+    for (child, child_verdict) in ready {
+        if post_state.is_some() {
+            starter.start_block(child, child_verdict);
+        } else {
+            let _ = child_verdict.send(ValidationOutcome {
+                block_hash: child.hash(),
+                height: child.height(),
+                result: Err(ValidationError::ParentInvalid),
+                post_state: None,
+                receipts: vec![],
+                timings: StageTimings::default(),
+            });
+        }
+    }
+
+    let _ = task.verdict.send(ValidationOutcome {
+        block_hash: hash,
+        height: block.height(),
+        result: verdict_result,
+        post_state,
+        receipts,
+        timings,
+    });
+}
+
+/// Algorithm 2: verify every transaction's read/write sets against the block
+/// profile, apply changes in block order, and check the block-level
+/// commitments.
+fn validate_and_apply(task: &BlockTask) -> Result<(WorldState, Vec<Receipt>), ValidationError> {
+    let block = &task.block;
+    let profile: &BlockProfile = &block.profile;
+    if block.header.tx_root != tx_root(&block.transactions) {
+        return Err(ValidationError::TxRootMismatch);
+    }
+    if profile.len() != block.transactions.len() {
+        return Err(ValidationError::ProfileMismatch {
+            index: profile.len().min(block.transactions.len()),
+        });
+    }
+    let results = task.results.lock();
+    let mut world = (*task.base).clone();
+    let mut gas_total: Gas = 0;
+    let mut fees = U256::ZERO;
+    let mut receipts = Vec::with_capacity(block.transactions.len());
+    for (i, slot) in results.iter().enumerate() {
+        let outcome = slot.as_ref().expect("all lanes completed");
+        if outcome.error.is_some() {
+            return Err(ValidationError::TxRejected { index: i });
+        }
+        if !profile.matches(i, &outcome.rw) {
+            return Err(ValidationError::ProfileMismatch { index: i });
+        }
+        world.apply_writes(&outcome.rw.writes);
+        for (addr, code) in &outcome.deployed {
+            world.set_code(*addr, (**code).clone());
+        }
+        gas_total += outcome.receipt.gas_used;
+        fees = fees + outcome.receipt.fee;
+        receipts.push(outcome.receipt.clone());
+    }
+    if gas_total != block.header.gas_used {
+        return Err(ValidationError::GasMismatch {
+            expected: block.header.gas_used,
+            got: gas_total,
+        });
+    }
+    if receipts_root(&receipts) != block.header.receipts_root {
+        return Err(ValidationError::ReceiptsRootMismatch);
+    }
+    if !fees.is_zero() {
+        let cb = world.balance(&block.header.coinbase);
+        world.set_balance(block.header.coinbase, cb + fees);
+    }
+    if world.state_root() != block.header.state_root {
+        return Err(ValidationError::StateRootMismatch);
+    }
+    Ok((world, receipts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occ_wsi::{OccWsiConfig, OccWsiProposer, Proposal};
+    use bp_txpool::TxPool;
+    use bp_types::Address;
+
+    fn addr(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    fn funded_world(n: u64) -> WorldState {
+        let mut w = WorldState::new();
+        for i in 1..=n {
+            w.set_balance(addr(i), U256::from(1_000_000_000u64));
+        }
+        w
+    }
+
+    /// Proposes a block of simple transfers on top of `base`.
+    fn propose_transfers(
+        base: &Arc<WorldState>,
+        parent: BlockHash,
+        height: u64,
+        senders: std::ops::Range<u64>,
+        nonce: u64,
+    ) -> Proposal {
+        let pool = TxPool::new();
+        for i in senders {
+            pool.add(Transaction::transfer(
+                addr(i),
+                addr(i + 500),
+                U256::from(7u64),
+                nonce,
+                i,
+            ));
+        }
+        let proposer = OccWsiProposer::new(OccWsiConfig {
+            threads: 2,
+            env: BlockEnv {
+                number: height,
+                ..BlockEnv::default()
+            },
+            ..Default::default()
+        });
+        proposer.propose(&pool, Arc::clone(base), parent, height)
+    }
+
+    fn pipeline_with_genesis(workers: usize, world: &Arc<WorldState>) -> (ValidatorPipeline, BlockHash) {
+        let pipeline = ValidatorPipeline::new(PipelineConfig {
+            workers,
+            granularity: ConflictGranularity::Account,
+        });
+        let genesis = BlockHash::from_low_u64(1);
+        pipeline.register_state(genesis, Arc::clone(world));
+        (pipeline, genesis)
+    }
+
+    #[test]
+    fn validates_honest_block() {
+        let world = Arc::new(funded_world(10));
+        let (pipeline, genesis) = pipeline_with_genesis(4, &world);
+        let proposal = propose_transfers(&world, genesis, 1, 1..9, 0);
+        let outcome = pipeline.validate_block(proposal.block.clone());
+        assert!(outcome.is_valid(), "{:?}", outcome.result);
+        assert_eq!(
+            outcome.post_state.unwrap().state_root(),
+            proposal.post_state.state_root()
+        );
+        assert_eq!(outcome.receipts.len(), proposal.block.tx_count());
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn rejects_tampered_state_root() {
+        let world = Arc::new(funded_world(10));
+        let (pipeline, genesis) = pipeline_with_genesis(2, &world);
+        let mut proposal = propose_transfers(&world, genesis, 1, 1..5, 0);
+        proposal.block.header.state_root = bp_types::H256::from_low_u64(0xBAD);
+        let outcome = pipeline.validate_block(proposal.block);
+        assert_eq!(outcome.result, Err(ValidationError::StateRootMismatch));
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn rejects_tampered_profile() {
+        let world = Arc::new(funded_world(10));
+        let (pipeline, genesis) = pipeline_with_genesis(2, &world);
+        let mut proposal = propose_transfers(&world, genesis, 1, 1..5, 0);
+        // Corrupt one profiled write value: the replayed footprint diverges.
+        let entry = &mut proposal.block.profile.entries[0];
+        let key = *entry.writes.keys().next().unwrap();
+        entry.writes.insert(key, U256::from(123_456u64));
+        let outcome = pipeline.validate_block(proposal.block);
+        assert_eq!(outcome.result, Err(ValidationError::ProfileMismatch { index: 0 }));
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn rejects_tampered_tx_list() {
+        let world = Arc::new(funded_world(10));
+        let (pipeline, genesis) = pipeline_with_genesis(2, &world);
+        let mut proposal = propose_transfers(&world, genesis, 1, 1..5, 0);
+        proposal.block.transactions.swap(0, 1);
+        let outcome = pipeline.validate_block(proposal.block);
+        assert_eq!(outcome.result, Err(ValidationError::TxRootMismatch));
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn rejects_tampered_gas() {
+        let world = Arc::new(funded_world(10));
+        let (pipeline, genesis) = pipeline_with_genesis(2, &world);
+        let mut proposal = propose_transfers(&world, genesis, 1, 1..5, 0);
+        proposal.block.header.gas_used += 1;
+        let outcome = pipeline.validate_block(proposal.block);
+        assert!(matches!(outcome.result, Err(ValidationError::GasMismatch { .. })));
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn same_height_blocks_validate_concurrently() {
+        let world = Arc::new(funded_world(20));
+        let (pipeline, genesis) = pipeline_with_genesis(4, &world);
+        // Two competing proposals at height 1 from different tx subsets.
+        let block_a = propose_transfers(&world, genesis, 1, 1..10, 0).block;
+        let mut b = propose_transfers(&world, genesis, 1, 10..20, 0);
+        b.block.header.proposer_seed = 99;
+        let block_b = b.block;
+        assert_ne!(block_a.hash(), block_b.hash());
+        let ha = pipeline.submit(block_a);
+        let hb = pipeline.submit(block_b);
+        let oa = ha.wait();
+        let ob = hb.wait();
+        assert!(oa.is_valid(), "{:?}", oa.result);
+        assert!(ob.is_valid(), "{:?}", ob.result);
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn child_waits_for_parent_and_completes() {
+        let world = Arc::new(funded_world(10));
+        let (pipeline, genesis) = pipeline_with_genesis(4, &world);
+        let parent = propose_transfers(&world, genesis, 1, 1..5, 0);
+        let parent_hash = parent.block.hash();
+        let child = propose_transfers(
+            &Arc::new(parent.post_state.clone()),
+            parent_hash,
+            2,
+            1..5,
+            1, // next nonce
+        );
+        // Submit the child FIRST: it must park until the parent validates.
+        let hc = pipeline.submit(child.block.clone());
+        let hp = pipeline.submit(parent.block.clone());
+        assert!(hp.wait().is_valid());
+        let oc = hc.wait();
+        assert!(oc.is_valid(), "{:?}", oc.result);
+        assert_eq!(
+            oc.post_state.unwrap().state_root(),
+            child.post_state.state_root()
+        );
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn child_of_invalid_parent_is_rejected() {
+        let world = Arc::new(funded_world(10));
+        let (pipeline, genesis) = pipeline_with_genesis(2, &world);
+        let mut parent = propose_transfers(&world, genesis, 1, 1..5, 0);
+        parent.block.header.state_root = bp_types::H256::from_low_u64(0xBAD);
+        let parent_hash = parent.block.hash();
+        let child = propose_transfers(&Arc::new(parent.post_state.clone()), parent_hash, 2, 1..5, 1);
+        let hc = pipeline.submit(child.block);
+        let hp = pipeline.submit(parent.block);
+        assert!(!hp.wait().is_valid());
+        assert_eq!(hc.wait().result, Err(ValidationError::ParentInvalid));
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn empty_block_validates() {
+        let world = Arc::new(funded_world(2));
+        let (pipeline, genesis) = pipeline_with_genesis(2, &world);
+        let proposal = propose_transfers(&world, genesis, 1, 1..1, 0); // no txs
+        assert_eq!(proposal.block.tx_count(), 0);
+        let outcome = pipeline.validate_block(proposal.block);
+        assert!(outcome.is_valid(), "{:?}", outcome.result);
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn chain_of_three_heights_validates_in_any_submit_order() {
+        let world = Arc::new(funded_world(6));
+        let (pipeline, genesis) = pipeline_with_genesis(3, &world);
+        let b1 = propose_transfers(&world, genesis, 1, 1..4, 0);
+        let s1 = Arc::new(b1.post_state.clone());
+        let b2 = propose_transfers(&s1, b1.block.hash(), 2, 1..4, 1);
+        let s2 = Arc::new(b2.post_state.clone());
+        let b3 = propose_transfers(&s2, b2.block.hash(), 3, 1..4, 2);
+        // Reverse submit order: deepest first.
+        let h3 = pipeline.submit(b3.block.clone());
+        let h2 = pipeline.submit(b2.block.clone());
+        let h1 = pipeline.submit(b1.block.clone());
+        assert!(h1.wait().is_valid());
+        assert!(h2.wait().is_valid());
+        let o3 = h3.wait();
+        assert!(o3.is_valid(), "{:?}", o3.result);
+        assert_eq!(
+            o3.post_state.unwrap().state_root(),
+            b3.post_state.state_root()
+        );
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let world = Arc::new(funded_world(10));
+        let (pipeline, genesis) = pipeline_with_genesis(2, &world);
+        let proposal = propose_transfers(&world, genesis, 1, 1..9, 0);
+        let outcome = pipeline.validate_block(proposal.block);
+        assert!(outcome.is_valid());
+        // Execution of 8 transfers takes nonzero wall time.
+        assert!(outcome.timings.execute > Duration::ZERO);
+        pipeline.shutdown();
+    }
+}

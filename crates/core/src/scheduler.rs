@@ -1,0 +1,445 @@
+//! The validator's transaction scheduler (§4.3, preparation phase).
+//!
+//! From the block profile's read/write sets the scheduler builds a
+//! dependency graph, groups conflicting transactions into **subgraphs**
+//! (connected components — any two transactions in different components are
+//! conflict-free), and assigns subgraphs to worker lanes by gas-weighted
+//! longest-processing-time: heaviest subgraph first onto the least-loaded
+//! lane, gas being the paper's execution-time proxy.
+//!
+//! Transactions inside one lane run serially **in block order**; lanes run in
+//! parallel. Because every pair of conflicting transactions shares a lane,
+//! replaying a lane serially observes exactly the same values a full serial
+//! replay of the block would — this is the invariant the property tests pin
+//! down.
+
+use std::collections::HashMap;
+
+use bp_block::BlockProfile;
+use bp_types::{AccessKey, Gas, RwSet};
+use serde::{Deserialize, Serialize};
+
+/// Granularity at which two transactions are considered conflicting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ConflictGranularity {
+    /// The paper's choice: any two touches of the same **account** conflict
+    /// (balances change every transaction; storage writes update the
+    /// account's storage root). Coarse but cheap.
+    Account,
+    /// Exact storage-slot granularity: finer subgraphs, more parallelism,
+    /// higher analysis cost. Used by the ablation benches.
+    Slot,
+}
+
+/// One connected component of the dependency graph.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subgraph {
+    /// Member transaction indices, ascending (block order).
+    pub txs: Vec<usize>,
+    /// Total gas — the scheduler's time estimate for the component.
+    pub gas: Gas,
+}
+
+/// A complete lane assignment for one block.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `lanes[t]` lists the transaction indices lane `t` executes, in block
+    /// order. Every index appears in exactly one lane.
+    pub lanes: Vec<Vec<usize>>,
+    /// The subgraphs the lanes were packed from, heaviest first.
+    pub subgraphs: Vec<Subgraph>,
+    /// Total gas of the block.
+    pub total_gas: Gas,
+}
+
+impl Schedule {
+    /// Gas load of each lane.
+    pub fn lane_gas(&self, profile: &BlockProfile) -> Vec<Gas> {
+        self.lanes
+            .iter()
+            .map(|lane| lane.iter().map(|&i| profile.entries[i].gas_used).sum())
+            .collect()
+    }
+
+    /// The virtual-time makespan: the heaviest lane's gas. With zero
+    /// scheduling overhead a validator with enough workers finishes the
+    /// block in this much gas-time.
+    pub fn makespan_gas(&self, profile: &BlockProfile) -> Gas {
+        self.lane_gas(profile).into_iter().max().unwrap_or(0)
+    }
+
+    /// Fraction of the block's transactions in the largest subgraph — the
+    /// x-axis of the paper's Figure 8 (hotspot analysis).
+    pub fn largest_subgraph_ratio(&self) -> f64 {
+        let n: usize = self.lanes.iter().map(Vec::len).sum();
+        if n == 0 {
+            return 0.0;
+        }
+        let largest = self.subgraphs.iter().map(|s| s.txs.len()).max().unwrap_or(0);
+        largest as f64 / n as f64
+    }
+
+    /// Number of non-empty lanes.
+    pub fn active_lanes(&self) -> usize {
+        self.lanes.iter().filter(|l| !l.is_empty()).count()
+    }
+}
+
+/// How subgraphs are packed onto lanes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum AssignPolicy {
+    /// The paper's choice: heaviest subgraph (by gas) first onto the
+    /// least-loaded lane (longest-processing-time).
+    #[default]
+    GasLpt,
+    /// LPT by transaction *count* instead of gas (ablation: ignores the
+    /// gas-as-time estimate).
+    CountLpt,
+    /// Round-robin regardless of weight (ablation: no load balancing).
+    RoundRobin,
+}
+
+/// Builds schedules from block profiles.
+#[derive(Clone, Copy, Debug)]
+pub struct Scheduler {
+    granularity: ConflictGranularity,
+    policy: AssignPolicy,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler {
+            granularity: ConflictGranularity::Account,
+            policy: AssignPolicy::GasLpt,
+        }
+    }
+}
+
+impl Scheduler {
+    /// A scheduler using `granularity` for conflict detection and the
+    /// paper's gas-LPT lane assignment.
+    pub fn new(granularity: ConflictGranularity) -> Self {
+        Scheduler {
+            granularity,
+            policy: AssignPolicy::GasLpt,
+        }
+    }
+
+    /// A scheduler with an explicit lane-assignment policy (ablations).
+    pub fn with_policy(granularity: ConflictGranularity, policy: AssignPolicy) -> Self {
+        Scheduler {
+            granularity,
+            policy,
+        }
+    }
+
+    /// The configured granularity.
+    pub fn granularity(&self) -> ConflictGranularity {
+        self.granularity
+    }
+
+    /// The configured lane-assignment policy.
+    pub fn policy(&self) -> AssignPolicy {
+        self.policy
+    }
+
+    /// Builds the dependency subgraphs and packs them into `lanes` lanes.
+    pub fn schedule(&self, profile: &BlockProfile, lanes: usize) -> Schedule {
+        let footprints: Vec<RwSet> = profile.entries.iter().map(|e| e.rw()).collect();
+        let gas: Vec<Gas> = profile.entries.iter().map(|e| e.gas_used).collect();
+        self.schedule_footprints(&footprints, &gas, lanes)
+    }
+
+    /// Like [`Scheduler::schedule`] but from raw footprints (used when no
+    /// profile is available and the validator collected its own traces).
+    pub fn schedule_footprints(&self, footprints: &[RwSet], gas: &[Gas], lanes: usize) -> Schedule {
+        assert!(lanes > 0, "need at least one lane");
+        assert_eq!(footprints.len(), gas.len());
+        let n = footprints.len();
+        let mut uf = UnionFind::new(n);
+
+        // Union transactions key by key: every toucher of a key with at
+        // least one writer joins that key's component. Read-only keys create
+        // no edges.
+        let mut touchers: HashMap<KeyRepr, (Vec<usize>, bool)> = HashMap::new();
+        for (i, rw) in footprints.iter().enumerate() {
+            for key in rw.reads.keys() {
+                let entry = touchers.entry(self.repr(key)).or_default();
+                entry.0.push(i);
+            }
+            for key in rw.writes.keys() {
+                let entry = touchers.entry(self.repr(key)).or_default();
+                entry.0.push(i);
+                entry.1 = true;
+            }
+        }
+        for (txs, has_writer) in touchers.into_values() {
+            if !has_writer {
+                continue;
+            }
+            for pair in txs.windows(2) {
+                uf.union(pair[0], pair[1]);
+            }
+        }
+
+        // Collect components into subgraphs.
+        let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            members.entry(uf.find(i)).or_default().push(i);
+        }
+        let mut subgraphs: Vec<Subgraph> = members
+            .into_values()
+            .map(|mut txs| {
+                txs.sort_unstable();
+                let g = txs.iter().map(|&i| gas[i]).sum();
+                Subgraph { txs, gas: g }
+            })
+            .collect();
+        // Heaviest-path-first (deterministic tiebreak on first member).
+        match self.policy {
+            AssignPolicy::GasLpt => {
+                subgraphs.sort_by(|a, b| b.gas.cmp(&a.gas).then(a.txs[0].cmp(&b.txs[0])))
+            }
+            AssignPolicy::CountLpt => subgraphs
+                .sort_by(|a, b| b.txs.len().cmp(&a.txs.len()).then(a.txs[0].cmp(&b.txs[0]))),
+            AssignPolicy::RoundRobin => subgraphs.sort_by_key(|s| s.txs[0]),
+        }
+
+        let mut lane_txs: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+        let mut lane_load: Vec<Gas> = vec![0; lanes];
+        let mut lane_count: Vec<usize> = vec![0; lanes];
+        for (i, sg) in subgraphs.iter().enumerate() {
+            let target = match self.policy {
+                AssignPolicy::GasLpt => (0..lanes)
+                    .min_by_key(|&t| (lane_load[t], t))
+                    .expect("lanes > 0"),
+                AssignPolicy::CountLpt => (0..lanes)
+                    .min_by_key(|&t| (lane_count[t], t))
+                    .expect("lanes > 0"),
+                AssignPolicy::RoundRobin => i % lanes,
+            };
+            lane_load[target] += sg.gas;
+            lane_count[target] += sg.txs.len();
+            lane_txs[target].extend_from_slice(&sg.txs);
+        }
+        for lane in &mut lane_txs {
+            lane.sort_unstable(); // block order within the lane
+        }
+
+        Schedule {
+            lanes: lane_txs,
+            subgraphs,
+            total_gas: gas.iter().sum(),
+        }
+    }
+
+    fn repr(&self, key: &AccessKey) -> KeyRepr {
+        match self.granularity {
+            ConflictGranularity::Account => KeyRepr::Account(key.address()),
+            ConflictGranularity::Slot => KeyRepr::Exact(*key),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum KeyRepr {
+    Account(bp_types::Address),
+    Exact(AccessKey),
+}
+
+/// Path-halving union-find.
+struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_block::TxProfile;
+    use bp_types::{Address, H256, U256};
+
+    fn addr(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    /// Builds a profile entry reading `reads` and writing `writes` (balance
+    /// keys of the given account indices), with `gas`.
+    fn entry(reads: &[u64], writes: &[u64], gas: Gas) -> TxProfile {
+        let mut rw = RwSet::new();
+        for &r in reads {
+            rw.record_read(AccessKey::Balance(addr(r)), 0);
+        }
+        for &w in writes {
+            rw.record_write(AccessKey::Balance(addr(w)), U256::ONE);
+        }
+        TxProfile::from_rw(&rw, gas)
+    }
+
+    fn profile(entries: Vec<TxProfile>) -> BlockProfile {
+        BlockProfile { entries }
+    }
+
+    #[test]
+    fn independent_txs_spread_over_lanes() {
+        let p = profile(vec![
+            entry(&[], &[1], 10),
+            entry(&[], &[2], 10),
+            entry(&[], &[3], 10),
+            entry(&[], &[4], 10),
+        ]);
+        let s = Scheduler::default().schedule(&p, 4);
+        assert_eq!(s.subgraphs.len(), 4);
+        assert_eq!(s.active_lanes(), 4);
+        assert_eq!(s.makespan_gas(&p), 10);
+        assert!((s.largest_subgraph_ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conflicting_txs_share_a_lane() {
+        // 0 writes A; 1 reads A; 2 writes B — {0,1} conflict, 2 is free.
+        let p = profile(vec![
+            entry(&[], &[1], 10),
+            entry(&[1], &[2], 10),
+            entry(&[], &[3], 10),
+        ]);
+        let s = Scheduler::default().schedule(&p, 4);
+        assert_eq!(s.subgraphs.len(), 2);
+        let lane_of = |i: usize| s.lanes.iter().position(|l| l.contains(&i)).unwrap();
+        assert_eq!(lane_of(0), lane_of(1));
+        assert_ne!(lane_of(0), lane_of(2));
+    }
+
+    #[test]
+    fn read_read_sharing_is_not_a_conflict() {
+        let p = profile(vec![entry(&[9], &[1], 10), entry(&[9], &[2], 10)]);
+        let s = Scheduler::default().schedule(&p, 2);
+        assert_eq!(s.subgraphs.len(), 2);
+    }
+
+    #[test]
+    fn transitive_conflicts_merge() {
+        // 0-1 share A, 1-2 share B: one subgraph of 3.
+        let p = profile(vec![
+            entry(&[], &[1], 10),
+            entry(&[1], &[2], 10),
+            entry(&[2], &[3], 10),
+        ]);
+        let s = Scheduler::default().schedule(&p, 4);
+        assert_eq!(s.subgraphs.len(), 1);
+        assert_eq!(s.subgraphs[0].txs, vec![0, 1, 2]);
+        assert!((s.largest_subgraph_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lanes_preserve_block_order() {
+        // All conflict: one lane must hold 0..5 ascending.
+        let p = profile((0..5).map(|_| entry(&[], &[1], 10)).collect());
+        let s = Scheduler::default().schedule(&p, 3);
+        let lane = s.lanes.iter().find(|l| !l.is_empty()).unwrap();
+        assert_eq!(lane, &vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lpt_balances_by_gas_not_count() {
+        // One heavy subgraph (gas 100) and four light ones (gas 10): with two
+        // lanes, LPT puts the heavy one alone and the light ones together.
+        let p = profile(vec![
+            entry(&[], &[1], 100),
+            entry(&[], &[2], 10),
+            entry(&[], &[3], 10),
+            entry(&[], &[4], 10),
+            entry(&[], &[5], 10),
+        ]);
+        let s = Scheduler::default().schedule(&p, 2);
+        let loads = s.lane_gas(&p);
+        assert_eq!(loads.iter().max(), Some(&100));
+        assert_eq!(loads.iter().sum::<u64>(), 140);
+        assert_eq!(s.makespan_gas(&p), 100);
+    }
+
+    #[test]
+    fn slot_granularity_is_finer_than_account() {
+        // Two txs write different storage slots of the same contract.
+        let c = addr(50);
+        let mk = |slot: u64| {
+            let mut rw = RwSet::new();
+            rw.record_write(AccessKey::Storage(c, H256::from_low_u64(slot)), U256::ONE);
+            TxProfile::from_rw(&rw, 10)
+        };
+        let p = profile(vec![mk(1), mk(2)]);
+        let account = Scheduler::new(ConflictGranularity::Account).schedule(&p, 2);
+        let slot = Scheduler::new(ConflictGranularity::Slot).schedule(&p, 2);
+        assert_eq!(account.subgraphs.len(), 1);
+        assert_eq!(slot.subgraphs.len(), 2);
+    }
+
+    #[test]
+    fn every_tx_in_exactly_one_lane() {
+        let p = profile(
+            (0..20)
+                .map(|i| entry(&[i % 5], &[i % 3 + 10], 10 + i))
+                .collect(),
+        );
+        let s = Scheduler::default().schedule(&p, 4);
+        let mut seen = vec![false; 20];
+        for lane in &s.lanes {
+            for &i in lane {
+                assert!(!seen[i], "tx {i} scheduled twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn empty_profile_schedules_cleanly() {
+        let p = profile(vec![]);
+        let s = Scheduler::default().schedule(&p, 4);
+        assert_eq!(s.active_lanes(), 0);
+        assert_eq!(s.total_gas, 0);
+        assert_eq!(s.largest_subgraph_ratio(), 0.0);
+        assert_eq!(s.makespan_gas(&p), 0);
+    }
+
+    #[test]
+    fn single_lane_degenerates_to_serial() {
+        let p = profile((0..6).map(|i| entry(&[], &[i + 1], 10)).collect());
+        let s = Scheduler::default().schedule(&p, 1);
+        assert_eq!(s.lanes.len(), 1);
+        assert_eq!(s.lanes[0], (0..6).collect::<Vec<_>>());
+        assert_eq!(s.makespan_gas(&p), 60);
+    }
+}

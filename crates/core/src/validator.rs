@@ -1,0 +1,101 @@
+//! High-level validator node: the pipeline plus a fork-aware chain store.
+
+use std::sync::Arc;
+
+use bp_block::{genesis_header, Block, BlockProfile, ChainStore};
+use bp_state::WorldState;
+use bp_types::{BlockHash, Height};
+use parking_lot::Mutex;
+
+use crate::pipeline::{PipelineConfig, ValidationHandle, ValidationOutcome, ValidatorPipeline};
+
+/// A validator node.
+///
+/// Receives blocks from the network (possibly several per height), validates
+/// them through the four-stage pipeline, tracks every fork in a
+/// [`ChainStore`], and commits the canonical chain.
+pub struct Validator {
+    pipeline: ValidatorPipeline,
+    chain: Mutex<ChainStore>,
+    genesis: BlockHash,
+}
+
+impl Validator {
+    /// Boots a validator from a genesis state.
+    pub fn new(config: PipelineConfig, genesis_state: WorldState) -> Self {
+        let header = genesis_header(genesis_state.state_root());
+        let genesis_block = Block {
+            header,
+            transactions: vec![],
+            profile: BlockProfile::new(),
+        };
+        let genesis = genesis_block.hash();
+        let mut chain = ChainStore::new();
+        chain.insert(genesis_block);
+        chain.set_canonical(genesis);
+        let pipeline = ValidatorPipeline::new(config);
+        pipeline.register_state(genesis, Arc::new(genesis_state));
+        Validator {
+            pipeline,
+            chain: Mutex::new(chain),
+            genesis,
+        }
+    }
+
+    /// Hash of the genesis block.
+    pub fn genesis_hash(&self) -> BlockHash {
+        self.genesis
+    }
+
+    /// Receives a block from the network: stores it (fork-aware) and starts
+    /// pipeline validation. Multiple blocks at the same height validate
+    /// concurrently.
+    pub fn receive_block(&self, block: Block) -> ValidationHandle {
+        self.chain.lock().insert(block.clone());
+        self.pipeline.submit(block)
+    }
+
+    /// Validates a block and, when valid, marks it canonical at its height
+    /// (the block-commitment phase from the chain's perspective).
+    pub fn validate_and_commit(&self, block: Block) -> ValidationOutcome {
+        let hash = block.hash();
+        let outcome = self.receive_block(block).wait();
+        if outcome.is_valid() {
+            self.chain.lock().set_canonical(hash);
+        }
+        outcome
+    }
+
+    /// The canonical head block hash and height.
+    pub fn head(&self) -> Option<(BlockHash, Height)> {
+        let chain = self.chain.lock();
+        chain.head().map(|b| (b.hash(), b.height()))
+    }
+
+    /// Number of blocks known at `height` (canonical + uncles).
+    pub fn blocks_at(&self, height: Height) -> usize {
+        self.chain.lock().at_height(height).len()
+    }
+
+    /// Number of uncle blocks at a decided height.
+    pub fn uncles_at(&self, height: Height) -> usize {
+        self.chain.lock().uncles_at(height).len()
+    }
+
+    /// Marks an already-validated block canonical at its height (the local
+    /// effect of a fork-choice decision arriving from consensus). Returns
+    /// false if the block is unknown or does not extend the canonical chain.
+    pub fn commit_canonical(&self, hash: BlockHash) -> bool {
+        self.chain.lock().set_canonical(hash)
+    }
+
+    /// The canonical block hash at `height`, if decided.
+    pub fn canonical_at(&self, height: Height) -> Option<BlockHash> {
+        self.chain.lock().canonical_at(height).map(|b| b.hash())
+    }
+
+    /// Direct access to the pipeline (e.g. for multi-block benchmarks).
+    pub fn pipeline(&self) -> &ValidatorPipeline {
+        &self.pipeline
+    }
+}

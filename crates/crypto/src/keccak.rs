@@ -1,0 +1,250 @@
+//! Keccak-256 as used by Ethereum.
+//!
+//! This is the original Keccak submission (domain-separation byte `0x01`),
+//! *not* the NIST-standardized SHA3-256 (`0x06`). Ethereum froze on the
+//! pre-standard padding, so `keccak256("")` is
+//! `c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470`.
+//!
+//! The implementation is a straightforward keccak-f[1600] over a 5×5 lane
+//! state with the rate/capacity split of a 256-bit output (rate = 136 bytes).
+//! It supports incremental hashing via [`Keccak256::update`].
+
+use bp_types::H256;
+
+const RATE: usize = 136; // 1600/8 - 2*32
+const ROUNDS: usize = 24;
+
+const RC: [u64; ROUNDS] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+/// Rotation offsets, indexed `[x][y]` for lane (x, y).
+const ROTC: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+#[inline]
+fn keccak_f(state: &mut [[u64; 5]; 5]) {
+    for &rc in RC.iter() {
+        // θ
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x][y] ^= d;
+            }
+        }
+        // ρ and π
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(ROTC[x][y]);
+            }
+        }
+        // χ
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] = b[x][y] ^ ((!b[(x + 1) % 5][y]) & b[(x + 2) % 5][y]);
+            }
+        }
+        // ι
+        state[0][0] ^= rc;
+    }
+}
+
+/// Incremental Keccak-256 hasher.
+#[derive(Clone)]
+pub struct Keccak256 {
+    state: [[u64; 5]; 5],
+    buf: [u8; RATE],
+    buf_len: usize,
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Keccak256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Keccak256 {
+            state: [[0u64; 5]; 5],
+            buf: [0u8; RATE],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut input = data;
+        if self.buf_len > 0 {
+            let take = (RATE - self.buf_len).min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+            if self.buf_len == RATE {
+                let block = self.buf;
+                self.absorb_block(&block);
+                self.buf_len = 0;
+            }
+        }
+        while input.len() >= RATE {
+            let (block, rest) = input.split_at(RATE);
+            let mut tmp = [0u8; RATE];
+            tmp.copy_from_slice(block);
+            self.absorb_block(&tmp);
+            input = rest;
+        }
+        if !input.is_empty() {
+            self.buf[..input.len()].copy_from_slice(input);
+            self.buf_len = input.len();
+        }
+    }
+
+    fn absorb_block(&mut self, block: &[u8; RATE]) {
+        for i in 0..RATE / 8 {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(&block[i * 8..(i + 1) * 8]);
+            let v = u64::from_le_bytes(lane);
+            self.state[i % 5][i / 5] ^= v;
+        }
+        keccak_f(&mut self.state);
+    }
+
+    /// Finalizes and returns the 32-byte digest.
+    pub fn finalize(mut self) -> H256 {
+        // Keccak (pre-NIST) padding: 0x01 ... 0x80.
+        let mut block = [0u8; RATE];
+        block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        block[self.buf_len] = 0x01;
+        block[RATE - 1] |= 0x80;
+        self.absorb_block(&block);
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&self.state[i % 5][i / 5].to_le_bytes());
+        }
+        H256(out)
+    }
+}
+
+/// One-shot Keccak-256.
+pub fn keccak256(data: &[u8]) -> H256 {
+    let mut h = Keccak256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Keccak-256 over the concatenation of two slices, without allocating.
+pub fn keccak256_concat(a: &[u8], b: &[u8]) -> H256 {
+    let mut h = Keccak256::new();
+    h.update(a);
+    h.update(b);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(h: &H256) -> String {
+        h.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_input_vector() {
+        assert_eq!(
+            hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn ethereum_hello_vector() {
+        // Widely-published Ethereum test value.
+        assert_eq!(
+            hex(&keccak256(b"hello")),
+            "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8"
+        );
+    }
+
+    #[test]
+    fn rate_boundary_inputs() {
+        // Exercise lengths around the 136-byte rate: the padded block layout
+        // differs at len == RATE-1, RATE, RATE+1.
+        for len in [0usize, 1, 135, 136, 137, 271, 272, 273, 1000] {
+            let data = vec![0xAAu8; len];
+            let one_shot = keccak256(&data);
+            // Incremental with odd chunk sizes must match.
+            let mut h = Keccak256::new();
+            for chunk in data.chunks(7) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), one_shot, "mismatch at len {len}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..500u32).map(|i| (i * 31 % 251) as u8).collect();
+        let mut h = Keccak256::new();
+        h.update(&data[..100]);
+        h.update(&data[100..137]);
+        h.update(&data[137..]);
+        assert_eq!(h.finalize(), keccak256(&data));
+    }
+
+    #[test]
+    fn concat_helper_matches_manual() {
+        let a = b"foo";
+        let b = b"barbaz";
+        let mut joined = a.to_vec();
+        joined.extend_from_slice(b);
+        assert_eq!(keccak256_concat(a, b), keccak256(&joined));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(keccak256(b"a"), keccak256(b"b"));
+        assert_ne!(keccak256(b""), keccak256(b"\x00"));
+    }
+}

@@ -1,0 +1,513 @@
+//! Recursive Length Prefix (RLP) encoding and decoding.
+//!
+//! RLP is Ethereum's canonical serialization for accounts, transactions,
+//! block headers and trie nodes. We implement the full spec:
+//!
+//! * a single byte in `[0x00, 0x7f]` is its own encoding;
+//! * a string of 0–55 bytes: `0x80 + len` followed by the bytes;
+//! * a longer string: `0xb7 + len_of_len`, the big-endian length, the bytes;
+//! * a list whose payload is 0–55 bytes: `0xc0 + len` followed by the items;
+//! * a longer list: `0xf7 + len_of_len`, the big-endian length, the items.
+//!
+//! Decoding is strict: non-minimal length encodings and trailing bytes are
+//! rejected, which is required when validating data received from proposers.
+
+use bp_types::{Address, H256, U256};
+use core::fmt;
+
+/// An RLP item: either a byte string or a list of items.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Item {
+    /// A byte string.
+    Bytes(Vec<u8>),
+    /// A heterogeneous list.
+    List(Vec<Item>),
+}
+
+/// Errors produced by the strict decoder.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Input ended before the announced payload.
+    UnexpectedEof,
+    /// A long-form length had leading zeros or encoded a short value.
+    NonMinimalLength,
+    /// A single byte below 0x80 was wrapped in a string header.
+    NonMinimalByte,
+    /// Extra bytes remained after the top-level item.
+    TrailingBytes,
+    /// The announced length overflows usize.
+    LengthOverflow,
+    /// Expected a string, found a list (or vice versa).
+    TypeMismatch,
+    /// An integer field had a leading zero byte or was too large.
+    BadInteger,
+    /// A fixed-size field (hash, address) had the wrong length.
+    BadFixedLen,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            DecodeError::UnexpectedEof => "unexpected end of input",
+            DecodeError::NonMinimalLength => "non-minimal length encoding",
+            DecodeError::NonMinimalByte => "single byte should be encoded directly",
+            DecodeError::TrailingBytes => "trailing bytes after item",
+            DecodeError::LengthOverflow => "length overflows usize",
+            DecodeError::TypeMismatch => "unexpected item type",
+            DecodeError::BadInteger => "invalid integer encoding",
+            DecodeError::BadFixedLen => "wrong length for fixed-size field",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Streaming RLP encoder.
+///
+/// Typical use builds nested lists with [`RlpStream::begin_list`]:
+///
+/// ```
+/// use bp_crypto::rlp::RlpStream;
+/// let mut s = RlpStream::new();
+/// s.begin_list(2);
+/// s.append_bytes(b"cat");
+/// s.append_bytes(b"dog");
+/// assert_eq!(s.out()[0], 0xc8);
+/// ```
+#[derive(Default)]
+pub struct RlpStream {
+    out: Vec<u8>,
+    // Stack of (start offset in `out`, items remaining) for open lists.
+    open: Vec<(usize, usize)>,
+}
+
+impl RlpStream {
+    /// A fresh encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a list of exactly `len` items. The header is patched in when the
+    /// final item is appended.
+    pub fn begin_list(&mut self, len: usize) {
+        if len == 0 {
+            self.append_raw_item(&[0xc0]);
+            return;
+        }
+        self.open.push((self.out.len(), len));
+    }
+
+    /// Appends a byte-string item.
+    pub fn append_bytes(&mut self, bytes: &[u8]) {
+        let mut tmp = Vec::with_capacity(bytes.len() + 9);
+        encode_str_header(bytes.len(), bytes.first().copied(), &mut tmp);
+        tmp.extend_from_slice(bytes);
+        self.append_raw_item(&tmp);
+    }
+
+    /// Appends an integer in minimal big-endian form.
+    pub fn append_u64(&mut self, v: u64) {
+        self.append_u256(&U256::from(v));
+    }
+
+    /// Appends a 256-bit integer in minimal big-endian form.
+    pub fn append_u256(&mut self, v: &U256) {
+        let bytes = v.to_be_bytes_trimmed();
+        self.append_bytes(&bytes);
+    }
+
+    /// Appends a 32-byte hash.
+    pub fn append_h256(&mut self, h: &H256) {
+        self.append_bytes(&h.0);
+    }
+
+    /// Appends a 20-byte address.
+    pub fn append_address(&mut self, a: &Address) {
+        self.append_bytes(&a.0);
+    }
+
+    /// Appends bytes that are *already* a complete RLP item (used by the MPT
+    /// to embed either a 32-byte hash string or an inlined short node).
+    pub fn append_raw(&mut self, raw: &[u8]) {
+        self.append_raw_item(raw);
+    }
+
+    fn append_raw_item(&mut self, raw: &[u8]) {
+        self.out.extend_from_slice(raw);
+        self.close_lists();
+    }
+
+    fn close_lists(&mut self) {
+        while let Some(top) = self.open.last_mut() {
+            top.1 -= 1;
+            if top.1 > 0 {
+                return;
+            }
+            let (start, _) = self.open.pop().expect("stack non-empty");
+            let payload_len = self.out.len() - start;
+            let mut header = Vec::with_capacity(9);
+            encode_list_header(payload_len, &mut header);
+            // splice header before payload
+            self.out.splice(start..start, header);
+        }
+    }
+
+    /// Finishes encoding and returns the bytes. Panics if a list is still
+    /// open (that is a programming error, not a data error).
+    pub fn out(self) -> Vec<u8> {
+        assert!(self.open.is_empty(), "RlpStream finished with open list");
+        self.out
+    }
+}
+
+fn encode_str_header(len: usize, first: Option<u8>, out: &mut Vec<u8>) {
+    if len == 1 && first.expect("len 1 has a byte") < 0x80 {
+        return; // the byte itself is the encoding
+    }
+    if len <= 55 {
+        out.push(0x80 + len as u8);
+    } else {
+        let len_bytes = minimal_be(len as u64);
+        out.push(0xb7 + len_bytes.len() as u8);
+        out.extend_from_slice(&len_bytes);
+    }
+}
+
+fn encode_list_header(payload_len: usize, out: &mut Vec<u8>) {
+    if payload_len <= 55 {
+        out.push(0xc0 + payload_len as u8);
+    } else {
+        let len_bytes = minimal_be(payload_len as u64);
+        out.push(0xf7 + len_bytes.len() as u8);
+        out.extend_from_slice(&len_bytes);
+    }
+}
+
+fn minimal_be(v: u64) -> Vec<u8> {
+    let b = v.to_be_bytes();
+    let first = b.iter().position(|&x| x != 0).unwrap_or(7);
+    b[first..].to_vec()
+}
+
+/// Encodes a byte string as a standalone item.
+pub fn encode_bytes(bytes: &[u8]) -> Vec<u8> {
+    let mut s = RlpStream::new();
+    s.append_bytes(bytes);
+    s.out()
+}
+
+/// Encodes an [`Item`] tree.
+pub fn encode_item(item: &Item) -> Vec<u8> {
+    match item {
+        Item::Bytes(b) => encode_bytes(b),
+        Item::List(items) => {
+            let mut payload = Vec::new();
+            for it in items {
+                payload.extend_from_slice(&encode_item(it));
+            }
+            let mut out = Vec::with_capacity(payload.len() + 9);
+            encode_list_header(payload.len(), &mut out);
+            out.extend_from_slice(&payload);
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Decodes a complete top-level item; rejects trailing bytes.
+pub fn decode(data: &[u8]) -> Result<Item, DecodeError> {
+    let (item, used) = decode_at(data)?;
+    if used != data.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(item)
+}
+
+/// Decodes one item at the front of `data`, returning it and the bytes
+/// consumed.
+pub fn decode_at(data: &[u8]) -> Result<(Item, usize), DecodeError> {
+    let (&prefix, rest) = data.split_first().ok_or(DecodeError::UnexpectedEof)?;
+    match prefix {
+        0x00..=0x7f => Ok((Item::Bytes(vec![prefix]), 1)),
+        0x80..=0xb7 => {
+            let len = (prefix - 0x80) as usize;
+            let payload = rest.get(..len).ok_or(DecodeError::UnexpectedEof)?;
+            if len == 1 && payload[0] < 0x80 {
+                return Err(DecodeError::NonMinimalByte);
+            }
+            Ok((Item::Bytes(payload.to_vec()), 1 + len))
+        }
+        0xb8..=0xbf => {
+            let len_of_len = (prefix - 0xb7) as usize;
+            let len = read_long_len(rest, len_of_len, 55)?;
+            let payload = rest
+                .get(len_of_len..len_of_len + len)
+                .ok_or(DecodeError::UnexpectedEof)?;
+            Ok((Item::Bytes(payload.to_vec()), 1 + len_of_len + len))
+        }
+        0xc0..=0xf7 => {
+            let len = (prefix - 0xc0) as usize;
+            let payload = rest.get(..len).ok_or(DecodeError::UnexpectedEof)?;
+            Ok((Item::List(decode_list_payload(payload)?), 1 + len))
+        }
+        0xf8..=0xff => {
+            let len_of_len = (prefix - 0xf7) as usize;
+            let len = read_long_len(rest, len_of_len, 55)?;
+            let payload = rest
+                .get(len_of_len..len_of_len + len)
+                .ok_or(DecodeError::UnexpectedEof)?;
+            Ok((Item::List(decode_list_payload(payload)?), 1 + len_of_len + len))
+        }
+    }
+}
+
+fn read_long_len(rest: &[u8], len_of_len: usize, min: usize) -> Result<usize, DecodeError> {
+    let len_bytes = rest.get(..len_of_len).ok_or(DecodeError::UnexpectedEof)?;
+    if len_bytes.first() == Some(&0) {
+        return Err(DecodeError::NonMinimalLength);
+    }
+    if len_of_len > core::mem::size_of::<usize>() {
+        return Err(DecodeError::LengthOverflow);
+    }
+    let mut len = 0usize;
+    for &b in len_bytes {
+        len = len
+            .checked_mul(256)
+            .and_then(|l| l.checked_add(b as usize))
+            .ok_or(DecodeError::LengthOverflow)?;
+    }
+    if len <= min {
+        return Err(DecodeError::NonMinimalLength);
+    }
+    Ok(len)
+}
+
+fn decode_list_payload(mut payload: &[u8]) -> Result<Vec<Item>, DecodeError> {
+    let mut items = Vec::new();
+    while !payload.is_empty() {
+        let (item, used) = decode_at(payload)?;
+        items.push(item);
+        payload = &payload[used..];
+    }
+    Ok(items)
+}
+
+impl Item {
+    /// Extracts a byte string, rejecting lists.
+    pub fn as_bytes(&self) -> Result<&[u8], DecodeError> {
+        match self {
+            Item::Bytes(b) => Ok(b),
+            Item::List(_) => Err(DecodeError::TypeMismatch),
+        }
+    }
+
+    /// Extracts a list, rejecting strings.
+    pub fn as_list(&self) -> Result<&[Item], DecodeError> {
+        match self {
+            Item::List(l) => Ok(l),
+            Item::Bytes(_) => Err(DecodeError::TypeMismatch),
+        }
+    }
+
+    /// Decodes a minimal big-endian `u64`.
+    pub fn as_u64(&self) -> Result<u64, DecodeError> {
+        let b = self.as_bytes()?;
+        if b.len() > 8 || b.first() == Some(&0) {
+            return Err(DecodeError::BadInteger);
+        }
+        let mut v = 0u64;
+        for &byte in b {
+            v = v << 8 | byte as u64;
+        }
+        Ok(v)
+    }
+
+    /// Decodes a minimal big-endian [`U256`].
+    pub fn as_u256(&self) -> Result<U256, DecodeError> {
+        let b = self.as_bytes()?;
+        if b.len() > 32 || b.first() == Some(&0) {
+            return Err(DecodeError::BadInteger);
+        }
+        Ok(U256::from_be_slice(b))
+    }
+
+    /// Decodes a 32-byte hash.
+    pub fn as_h256(&self) -> Result<H256, DecodeError> {
+        let b = self.as_bytes()?;
+        let arr: [u8; 32] = b.try_into().map_err(|_| DecodeError::BadFixedLen)?;
+        Ok(H256(arr))
+    }
+
+    /// Decodes a 20-byte address.
+    pub fn as_address(&self) -> Result<Address, DecodeError> {
+        let b = self.as_bytes()?;
+        let arr: [u8; 20] = b.try_into().map_err(|_| DecodeError::BadFixedLen)?;
+        Ok(Address(arr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_vectors() {
+        // From the Ethereum wiki RLP test vectors.
+        assert_eq!(encode_bytes(b"dog"), vec![0x83, b'd', b'o', b'g']);
+        assert_eq!(encode_bytes(b""), vec![0x80]);
+        assert_eq!(encode_bytes(&[0x0f]), vec![0x0f]);
+        assert_eq!(encode_bytes(&[0x04, 0x00]), vec![0x82, 0x04, 0x00]);
+        let cat_dog = Item::List(vec![
+            Item::Bytes(b"cat".to_vec()),
+            Item::Bytes(b"dog".to_vec()),
+        ]);
+        assert_eq!(
+            encode_item(&cat_dog),
+            vec![0xc8, 0x83, b'c', b'a', b't', 0x83, b'd', b'o', b'g']
+        );
+        assert_eq!(encode_item(&Item::List(vec![])), vec![0xc0]);
+    }
+
+    #[test]
+    fn set_theoretical_representation_of_three() {
+        // [ [], [[]], [ [], [[]] ] ]
+        let empty = Item::List(vec![]);
+        let one = Item::List(vec![empty.clone()]);
+        let three = Item::List(vec![empty.clone(), one.clone(), Item::List(vec![empty, one])]);
+        assert_eq!(
+            encode_item(&three),
+            vec![0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0]
+        );
+    }
+
+    #[test]
+    fn long_string_header() {
+        // The canonical >55-byte test string from the Ethereum wiki.
+        let s = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+        assert_eq!(s.len(), 56);
+        let enc = encode_bytes(s);
+        assert_eq!(enc[0], 0xb8);
+        assert_eq!(enc[1], 56);
+        assert_eq!(&enc[2..], s);
+    }
+
+    #[test]
+    fn integer_encoding() {
+        let mut s = RlpStream::new();
+        s.append_u64(0);
+        assert_eq!(s.out(), vec![0x80]);
+        let mut s = RlpStream::new();
+        s.append_u64(15);
+        assert_eq!(s.out(), vec![0x0f]);
+        let mut s = RlpStream::new();
+        s.append_u64(1024);
+        assert_eq!(s.out(), vec![0x82, 0x04, 0x00]);
+    }
+
+    #[test]
+    fn stream_nested_lists() {
+        // ["cat", ["puppy", "cow"], "horse"]
+        let mut s = RlpStream::new();
+        s.begin_list(3);
+        s.append_bytes(b"cat");
+        s.begin_list(2);
+        s.append_bytes(b"puppy");
+        s.append_bytes(b"cow");
+        s.append_bytes(b"horse");
+        let enc = s.out();
+        let dec = decode(&enc).unwrap();
+        let l = dec.as_list().unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l[0].as_bytes().unwrap(), b"cat");
+        assert_eq!(l[1].as_list().unwrap()[0].as_bytes().unwrap(), b"puppy");
+        assert_eq!(l[2].as_bytes().unwrap(), b"horse");
+    }
+
+    #[test]
+    fn decode_rejects_trailing() {
+        let mut enc = encode_bytes(b"dog");
+        enc.push(0x00);
+        assert_eq!(decode(&enc), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let enc = encode_bytes(b"dog");
+        assert_eq!(decode(&enc[..2]), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn decode_rejects_non_minimal_byte() {
+        // 0x81 0x05 should have been just 0x05.
+        assert_eq!(decode(&[0x81, 0x05]), Err(DecodeError::NonMinimalByte));
+        // 0x81 0x80 is fine (0x80 needs the header).
+        assert_eq!(decode(&[0x81, 0x80]).unwrap(), Item::Bytes(vec![0x80]));
+    }
+
+    #[test]
+    fn decode_rejects_non_minimal_long_length() {
+        // Long form used for a 3-byte string.
+        assert_eq!(
+            decode(&[0xb8, 0x03, b'd', b'o', b'g']),
+            Err(DecodeError::NonMinimalLength)
+        );
+        // Leading zero in the length-of-length bytes.
+        let mut bad = vec![0xb9, 0x00, 0x38];
+        bad.extend_from_slice(&[0u8; 56]);
+        assert_eq!(decode(&bad), Err(DecodeError::NonMinimalLength));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let mut s = RlpStream::new();
+        s.begin_list(4);
+        s.append_u64(42);
+        s.append_u256(&(U256::ONE << 128));
+        s.append_h256(&H256::from_low_u64(9));
+        s.append_address(&Address::from_index(7));
+        let dec = decode(&s.out()).unwrap();
+        let l = dec.as_list().unwrap();
+        assert_eq!(l[0].as_u64().unwrap(), 42);
+        assert_eq!(l[1].as_u256().unwrap(), U256::ONE << 128);
+        assert_eq!(l[2].as_h256().unwrap(), H256::from_low_u64(9));
+        assert_eq!(l[3].as_address().unwrap(), Address::from_index(7));
+        // Wrong type access fails.
+        assert!(l[0].as_list().is_err());
+        assert!(dec.as_bytes().is_err());
+    }
+
+    #[test]
+    fn integer_with_leading_zero_rejected() {
+        // 0x82 0x00 0x01 is a valid string but not a valid integer.
+        let item = decode(&[0x82, 0x00, 0x01]).unwrap();
+        assert_eq!(item.as_u64(), Err(DecodeError::BadInteger));
+        assert_eq!(item.as_u256(), Err(DecodeError::BadInteger));
+    }
+
+    #[test]
+    fn empty_list_in_stream() {
+        let mut s = RlpStream::new();
+        s.begin_list(2);
+        s.begin_list(0);
+        s.append_bytes(b"x");
+        let enc = s.out();
+        assert_eq!(enc, vec![0xc2, 0xc0, b'x']);
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let big = vec![0x7Eu8; 10_000];
+        let enc = encode_bytes(&big);
+        assert_eq!(enc[0], 0xb9); // 2-byte length
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec.as_bytes().unwrap(), &big[..]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: RLP encode/decode roundtrip and canonicality; Keccak
+//! incremental hashing.
+
+use bp_crypto::rlp::{decode, encode_item, Item};
+use bp_crypto::{keccak256, Keccak256};
+use proptest::prelude::*;
+
+fn arb_item() -> impl Strategy<Value = Item> {
+    let leaf = prop::collection::vec(any::<u8>(), 0..200).prop_map(Item::Bytes);
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop::collection::vec(inner, 0..8).prop_map(Item::List)
+    })
+}
+
+proptest! {
+    #[test]
+    fn rlp_roundtrip(item in arb_item()) {
+        let enc = encode_item(&item);
+        let dec = decode(&enc).unwrap();
+        prop_assert_eq!(dec, item);
+    }
+
+    #[test]
+    fn rlp_encoding_is_canonical(item in arb_item()) {
+        // Re-encoding a decoded item reproduces the identical bytes: there is
+        // exactly one valid encoding per item.
+        let enc = encode_item(&item);
+        let dec = decode(&enc).unwrap();
+        prop_assert_eq!(encode_item(&dec), enc);
+    }
+
+    #[test]
+    fn rlp_prefix_of_encoding_fails(item in arb_item()) {
+        let enc = encode_item(&item);
+        if enc.len() > 1 {
+            prop_assert!(decode(&enc[..enc.len() - 1]).is_err());
+        }
+    }
+
+    #[test]
+    fn rlp_extended_encoding_fails(item in arb_item(), extra in 0u8..255) {
+        let mut enc = encode_item(&item);
+        enc.push(extra);
+        prop_assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn keccak_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..2000),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..5),
+    ) {
+        let mut offsets: Vec<usize> = cuts.iter().map(|i| i.index(data.len() + 1)).collect();
+        offsets.push(0);
+        offsets.push(data.len());
+        offsets.sort_unstable();
+        let mut h = Keccak256::new();
+        for w in offsets.windows(2) {
+            h.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(h.finalize(), keccak256(&data));
+    }
+
+    #[test]
+    fn keccak_no_trivial_collisions(a in prop::collection::vec(any::<u8>(), 0..100),
+                                    b in prop::collection::vec(any::<u8>(), 0..100)) {
+        if a != b {
+            prop_assert_ne!(keccak256(&a), keccak256(&b));
+        }
+    }
+}

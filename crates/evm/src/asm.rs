@@ -1,0 +1,183 @@
+//! A tiny EVM assembler.
+//!
+//! Contracts in tests and in the synthetic workload generator are written as
+//! readable instruction streams rather than raw hex. The assembler supports
+//! labels for jump targets:
+//!
+//! ```
+//! use bp_evm::asm::Asm;
+//! use bp_types::U256;
+//! let code = Asm::new()
+//!     .push(U256::ONE)
+//!     .push(U256::from(2u64))
+//!     .op(bp_evm::opcode::Op::Add)
+//!     .op(bp_evm::opcode::Op::Stop)
+//!     .build();
+//! assert_eq!(code[0], 0x60);
+//! ```
+
+use bp_types::U256;
+
+use crate::opcode::{Op, DUP1, PUSH1, SWAP1};
+
+enum Chunk {
+    Bytes(Vec<u8>),
+    // A PUSH2 whose operand is the offset of a label, patched at build time.
+    PushLabel(String),
+    Label(String),
+}
+
+/// Incremental assembler with label support.
+#[derive(Default)]
+pub struct Asm {
+    chunks: Vec<Chunk>,
+}
+
+impl Asm {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one opcode.
+    pub fn op(mut self, op: Op) -> Self {
+        self.push_byte(op as u8);
+        self
+    }
+
+    /// Appends a minimal-width PUSH of `value` (PUSH1 for zero).
+    pub fn push(mut self, value: U256) -> Self {
+        let bytes = value.to_be_bytes_trimmed();
+        let bytes = if bytes.is_empty() { vec![0u8] } else { bytes };
+        let mut chunk = vec![PUSH1 + (bytes.len() as u8 - 1)];
+        chunk.extend_from_slice(&bytes);
+        self.chunks.push(Chunk::Bytes(chunk));
+        self
+    }
+
+    /// `push` from a u64.
+    pub fn push_u64(self, v: u64) -> Self {
+        self.push(U256::from(v))
+    }
+
+    /// Appends `DUPn` (1-based).
+    pub fn dup(mut self, n: u8) -> Self {
+        assert!((1..=16).contains(&n));
+        self.push_byte(DUP1 + n - 1);
+        self
+    }
+
+    /// Appends `SWAPn` (1-based).
+    pub fn swap(mut self, n: u8) -> Self {
+        assert!((1..=16).contains(&n));
+        self.push_byte(SWAP1 + n - 1);
+        self
+    }
+
+    /// Defines a jump label at the current position (emits `JUMPDEST`).
+    pub fn label(mut self, name: &str) -> Self {
+        self.chunks.push(Chunk::Label(name.to_string()));
+        self.push_byte(Op::JumpDest as u8);
+        self
+    }
+
+    /// Pushes the 2-byte offset of `name` (for a later JUMP/JUMPI).
+    pub fn push_label(mut self, name: &str) -> Self {
+        self.chunks.push(Chunk::PushLabel(name.to_string()));
+        self
+    }
+
+    /// Appends raw bytes verbatim (e.g. embedded init payloads).
+    pub fn raw(mut self, bytes: &[u8]) -> Self {
+        self.chunks.push(Chunk::Bytes(bytes.to_vec()));
+        self
+    }
+
+    fn push_byte(&mut self, b: u8) {
+        if let Some(Chunk::Bytes(v)) = self.chunks.last_mut() {
+            v.push(b);
+        } else {
+            self.chunks.push(Chunk::Bytes(vec![b]));
+        }
+    }
+
+    /// Resolves labels and returns the bytecode.
+    ///
+    /// Panics on undefined labels or programs larger than 64 KiB (labels are
+    /// 2 bytes wide) — both are authoring bugs, not runtime conditions.
+    pub fn build(self) -> Vec<u8> {
+        // First pass: compute offsets. PushLabel occupies 3 bytes (PUSH2 hi lo).
+        let mut offsets = std::collections::HashMap::new();
+        let mut pc = 0usize;
+        for chunk in &self.chunks {
+            match chunk {
+                Chunk::Bytes(b) => pc += b.len(),
+                Chunk::PushLabel(_) => pc += 3,
+                Chunk::Label(name) => {
+                    let prev = offsets.insert(name.clone(), pc);
+                    assert!(prev.is_none(), "duplicate label {name}");
+                    // The JUMPDEST byte itself is emitted by `label` as a
+                    // following Bytes chunk.
+                }
+            }
+        }
+        assert!(pc <= u16::MAX as usize, "program too large for 2-byte labels");
+        let mut out = Vec::with_capacity(pc);
+        for chunk in &self.chunks {
+            match chunk {
+                Chunk::Bytes(b) => out.extend_from_slice(b),
+                Chunk::PushLabel(name) => {
+                    let off = *offsets
+                        .get(name)
+                        .unwrap_or_else(|| panic!("undefined label {name}"));
+                    out.push(PUSH1 + 1); // PUSH2
+                    out.push((off >> 8) as u8);
+                    out.push(off as u8);
+                }
+                Chunk::Label(_) => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_widths_are_minimal() {
+        let code = Asm::new().push(U256::ZERO).push(U256::from(0xFFu64)).push(U256::from(0x1234u64)).build();
+        assert_eq!(code, vec![0x60, 0x00, 0x60, 0xFF, 0x61, 0x12, 0x34]);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let code = Asm::new()
+            .push_label("end") // 3 bytes
+            .op(Op::Jump) // 1 byte
+            .op(Op::Invalid)
+            .label("end") // JUMPDEST at offset 5
+            .op(Op::Stop)
+            .build();
+        assert_eq!(code, vec![0x61, 0x00, 0x05, 0x56, 0xFE, 0x5B, 0x00]);
+    }
+
+    #[test]
+    fn dup_swap_encode() {
+        let code = Asm::new().dup(1).dup(16).swap(1).swap(16).build();
+        assert_eq!(code, vec![0x80, 0x8F, 0x90, 0x9F]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        Asm::new().push_label("nowhere").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        Asm::new().label("a").label("a").build();
+    }
+}

@@ -1,0 +1,137 @@
+//! The gas schedule (Istanbul-flavoured).
+//!
+//! Gas matters twice in BlockPilot: it meters execution as in Ethereum, and
+//! §4.3 of the paper uses it as the *execution-time estimate* the validator
+//! scheduler balances threads with ("the most time-consuming operations
+//! (namely, SLOAD and SSTORE) have very high gas costs"). The constants below
+//! keep that property: storage operations dominate.
+
+use bp_types::Gas;
+
+/// Base cost charged for every transaction.
+pub const TX_BASE: Gas = 21_000;
+/// Per non-zero calldata byte.
+pub const TX_DATA_NONZERO: Gas = 16;
+/// Per zero calldata byte.
+pub const TX_DATA_ZERO: Gas = 4;
+/// Extra base cost for contract creation.
+pub const TX_CREATE: Gas = 32_000;
+
+/// Cheap ALU/stack ops.
+pub const VERYLOW: Gas = 3;
+/// MUL/DIV-class ops.
+pub const LOW: Gas = 5;
+/// ADDMOD/MULMOD-class ops.
+pub const MID: Gas = 8;
+/// JUMPI.
+pub const HIGH: Gas = 10;
+/// JUMPDEST.
+pub const JUMPDEST: Gas = 1;
+/// Quick context reads (ADDRESS, CALLER, ...).
+pub const BASE: Gas = 2;
+/// EXP static part.
+pub const EXP: Gas = 10;
+/// EXP per exponent byte.
+pub const EXP_BYTE: Gas = 50;
+/// SHA3 static part.
+pub const SHA3: Gas = 30;
+/// SHA3 per 32-byte word.
+pub const SHA3_WORD: Gas = 6;
+/// SLOAD (Istanbul).
+pub const SLOAD: Gas = 800;
+/// SSTORE when a zero slot becomes non-zero.
+pub const SSTORE_SET: Gas = 20_000;
+/// SSTORE otherwise.
+pub const SSTORE_RESET: Gas = 5_000;
+/// BALANCE / EXTCODESIZE.
+pub const BALANCE: Gas = 700;
+/// SELFBALANCE.
+pub const SELFBALANCE: Gas = 5;
+/// CALL base.
+pub const CALL: Gas = 700;
+/// Surcharge for value-transferring calls.
+pub const CALL_VALUE: Gas = 9_000;
+/// Gas stipend forwarded to the callee of a value transfer.
+pub const CALL_STIPEND: Gas = 2_300;
+/// CREATE base.
+pub const CREATE: Gas = 32_000;
+/// LOG base.
+pub const LOG: Gas = 375;
+/// LOG per topic.
+pub const LOG_TOPIC: Gas = 375;
+/// LOG per data byte.
+pub const LOG_DATA: Gas = 8;
+/// Per-byte cost of storing created contract code.
+pub const CODE_DEPOSIT: Gas = 200;
+/// Memory expansion: linear coefficient per 32-byte word.
+pub const MEMORY_WORD: Gas = 3;
+/// Memory expansion: quadratic divisor.
+pub const MEMORY_QUAD_DIVISOR: Gas = 512;
+/// COPY operations per word.
+pub const COPY_WORD: Gas = 3;
+
+/// Total memory cost for `words` 32-byte words.
+#[inline]
+pub fn memory_cost(words: u64) -> Gas {
+    MEMORY_WORD
+        .saturating_mul(words)
+        .saturating_add(words.saturating_mul(words) / MEMORY_QUAD_DIVISOR)
+}
+
+/// Marginal gas to grow memory from `from_words` to `to_words`.
+#[inline]
+pub fn memory_expansion(from_words: u64, to_words: u64) -> Gas {
+    if to_words <= from_words {
+        0
+    } else {
+        memory_cost(to_words) - memory_cost(from_words)
+    }
+}
+
+/// Intrinsic gas of a transaction: base, calldata, creation surcharge.
+pub fn intrinsic_gas(data: &[u8], is_create: bool) -> Gas {
+    let data_gas: Gas = data
+        .iter()
+        .map(|&b| if b == 0 { TX_DATA_ZERO } else { TX_DATA_NONZERO })
+        .sum();
+    TX_BASE + data_gas + if is_create { TX_CREATE } else { 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic_base_only() {
+        assert_eq!(intrinsic_gas(&[], false), 21_000);
+        assert_eq!(intrinsic_gas(&[], true), 53_000);
+    }
+
+    #[test]
+    fn intrinsic_counts_data_bytes() {
+        assert_eq!(intrinsic_gas(&[0, 0, 1, 2], false), 21_000 + 4 + 4 + 16 + 16);
+    }
+
+    #[test]
+    fn memory_cost_is_quadratic() {
+        assert_eq!(memory_cost(0), 0);
+        assert_eq!(memory_cost(1), 3);
+        assert_eq!(memory_cost(32), 32 * 3 + 2);
+        // Expansion is the marginal cost.
+        assert_eq!(memory_expansion(0, 10), memory_cost(10));
+        assert_eq!(memory_expansion(10, 10), 0);
+        assert_eq!(memory_expansion(10, 5), 0);
+        assert_eq!(
+            memory_expansion(5, 10) + memory_expansion(0, 5),
+            memory_cost(10)
+        );
+    }
+
+    #[test]
+    fn storage_ops_dominate_alu() {
+        // The scheduler's gas-as-time proxy relies on this ordering.
+        assert!(SLOAD > 100 * VERYLOW);
+        assert!(SSTORE_SET > SLOAD);
+        assert!(SSTORE_RESET > SLOAD);
+    }
+}

@@ -1,0 +1,321 @@
+//! The interpreter's window onto state: snapshot views plus a buffered,
+//! footprint-recording host.
+//!
+//! The EVM never touches `WorldState` directly. It reads through a
+//! [`StateView`] (either the flat world for serial execution, or an OCC-WSI
+//! snapshot of the [`MultiVersionState`]) and writes into the
+//! [`BufferedHost`]'s private buffer. When the transaction finishes, the
+//! buffer *is* its write set and the recorded reads *are* its read set — the
+//! `rs`/`ws` of Algorithm 1 — with zero extra instrumentation cost.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bp_state::{MultiVersionState, WorldState};
+use bp_types::{AccessKey, Address, RwSet, H256, U256};
+use serde::{Deserialize, Serialize};
+
+/// A read-only, versioned view of some state.
+pub trait StateView {
+    /// The value of `key` and the version it was committed at (0 = pre-block
+    /// state).
+    fn read_key(&self, key: &AccessKey) -> (U256, u64);
+    /// The code of `addr` in this view.
+    fn code(&self, addr: &Address) -> Arc<Vec<u8>>;
+}
+
+/// Direct view of a flat world (serial execution; validators' lane
+/// executors). Everything reads at version 0.
+pub struct WorldView<'a>(pub &'a WorldState);
+
+impl StateView for WorldView<'_> {
+    fn read_key(&self, key: &AccessKey) -> (U256, u64) {
+        (self.0.read_key(key), 0)
+    }
+
+    fn code(&self, addr: &Address) -> Arc<Vec<u8>> {
+        self.0.code(addr)
+    }
+}
+
+/// An OCC-WSI snapshot: the multi-version state as of `version`.
+pub struct MvSnapshot<'a> {
+    mv: &'a MultiVersionState,
+    version: u64,
+}
+
+impl<'a> MvSnapshot<'a> {
+    /// Snapshot of `mv` at `version`.
+    pub fn new(mv: &'a MultiVersionState, version: u64) -> Self {
+        MvSnapshot { mv, version }
+    }
+
+    /// The snapshot version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl StateView for MvSnapshot<'_> {
+    fn read_key(&self, key: &AccessKey) -> (U256, u64) {
+        self.mv.read_at(key, self.version)
+    }
+
+    fn code(&self, addr: &Address) -> Arc<Vec<u8>> {
+        self.mv.code(addr)
+    }
+}
+
+/// One EVM log record.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Log {
+    /// Emitting contract.
+    pub address: Address,
+    /// Indexed topics (0..=4).
+    pub topics: Vec<H256>,
+    /// Opaque payload.
+    pub data: Vec<u8>,
+}
+
+/// A checkpoint for nested-frame revert.
+pub struct Checkpoint {
+    buffer: HashMap<AccessKey, U256>,
+    code_buffer: HashMap<Address, Arc<Vec<u8>>>,
+    log_len: usize,
+}
+
+/// Buffered, footprint-recording state access for one transaction.
+pub struct BufferedHost<'a, V: StateView> {
+    view: &'a V,
+    rw: RwSet,
+    buffer: HashMap<AccessKey, U256>,
+    code_buffer: HashMap<Address, Arc<Vec<u8>>>,
+    logs: Vec<Log>,
+}
+
+impl<'a, V: StateView> BufferedHost<'a, V> {
+    /// A fresh host over `view`.
+    pub fn new(view: &'a V) -> Self {
+        BufferedHost {
+            view,
+            rw: RwSet::new(),
+            buffer: HashMap::new(),
+            code_buffer: HashMap::new(),
+            logs: Vec::new(),
+        }
+    }
+
+    /// Reads `key`: the transaction's own pending write if any, otherwise the
+    /// underlying view (recording the read and its version).
+    pub fn read(&mut self, key: AccessKey) -> U256 {
+        if let Some(v) = self.buffer.get(&key) {
+            return *v;
+        }
+        let (value, version) = self.view.read_key(&key);
+        self.rw.record_read(key, version);
+        value
+    }
+
+    /// Buffers a write to `key`.
+    pub fn write(&mut self, key: AccessKey, value: U256) {
+        self.buffer.insert(key, value);
+    }
+
+    /// The code of `addr`, respecting in-transaction deployments.
+    pub fn code(&mut self, addr: &Address) -> Arc<Vec<u8>> {
+        if let Some(c) = self.code_buffer.get(addr) {
+            return Arc::clone(c);
+        }
+        // Code identity participates in conflict detection: a creation at
+        // this address by a concurrent transaction must abort us.
+        let (_, version) = self.view.read_key(&AccessKey::Code(*addr));
+        self.rw.record_read(AccessKey::Code(*addr), version);
+        self.view.code(addr)
+    }
+
+    /// Deploys code at `addr` within this transaction.
+    pub fn set_code(&mut self, addr: Address, code: Vec<u8>) {
+        let hash = bp_crypto::keccak256(&code).to_u256();
+        self.code_buffer.insert(addr, Arc::new(code));
+        self.buffer.insert(AccessKey::Code(addr), hash);
+    }
+
+    /// Convenience balance read.
+    pub fn balance(&mut self, addr: &Address) -> U256 {
+        self.read(AccessKey::Balance(*addr))
+    }
+
+    /// Convenience balance write.
+    pub fn set_balance(&mut self, addr: Address, value: U256) {
+        self.write(AccessKey::Balance(addr), value);
+    }
+
+    /// Moves `value` from `from` to `to`; fails (and writes nothing) on
+    /// insufficient balance.
+    pub fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        if value.is_zero() {
+            return true;
+        }
+        let from_bal = self.balance(&from);
+        match from_bal.checked_sub(value) {
+            Some(rest) => {
+                self.set_balance(from, rest);
+                let to_bal = self.balance(&to);
+                self.set_balance(to, to_bal + value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Appends a log.
+    pub fn log(&mut self, log: Log) {
+        self.logs.push(log);
+    }
+
+    /// Snapshot for nested-call revert.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            buffer: self.buffer.clone(),
+            code_buffer: self.code_buffer.clone(),
+            log_len: self.logs.len(),
+        }
+    }
+
+    /// Rolls writes, deployments and logs back to `cp`. Reads stay recorded:
+    /// a reverted frame still *observed* those keys, and OCC validation must
+    /// cover them.
+    pub fn revert_to(&mut self, cp: Checkpoint) {
+        self.buffer = cp.buffer;
+        self.code_buffer = cp.code_buffer;
+        self.logs.truncate(cp.log_len);
+    }
+
+    /// Finishes the transaction: the recorded footprint (reads as observed,
+    /// writes = final buffer), logs, and deployed code.
+    pub fn finish(mut self) -> (RwSet, Vec<Log>, HashMap<Address, Arc<Vec<u8>>>) {
+        for (key, value) in &self.buffer {
+            self.rw.record_write(*key, *value);
+        }
+        (self.rw, self.logs, self.code_buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    fn world() -> WorldState {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from(100u64));
+        w.set_storage(addr(2), H256::from_low_u64(0), U256::from(7u64));
+        w.set_code(addr(2), vec![0x00]);
+        w
+    }
+
+    #[test]
+    fn reads_recorded_with_version() {
+        let w = world();
+        let view = WorldView(&w);
+        let mut h = BufferedHost::new(&view);
+        assert_eq!(h.read(AccessKey::Balance(addr(1))), U256::from(100u64));
+        let (rw, _, _) = h.finish();
+        assert_eq!(rw.reads[&AccessKey::Balance(addr(1))], 0);
+        assert!(rw.writes.is_empty());
+    }
+
+    #[test]
+    fn own_writes_visible_and_not_recorded_as_reads() {
+        let w = world();
+        let view = WorldView(&w);
+        let mut h = BufferedHost::new(&view);
+        h.write(AccessKey::Balance(addr(9)), U256::from(5u64));
+        assert_eq!(h.read(AccessKey::Balance(addr(9))), U256::from(5u64));
+        let (rw, _, _) = h.finish();
+        assert!(!rw.reads.contains_key(&AccessKey::Balance(addr(9))));
+        assert_eq!(rw.writes[&AccessKey::Balance(addr(9))], U256::from(5u64));
+    }
+
+    #[test]
+    fn transfer_moves_value() {
+        let w = world();
+        let view = WorldView(&w);
+        let mut h = BufferedHost::new(&view);
+        assert!(h.transfer(addr(1), addr(3), U256::from(30u64)));
+        assert_eq!(h.balance(&addr(1)), U256::from(70u64));
+        assert_eq!(h.balance(&addr(3)), U256::from(30u64));
+        // Insufficient funds: nothing changes.
+        assert!(!h.transfer(addr(1), addr(3), U256::from(1000u64)));
+        assert_eq!(h.balance(&addr(1)), U256::from(70u64));
+    }
+
+    #[test]
+    fn zero_transfer_always_succeeds_without_reads() {
+        let w = world();
+        let view = WorldView(&w);
+        let mut h = BufferedHost::new(&view);
+        assert!(h.transfer(addr(5), addr(6), U256::ZERO));
+        let (rw, _, _) = h.finish();
+        assert!(rw.reads.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_revert_rolls_back_writes_keeps_reads() {
+        let w = world();
+        let view = WorldView(&w);
+        let mut h = BufferedHost::new(&view);
+        h.write(AccessKey::Balance(addr(1)), U256::from(1u64));
+        let cp = h.checkpoint();
+        h.write(AccessKey::Balance(addr(4)), U256::from(2u64));
+        h.read(AccessKey::Storage(addr(2), H256::from_low_u64(0)));
+        h.log(Log {
+            address: addr(2),
+            topics: vec![],
+            data: vec![1],
+        });
+        h.revert_to(cp);
+        let (rw, logs, _) = h.finish();
+        assert!(logs.is_empty());
+        assert!(rw.writes.contains_key(&AccessKey::Balance(addr(1))));
+        assert!(!rw.writes.contains_key(&AccessKey::Balance(addr(4))));
+        // The read inside the reverted region is still in the footprint.
+        assert!(rw
+            .reads
+            .contains_key(&AccessKey::Storage(addr(2), H256::from_low_u64(0))));
+    }
+
+    #[test]
+    fn set_code_visible_in_tx() {
+        let w = world();
+        let view = WorldView(&w);
+        let mut h = BufferedHost::new(&view);
+        h.set_code(addr(7), vec![0xAA, 0xBB]);
+        assert_eq!(*h.code(&addr(7)), vec![0xAA, 0xBB]);
+        let (rw, _, deployed) = h.finish();
+        assert!(rw.writes.contains_key(&AccessKey::Code(addr(7))));
+        assert_eq!(*deployed[&addr(7)], vec![0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn mv_snapshot_respects_version() {
+        let base = Arc::new(world());
+        let mv = MultiVersionState::new(base, 2);
+        let mut ws: bp_types::WriteSet = Default::default();
+        ws.insert(AccessKey::Balance(addr(1)), U256::from(60u64));
+        mv.commit_writes(&ws, 2);
+
+        let snap1 = MvSnapshot::new(&mv, 1);
+        let mut h1 = BufferedHost::new(&snap1);
+        assert_eq!(h1.read(AccessKey::Balance(addr(1))), U256::from(100u64));
+
+        let snap2 = MvSnapshot::new(&mv, 2);
+        let mut h2 = BufferedHost::new(&snap2);
+        assert_eq!(h2.read(AccessKey::Balance(addr(1))), U256::from(60u64));
+        let (rw, _, _) = h2.finish();
+        assert_eq!(rw.reads[&AccessKey::Balance(addr(1))], 2);
+    }
+}

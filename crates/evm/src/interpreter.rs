@@ -1,0 +1,1537 @@
+//! The EVM interpreter: a gas-metered 256-bit stack machine.
+//!
+//! One [`run_frame`] call executes one message frame (an external call, an
+//! internal `CALL`, or `CREATE` init code) against a [`BufferedHost`]. All
+//! state effects go through the host, so the transaction's read/write
+//! footprint falls out for free — that footprint is what the OCC-WSI
+//! proposer validates and what the validator scheduler builds its dependency
+//! graph from.
+
+use std::sync::Arc;
+
+use bp_crypto::{keccak256, RlpStream};
+use bp_types::{AccessKey, Address, Gas, H256, U256};
+
+use crate::gas;
+use crate::host::{BufferedHost, Log, StateView};
+use crate::opcode::{Op, DUP1, DUP16, PUSH1, PUSH32, SWAP1, SWAP16};
+
+/// Block-level execution context.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockEnv {
+    /// Fee recipient.
+    pub coinbase: Address,
+    /// Block height.
+    pub number: u64,
+    /// Block timestamp (seconds).
+    pub timestamp: u64,
+    /// Block gas limit.
+    pub gas_limit: Gas,
+}
+
+impl Default for BlockEnv {
+    fn default() -> Self {
+        BlockEnv {
+            coinbase: Address::from_index(0xC0FFEE),
+            number: 1,
+            timestamp: 1_700_000_000,
+            gas_limit: 30_000_000,
+        }
+    }
+}
+
+/// One message frame.
+pub struct Frame {
+    /// Executing account (storage context).
+    pub address: Address,
+    /// Immediate caller.
+    pub caller: Address,
+    /// Transaction origin.
+    pub origin: Address,
+    /// Wei sent with the message.
+    pub value: U256,
+    /// Call data.
+    pub input: Vec<u8>,
+    /// Code to execute.
+    pub code: Arc<Vec<u8>>,
+    /// Gas available to this frame.
+    pub gas: Gas,
+    /// Transaction gas price.
+    pub gas_price: u64,
+    /// True inside a `STATICCALL` context: state mutation is forbidden.
+    pub is_static: bool,
+}
+
+/// Successful (or reverted) frame completion.
+#[derive(Debug)]
+pub struct FrameResult {
+    /// RETURN/REVERT payload.
+    pub output: Vec<u8>,
+    /// Gas remaining after execution.
+    pub gas_left: Gas,
+    /// True when the frame ended with `REVERT`.
+    pub reverted: bool,
+}
+
+/// Exceptional halts. These consume all gas in the frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmError {
+    /// Gas exhausted.
+    OutOfGas,
+    /// Pop from an empty stack.
+    StackUnderflow,
+    /// Push past 1024 entries.
+    StackOverflow,
+    /// Jump to a non-JUMPDEST target.
+    InvalidJump,
+    /// Undefined or explicitly invalid opcode.
+    InvalidOpcode(u8),
+    /// Call depth exceeded 64 frames.
+    CallDepth,
+    /// A state-mutating opcode ran inside a `STATICCALL` context.
+    StaticViolation,
+    /// `RETURNDATACOPY` read past the end of the return buffer.
+    ReturnDataOutOfBounds,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::OutOfGas => write!(f, "out of gas"),
+            VmError::StackUnderflow => write!(f, "stack underflow"),
+            VmError::StackOverflow => write!(f, "stack overflow"),
+            VmError::InvalidJump => write!(f, "invalid jump destination"),
+            VmError::InvalidOpcode(b) => write!(f, "invalid opcode 0x{b:02x}"),
+            VmError::CallDepth => write!(f, "call depth exceeded"),
+            VmError::StaticViolation => write!(f, "state mutation in static context"),
+            VmError::ReturnDataOutOfBounds => write!(f, "return data access out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+const STACK_LIMIT: usize = 1024;
+const MAX_CALL_DEPTH: usize = 64;
+
+struct Machine {
+    stack: Vec<U256>,
+    memory: Vec<u8>,
+    gas_left: Gas,
+    pc: usize,
+    return_data: Vec<u8>,
+}
+
+impl Machine {
+    fn new(gas: Gas) -> Self {
+        Machine {
+            stack: Vec::with_capacity(64),
+            memory: Vec::new(),
+            gas_left: gas,
+            pc: 0,
+            return_data: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn charge(&mut self, cost: Gas) -> Result<(), VmError> {
+        if self.gas_left < cost {
+            self.gas_left = 0;
+            return Err(VmError::OutOfGas);
+        }
+        self.gas_left -= cost;
+        Ok(())
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Result<U256, VmError> {
+        self.stack.pop().ok_or(VmError::StackUnderflow)
+    }
+
+    #[inline]
+    fn push(&mut self, v: U256) -> Result<(), VmError> {
+        if self.stack.len() >= STACK_LIMIT {
+            return Err(VmError::StackOverflow);
+        }
+        self.stack.push(v);
+        Ok(())
+    }
+
+    /// Charges for and performs expansion to cover `[offset, offset+len)`.
+    fn expand_memory(&mut self, offset: U256, len: U256) -> Result<usize, VmError> {
+        if len.is_zero() {
+            return offset.to_usize().ok_or(VmError::OutOfGas);
+        }
+        let offset = offset.to_usize().ok_or(VmError::OutOfGas)?;
+        let len = len.to_usize().ok_or(VmError::OutOfGas)?;
+        let end = offset.checked_add(len).ok_or(VmError::OutOfGas)?;
+        let cur_words = (self.memory.len() as u64).div_ceil(32);
+        let want_words = (end as u64).div_ceil(32);
+        self.charge(gas::memory_expansion(cur_words, want_words))?;
+        if end > self.memory.len() {
+            self.memory.resize(want_words as usize * 32, 0);
+        }
+        Ok(offset)
+    }
+
+    fn mem_slice(&self, offset: usize, len: usize) -> &[u8] {
+        &self.memory[offset..offset + len]
+    }
+}
+
+/// Precomputed set of valid jump destinations (JUMPDEST bytes outside PUSH
+/// immediates).
+fn jumpdests(code: &[u8]) -> Vec<bool> {
+    let mut valid = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        let b = code[i];
+        if b == Op::JumpDest as u8 {
+            valid[i] = true;
+        }
+        if (PUSH1..=PUSH32).contains(&b) {
+            i += (b - PUSH1) as usize + 1;
+        }
+        i += 1;
+    }
+    valid
+}
+
+/// Runs one frame to completion.
+pub fn run_frame<V: StateView>(
+    host: &mut BufferedHost<'_, V>,
+    env: &BlockEnv,
+    frame: Frame,
+    depth: usize,
+) -> Result<FrameResult, VmError> {
+    if depth > MAX_CALL_DEPTH {
+        return Err(VmError::CallDepth);
+    }
+    let code = Arc::clone(&frame.code);
+    let valid_jumps = jumpdests(&code);
+    let mut m = Machine::new(frame.gas);
+
+    loop {
+        let byte = match code.get(m.pc) {
+            Some(&b) => b,
+            // Running off the end of code is an implicit STOP.
+            None => {
+                return Ok(FrameResult {
+                    output: Vec::new(),
+                    gas_left: m.gas_left,
+                    reverted: false,
+                })
+            }
+        };
+        m.pc += 1;
+
+        // PUSH / DUP / SWAP ranges first.
+        if (PUSH1..=PUSH32).contains(&byte) {
+            m.charge(gas::VERYLOW)?;
+            let n = (byte - PUSH1) as usize + 1;
+            let end = (m.pc + n).min(code.len());
+            let v = U256::from_be_slice(&code[m.pc..end]);
+            // Truncated push at end of code zero-pads on the right per spec;
+            // from_be_slice pads left, so shift for the missing bytes.
+            let missing = (m.pc + n - end) as u32;
+            m.push(v << (8 * missing))?;
+            m.pc += n;
+            continue;
+        }
+        if (DUP1..=DUP16).contains(&byte) {
+            m.charge(gas::VERYLOW)?;
+            let n = (byte - DUP1) as usize + 1;
+            if m.stack.len() < n {
+                return Err(VmError::StackUnderflow);
+            }
+            let v = m.stack[m.stack.len() - n];
+            m.push(v)?;
+            continue;
+        }
+        if (SWAP1..=SWAP16).contains(&byte) {
+            m.charge(gas::VERYLOW)?;
+            let n = (byte - SWAP1) as usize + 1;
+            if m.stack.len() < n + 1 {
+                return Err(VmError::StackUnderflow);
+            }
+            let top = m.stack.len() - 1;
+            m.stack.swap(top, top - n);
+            continue;
+        }
+
+        let op = Op::from_byte(byte).ok_or(VmError::InvalidOpcode(byte))?;
+        match op {
+            Op::Stop => {
+                return Ok(FrameResult {
+                    output: Vec::new(),
+                    gas_left: m.gas_left,
+                    reverted: false,
+                })
+            }
+            Op::Add => binary(&mut m, gas::VERYLOW, |a, b| a + b)?,
+            Op::Mul => binary(&mut m, gas::LOW, |a, b| a * b)?,
+            Op::Sub => binary(&mut m, gas::VERYLOW, |a, b| a - b)?,
+            Op::Div => binary(&mut m, gas::LOW, |a, b| a / b)?,
+            Op::Mod => binary(&mut m, gas::LOW, |a, b| a % b)?,
+            Op::SDiv => binary(&mut m, gas::LOW, |a, b| a.sdiv(b))?,
+            Op::SMod => binary(&mut m, gas::LOW, |a, b| a.smod(b))?,
+            Op::SignExtend => binary(&mut m, gas::LOW, |k, v| v.sign_extend(k))?,
+            Op::AddMod => ternary(&mut m, gas::MID, |a, b, n| a.add_mod(b, n))?,
+            Op::MulMod => ternary(&mut m, gas::MID, |a, b, n| a.mul_mod(b, n))?,
+            Op::Exp => {
+                let base = m.pop()?;
+                let exp = m.pop()?;
+                let exp_bytes = (exp.bits() as u64).div_ceil(8);
+                m.charge(gas::EXP + gas::EXP_BYTE * exp_bytes)?;
+                m.push(base.pow(exp))?;
+            }
+            Op::Lt => binary(&mut m, gas::VERYLOW, |a, b| bool_word(a < b))?,
+            Op::Gt => binary(&mut m, gas::VERYLOW, |a, b| bool_word(a > b))?,
+            Op::Slt => binary(&mut m, gas::VERYLOW, |a, b| bool_word(a.slt(&b)))?,
+            Op::Sgt => binary(&mut m, gas::VERYLOW, |a, b| bool_word(b.slt(&a)))?,
+            Op::Eq => binary(&mut m, gas::VERYLOW, |a, b| bool_word(a == b))?,
+            Op::IsZero => {
+                m.charge(gas::VERYLOW)?;
+                let a = m.pop()?;
+                m.push(bool_word(a.is_zero()))?;
+            }
+            Op::And => binary(&mut m, gas::VERYLOW, |a, b| a & b)?,
+            Op::Or => binary(&mut m, gas::VERYLOW, |a, b| a | b)?,
+            Op::Xor => binary(&mut m, gas::VERYLOW, |a, b| a ^ b)?,
+            Op::Not => {
+                m.charge(gas::VERYLOW)?;
+                let a = m.pop()?;
+                m.push(!a)?;
+            }
+            Op::Byte => binary(&mut m, gas::VERYLOW, |i, x| {
+                U256::from(x.byte_be(i.to_usize().unwrap_or(32)))
+            })?,
+            Op::Shl => binary(&mut m, gas::VERYLOW, |s, v| {
+                v << s.to_u64().map(|x| x.min(256) as u32).unwrap_or(256)
+            })?,
+            Op::Shr => binary(&mut m, gas::VERYLOW, |s, v| {
+                v >> s.to_u64().map(|x| x.min(256) as u32).unwrap_or(256)
+            })?,
+            Op::Sar => binary(&mut m, gas::VERYLOW, |s, v| {
+                v.sar(s.to_u64().map(|x| x.min(256) as u32).unwrap_or(256))
+            })?,
+            Op::Sha3 => {
+                let offset = m.pop()?;
+                let len = m.pop()?;
+                let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
+                m.charge(gas::SHA3 + gas::SHA3_WORD * words)?;
+                let off = m.expand_memory(offset, len)?;
+                let hash = keccak256(m.mem_slice(off, len.to_usize().unwrap_or(0)));
+                m.push(hash.to_u256())?;
+            }
+            Op::Address => {
+                m.charge(gas::BASE)?;
+                m.push(address_word(&frame.address))?;
+            }
+            Op::Balance => {
+                m.charge(gas::BALANCE)?;
+                let a = m.pop()?;
+                let addr = word_address(a);
+                let bal = host.balance(&addr);
+                m.push(bal)?;
+            }
+            Op::SelfBalance => {
+                m.charge(gas::SELFBALANCE)?;
+                let bal = host.balance(&frame.address);
+                m.push(bal)?;
+            }
+            Op::Origin => {
+                m.charge(gas::BASE)?;
+                m.push(address_word(&frame.origin))?;
+            }
+            Op::Caller => {
+                m.charge(gas::BASE)?;
+                m.push(address_word(&frame.caller))?;
+            }
+            Op::CallValue => {
+                m.charge(gas::BASE)?;
+                m.push(frame.value)?;
+            }
+            Op::CallDataLoad => {
+                m.charge(gas::VERYLOW)?;
+                let i = m.pop()?;
+                let mut word = [0u8; 32];
+                if let Some(start) = i.to_usize() {
+                    for (j, byte) in word.iter_mut().enumerate() {
+                        *byte = frame.input.get(start + j).copied().unwrap_or(0);
+                    }
+                }
+                m.push(U256::from_be_bytes(word))?;
+            }
+            Op::CallDataSize => {
+                m.charge(gas::BASE)?;
+                m.push(U256::from(frame.input.len()))?;
+            }
+            Op::CallDataCopy => {
+                let dst = m.pop()?;
+                let src = m.pop()?;
+                let len = m.pop()?;
+                let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
+                m.charge(gas::VERYLOW + gas::COPY_WORD * words)?;
+                let dst_off = m.expand_memory(dst, len)?;
+                let n = len.to_usize().unwrap_or(0);
+                let s = src.to_usize().unwrap_or(usize::MAX);
+                for j in 0..n {
+                    m.memory[dst_off + j] =
+                        s.checked_add(j).and_then(|i| frame.input.get(i)).copied().unwrap_or(0);
+                }
+            }
+            Op::CodeSize => {
+                m.charge(gas::BASE)?;
+                m.push(U256::from(code.len()))?;
+            }
+            Op::CodeCopy => {
+                let dst = m.pop()?;
+                let src = m.pop()?;
+                let len = m.pop()?;
+                let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
+                m.charge(gas::VERYLOW + gas::COPY_WORD * words)?;
+                let dst_off = m.expand_memory(dst, len)?;
+                let n = len.to_usize().unwrap_or(0);
+                let s = src.to_usize().unwrap_or(usize::MAX);
+                for j in 0..n {
+                    m.memory[dst_off + j] =
+                        s.checked_add(j).and_then(|i| code.get(i)).copied().unwrap_or(0);
+                }
+            }
+            Op::ReturnDataSize => {
+                m.charge(gas::BASE)?;
+                m.push(U256::from(m.return_data.len()))?;
+            }
+            Op::ReturnDataCopy => {
+                let dst = m.pop()?;
+                let src = m.pop()?;
+                let len = m.pop()?;
+                let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
+                m.charge(gas::VERYLOW + gas::COPY_WORD * words)?;
+                let n = len.to_usize().unwrap_or(usize::MAX);
+                let s = src.to_usize().unwrap_or(usize::MAX);
+                // Unlike CALLDATACOPY, out-of-range RETURNDATACOPY is an
+                // exceptional halt per EIP-211.
+                let end = s.checked_add(n).ok_or(VmError::ReturnDataOutOfBounds)?;
+                if end > m.return_data.len() {
+                    return Err(VmError::ReturnDataOutOfBounds);
+                }
+                let dst_off = m.expand_memory(dst, len)?;
+                let data = m.return_data[s..end].to_vec();
+                m.memory[dst_off..dst_off + n].copy_from_slice(&data);
+            }
+            Op::ExtCodeSize => {
+                m.charge(gas::BALANCE)?;
+                let a = m.pop()?;
+                let sz = host.code(&word_address(a)).len();
+                m.push(U256::from(sz))?;
+            }
+            Op::ExtCodeCopy => {
+                let a = m.pop()?;
+                let dst = m.pop()?;
+                let src = m.pop()?;
+                let len = m.pop()?;
+                let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
+                m.charge(gas::BALANCE + gas::COPY_WORD * words)?;
+                let ext = host.code(&word_address(a));
+                let dst_off = m.expand_memory(dst, len)?;
+                let n = len.to_usize().unwrap_or(0);
+                let s = src.to_usize().unwrap_or(usize::MAX);
+                for j in 0..n {
+                    m.memory[dst_off + j] =
+                        s.checked_add(j).and_then(|i| ext.get(i)).copied().unwrap_or(0);
+                }
+            }
+            Op::GasPrice => {
+                m.charge(gas::BASE)?;
+                m.push(U256::from(frame.gas_price))?;
+            }
+            Op::Coinbase => {
+                m.charge(gas::BASE)?;
+                m.push(address_word(&env.coinbase))?;
+            }
+            Op::Timestamp => {
+                m.charge(gas::BASE)?;
+                m.push(U256::from(env.timestamp))?;
+            }
+            Op::Number => {
+                m.charge(gas::BASE)?;
+                m.push(U256::from(env.number))?;
+            }
+            Op::GasLimit => {
+                m.charge(gas::BASE)?;
+                m.push(U256::from(env.gas_limit))?;
+            }
+            Op::Pop => {
+                m.charge(gas::BASE)?;
+                m.pop()?;
+            }
+            Op::MLoad => {
+                m.charge(gas::VERYLOW)?;
+                let offset = m.pop()?;
+                let off = m.expand_memory(offset, U256::from(32u64))?;
+                let mut word = [0u8; 32];
+                word.copy_from_slice(m.mem_slice(off, 32));
+                m.push(U256::from_be_bytes(word))?;
+            }
+            Op::MStore => {
+                m.charge(gas::VERYLOW)?;
+                let offset = m.pop()?;
+                let value = m.pop()?;
+                let off = m.expand_memory(offset, U256::from(32u64))?;
+                m.memory[off..off + 32].copy_from_slice(&value.to_be_bytes());
+            }
+            Op::MStore8 => {
+                m.charge(gas::VERYLOW)?;
+                let offset = m.pop()?;
+                let value = m.pop()?;
+                let off = m.expand_memory(offset, U256::ONE)?;
+                m.memory[off] = value.low_u64() as u8;
+            }
+            Op::SLoad => {
+                m.charge(gas::SLOAD)?;
+                let slot = m.pop()?;
+                let v = host.read(AccessKey::Storage(frame.address, H256::from_u256(slot)));
+                m.push(v)?;
+            }
+            Op::SStore => {
+                if frame.is_static {
+                    return Err(VmError::StaticViolation);
+                }
+                let slot = m.pop()?;
+                let value = m.pop()?;
+                let key = AccessKey::Storage(frame.address, H256::from_u256(slot));
+                let current = host.read(key);
+                let cost = if current.is_zero() && !value.is_zero() {
+                    gas::SSTORE_SET
+                } else {
+                    gas::SSTORE_RESET
+                };
+                m.charge(cost)?;
+                host.write(key, value);
+            }
+            Op::Jump => {
+                m.charge(gas::MID)?;
+                let dest = m.pop()?;
+                jump_to(&mut m, dest, &valid_jumps)?;
+            }
+            Op::JumpI => {
+                m.charge(gas::HIGH)?;
+                let dest = m.pop()?;
+                let cond = m.pop()?;
+                if !cond.is_zero() {
+                    jump_to(&mut m, dest, &valid_jumps)?;
+                }
+            }
+            Op::Pc => {
+                m.charge(gas::BASE)?;
+                m.push(U256::from(m.pc - 1))?;
+            }
+            Op::MSize => {
+                m.charge(gas::BASE)?;
+                m.push(U256::from(m.memory.len()))?;
+            }
+            Op::Gas => {
+                m.charge(gas::BASE)?;
+                m.push(U256::from(m.gas_left))?;
+            }
+            Op::JumpDest => m.charge(gas::JUMPDEST)?,
+            Op::Log0 | Op::Log1 | Op::Log2 | Op::Log3 | Op::Log4 => {
+                if frame.is_static {
+                    return Err(VmError::StaticViolation);
+                }
+                let topic_count = (op as u8 - Op::Log0 as u8) as usize;
+                let offset = m.pop()?;
+                let len = m.pop()?;
+                let mut topics = Vec::with_capacity(topic_count);
+                for _ in 0..topic_count {
+                    topics.push(H256::from_u256(m.pop()?));
+                }
+                let data_len = len.to_u64().ok_or(VmError::OutOfGas)?;
+                m.charge(
+                    gas::LOG
+                        + gas::LOG_TOPIC * topic_count as u64
+                        + gas::LOG_DATA * data_len,
+                )?;
+                let off = m.expand_memory(offset, len)?;
+                let data = m.mem_slice(off, data_len as usize).to_vec();
+                host.log(Log {
+                    address: frame.address,
+                    topics,
+                    data,
+                });
+            }
+            Op::Create => {
+                if frame.is_static {
+                    return Err(VmError::StaticViolation);
+                }
+                m.charge(gas::CREATE)?;
+                let value = m.pop()?;
+                let offset = m.pop()?;
+                let len = m.pop()?;
+                let off = m.expand_memory(offset, len)?;
+                let init = m.mem_slice(off, len.to_usize().unwrap_or(0)).to_vec();
+                let forwarded = m.gas_left - m.gas_left / 64;
+                m.charge(forwarded)?;
+                let (created, gas_returned) = do_create(
+                    host,
+                    env,
+                    &frame,
+                    value,
+                    init,
+                    forwarded,
+                    depth,
+                );
+                m.gas_left += gas_returned;
+                m.return_data.clear();
+                match created {
+                    Some(addr) => m.push(address_word(&addr))?,
+                    None => m.push(U256::ZERO)?,
+                }
+            }
+            Op::Call | Op::DelegateCall | Op::StaticCall => {
+                let gas_req = m.pop()?;
+                let to = word_address(m.pop()?);
+                // CALL carries an explicit value; DELEGATECALL inherits the
+                // parent's; STATICCALL transfers nothing.
+                let value = match op {
+                    Op::Call => m.pop()?,
+                    Op::DelegateCall => frame.value,
+                    _ => U256::ZERO,
+                };
+                let in_off = m.pop()?;
+                let in_len = m.pop()?;
+                let out_off = m.pop()?;
+                let out_len = m.pop()?;
+
+                let transfers_value = op == Op::Call && !value.is_zero();
+                if transfers_value && frame.is_static {
+                    return Err(VmError::StaticViolation);
+                }
+                let mut base = gas::CALL;
+                if transfers_value {
+                    base += gas::CALL_VALUE;
+                }
+                m.charge(base)?;
+                let i_off = m.expand_memory(in_off, in_len)?;
+                let input = m.mem_slice(i_off, in_len.to_usize().unwrap_or(0)).to_vec();
+                let o_off = m.expand_memory(out_off, out_len)?;
+
+                let cap = m.gas_left - m.gas_left / 64;
+                let forwarded = gas_req.to_u64().unwrap_or(u64::MAX).min(cap);
+                m.charge(forwarded)?;
+                let stipend = if transfers_value { gas::CALL_STIPEND } else { 0 };
+
+                let kind = match op {
+                    Op::Call => CallKind::Call,
+                    Op::DelegateCall => CallKind::Delegate,
+                    _ => CallKind::Static,
+                };
+                let (ok, output, gas_returned) = do_call(
+                    host,
+                    env,
+                    &frame,
+                    to,
+                    value,
+                    input,
+                    forwarded + stipend,
+                    depth,
+                    kind,
+                );
+                // The stipend was free to the caller; only un-spent
+                // *forwarded* gas comes back.
+                m.gas_left += gas_returned.min(forwarded);
+                let n = out_len.to_usize().unwrap_or(0).min(output.len());
+                m.memory[o_off..o_off + n].copy_from_slice(&output[..n]);
+                m.return_data = output;
+                m.push(bool_word(ok))?;
+            }
+            Op::Return | Op::Revert => {
+                let offset = m.pop()?;
+                let len = m.pop()?;
+                let off = m.expand_memory(offset, len)?;
+                let output = m.mem_slice(off, len.to_usize().unwrap_or(0)).to_vec();
+                return Ok(FrameResult {
+                    output,
+                    gas_left: m.gas_left,
+                    reverted: op == Op::Revert,
+                });
+            }
+            Op::Invalid => return Err(VmError::InvalidOpcode(0xFE)),
+        }
+    }
+}
+
+fn jump_to(m: &mut Machine, dest: U256, valid: &[bool]) -> Result<(), VmError> {
+    let d = dest.to_usize().ok_or(VmError::InvalidJump)?;
+    if d >= valid.len() || !valid[d] {
+        return Err(VmError::InvalidJump);
+    }
+    m.pc = d;
+    Ok(())
+}
+
+#[inline]
+fn binary(m: &mut Machine, cost: Gas, f: impl FnOnce(U256, U256) -> U256) -> Result<(), VmError> {
+    m.charge(cost)?;
+    let a = m.pop()?;
+    let b = m.pop()?;
+    m.push(f(a, b))
+}
+
+#[inline]
+fn ternary(
+    m: &mut Machine,
+    cost: Gas,
+    f: impl FnOnce(U256, U256, U256) -> U256,
+) -> Result<(), VmError> {
+    m.charge(cost)?;
+    let a = m.pop()?;
+    let b = m.pop()?;
+    let c = m.pop()?;
+    m.push(f(a, b, c))
+}
+
+#[inline]
+fn bool_word(b: bool) -> U256 {
+    if b {
+        U256::ONE
+    } else {
+        U256::ZERO
+    }
+}
+
+/// Zero-extends an address into a word.
+pub fn address_word(a: &Address) -> U256 {
+    let mut bytes = [0u8; 32];
+    bytes[12..].copy_from_slice(a.as_bytes());
+    U256::from_be_bytes(bytes)
+}
+
+/// Truncates a word to its low 20 bytes as an address.
+pub fn word_address(w: U256) -> Address {
+    let bytes = w.to_be_bytes();
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&bytes[12..]);
+    Address(out)
+}
+
+/// The classic CREATE address: `keccak(rlp([sender, nonce]))[12..]`.
+pub fn create_address(sender: &Address, nonce: u64) -> Address {
+    let mut s = RlpStream::new();
+    s.begin_list(2);
+    s.append_address(sender);
+    s.append_u64(nonce);
+    let hash = keccak256(&s.out());
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&hash.0[12..]);
+    Address(out)
+}
+
+/// The three message-call flavours.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CallKind {
+    Call,
+    Delegate,
+    Static,
+}
+
+/// Executes a nested call. Returns (success, output, gas left in callee).
+#[allow(clippy::too_many_arguments)]
+fn do_call<V: StateView>(
+    host: &mut BufferedHost<'_, V>,
+    env: &BlockEnv,
+    parent: &Frame,
+    to: Address,
+    value: U256,
+    input: Vec<u8>,
+    gas: Gas,
+    depth: usize,
+    kind: CallKind,
+) -> (bool, Vec<u8>, Gas) {
+    let cp = host.checkpoint();
+    if kind == CallKind::Call && !host.transfer(parent.address, to, value) {
+        host.revert_to(cp);
+        return (false, Vec::new(), gas);
+    }
+    let code = host.code(&to);
+    if code.is_empty() {
+        // Plain value transfer to an EOA.
+        return (true, Vec::new(), gas);
+    }
+    let frame = match kind {
+        CallKind::Call | CallKind::Static => Frame {
+            address: to,
+            caller: parent.address,
+            origin: parent.origin,
+            value,
+            input,
+            code,
+            gas,
+            gas_price: parent.gas_price,
+            is_static: parent.is_static || kind == CallKind::Static,
+        },
+        // DELEGATECALL borrows the callee's code but keeps the caller's
+        // storage context, caller identity and value.
+        CallKind::Delegate => Frame {
+            address: parent.address,
+            caller: parent.caller,
+            origin: parent.origin,
+            value,
+            input,
+            code,
+            gas,
+            gas_price: parent.gas_price,
+            is_static: parent.is_static,
+        },
+    };
+    match run_frame(host, env, frame, depth + 1) {
+        Ok(res) if !res.reverted => (true, res.output, res.gas_left),
+        Ok(res) => {
+            host.revert_to(cp);
+            (false, res.output, res.gas_left)
+        }
+        Err(_) => {
+            host.revert_to(cp);
+            (false, Vec::new(), 0)
+        }
+    }
+}
+
+/// Executes a nested CREATE. Returns (created address, gas left in initcode).
+fn do_create<V: StateView>(
+    host: &mut BufferedHost<'_, V>,
+    env: &BlockEnv,
+    parent: &Frame,
+    value: U256,
+    init: Vec<u8>,
+    gas: Gas,
+    depth: usize,
+) -> (Option<Address>, Gas) {
+    let cp = host.checkpoint();
+    // The creator's nonce determines the address and is then bumped.
+    let nonce = host.read(AccessKey::Nonce(parent.address)).low_u64();
+    let created = create_address(&parent.address, nonce);
+    host.write(AccessKey::Nonce(parent.address), U256::from(nonce + 1));
+    if !host.transfer(parent.address, created, value) {
+        host.revert_to(cp);
+        return (None, gas);
+    }
+    let frame = Frame {
+        address: created,
+        caller: parent.address,
+        origin: parent.origin,
+        value,
+        input: Vec::new(),
+        code: Arc::new(init),
+        gas,
+        gas_price: parent.gas_price,
+        is_static: false,
+    };
+    match run_frame(host, env, frame, depth + 1) {
+        Ok(res) if !res.reverted => {
+            let deposit = gas::CODE_DEPOSIT * res.output.len() as u64;
+            if res.gas_left < deposit {
+                host.revert_to(cp);
+                return (None, 0);
+            }
+            host.set_code(created, res.output);
+            (Some(created), res.gas_left - deposit)
+        }
+        Ok(res) => {
+            host.revert_to(cp);
+            (None, res.gas_left)
+        }
+        Err(_) => {
+            host.revert_to(cp);
+            (None, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::host::WorldView;
+    use bp_state::WorldState;
+
+    fn addr(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    fn run_code(code: Vec<u8>, input: Vec<u8>, world: &WorldState) -> (Result<FrameResult, VmError>, bp_types::RwSet) {
+        let view = WorldView(world);
+        let mut host = BufferedHost::new(&view);
+        let frame = Frame {
+            address: addr(100),
+            caller: addr(1),
+            origin: addr(1),
+            value: U256::ZERO,
+            input,
+            code: Arc::new(code),
+            gas: 1_000_000,
+            gas_price: 1,
+            is_static: false,
+        };
+        let env = BlockEnv::default();
+        let res = run_frame(&mut host, &env, frame, 0);
+        let (rw, _, _) = host.finish();
+        (res, rw)
+    }
+
+    fn returns_word(code: Vec<u8>) -> U256 {
+        let w = WorldState::new();
+        let (res, _) = run_code(code, Vec::new(), &w);
+        let out = res.expect("frame ok");
+        assert!(!out.reverted);
+        U256::from_be_slice(&out.output)
+    }
+
+    /// Program suffix: store the stack top at memory 0 and return it.
+    fn ret_top(asm: Asm) -> Vec<u8> {
+        asm.push_u64(0)
+            .op(Op::MStore)
+            .push_u64(32)
+            .push_u64(0)
+            .op(Op::Return)
+            .build()
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(2).push_u64(3).op(Op::Add))),
+            U256::from(5u64)
+        );
+        // Stack order: SUB computes top - next.
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(3).push_u64(10).op(Op::Sub))),
+            U256::from(7u64)
+        );
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(4).push_u64(20).op(Op::Div))),
+            U256::from(5u64)
+        );
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(0).push_u64(20).op(Op::Div))),
+            U256::ZERO
+        );
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(7).push_u64(3).op(Op::Exp))),
+            U256::from(2187u64)
+        );
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        // LT pops a then b, tests a < b: push b first.
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(5).push_u64(3).op(Op::Lt))),
+            U256::ONE
+        );
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(3).push_u64(5).op(Op::Gt))),
+            U256::ONE
+        );
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(5).push_u64(5).op(Op::Eq))),
+            U256::ONE
+        );
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(0).op(Op::IsZero))),
+            U256::ONE
+        );
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(0b1100).push_u64(0b1010).op(Op::And))),
+            U256::from(0b1000u64)
+        );
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        // MSTORE then MLOAD.
+        let code = Asm::new()
+            .push_u64(0xDEAD)
+            .push_u64(64)
+            .op(Op::MStore)
+            .push_u64(64)
+            .op(Op::MLoad);
+        assert_eq!(returns_word(ret_top(code)), U256::from(0xDEADu64));
+    }
+
+    #[test]
+    fn storage_read_write_and_footprint() {
+        let mut w = WorldState::new();
+        w.set_storage(addr(100), H256::from_low_u64(1), U256::from(7u64));
+        // SLOAD slot 1, add 1, SSTORE slot 2.
+        let code = Asm::new()
+            .push_u64(1)
+            .op(Op::SLoad)
+            .push_u64(1)
+            .op(Op::Add)
+            .push_u64(2)
+            .op(Op::SStore)
+            .op(Op::Stop)
+            .build();
+        let (res, rw) = run_code(code, Vec::new(), &w);
+        assert!(!res.unwrap().reverted);
+        assert!(rw.reads.contains_key(&AccessKey::Storage(addr(100), H256::from_low_u64(1))));
+        assert_eq!(
+            rw.writes[&AccessKey::Storage(addr(100), H256::from_low_u64(2))],
+            U256::from(8u64)
+        );
+    }
+
+    #[test]
+    fn sstore_gas_depends_on_prior_value() {
+        let mut w = WorldState::new();
+        w.set_storage(addr(100), H256::from_low_u64(5), U256::ONE);
+        let store = |slot: u64| {
+            Asm::new()
+                .push_u64(9)
+                .push_u64(slot)
+                .op(Op::SStore)
+                .op(Op::Stop)
+                .build()
+        };
+        let (res_fresh, _) = run_code(store(6), Vec::new(), &w);
+        let (res_reset, _) = run_code(store(5), Vec::new(), &w);
+        let fresh_used = 1_000_000 - res_fresh.unwrap().gas_left;
+        let reset_used = 1_000_000 - res_reset.unwrap().gas_left;
+        assert_eq!(fresh_used - reset_used, gas::SSTORE_SET - gas::SSTORE_RESET);
+    }
+
+    #[test]
+    fn jumps_loop_sums() {
+        // for (i = 0; i < 10; i++) acc += i  => acc = 45
+        let code = Asm::new()
+            .push_u64(0) // acc
+            .push_u64(0) // i
+            .label("loop")
+            // stack: acc i
+            .dup(1)
+            .push_u64(10)
+            .op(Op::Eq)
+            .push_label("done")
+            .op(Op::JumpI)
+            // acc += i
+            .dup(1) // acc i i
+            .swap(2) // i i acc
+            .op(Op::Add) // i acc'
+            .swap(1) // acc' i
+            .push_u64(1)
+            .op(Op::Add) // acc' i+1
+            .push_label("loop")
+            .op(Op::Jump)
+            .label("done")
+            .op(Op::Pop); // drop i, leave acc
+        assert_eq!(returns_word(ret_top(code)), U256::from(45u64));
+    }
+
+    #[test]
+    fn invalid_jump_faults() {
+        let code = Asm::new().push_u64(1).op(Op::Jump).build();
+        let w = WorldState::new();
+        let (res, _) = run_code(code, Vec::new(), &w);
+        assert_eq!(res.unwrap_err(), VmError::InvalidJump);
+    }
+
+    #[test]
+    fn jumpdest_inside_push_data_is_invalid() {
+        // PUSH2 0x005B; JUMP to offset 2 (the 0x5B inside the immediate).
+        let code = vec![0x61, 0x00, 0x5B, 0x60, 0x02, 0x56];
+        let w = WorldState::new();
+        let (res, _) = run_code(code, Vec::new(), &w);
+        assert_eq!(res.unwrap_err(), VmError::InvalidJump);
+    }
+
+    #[test]
+    fn stack_underflow_and_overflow() {
+        let w = WorldState::new();
+        let (res, _) = run_code(vec![Op::Add as u8], Vec::new(), &w);
+        assert_eq!(res.unwrap_err(), VmError::StackUnderflow);
+
+        // Push 1025 times.
+        let mut code = Vec::new();
+        for _ in 0..1025 {
+            code.extend_from_slice(&[0x60, 0x01]);
+        }
+        let (res, _) = run_code(code, Vec::new(), &w);
+        assert_eq!(res.unwrap_err(), VmError::StackOverflow);
+    }
+
+    #[test]
+    fn out_of_gas_on_tight_budget() {
+        let view_world = WorldState::new();
+        let view = WorldView(&view_world);
+        let mut host = BufferedHost::new(&view);
+        let frame = Frame {
+            address: addr(100),
+            caller: addr(1),
+            origin: addr(1),
+            value: U256::ZERO,
+            input: Vec::new(),
+            code: Arc::new(Asm::new().push_u64(1).push_u64(2).op(Op::Add).op(Op::Stop).build()),
+            gas: 5, // two pushes alone need 6
+            gas_price: 1,
+            is_static: false,
+        };
+        let res = run_frame(&mut host, &BlockEnv::default(), frame, 0);
+        assert_eq!(res.unwrap_err(), VmError::OutOfGas);
+    }
+
+    #[test]
+    fn calldata_ops() {
+        let code = Asm::new().push_u64(0).op(Op::CallDataLoad);
+        let w = WorldState::new();
+        let mut input = vec![0u8; 32];
+        input[31] = 42;
+        let (res, _) = run_code(ret_top(code), input, &w);
+        assert_eq!(U256::from_be_slice(&res.unwrap().output), U256::from(42u64));
+
+        // CALLDATASIZE
+        let code = ret_top(Asm::new().op(Op::CallDataSize));
+        let (res, _) = run_code(code, vec![1, 2, 3], &w);
+        assert_eq!(U256::from_be_slice(&res.unwrap().output), U256::from(3u64));
+    }
+
+    #[test]
+    fn sha3_of_memory() {
+        // keccak256 of 32 zero bytes.
+        let code = Asm::new().push_u64(32).push_u64(0).op(Op::Sha3);
+        let got = returns_word(ret_top(code));
+        assert_eq!(got, keccak256(&[0u8; 32]).to_u256());
+    }
+
+    #[test]
+    fn revert_returns_payload_and_flag() {
+        let code = Asm::new()
+            .push_u64(0xBAD)
+            .push_u64(0)
+            .op(Op::MStore)
+            .push_u64(32)
+            .push_u64(0)
+            .op(Op::Revert)
+            .build();
+        let w = WorldState::new();
+        let (res, _) = run_code(code, Vec::new(), &w);
+        let out = res.unwrap();
+        assert!(out.reverted);
+        assert_eq!(U256::from_be_slice(&out.output), U256::from(0xBADu64));
+    }
+
+    #[test]
+    fn env_opcodes() {
+        assert_eq!(returns_word(ret_top(Asm::new().op(Op::Number))), U256::ONE);
+        assert_eq!(
+            returns_word(ret_top(Asm::new().op(Op::Caller))),
+            address_word(&addr(1))
+        );
+        assert_eq!(
+            returns_word(ret_top(Asm::new().op(Op::Address))),
+            address_word(&addr(100))
+        );
+    }
+
+    #[test]
+    fn logs_recorded() {
+        let code = Asm::new()
+            .push_u64(0xAB) // topic
+            .push_u64(0) // len
+            .push_u64(0) // offset
+            .op(Op::Log1)
+            .op(Op::Stop)
+            .build();
+        let w = WorldState::new();
+        let view = WorldView(&w);
+        let mut host = BufferedHost::new(&view);
+        let frame = Frame {
+            address: addr(100),
+            caller: addr(1),
+            origin: addr(1),
+            value: U256::ZERO,
+            input: Vec::new(),
+            code: Arc::new(code),
+            gas: 100_000,
+            gas_price: 1,
+            is_static: false,
+        };
+        run_frame(&mut host, &BlockEnv::default(), frame, 0).unwrap();
+        let (_, logs, _) = host.finish();
+        assert_eq!(logs.len(), 1);
+        assert_eq!(logs[0].topics, vec![H256::from_low_u64(0xAB)]);
+    }
+
+    #[test]
+    fn call_transfers_value_to_eoa() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(100), U256::from(1000u64));
+        // CALL(gas=50000, to=addr(55), value=77, no data), return success flag.
+        let code = Asm::new()
+            .push_u64(0) // out len
+            .push_u64(0) // out off
+            .push_u64(0) // in len
+            .push_u64(0) // in off
+            .push_u64(77) // value
+            .push(address_word(&addr(55)))
+            .push_u64(50_000)
+            .op(Op::Call);
+        let (res, rw) = run_code(ret_top(code), Vec::new(), &w);
+        let out = res.unwrap();
+        assert_eq!(U256::from_be_slice(&out.output), U256::ONE);
+        assert_eq!(rw.writes[&AccessKey::Balance(addr(55))], U256::from(77u64));
+        assert_eq!(rw.writes[&AccessKey::Balance(addr(100))], U256::from(923u64));
+    }
+
+    #[test]
+    fn call_to_contract_executes_and_reverts_cleanly() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(100), U256::from(1000u64));
+        // Callee: SSTORE slot0 = 1 then REVERT.
+        let callee = Asm::new()
+            .push_u64(1)
+            .push_u64(0)
+            .op(Op::SStore)
+            .push_u64(0)
+            .push_u64(0)
+            .op(Op::Revert)
+            .build();
+        w.set_code(addr(200), callee);
+        let code = Asm::new()
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0) // no value
+            .push(address_word(&addr(200)))
+            .push_u64(60_000)
+            .op(Op::Call);
+        let (res, rw) = run_code(ret_top(code), Vec::new(), &w);
+        // Call failed (flag 0) and the callee's SSTORE was rolled back.
+        assert_eq!(U256::from_be_slice(&res.unwrap().output), U256::ZERO);
+        assert!(!rw
+            .writes
+            .contains_key(&AccessKey::Storage(addr(200), H256::from_low_u64(0))));
+        // But the read footprint still includes the callee's code and slot.
+        assert!(rw.reads.contains_key(&AccessKey::Code(addr(200))));
+    }
+
+    #[test]
+    fn create_deploys_code() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(100), U256::from(1000u64));
+        // Init code: return 2 bytes 0x6000 (PUSH1 0) as the deployed code.
+        // MSTORE8 them then RETURN(0, 2).
+        let init = Asm::new()
+            .push_u64(0x60)
+            .push_u64(0)
+            .op(Op::MStore8)
+            .push_u64(0x00)
+            .push_u64(1)
+            .op(Op::MStore8)
+            .push_u64(2)
+            .push_u64(0)
+            .op(Op::Return)
+            .build();
+        // Caller program: write init into memory byte by byte, then CREATE.
+        let mut asm = Asm::new();
+        for (i, b) in init.iter().enumerate() {
+            asm = asm.push_u64(*b as u64).push_u64(i as u64).op(Op::MStore8);
+        }
+        let code = asm
+            .push_u64(init.len() as u64)
+            .push_u64(0)
+            .push_u64(0) // value
+            .op(Op::Create);
+        let (res, rw) = run_code(ret_top(code), Vec::new(), &w);
+        let created_word = U256::from_be_slice(&res.unwrap().output);
+        assert_ne!(created_word, U256::ZERO);
+        let created = word_address(created_word);
+        assert_eq!(created, create_address(&addr(100), 0));
+        // Code write recorded; creator nonce bumped.
+        assert!(rw.writes.contains_key(&AccessKey::Code(created)));
+        assert_eq!(rw.writes[&AccessKey::Nonce(addr(100))], U256::ONE);
+    }
+
+    #[test]
+    fn call_depth_limit() {
+        // A contract that calls itself with all gas.
+        let mut w = WorldState::new();
+        let self_addr = addr(100);
+        let code = Asm::new()
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push(address_word(&self_addr))
+            .push_u64(1_000_000_000)
+            .op(Op::Call)
+            .op(Op::Stop)
+            .build();
+        w.set_code(self_addr, code.clone());
+        let (res, _) = run_code(code, Vec::new(), &w);
+        // The outermost frame completes; inner frames stop recursing at the
+        // depth limit without poisoning the whole transaction.
+        assert!(res.is_ok());
+    }
+
+    #[test]
+    fn signed_opcodes() {
+        let neg = |v: u64| U256::from(v).wrapping_neg();
+        // SDIV: -6 / 3 = -2 (push divisor first, dividend on top).
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(3).push(neg(6)).op(Op::SDiv))),
+            neg(2)
+        );
+        // SMOD: -7 % 3 = -1.
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(3).push(neg(7)).op(Op::SMod))),
+            neg(1)
+        );
+        // SLT: -1 < 1.
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(1).push(neg(1)).op(Op::Slt))),
+            U256::ONE
+        );
+        // SGT: 1 > -1.
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push(neg(1)).push_u64(1).op(Op::Sgt))),
+            U256::ONE
+        );
+        // SIGNEXTEND(0, 0xFF) = -1.
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push_u64(0xFF).push_u64(0).op(Op::SignExtend))),
+            U256::MAX
+        );
+        // SAR: -4 >> 1 = -2.
+        assert_eq!(
+            returns_word(ret_top(Asm::new().push(neg(4)).push_u64(1).op(Op::Sar))),
+            neg(2)
+        );
+    }
+
+    #[test]
+    fn extcodecopy_reads_other_contract() {
+        let mut w = WorldState::new();
+        w.set_code(addr(200), vec![0xDE, 0xAD, 0xBE, 0xEF]);
+        let code = Asm::new()
+            .push_u64(4) // len
+            .push_u64(0) // code offset
+            .push_u64(0) // mem offset
+            .push(address_word(&addr(200)))
+            .op(Op::ExtCodeCopy)
+            .push_u64(32)
+            .push_u64(0)
+            .op(Op::Return)
+            .build();
+        let (res, rw) = run_code(code, Vec::new(), &w);
+        let out = res.unwrap().output;
+        assert_eq!(&out[..4], &[0xDE, 0xAD, 0xBE, 0xEF]);
+        // Reading foreign code is part of the footprint.
+        assert!(rw.reads.contains_key(&AccessKey::Code(addr(200))));
+    }
+
+    #[test]
+    fn codecopy_reads_own_code() {
+        // Copy the first 4 bytes of code to memory and return the word.
+        let code = Asm::new()
+            .push_u64(4) // len
+            .push_u64(0) // code offset
+            .push_u64(0) // mem offset
+            .op(Op::CodeCopy)
+            .push_u64(32)
+            .push_u64(0)
+            .op(Op::Return)
+            .build();
+        let w = WorldState::new();
+        let (res, _) = run_code(code.clone(), Vec::new(), &w);
+        let out = res.unwrap().output;
+        assert_eq!(&out[..4], &code[..4]);
+        assert!(out[4..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn returndata_roundtrip() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(100), U256::from(1_000_000u64));
+        // Callee returns 0x2A.
+        let callee = ret_top(Asm::new().push_u64(0x2A));
+        w.set_code(addr(200), callee);
+        // Caller: CALL with zero out area, then RETURNDATASIZE /
+        // RETURNDATACOPY the word into memory and return it.
+        let code = Asm::new()
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push(address_word(&addr(200)))
+            .push_u64(60_000)
+            .op(Op::Call)
+            .op(Op::Pop)
+            .op(Op::ReturnDataSize) // should be 32
+            .push_u64(0) // src
+            .push_u64(0) // dst
+            .op(Op::ReturnDataCopy)
+            .push_u64(32)
+            .push_u64(0)
+            .op(Op::Return)
+            .build();
+        let (res, _) = run_code(code, Vec::new(), &w);
+        assert_eq!(U256::from_be_slice(&res.unwrap().output), U256::from(0x2Au64));
+    }
+
+    #[test]
+    fn returndatacopy_out_of_bounds_faults() {
+        let w = WorldState::new();
+        // No prior call: return buffer is empty; copying 1 byte faults.
+        let code = Asm::new()
+            .push_u64(1)
+            .push_u64(0)
+            .push_u64(0)
+            .op(Op::ReturnDataCopy)
+            .build();
+        let (res, _) = run_code(code, Vec::new(), &w);
+        assert_eq!(res.unwrap_err(), VmError::ReturnDataOutOfBounds);
+    }
+
+    #[test]
+    fn staticcall_blocks_state_mutation() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(100), U256::from(1_000_000u64));
+        // Callee tries to SSTORE.
+        let callee = Asm::new()
+            .push_u64(1)
+            .push_u64(0)
+            .op(Op::SStore)
+            .op(Op::Stop)
+            .build();
+        w.set_code(addr(200), callee);
+        // STATICCALL it; push the success flag.
+        let code = Asm::new()
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push(address_word(&addr(200)))
+            .push_u64(60_000)
+            .op(Op::StaticCall);
+        let (res, rw) = run_code(ret_top(code), Vec::new(), &w);
+        // The inner frame faulted with StaticViolation → flag is 0.
+        assert_eq!(U256::from_be_slice(&res.unwrap().output), U256::ZERO);
+        assert!(!rw
+            .writes
+            .contains_key(&AccessKey::Storage(addr(200), H256::from_low_u64(0))));
+    }
+
+    #[test]
+    fn staticcall_allows_reads() {
+        let mut w = WorldState::new();
+        w.set_storage(addr(200), H256::from_low_u64(0), U256::from(99u64));
+        w.set_code(addr(200), ret_top(Asm::new().push_u64(0).op(Op::SLoad)));
+        let code = Asm::new()
+            .push_u64(32) // out len
+            .push_u64(0) // out off
+            .push_u64(0)
+            .push_u64(0)
+            .push(address_word(&addr(200)))
+            .push_u64(60_000)
+            .op(Op::StaticCall)
+            .op(Op::Pop)
+            .push_u64(32)
+            .push_u64(0)
+            .op(Op::Return)
+            .build();
+        let (res, _) = run_code(code, Vec::new(), &w);
+        assert_eq!(U256::from_be_slice(&res.unwrap().output), U256::from(99u64));
+    }
+
+    #[test]
+    fn delegatecall_uses_caller_storage() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(100), U256::from(1_000_000u64));
+        // Library code: SSTORE(0, 7).
+        let library = Asm::new()
+            .push_u64(7)
+            .push_u64(0)
+            .op(Op::SStore)
+            .op(Op::Stop)
+            .build();
+        w.set_code(addr(300), library);
+        // Caller DELEGATECALLs the library: the write must land in the
+        // *caller's* storage (addr 100), not the library's.
+        let code = Asm::new()
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push(address_word(&addr(300)))
+            .push_u64(60_000)
+            .op(Op::DelegateCall);
+        let (res, rw) = run_code(ret_top(code), Vec::new(), &w);
+        assert_eq!(U256::from_be_slice(&res.unwrap().output), U256::ONE);
+        assert_eq!(
+            rw.writes[&AccessKey::Storage(addr(100), H256::from_low_u64(0))],
+            U256::from(7u64)
+        );
+        assert!(!rw
+            .writes
+            .contains_key(&AccessKey::Storage(addr(300), H256::from_low_u64(0))));
+    }
+
+    #[test]
+    fn static_context_propagates_through_calls() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(100), U256::from(1_000_000u64));
+        // Inner: SSTORE.
+        let inner = Asm::new().push_u64(1).push_u64(0).op(Op::SStore).op(Op::Stop).build();
+        w.set_code(addr(201), inner);
+        // Middle: plain CALL to inner, returns inner's success flag.
+        let middle = ret_top(
+            Asm::new()
+                .push_u64(0)
+                .push_u64(0)
+                .push_u64(0)
+                .push_u64(0)
+                .push_u64(0)
+                .push(address_word(&addr(201)))
+                .push_u64(40_000)
+                .op(Op::Call),
+        );
+        w.set_code(addr(200), middle);
+        // Outer: STATICCALL middle, copy its 32-byte answer out.
+        let code = Asm::new()
+            .push_u64(32)
+            .push_u64(0)
+            .push_u64(0)
+            .push_u64(0)
+            .push(address_word(&addr(200)))
+            .push_u64(80_000)
+            .op(Op::StaticCall)
+            .op(Op::Pop)
+            .push_u64(32)
+            .push_u64(0)
+            .op(Op::Return)
+            .build();
+        let (res, rw) = run_code(code, Vec::new(), &w);
+        // The middle frame ran, but its CALL inherited the static flag, so
+        // the inner SSTORE faulted and middle saw flag 0.
+        assert_eq!(U256::from_be_slice(&res.unwrap().output), U256::ZERO);
+        assert!(!rw
+            .writes
+            .contains_key(&AccessKey::Storage(addr(201), H256::from_low_u64(0))));
+    }
+
+    #[test]
+    fn truncated_push_zero_pads() {
+        // Code ends mid-PUSH32: remaining bytes read as zero, then implicit
+        // STOP. The stack value is `0x01` followed by 31 zero bytes.
+        let code = vec![0x7F, 0x01];
+        let w = WorldState::new();
+        let (res, _) = run_code(code, Vec::new(), &w);
+        assert!(!res.unwrap().reverted);
+    }
+}

@@ -1,0 +1,210 @@
+//! EVM opcodes: byte values and static gas costs.
+//!
+//! The subset covers everything the paper's workloads exercise — arithmetic,
+//! comparison and bitwise words, Keccak, environment and block context,
+//! memory, storage (`SLOAD`/`SSTORE`, the hotspot operations of §2.3),
+//! control flow, `PUSH1..32`, `DUP1..16`, `SWAP1..16`, `LOG0..4`, calls,
+//! creation, and halting.
+
+/// Opcode byte values (a strict subset of the Ethereum instruction set with
+/// Ethereum's numbering).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Op {
+    Stop = 0x00,
+    Add = 0x01,
+    Mul = 0x02,
+    Sub = 0x03,
+    Div = 0x04,
+    SDiv = 0x05,
+    Mod = 0x06,
+    SMod = 0x07,
+    AddMod = 0x08,
+    MulMod = 0x09,
+    Exp = 0x0A,
+    SignExtend = 0x0B,
+    Lt = 0x10,
+    Gt = 0x11,
+    Slt = 0x12,
+    Sgt = 0x13,
+    Eq = 0x14,
+    IsZero = 0x15,
+    And = 0x16,
+    Or = 0x17,
+    Xor = 0x18,
+    Not = 0x19,
+    Byte = 0x1A,
+    Shl = 0x1B,
+    Shr = 0x1C,
+    Sar = 0x1D,
+    Sha3 = 0x20,
+    Address = 0x30,
+    Balance = 0x31,
+    Origin = 0x32,
+    Caller = 0x33,
+    CallValue = 0x34,
+    CallDataLoad = 0x35,
+    CallDataSize = 0x36,
+    CallDataCopy = 0x37,
+    CodeSize = 0x38,
+    CodeCopy = 0x39,
+    GasPrice = 0x3A,
+    ExtCodeSize = 0x3B,
+    ExtCodeCopy = 0x3C,
+    ReturnDataSize = 0x3D,
+    ReturnDataCopy = 0x3E,
+    Coinbase = 0x41,
+    Timestamp = 0x42,
+    Number = 0x43,
+    GasLimit = 0x45,
+    SelfBalance = 0x47,
+    Pop = 0x50,
+    MLoad = 0x51,
+    MStore = 0x52,
+    MStore8 = 0x53,
+    SLoad = 0x54,
+    SStore = 0x55,
+    Jump = 0x56,
+    JumpI = 0x57,
+    Pc = 0x58,
+    MSize = 0x59,
+    Gas = 0x5A,
+    JumpDest = 0x5B,
+    // PUSH1..PUSH32 are 0x60..0x7F, DUP1..DUP16 are 0x80..0x8F and
+    // SWAP1..SWAP16 are 0x90..0x9F; handled by range in the interpreter.
+    Log0 = 0xA0,
+    Log1 = 0xA1,
+    Log2 = 0xA2,
+    Log3 = 0xA3,
+    Log4 = 0xA4,
+    Create = 0xF0,
+    Call = 0xF1,
+    Return = 0xF3,
+    DelegateCall = 0xF4,
+    StaticCall = 0xFA,
+    Revert = 0xFD,
+    Invalid = 0xFE,
+}
+
+/// First PUSH opcode.
+pub const PUSH1: u8 = 0x60;
+/// Last PUSH opcode.
+pub const PUSH32: u8 = 0x7F;
+/// First DUP opcode.
+pub const DUP1: u8 = 0x80;
+/// Last DUP opcode.
+pub const DUP16: u8 = 0x8F;
+/// First SWAP opcode.
+pub const SWAP1: u8 = 0x90;
+/// Last SWAP opcode.
+pub const SWAP16: u8 = 0x9F;
+
+impl Op {
+    /// Decodes a byte into a non-range opcode (PUSH/DUP/SWAP are handled by
+    /// numeric range in the interpreter and return `None` here).
+    pub fn from_byte(b: u8) -> Option<Op> {
+        use Op::*;
+        Some(match b {
+            0x00 => Stop,
+            0x01 => Add,
+            0x02 => Mul,
+            0x03 => Sub,
+            0x04 => Div,
+            0x05 => SDiv,
+            0x06 => Mod,
+            0x07 => SMod,
+            0x08 => AddMod,
+            0x09 => MulMod,
+            0x0A => Exp,
+            0x0B => SignExtend,
+            0x10 => Lt,
+            0x11 => Gt,
+            0x12 => Slt,
+            0x13 => Sgt,
+            0x14 => Eq,
+            0x15 => IsZero,
+            0x16 => And,
+            0x17 => Or,
+            0x18 => Xor,
+            0x19 => Not,
+            0x1A => Byte,
+            0x1B => Shl,
+            0x1C => Shr,
+            0x1D => Sar,
+            0x20 => Sha3,
+            0x30 => Address,
+            0x31 => Balance,
+            0x32 => Origin,
+            0x33 => Caller,
+            0x34 => CallValue,
+            0x35 => CallDataLoad,
+            0x36 => CallDataSize,
+            0x37 => CallDataCopy,
+            0x38 => CodeSize,
+            0x39 => CodeCopy,
+            0x3A => GasPrice,
+            0x3B => ExtCodeSize,
+            0x3C => ExtCodeCopy,
+            0x3D => ReturnDataSize,
+            0x3E => ReturnDataCopy,
+            0x41 => Coinbase,
+            0x42 => Timestamp,
+            0x43 => Number,
+            0x45 => GasLimit,
+            0x47 => SelfBalance,
+            0x50 => Pop,
+            0x51 => MLoad,
+            0x52 => MStore,
+            0x53 => MStore8,
+            0x54 => SLoad,
+            0x55 => SStore,
+            0x56 => Jump,
+            0x57 => JumpI,
+            0x58 => Pc,
+            0x59 => MSize,
+            0x5A => Gas,
+            0x5B => JumpDest,
+            0xA0 => Log0,
+            0xA1 => Log1,
+            0xA2 => Log2,
+            0xA3 => Log3,
+            0xA4 => Log4,
+            0xF0 => Create,
+            0xF1 => Call,
+            0xF3 => Return,
+            0xF4 => DelegateCall,
+            0xFA => StaticCall,
+            0xFD => Revert,
+            0xFE => Invalid,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_known_bytes() {
+        for b in 0u8..=0xFF {
+            if let Some(op) = Op::from_byte(b) {
+                assert_eq!(op as u8, b);
+            }
+        }
+    }
+
+    #[test]
+    fn push_dup_swap_ranges_excluded() {
+        for b in PUSH1..=SWAP16 {
+            assert!(Op::from_byte(b).is_none(), "0x{b:02x} should be range-decoded");
+        }
+    }
+
+    #[test]
+    fn storage_ops_present() {
+        assert_eq!(Op::from_byte(0x54), Some(Op::SLoad));
+        assert_eq!(Op::from_byte(0x55), Some(Op::SStore));
+    }
+}

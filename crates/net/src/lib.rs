@@ -1,0 +1,357 @@
+//! A deterministic network simulation of BlockPilot's DiCE loop
+//! (Dissemination → Consensus → Execution, §3.2 of the paper).
+//!
+//! `N` validator nodes share a transaction stream. At every height a
+//! round-robin proposer packs a block with OCC-WSI and broadcasts it with
+//! per-link latencies drawn from a seeded RNG; on *fork heights* a second
+//! proposer races with a competing block, so validators receive multiple
+//! blocks at one height and the pipeline's same-height concurrency and
+//! parent-parking paths are exercised exactly as §3.4 describes. Fork
+//! choice is deterministic (lowest block hash wins), so every node must
+//! converge to the identical canonical chain and MPT state root — which
+//! [`run_network`] asserts and reports.
+
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use blockpilot_core::{
+    ConflictGranularity, OccWsiConfig, OccWsiProposer, PipelineConfig, ValidationHandle, Validator,
+};
+use bp_block::Block;
+use bp_evm::BlockEnv;
+use bp_types::{BlockHash, H256};
+use bp_workload::{WorkloadConfig, WorkloadGen};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Network-simulation parameters.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Number of validator nodes.
+    pub nodes: usize,
+    /// Chain length to run.
+    pub heights: u64,
+    /// Pipeline workers per node.
+    pub workers_per_node: usize,
+    /// OCC-WSI threads per proposer.
+    pub proposer_threads: usize,
+    /// Every `fork_every`-th height two proposers race (0 = never fork).
+    pub fork_every: u64,
+    /// Per-link delivery latency range, in ticks. One height spans
+    /// [`NetConfig::ticks_per_height`] ticks, so latencies beyond that
+    /// deliver blocks out of height order.
+    pub latency: std::ops::Range<u64>,
+    /// Virtual ticks between consecutive proposals.
+    pub ticks_per_height: u64,
+    /// RNG seed for latencies and the workload.
+    pub seed: u64,
+    /// The transaction workload.
+    pub workload: WorkloadConfig,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            nodes: 4,
+            heights: 6,
+            workers_per_node: 2,
+            proposer_threads: 2,
+            fork_every: 3,
+            latency: 1..30,
+            ticks_per_height: 20,
+            seed: 0xD1CE,
+            workload: WorkloadConfig {
+                accounts: 100,
+                tokens: 3,
+                amm_pairs: 1,
+                txs_per_block: 24,
+                tx_jitter: 4,
+                ..WorkloadConfig::default()
+            },
+        }
+    }
+}
+
+/// What the simulation observed.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Heights processed.
+    pub heights: u64,
+    /// Heights where two proposers raced.
+    pub forks: u64,
+    /// Uncle blocks recorded per node at the end (same on every node).
+    pub uncles: usize,
+    /// Total transactions across the canonical chain.
+    pub total_txs: usize,
+    /// Canonical head state root every node agreed on.
+    pub final_root: H256,
+    /// True iff all nodes converged to the same head (asserted internally
+    /// too).
+    pub converged: bool,
+    /// Blocks delivered out of height order somewhere in the network
+    /// (exercises the pipeline's parent-parking path).
+    pub out_of_order_deliveries: u64,
+}
+
+struct Delivery {
+    tick: u64,
+    seq: u64,
+    node: usize,
+    // Blocks travel over the wire in their canonical RLP encoding; the
+    // receiver decodes (strictly) before validating.
+    bytes: Arc<Vec<u8>>,
+}
+
+/// Runs the simulation to completion. Panics if the network fails to
+/// converge — that would be a consensus-safety bug.
+pub fn run_network(config: NetConfig) -> SimReport {
+    assert!(config.nodes >= 1);
+    assert!(config.heights >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut gen = WorkloadGen::new(config.workload.clone());
+    let genesis = gen.genesis_state();
+
+    let nodes: Vec<Validator> = (0..config.nodes)
+        .map(|_| {
+            Validator::new(
+                PipelineConfig {
+                    workers: config.workers_per_node,
+                    granularity: ConflictGranularity::Account,
+                },
+                genesis.clone(),
+            )
+        })
+        .collect();
+    let genesis_hash = nodes[0].genesis_hash();
+
+    // --- Proposal phase: build the block DAG deterministically. ---------
+    // Proposals chain through the fork-choice winner at each height (the
+    // block with the smallest hash among the candidates).
+    let mut candidates_per_height: Vec<Vec<Block>> = Vec::new();
+    let mut parent = genesis_hash;
+    let mut parent_state = Arc::new(genesis);
+    let mut forks = 0u64;
+    let mut total_txs = 0usize;
+    for height in 1..=config.heights {
+        let txs = gen.next_block_txs();
+        total_txs += txs.len();
+        let racing = config.fork_every != 0 && height % config.fork_every == 0 && txs.len() >= 2;
+        let mut blocks = Vec::new();
+        // Competing proposers select different subsets of the mempool, but a
+        // sender's nonce chain must stay within one proposal — split by
+        // sender, not by position.
+        let splits: Vec<Vec<bp_evm::Transaction>> = if racing {
+            forks += 1;
+            let (even, odd): (Vec<_>, Vec<_>) = txs
+                .iter()
+                .cloned()
+                .partition(|tx| tx.sender.as_bytes()[19] % 2 == 0);
+            if even.is_empty() || odd.is_empty() {
+                vec![txs.clone()]
+            } else {
+                vec![even, odd]
+            }
+        } else {
+            vec![txs.clone()]
+        };
+        for (i, split) in splits.iter().enumerate() {
+            let proposer_node = (height as usize + i) % config.nodes;
+            let engine = OccWsiProposer::new(OccWsiConfig {
+                threads: config.proposer_threads,
+                env: BlockEnv {
+                    number: height,
+                    coinbase: bp_types::Address::from_index(9_000_000 + proposer_node as u64),
+                    ..gen.block_env(height)
+                },
+                ..OccWsiConfig::default()
+            });
+            let pool = bp_txpool::TxPool::new();
+            for tx in split {
+                pool.add(tx.clone());
+            }
+            let proposal = engine.propose(&pool, Arc::clone(&parent_state), parent, height);
+            blocks.push((proposal.block, proposal.post_state));
+        }
+        // Fork choice: smallest hash wins; the winner parents the next
+        // height.
+        let winner = blocks
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (b, _))| b.hash())
+            .map(|(i, _)| i)
+            .expect("at least one block");
+        parent = blocks[winner].0.hash();
+        parent_state = Arc::new(blocks[winner].1.clone());
+        candidates_per_height.push(blocks.into_iter().map(|(b, _)| b).collect());
+    }
+
+    // --- Dissemination phase: broadcast with seeded latencies. -----------
+    let mut queue: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut payloads: Vec<Option<Delivery>> = Vec::new();
+    let mut seq = 0u64;
+    for (h_idx, blocks) in candidates_per_height.iter().enumerate() {
+        let publish_tick = (h_idx as u64 + 1) * config.ticks_per_height;
+        for block in blocks {
+            let bytes = Arc::new(bp_block::encode_block(block));
+            for node in 0..config.nodes {
+                let latency = rng.gen_range(config.latency.clone());
+                let tick = publish_tick + latency;
+                queue.push(Reverse((tick, seq)));
+                payloads.push(Some(Delivery {
+                    tick,
+                    seq,
+                    node,
+                    bytes: Arc::clone(&bytes),
+                }));
+                seq += 1;
+            }
+        }
+    }
+
+    // --- Execution phase: deliver in tick order; validators pipeline. ---
+    let mut handles: Vec<Vec<(u64, ValidationHandle)>> =
+        (0..config.nodes).map(|_| Vec::new()).collect();
+    let mut last_height_seen = vec![0u64; config.nodes];
+    let mut out_of_order = 0u64;
+    while let Some(Reverse((_, s))) = queue.pop() {
+        let delivery = payloads[s as usize].take().expect("payload exists");
+        let _ = delivery.tick;
+        let block = bp_block::decode_block(&delivery.bytes).expect("honest wire encoding");
+        let height = block.height();
+        if height < last_height_seen[delivery.node] {
+            out_of_order += 1;
+        }
+        last_height_seen[delivery.node] = last_height_seen[delivery.node].max(height);
+        let handle = nodes[delivery.node].receive_block(block);
+        handles[delivery.node].push((delivery.seq, handle));
+    }
+    for node_handles in handles {
+        for (_, handle) in node_handles {
+            let outcome = handle.wait();
+            assert!(
+                outcome.is_valid(),
+                "honest block rejected: {:?}",
+                outcome.result
+            );
+        }
+    }
+
+    // --- Consensus phase: apply the deterministic fork choice. ----------
+    for node in &nodes {
+        for (h_idx, blocks) in candidates_per_height.iter().enumerate() {
+            let winner = blocks.iter().map(Block::hash).min().expect("non-empty");
+            assert!(
+                node.commit_canonical(winner),
+                "fork choice failed at height {}",
+                h_idx + 1
+            );
+        }
+    }
+
+    // --- Convergence check. ----------------------------------------------
+    let heads: Vec<(BlockHash, u64)> = nodes
+        .iter()
+        .map(|n| n.head().expect("chain advanced"))
+        .collect();
+    let converged = heads.iter().all(|h| h == &heads[0]);
+    assert!(converged, "nodes diverged: {heads:?}");
+    let uncles: usize = (1..=config.heights)
+        .map(|h| nodes[0].uncles_at(h))
+        .sum();
+    let final_root = candidates_per_height
+        .last()
+        .and_then(|blocks| blocks.iter().min_by_key(|b| b.hash()))
+        .map(|b| b.header.state_root)
+        .expect("at least one height");
+
+    SimReport {
+        heights: config.heights,
+        forks,
+        uncles,
+        total_txs,
+        final_root,
+        converged,
+        out_of_order_deliveries: out_of_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_network_converges() {
+        let report = run_network(NetConfig {
+            nodes: 3,
+            heights: 4,
+            fork_every: 2,
+            ..NetConfig::default()
+        });
+        assert!(report.converged);
+        assert_eq!(report.heights, 4);
+        assert_eq!(report.forks, 2);
+        assert_eq!(report.uncles, 2, "each fork leaves one uncle");
+        assert!(report.total_txs > 0);
+    }
+
+    #[test]
+    fn forkless_network_has_no_uncles() {
+        let report = run_network(NetConfig {
+            nodes: 2,
+            heights: 3,
+            fork_every: 0,
+            ..NetConfig::default()
+        });
+        assert!(report.converged);
+        assert_eq!(report.forks, 0);
+        assert_eq!(report.uncles, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        // OCC-WSI with multiple worker threads may commit any serializable
+        // order (the block differs run to run by design); a single proposer
+        // thread makes the chain content a pure function of the seeds.
+        let config = NetConfig {
+            proposer_threads: 1,
+            ..NetConfig::default()
+        };
+        let a = run_network(config.clone());
+        let b = run_network(config.clone());
+        assert_eq!(a.final_root, b.final_root);
+        assert_eq!(a.out_of_order_deliveries, b.out_of_order_deliveries);
+        let c = run_network(NetConfig {
+            seed: 777, // different latencies, same workload
+            ..config
+        });
+        assert_eq!(a.final_root, c.final_root, "chain content ignores latencies");
+    }
+
+    #[test]
+    fn high_latency_forces_out_of_order_delivery() {
+        let report = run_network(NetConfig {
+            nodes: 3,
+            heights: 6,
+            latency: 1..80,
+            ticks_per_height: 10,
+            ..NetConfig::default()
+        });
+        assert!(report.converged);
+        assert!(
+            report.out_of_order_deliveries > 0,
+            "latency range should scramble delivery order"
+        );
+    }
+
+    #[test]
+    fn single_node_network() {
+        let report = run_network(NetConfig {
+            nodes: 1,
+            heights: 3,
+            ..NetConfig::default()
+        });
+        assert!(report.converged);
+    }
+}

@@ -1,0 +1,127 @@
+//! The Ethereum account: the RLP structure stored in the state trie.
+
+use bp_crypto::rlp::{self, DecodeError, RlpStream};
+use bp_crypto::keccak256;
+use bp_types::{H256, U256};
+
+use crate::trie;
+
+/// Hash of empty code: `keccak256("")`.
+pub fn empty_code_hash() -> H256 {
+    keccak256(&[])
+}
+
+/// The four-field account body committed into the state trie:
+/// `[nonce, balance, storage_root, code_hash]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Account {
+    /// Transaction count for EOAs / creation count for contracts.
+    pub nonce: u64,
+    /// Balance in wei.
+    pub balance: U256,
+    /// Root of the account's storage trie.
+    pub storage_root: H256,
+    /// Keccak hash of the account's code.
+    pub code_hash: H256,
+}
+
+impl Default for Account {
+    fn default() -> Self {
+        Account {
+            nonce: 0,
+            balance: U256::ZERO,
+            storage_root: trie::empty_root(),
+            code_hash: empty_code_hash(),
+        }
+    }
+}
+
+impl Account {
+    /// True iff the account is indistinguishable from a non-existent one
+    /// (EIP-161 emptiness).
+    pub fn is_empty(&self) -> bool {
+        self.nonce == 0 && self.balance.is_zero() && self.code_hash == empty_code_hash()
+    }
+
+    /// RLP encoding as stored in the state trie.
+    pub fn rlp_encode(&self) -> Vec<u8> {
+        let mut s = RlpStream::new();
+        s.begin_list(4);
+        s.append_u64(self.nonce);
+        s.append_u256(&self.balance);
+        s.append_h256(&self.storage_root);
+        s.append_h256(&self.code_hash);
+        s.out()
+    }
+
+    /// Strict decoding of the trie representation.
+    pub fn rlp_decode(data: &[u8]) -> Result<Account, DecodeError> {
+        let item = rlp::decode(data)?;
+        let l = item.as_list()?;
+        if l.len() != 4 {
+            return Err(DecodeError::TypeMismatch);
+        }
+        Ok(Account {
+            nonce: l[0].as_u64()?,
+            balance: l[1].as_u256()?,
+            storage_root: l[2].as_h256()?,
+            code_hash: l[3].as_h256()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty() {
+        let a = Account::default();
+        assert!(a.is_empty());
+        assert_eq!(a.storage_root, trie::empty_root());
+        assert_eq!(a.code_hash, empty_code_hash());
+    }
+
+    #[test]
+    fn empty_code_hash_matches_keccak_of_nothing() {
+        assert_eq!(
+            format!("{:?}", empty_code_hash()),
+            "0xc5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn rlp_roundtrip() {
+        let a = Account {
+            nonce: 42,
+            balance: U256::from(10u64).pow(U256::from(18u64)),
+            storage_root: H256::from_low_u64(7),
+            code_hash: H256::from_low_u64(8),
+        };
+        let enc = a.rlp_encode();
+        assert_eq!(Account::rlp_decode(&enc).unwrap(), a);
+    }
+
+    #[test]
+    fn nonzero_fields_not_empty() {
+        let mut a = Account::default();
+        a.nonce = 1;
+        assert!(!a.is_empty());
+        let mut b = Account::default();
+        b.balance = U256::ONE;
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Account::rlp_decode(&[0x80]).is_err());
+        assert!(Account::rlp_decode(b"not rlp at all").is_err());
+        // A 3-element list is not an account.
+        let mut s = RlpStream::new();
+        s.begin_list(3);
+        s.append_u64(1);
+        s.append_u64(2);
+        s.append_u64(3);
+        assert!(Account::rlp_decode(&s.out()).is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! State substrate: the authenticated world state BlockPilot executes over.
+//!
+//! * [`trie`] — a faithful Merkle Patricia Trie with proofs;
+//! * [`account`] — the 4-field RLP account body;
+//! * [`world`] — the flat mutable [`world::WorldState`] plus MPT commitment
+//!   ([`world::WorldState::state_root`]);
+//! * [`mvstate`] — the multi-version overlay serving OCC-WSI snapshots.
+
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod mvstate;
+pub mod nibbles;
+pub mod trie;
+pub mod world;
+
+pub use account::Account;
+pub use mvstate::MultiVersionState;
+pub use trie::{empty_root, verify_proof, Trie};
+pub use world::{AccountState, WorldState};

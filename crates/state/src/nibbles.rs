@@ -1,0 +1,178 @@
+//! Nibble paths and hex-prefix encoding for the Merkle Patricia Trie.
+//!
+//! Trie keys are sequences of 4-bit nibbles. Leaf and extension nodes store a
+//! nibble path compacted with Ethereum's *hex-prefix* (HP) encoding, whose
+//! first nibble carries two flags: parity of the path length, and whether the
+//! node is a leaf (terminator) or an extension.
+
+/// A path of nibbles (each element is 0..=15).
+#[derive(Clone, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Nibbles(pub Vec<u8>);
+
+impl Nibbles {
+    /// Expands bytes into nibbles, high nibble first.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut out = Vec::with_capacity(bytes.len() * 2);
+        for &b in bytes {
+            out.push(b >> 4);
+            out.push(b & 0x0F);
+        }
+        Nibbles(out)
+    }
+
+    /// Path length in nibbles.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Nibble at `i`.
+    pub fn at(&self, i: usize) -> u8 {
+        self.0[i]
+    }
+
+    /// The sub-path starting at `from`.
+    pub fn slice_from(&self, from: usize) -> Nibbles {
+        Nibbles(self.0[from..].to_vec())
+    }
+
+    /// Length of the common prefix with `other`.
+    pub fn common_prefix_len(&self, other: &Nibbles) -> usize {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Concatenates `self`, one nibble, and `tail` (used when collapsing
+    /// nodes during deletion).
+    pub fn join(&self, mid: u8, tail: &Nibbles) -> Nibbles {
+        let mut out = Vec::with_capacity(self.0.len() + 1 + tail.0.len());
+        out.extend_from_slice(&self.0);
+        out.push(mid);
+        out.extend_from_slice(&tail.0);
+        Nibbles(out)
+    }
+
+    /// Concatenates two paths.
+    pub fn concat(&self, tail: &Nibbles) -> Nibbles {
+        let mut out = Vec::with_capacity(self.0.len() + tail.0.len());
+        out.extend_from_slice(&self.0);
+        out.extend_from_slice(&tail.0);
+        Nibbles(out)
+    }
+
+    /// Hex-prefix encodes the path. `leaf` sets the terminator flag.
+    pub fn hex_prefix(&self, leaf: bool) -> Vec<u8> {
+        let flag: u8 = if leaf { 2 } else { 0 };
+        let odd = self.0.len() % 2 == 1;
+        let mut out = Vec::with_capacity(self.0.len() / 2 + 1);
+        if odd {
+            out.push((flag + 1) << 4 | self.0[0]);
+            for pair in self.0[1..].chunks(2) {
+                out.push(pair[0] << 4 | pair[1]);
+            }
+        } else {
+            out.push(flag << 4);
+            for pair in self.0.chunks(2) {
+                out.push(pair[0] << 4 | pair[1]);
+            }
+        }
+        out
+    }
+
+    /// Decodes a hex-prefix encoding, returning the path and the leaf flag.
+    pub fn from_hex_prefix(data: &[u8]) -> Option<(Nibbles, bool)> {
+        let (&first, rest) = data.split_first()?;
+        let flag = first >> 4;
+        if flag > 3 {
+            return None;
+        }
+        let leaf = flag >= 2;
+        let odd = flag % 2 == 1;
+        let mut out = Vec::with_capacity(rest.len() * 2 + 1);
+        if odd {
+            out.push(first & 0x0F);
+        } else if first & 0x0F != 0 {
+            return None; // padding nibble must be zero
+        }
+        for &b in rest {
+            out.push(b >> 4);
+            out.push(b & 0x0F);
+        }
+        Some((Nibbles(out), leaf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_expands_high_first() {
+        let n = Nibbles::from_bytes(&[0xAB, 0x01]);
+        assert_eq!(n.0, vec![0xA, 0xB, 0x0, 0x1]);
+        assert_eq!(n.len(), 4);
+        assert_eq!(n.at(0), 0xA);
+    }
+
+    #[test]
+    fn hex_prefix_spec_vectors() {
+        // From the yellow paper appendix C examples.
+        // [1, 2, 3, 4, 5] extension (odd) -> 0x11 0x23 0x45
+        assert_eq!(Nibbles(vec![1, 2, 3, 4, 5]).hex_prefix(false), vec![0x11, 0x23, 0x45]);
+        // [0, 1, 2, 3, 4, 5] extension (even) -> 0x00 0x01 0x23 0x45
+        assert_eq!(
+            Nibbles(vec![0, 1, 2, 3, 4, 5]).hex_prefix(false),
+            vec![0x00, 0x01, 0x23, 0x45]
+        );
+        // [0, 15, 1, 12, 11, 8] leaf (even) -> 0x20 0x0f 0x1c 0xb8
+        assert_eq!(
+            Nibbles(vec![0, 15, 1, 12, 11, 8]).hex_prefix(true),
+            vec![0x20, 0x0f, 0x1c, 0xb8]
+        );
+        // [15, 1, 12, 11, 8] leaf (odd) -> 0x3f 0x1c 0xb8
+        assert_eq!(
+            Nibbles(vec![15, 1, 12, 11, 8]).hex_prefix(true),
+            vec![0x3f, 0x1c, 0xb8]
+        );
+    }
+
+    #[test]
+    fn hex_prefix_roundtrip() {
+        for len in 0..8 {
+            for leaf in [false, true] {
+                let n = Nibbles((0..len).map(|i| (i * 3 % 16) as u8).collect());
+                let enc = n.hex_prefix(leaf);
+                let (dec, got_leaf) = Nibbles::from_hex_prefix(&enc).unwrap();
+                assert_eq!(dec, n);
+                assert_eq!(got_leaf, leaf);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_hex_prefix_rejected() {
+        assert!(Nibbles::from_hex_prefix(&[]).is_none());
+        // Even-length flag with nonzero padding nibble.
+        assert!(Nibbles::from_hex_prefix(&[0x05]).is_none());
+        // Flag nibble out of range.
+        assert!(Nibbles::from_hex_prefix(&[0x40]).is_none());
+    }
+
+    #[test]
+    fn prefix_and_slicing() {
+        let a = Nibbles(vec![1, 2, 3, 4]);
+        let b = Nibbles(vec![1, 2, 9]);
+        assert_eq!(a.common_prefix_len(&b), 2);
+        assert_eq!(a.slice_from(2), Nibbles(vec![3, 4]));
+        assert_eq!(b.join(7, &Nibbles(vec![5])), Nibbles(vec![1, 2, 9, 7, 5]));
+        assert_eq!(a.concat(&b), Nibbles(vec![1, 2, 3, 4, 1, 2, 9]));
+        assert!(Nibbles::default().is_empty());
+    }
+}

@@ -1,0 +1,756 @@
+//! Merkle Patricia Trie.
+//!
+//! A faithful in-memory implementation of Ethereum's authenticated radix
+//! trie: leaf / extension / branch nodes, hex-prefix path compaction, RLP
+//! node encoding, and the <32-byte node inlining rule. The root hash of the
+//! account trie is the blockchain's *state root* — the value BlockPilot
+//! validators compare against the proposed block header (§5.2: "two world
+//! states are considered identical only if their MPT roots are the same").
+//!
+//! The trie also produces Merkle proofs ([`Trie::prove`] /
+//! [`verify_proof`]), used in tests to cross-check the commitment logic.
+
+use bp_crypto::rlp::{self, Item, RlpStream};
+use bp_crypto::keccak256;
+use bp_types::H256;
+
+use crate::nibbles::Nibbles;
+
+/// Root hash of the empty trie: `keccak256(rlp(""))`.
+pub fn empty_root() -> H256 {
+    keccak256(&[0x80])
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Node {
+    Empty,
+    Leaf {
+        path: Nibbles,
+        value: Vec<u8>,
+    },
+    Extension {
+        path: Nibbles,
+        child: Box<Node>,
+    },
+    Branch {
+        children: Box<[Node; 16]>,
+        value: Option<Vec<u8>>,
+    },
+}
+
+impl Node {
+    fn empty_children() -> Box<[Node; 16]> {
+        Box::new(std::array::from_fn(|_| Node::Empty))
+    }
+}
+
+/// An in-memory Merkle Patricia Trie over byte keys and byte values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trie {
+    root: Node,
+}
+
+impl Default for Trie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trie {
+    /// An empty trie.
+    pub fn new() -> Self {
+        Trie { root: Node::Empty }
+    }
+
+    /// Inserts `value` at `key`. Empty values are equivalent to deletion, as
+    /// in Ethereum.
+    pub fn insert(&mut self, key: &[u8], value: Vec<u8>) {
+        if value.is_empty() {
+            self.remove(key);
+            return;
+        }
+        let path = Nibbles::from_bytes(key);
+        let root = std::mem::replace(&mut self.root, Node::Empty);
+        self.root = insert_at(root, path, value);
+    }
+
+    /// Returns the value at `key`, if present.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        let path = Nibbles::from_bytes(key);
+        get_at(&self.root, &path, 0)
+    }
+
+    /// Removes `key`, returning whether it was present.
+    pub fn remove(&mut self, key: &[u8]) -> bool {
+        let path = Nibbles::from_bytes(key);
+        let root = std::mem::replace(&mut self.root, Node::Empty);
+        let (new_root, removed) = remove_at(root, &path, 0);
+        self.root = new_root;
+        removed
+    }
+
+    /// True iff the trie holds no entries.
+    pub fn is_empty(&self) -> bool {
+        matches!(self.root, Node::Empty)
+    }
+
+    /// The Merkle root of the current contents.
+    pub fn root_hash(&self) -> H256 {
+        match &self.root {
+            Node::Empty => empty_root(),
+            node => keccak256(&encode_node(node)),
+        }
+    }
+
+    /// Collects all (key, value) pairs in lexicographic key order. Keys are
+    /// returned as nibble paths packed back into bytes; callers that inserted
+    /// even-length byte keys get those bytes back exactly.
+    pub fn iter(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        walk(&self.root, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Merkle proof for `key`: the RLP encodings of the nodes on the lookup
+    /// path, root first. Verifiable with [`verify_proof`].
+    pub fn prove(&self, key: &[u8]) -> Vec<Vec<u8>> {
+        let path = Nibbles::from_bytes(key);
+        let mut proof = Vec::new();
+        prove_at(&self.root, &path, 0, &mut proof);
+        proof
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Insert / get / remove
+// ---------------------------------------------------------------------------
+
+fn insert_at(node: Node, path: Nibbles, value: Vec<u8>) -> Node {
+    match node {
+        Node::Empty => Node::Leaf { path, value },
+        Node::Leaf {
+            path: lpath,
+            value: lvalue,
+        } => {
+            let common = lpath.common_prefix_len(&path);
+            if common == lpath.len() && common == path.len() {
+                return Node::Leaf { path: lpath, value };
+            }
+            // Split into a branch (optionally under an extension).
+            let mut children = Node::empty_children();
+            let mut branch_value = None;
+            if common == lpath.len() {
+                branch_value = Some(lvalue);
+            } else {
+                let idx = lpath.at(common) as usize;
+                children[idx] = Node::Leaf {
+                    path: lpath.slice_from(common + 1),
+                    value: lvalue,
+                };
+            }
+            if common == path.len() {
+                let branch = Node::Branch {
+                    children,
+                    value: Some(value),
+                };
+                return wrap_extension(lpath, common, branch);
+            }
+            let idx = path.at(common) as usize;
+            children[idx] = Node::Leaf {
+                path: path.slice_from(common + 1),
+                value,
+            };
+            let branch = Node::Branch {
+                children,
+                value: branch_value,
+            };
+            wrap_extension(path, common, branch)
+        }
+        Node::Extension {
+            path: epath,
+            child,
+        } => {
+            let common = epath.common_prefix_len(&path);
+            if common == epath.len() {
+                let new_child = insert_at(*child, path.slice_from(common), value);
+                return Node::Extension {
+                    path: epath,
+                    child: Box::new(new_child),
+                };
+            }
+            // The new key diverges inside this extension: split it.
+            let mut children = Node::empty_children();
+            let eidx = epath.at(common) as usize;
+            let rest = epath.slice_from(common + 1);
+            children[eidx] = if rest.is_empty() {
+                *child
+            } else {
+                Node::Extension {
+                    path: rest,
+                    child,
+                }
+            };
+            let branch_value;
+            if common == path.len() {
+                branch_value = Some(value);
+            } else {
+                branch_value = None;
+                let idx = path.at(common) as usize;
+                children[idx] = Node::Leaf {
+                    path: path.slice_from(common + 1),
+                    value,
+                };
+            }
+            let branch = Node::Branch {
+                children,
+                value: branch_value,
+            };
+            wrap_extension(epath, common, branch)
+        }
+        Node::Branch {
+            mut children,
+            value: bvalue,
+        } => {
+            if path.is_empty() {
+                return Node::Branch {
+                    children,
+                    value: Some(value),
+                };
+            }
+            let idx = path.at(0) as usize;
+            let child = std::mem::replace(&mut children[idx], Node::Empty);
+            children[idx] = insert_at(child, path.slice_from(1), value);
+            Node::Branch {
+                children,
+                value: bvalue,
+            }
+        }
+    }
+}
+
+/// Wraps `branch` in an extension holding the first `common` nibbles of
+/// `full_path`, or returns it bare when the shared prefix is empty.
+fn wrap_extension(full_path: Nibbles, common: usize, branch: Node) -> Node {
+    if common == 0 {
+        branch
+    } else {
+        Node::Extension {
+            path: Nibbles(full_path.0[..common].to_vec()),
+            child: Box::new(branch),
+        }
+    }
+}
+
+fn get_at<'a>(node: &'a Node, path: &Nibbles, depth: usize) -> Option<&'a [u8]> {
+    match node {
+        Node::Empty => None,
+        Node::Leaf { path: lpath, value } => {
+            if &path.slice_from(depth) == lpath {
+                Some(value)
+            } else {
+                None
+            }
+        }
+        Node::Extension { path: epath, child } => {
+            let rest = path.slice_from(depth);
+            if rest.len() >= epath.len() && rest.common_prefix_len(epath) == epath.len() {
+                get_at(child, path, depth + epath.len())
+            } else {
+                None
+            }
+        }
+        Node::Branch { children, value } => {
+            if depth == path.len() {
+                value.as_deref()
+            } else {
+                get_at(&children[path.at(depth) as usize], path, depth + 1)
+            }
+        }
+    }
+}
+
+fn remove_at(node: Node, path: &Nibbles, depth: usize) -> (Node, bool) {
+    match node {
+        Node::Empty => (Node::Empty, false),
+        Node::Leaf {
+            path: lpath,
+            value,
+        } => {
+            if path.slice_from(depth) == lpath {
+                (Node::Empty, true)
+            } else {
+                (Node::Leaf { path: lpath, value }, false)
+            }
+        }
+        Node::Extension { path: epath, child } => {
+            let rest = path.slice_from(depth);
+            if rest.len() >= epath.len() && rest.common_prefix_len(&epath) == epath.len() {
+                let (new_child, removed) = remove_at(*child, path, depth + epath.len());
+                if !removed {
+                    return (
+                        Node::Extension {
+                            path: epath,
+                            child: Box::new(new_child),
+                        },
+                        false,
+                    );
+                }
+                (collapse_extension(epath, new_child), true)
+            } else {
+                (Node::Extension { path: epath, child }, false)
+            }
+        }
+        Node::Branch {
+            mut children,
+            mut value,
+        } => {
+            let removed = if depth == path.len() {
+                let had = value.is_some();
+                value = None;
+                had
+            } else {
+                let idx = path.at(depth) as usize;
+                let child = std::mem::replace(&mut children[idx], Node::Empty);
+                let (new_child, removed) = remove_at(child, path, depth + 1);
+                children[idx] = new_child;
+                removed
+            };
+            if !removed {
+                return (Node::Branch { children, value }, false);
+            }
+            (normalize_branch(children, value), true)
+        }
+    }
+}
+
+/// Re-attaches an extension prefix after its child changed shape.
+fn collapse_extension(epath: Nibbles, child: Node) -> Node {
+    match child {
+        Node::Empty => Node::Empty,
+        Node::Leaf { path, value } => Node::Leaf {
+            path: epath.concat(&path),
+            value,
+        },
+        Node::Extension { path, child } => Node::Extension {
+            path: epath.concat(&path),
+            child,
+        },
+        branch @ Node::Branch { .. } => Node::Extension {
+            path: epath,
+            child: Box::new(branch),
+        },
+    }
+}
+
+/// Collapses a branch that may have dropped to ≤1 occupant.
+fn normalize_branch(mut children: Box<[Node; 16]>, value: Option<Vec<u8>>) -> Node {
+    let occupied: Vec<usize> = (0..16)
+        .filter(|&i| !matches!(children[i], Node::Empty))
+        .collect();
+    match (occupied.len(), &value) {
+        (0, None) => Node::Empty,
+        (0, Some(_)) => Node::Leaf {
+            path: Nibbles::default(),
+            value: value.expect("checked above"),
+        },
+        (1, None) => {
+            let idx = occupied[0];
+            let child = std::mem::replace(&mut children[idx], Node::Empty);
+            collapse_extension(Nibbles(vec![idx as u8]), child)
+        }
+        _ => Node::Branch { children, value },
+    }
+}
+
+fn walk(node: &Node, prefix: &mut Vec<u8>, out: &mut Vec<(Vec<u8>, Vec<u8>)>) {
+    match node {
+        Node::Empty => {}
+        Node::Leaf { path, value } => {
+            let mut full = prefix.clone();
+            full.extend_from_slice(&path.0);
+            out.push((pack_nibbles(&full), value.clone()));
+        }
+        Node::Extension { path, child } => {
+            let len = prefix.len();
+            prefix.extend_from_slice(&path.0);
+            walk(child, prefix, out);
+            prefix.truncate(len);
+        }
+        Node::Branch { children, value } => {
+            if let Some(v) = value {
+                out.push((pack_nibbles(prefix), v.clone()));
+            }
+            for (i, c) in children.iter().enumerate() {
+                prefix.push(i as u8);
+                walk(c, prefix, out);
+                prefix.pop();
+            }
+        }
+    }
+}
+
+fn pack_nibbles(nibbles: &[u8]) -> Vec<u8> {
+    debug_assert!(nibbles.len() % 2 == 0, "byte keys have even nibble count");
+    nibbles
+        .chunks(2)
+        .map(|p| p[0] << 4 | p.get(1).copied().unwrap_or(0))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Encoding and proofs
+// ---------------------------------------------------------------------------
+
+/// RLP encoding of a node.
+fn encode_node(node: &Node) -> Vec<u8> {
+    match node {
+        Node::Empty => vec![0x80],
+        Node::Leaf { path, value } => {
+            let mut s = RlpStream::new();
+            s.begin_list(2);
+            s.append_bytes(&path.hex_prefix(true));
+            s.append_bytes(value);
+            s.out()
+        }
+        Node::Extension { path, child } => {
+            let mut s = RlpStream::new();
+            s.begin_list(2);
+            s.append_bytes(&path.hex_prefix(false));
+            append_child_ref(&mut s, child);
+            s.out()
+        }
+        Node::Branch { children, value } => {
+            let mut s = RlpStream::new();
+            s.begin_list(17);
+            for c in children.iter() {
+                match c {
+                    Node::Empty => s.append_bytes(&[]),
+                    _ => append_child_ref(&mut s, c),
+                }
+            }
+            match value {
+                Some(v) => s.append_bytes(v),
+                None => s.append_bytes(&[]),
+            }
+            s.out()
+        }
+    }
+}
+
+/// Appends a child reference: the node itself when its encoding is shorter
+/// than 32 bytes, otherwise its keccak hash (the MPT inlining rule).
+fn append_child_ref(s: &mut RlpStream, child: &Node) {
+    let enc = encode_node(child);
+    if enc.len() < 32 {
+        s.append_raw(&enc);
+    } else {
+        s.append_h256(&keccak256(&enc));
+    }
+}
+
+fn prove_at(node: &Node, path: &Nibbles, depth: usize, proof: &mut Vec<Vec<u8>>) {
+    match node {
+        Node::Empty => {}
+        Node::Leaf { .. } => proof.push(encode_node(node)),
+        Node::Extension {
+            path: epath,
+            child,
+        } => {
+            proof.push(encode_node(node));
+            let rest = path.slice_from(depth);
+            if rest.len() >= epath.len() && rest.common_prefix_len(epath) == epath.len() {
+                // Only recurse into children that are hashed separately;
+                // inlined children are already inside this node's encoding.
+                if encode_node(child).len() >= 32 {
+                    prove_at(child, path, depth + epath.len(), proof);
+                }
+            }
+        }
+        Node::Branch { children, .. } => {
+            proof.push(encode_node(node));
+            if depth < path.len() {
+                let child = &children[path.at(depth) as usize];
+                if !matches!(child, Node::Empty) && encode_node(child).len() >= 32 {
+                    prove_at(child, path, depth + 1, proof);
+                }
+            }
+        }
+    }
+}
+
+/// Verifies a Merkle proof produced by [`Trie::prove`].
+///
+/// Returns `Ok(Some(value))` when the proof shows `key` present with that
+/// value, `Ok(None)` when it shows absence, and `Err` when the proof is
+/// inconsistent with `root`.
+pub fn verify_proof(root: H256, key: &[u8], proof: &[Vec<u8>]) -> Result<Option<Vec<u8>>, ProofError> {
+    let path = Nibbles::from_bytes(key);
+    if proof.is_empty() {
+        return if root == empty_root() {
+            Ok(None)
+        } else {
+            Err(ProofError::Empty)
+        };
+    }
+    let mut expected = Expected::Hash(root);
+    let mut depth = 0usize;
+    let mut idx = 0usize;
+    loop {
+        let node_bytes: Vec<u8> = match &expected {
+            Expected::Hash(h) => {
+                let bytes = proof.get(idx).ok_or(ProofError::Truncated)?.clone();
+                idx += 1;
+                if keccak256(&bytes) != *h {
+                    return Err(ProofError::HashMismatch);
+                }
+                bytes
+            }
+            Expected::Inline(raw) => raw.clone(),
+        };
+        let item = rlp::decode(&node_bytes).map_err(|_| ProofError::BadNode)?;
+        let list = item.as_list().map_err(|_| ProofError::BadNode)?;
+        match list.len() {
+            2 => {
+                let hp = list[0].as_bytes().map_err(|_| ProofError::BadNode)?;
+                let (npath, is_leaf) =
+                    Nibbles::from_hex_prefix(hp).ok_or(ProofError::BadNode)?;
+                let rest = path.slice_from(depth);
+                if is_leaf {
+                    return if rest == npath {
+                        Ok(Some(list[1].as_bytes().map_err(|_| ProofError::BadNode)?.to_vec()))
+                    } else {
+                        Ok(None)
+                    };
+                }
+                if rest.len() < npath.len() || rest.common_prefix_len(&npath) != npath.len() {
+                    return Ok(None);
+                }
+                depth += npath.len();
+                expected = child_expected(&list[1])?;
+            }
+            17 => {
+                if depth == path.len() {
+                    let v = list[16].as_bytes().map_err(|_| ProofError::BadNode)?;
+                    return Ok(if v.is_empty() { None } else { Some(v.to_vec()) });
+                }
+                let branch = &list[path.at(depth) as usize];
+                depth += 1;
+                match branch {
+                    Item::Bytes(b) if b.is_empty() => return Ok(None),
+                    _ => expected = child_expected(branch)?,
+                }
+            }
+            _ => return Err(ProofError::BadNode),
+        }
+    }
+}
+
+enum Expected {
+    Hash(H256),
+    Inline(Vec<u8>),
+}
+
+fn child_expected(item: &Item) -> Result<Expected, ProofError> {
+    match item {
+        Item::Bytes(b) if b.len() == 32 => {
+            let arr: [u8; 32] = b[..].try_into().expect("checked length");
+            Ok(Expected::Hash(H256(arr)))
+        }
+        // An inlined node decodes as a list inside the parent.
+        inline @ Item::List(_) => Ok(Expected::Inline(rlp::encode_item(inline))),
+        _ => Err(ProofError::BadNode),
+    }
+}
+
+/// Proof verification failures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProofError {
+    /// Proof empty for a non-empty root.
+    Empty,
+    /// Proof ran out of nodes.
+    Truncated,
+    /// A node's hash did not match its parent's reference.
+    HashMismatch,
+    /// A node failed to decode.
+    BadNode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trie_root_matches_ethereum() {
+        let t = Trie::new();
+        assert_eq!(
+            format!("{:?}", t.root_hash()),
+            "0x56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421"
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ethereum_foundation_fixture_root() {
+        // The "branching" fixture from ethereum/tests trietest.json
+        // (non-secure trie).
+        let mut t = Trie::new();
+        t.insert(b"do", b"verb".to_vec());
+        t.insert(b"dog", b"puppy".to_vec());
+        t.insert(b"doge", b"coin".to_vec());
+        t.insert(b"horse", b"stallion".to_vec());
+        assert_eq!(
+            format!("{:?}", t.root_hash()),
+            "0x5991bb8c6514148a29db676a14ac506cd2cd5775ace63c30a4fe457715e9ac84"
+        );
+    }
+
+    #[test]
+    fn insert_get_basic() {
+        let mut t = Trie::new();
+        t.insert(b"key1", b"value1".to_vec());
+        t.insert(b"key2", b"value2".to_vec());
+        assert_eq!(t.get(b"key1"), Some(&b"value1"[..]));
+        assert_eq!(t.get(b"key2"), Some(&b"value2"[..]));
+        assert_eq!(t.get(b"key3"), None);
+    }
+
+    #[test]
+    fn overwrite_updates_value_and_root() {
+        let mut t = Trie::new();
+        t.insert(b"k", b"v1".to_vec());
+        let r1 = t.root_hash();
+        t.insert(b"k", b"v2".to_vec());
+        assert_eq!(t.get(b"k"), Some(&b"v2"[..]));
+        assert_ne!(t.root_hash(), r1);
+        t.insert(b"k", b"v1".to_vec());
+        assert_eq!(t.root_hash(), r1);
+    }
+
+    #[test]
+    fn root_is_insertion_order_independent() {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..50u32)
+            .map(|i| (i.to_be_bytes().to_vec(), format!("value-{i}").into_bytes()))
+            .collect();
+        let mut t1 = Trie::new();
+        for (k, v) in &pairs {
+            t1.insert(k, v.clone());
+        }
+        let mut t2 = Trie::new();
+        for (k, v) in pairs.iter().rev() {
+            t2.insert(k, v.clone());
+        }
+        assert_eq!(t1.root_hash(), t2.root_hash());
+    }
+
+    #[test]
+    fn remove_restores_previous_root() {
+        let mut t = Trie::new();
+        t.insert(b"do", b"verb".to_vec());
+        t.insert(b"dog", b"puppy".to_vec());
+        let before = t.root_hash();
+        t.insert(b"doge", b"coin".to_vec());
+        assert!(t.remove(b"doge"));
+        assert_eq!(t.root_hash(), before);
+        assert!(!t.remove(b"doge"));
+    }
+
+    #[test]
+    fn remove_everything_empties() {
+        let mut t = Trie::new();
+        let keys: Vec<Vec<u8>> = (0..30u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        for k in &keys {
+            t.insert(k, b"x".to_vec());
+        }
+        for k in &keys {
+            assert!(t.remove(k), "missing {k:?}");
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.root_hash(), empty_root());
+    }
+
+    #[test]
+    fn empty_value_insert_is_delete() {
+        let mut t = Trie::new();
+        t.insert(b"a", b"1".to_vec());
+        t.insert(b"a", Vec::new());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn branch_value_paths() {
+        // "a" is a strict prefix of "ab": forces a branch with a value.
+        let mut t = Trie::new();
+        t.insert(b"a", b"short".to_vec());
+        t.insert(b"ab", b"longer".to_vec());
+        assert_eq!(t.get(b"a"), Some(&b"short"[..]));
+        assert_eq!(t.get(b"ab"), Some(&b"longer"[..]));
+        assert!(t.remove(b"a"));
+        assert_eq!(t.get(b"ab"), Some(&b"longer"[..]));
+        // After removing the branch value the trie must collapse back to a
+        // single leaf with the same root as a fresh insert.
+        let mut fresh = Trie::new();
+        fresh.insert(b"ab", b"longer".to_vec());
+        assert_eq!(t.root_hash(), fresh.root_hash());
+    }
+
+    #[test]
+    fn iter_returns_sorted_pairs() {
+        let mut t = Trie::new();
+        t.insert(b"dog", b"puppy".to_vec());
+        t.insert(b"cat", b"meow".to_vec());
+        t.insert(b"bird", b"tweet".to_vec());
+        let items = t.iter();
+        let keys: Vec<&[u8]> = items.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![&b"bird"[..], &b"cat"[..], &b"dog"[..]]);
+    }
+
+    #[test]
+    fn proof_of_present_key_verifies() {
+        let mut t = Trie::new();
+        for i in 0..100u32 {
+            t.insert(&i.to_be_bytes(), format!("v{i}").into_bytes());
+        }
+        let root = t.root_hash();
+        for i in [0u32, 7, 55, 99] {
+            let proof = t.prove(&i.to_be_bytes());
+            let got = verify_proof(root, &i.to_be_bytes(), &proof).unwrap();
+            assert_eq!(got, Some(format!("v{i}").into_bytes()));
+        }
+    }
+
+    #[test]
+    fn proof_of_absent_key_verifies_absence() {
+        let mut t = Trie::new();
+        for i in 0..20u32 {
+            t.insert(&i.to_be_bytes(), b"v".to_vec());
+        }
+        let root = t.root_hash();
+        let absent = 999u32.to_be_bytes();
+        let proof = t.prove(&absent);
+        assert_eq!(verify_proof(root, &absent, &proof).unwrap(), None);
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let mut t = Trie::new();
+        for i in 0..50u32 {
+            t.insert(&i.to_be_bytes(), format!("value-{i}").into_bytes());
+        }
+        let root = t.root_hash();
+        let key = 7u32.to_be_bytes();
+        let mut proof = t.prove(&key);
+        assert!(!proof.is_empty());
+        // Flip one byte in the first (root) node.
+        proof[0][1] ^= 0xFF;
+        assert!(verify_proof(root, &key, &proof).is_err());
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let mut t = Trie::new();
+        t.insert(b"hello", b"world".to_vec());
+        let proof = t.prove(b"hello");
+        let bad_root = H256::from_low_u64(123);
+        assert!(verify_proof(bad_root, b"hello", &proof).is_err());
+    }
+}

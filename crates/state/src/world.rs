@@ -1,0 +1,317 @@
+//! The world state: every account plus its storage, with MPT commitment.
+//!
+//! `WorldState` is the flat, mutable representation both executors operate
+//! on. [`WorldState::state_root`] commits it into the authenticated form — a
+//! *secure* Merkle Patricia Trie (keys hashed with keccak, as in Ethereum) of
+//! RLP-encoded accounts, each carrying the root of its own storage trie.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bp_crypto::keccak256;
+use bp_types::{AccessKey, Address, H256, U256, WriteSet};
+
+use crate::account::{empty_code_hash, Account};
+use crate::trie::Trie;
+
+/// One account's in-memory state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AccountState {
+    /// Transaction/creation counter.
+    pub nonce: u64,
+    /// Balance in wei.
+    pub balance: U256,
+    /// Contract storage (absent slots are zero).
+    pub storage: HashMap<H256, U256>,
+    /// Contract code (empty for EOAs). `Arc` so snapshots share it.
+    pub code: Arc<Vec<u8>>,
+}
+
+impl AccountState {
+    /// True iff this account would not be persisted (EIP-161 emptiness).
+    pub fn is_empty(&self) -> bool {
+        self.nonce == 0 && self.balance.is_zero() && self.code.is_empty() && self.storage.is_empty()
+    }
+}
+
+/// The mutable world state of the chain.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorldState {
+    accounts: HashMap<Address, AccountState>,
+}
+
+impl WorldState {
+    /// An empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to an account, if it exists.
+    pub fn account(&self, addr: &Address) -> Option<&AccountState> {
+        self.accounts.get(addr)
+    }
+
+    /// Mutable access, creating the account if needed.
+    pub fn account_mut(&mut self, addr: Address) -> &mut AccountState {
+        self.accounts.entry(addr).or_default()
+    }
+
+    /// The balance of `addr` (zero if absent).
+    pub fn balance(&self, addr: &Address) -> U256 {
+        self.accounts.get(addr).map(|a| a.balance).unwrap_or(U256::ZERO)
+    }
+
+    /// The nonce of `addr` (zero if absent).
+    pub fn nonce(&self, addr: &Address) -> u64 {
+        self.accounts.get(addr).map(|a| a.nonce).unwrap_or(0)
+    }
+
+    /// The storage slot `key` of `addr` (zero if absent).
+    pub fn storage(&self, addr: &Address, key: &H256) -> U256 {
+        self.accounts
+            .get(addr)
+            .and_then(|a| a.storage.get(key))
+            .copied()
+            .unwrap_or(U256::ZERO)
+    }
+
+    /// The code of `addr` (empty if absent).
+    pub fn code(&self, addr: &Address) -> Arc<Vec<u8>> {
+        self.accounts
+            .get(addr)
+            .map(|a| Arc::clone(&a.code))
+            .unwrap_or_default()
+    }
+
+    /// Sets a balance, creating the account if needed.
+    pub fn set_balance(&mut self, addr: Address, balance: U256) {
+        self.account_mut(addr).balance = balance;
+    }
+
+    /// Sets a nonce.
+    pub fn set_nonce(&mut self, addr: Address, nonce: u64) {
+        self.account_mut(addr).nonce = nonce;
+    }
+
+    /// Sets a storage slot. Writing zero deletes the slot, as in Ethereum.
+    pub fn set_storage(&mut self, addr: Address, key: H256, value: U256) {
+        let acct = self.account_mut(addr);
+        if value.is_zero() {
+            acct.storage.remove(&key);
+        } else {
+            acct.storage.insert(key, value);
+        }
+    }
+
+    /// Installs contract code.
+    pub fn set_code(&mut self, addr: Address, code: Vec<u8>) {
+        self.account_mut(addr).code = Arc::new(code);
+    }
+
+    /// Reads the value behind an [`AccessKey`] as a 256-bit word (code reads
+    /// return the code hash, which is what conflict detection needs).
+    pub fn read_key(&self, key: &AccessKey) -> U256 {
+        match key {
+            AccessKey::Balance(a) => self.balance(a),
+            AccessKey::Nonce(a) => U256::from(self.nonce(a)),
+            AccessKey::Storage(a, slot) => self.storage(a, slot),
+            AccessKey::Code(a) => {
+                let code = self.code(a);
+                if code.is_empty() {
+                    U256::ZERO
+                } else {
+                    keccak256(&code).to_u256()
+                }
+            }
+        }
+    }
+
+    /// Applies one committed write set (used when sealing a block and by the
+    /// validator's applier). `Code` writes are ignored here — code bytes are
+    /// installed via [`WorldState::set_code`] by the execution layer; the
+    /// write-set entry only versions the key for conflict detection.
+    pub fn apply_writes(&mut self, writes: &WriteSet) {
+        for (key, value) in writes {
+            match key {
+                AccessKey::Balance(a) => self.set_balance(*a, *value),
+                AccessKey::Nonce(a) => {
+                    self.set_nonce(*a, value.low_u64());
+                }
+                AccessKey::Storage(a, slot) => self.set_storage(*a, *slot, *value),
+                AccessKey::Code(_) => {}
+            }
+        }
+    }
+
+    /// Number of existing accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Iterates over all accounts.
+    pub fn accounts(&self) -> impl Iterator<Item = (&Address, &AccountState)> {
+        self.accounts.iter()
+    }
+
+    /// Commits the world into a secure MPT and returns the state root.
+    ///
+    /// Empty accounts are skipped (EIP-161). Storage tries use
+    /// `keccak(slot) → rlp(value)` leaves; the account trie uses
+    /// `keccak(address) → rlp(account)`.
+    pub fn state_root(&self) -> H256 {
+        let mut account_trie = Trie::new();
+        for (addr, acct) in &self.accounts {
+            if acct.is_empty() {
+                continue;
+            }
+            let storage_root = storage_root(&acct.storage);
+            let code_hash = if acct.code.is_empty() {
+                empty_code_hash()
+            } else {
+                keccak256(&acct.code)
+            };
+            let body = Account {
+                nonce: acct.nonce,
+                balance: acct.balance,
+                storage_root,
+                code_hash,
+            };
+            account_trie.insert(keccak256(addr.as_bytes()).as_bytes(), body.rlp_encode());
+        }
+        account_trie.root_hash()
+    }
+}
+
+/// Root of one account's storage trie.
+pub fn storage_root(storage: &HashMap<H256, U256>) -> H256 {
+    let mut trie = Trie::new();
+    for (slot, value) in storage {
+        if value.is_zero() {
+            continue;
+        }
+        let leaf = bp_crypto::rlp::encode_bytes(&value.to_be_bytes_trimmed());
+        trie.insert(keccak256(slot.as_bytes()).as_bytes(), leaf);
+    }
+    trie.root_hash()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie;
+
+    fn addr(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    #[test]
+    fn empty_world_has_empty_root() {
+        assert_eq!(WorldState::new().state_root(), trie::empty_root());
+    }
+
+    #[test]
+    fn reads_of_absent_accounts_are_zero() {
+        let w = WorldState::new();
+        assert_eq!(w.balance(&addr(1)), U256::ZERO);
+        assert_eq!(w.nonce(&addr(1)), 0);
+        assert_eq!(w.storage(&addr(1), &H256::ZERO), U256::ZERO);
+        assert!(w.code(&addr(1)).is_empty());
+    }
+
+    #[test]
+    fn state_root_changes_with_content() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from(100u64));
+        let r1 = w.state_root();
+        assert_ne!(r1, trie::empty_root());
+        w.set_balance(addr(2), U256::from(50u64));
+        let r2 = w.state_root();
+        assert_ne!(r1, r2);
+        // Same contents built differently produce the same root.
+        let mut w2 = WorldState::new();
+        w2.set_balance(addr(2), U256::from(50u64));
+        w2.set_balance(addr(1), U256::from(100u64));
+        assert_eq!(w2.state_root(), r2);
+    }
+
+    #[test]
+    fn empty_accounts_do_not_affect_root() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from(5u64));
+        let r = w.state_root();
+        // Touch an account without giving it any substance.
+        w.account_mut(addr(9));
+        assert_eq!(w.state_root(), r);
+    }
+
+    #[test]
+    fn zero_storage_write_deletes_slot() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::ONE);
+        let r_before = w.state_root();
+        w.set_storage(addr(1), H256::from_low_u64(1), U256::from(9u64));
+        let r_with = w.state_root();
+        assert_ne!(r_before, r_with);
+        w.set_storage(addr(1), H256::from_low_u64(1), U256::ZERO);
+        assert_eq!(w.state_root(), r_before);
+    }
+
+    #[test]
+    fn storage_affects_root_via_account() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::ONE);
+        w.set_storage(addr(1), H256::from_low_u64(0), U256::from(77u64));
+        let r1 = w.state_root();
+        w.set_storage(addr(1), H256::from_low_u64(0), U256::from(78u64));
+        assert_ne!(w.state_root(), r1);
+    }
+
+    #[test]
+    fn read_key_dispatch() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from(7u64));
+        w.set_nonce(addr(1), 3);
+        w.set_storage(addr(1), H256::from_low_u64(5), U256::from(9u64));
+        w.set_code(addr(2), vec![0x60, 0x00]);
+        assert_eq!(w.read_key(&AccessKey::Balance(addr(1))), U256::from(7u64));
+        assert_eq!(w.read_key(&AccessKey::Nonce(addr(1))), U256::from(3u64));
+        assert_eq!(
+            w.read_key(&AccessKey::Storage(addr(1), H256::from_low_u64(5))),
+            U256::from(9u64)
+        );
+        assert_eq!(
+            w.read_key(&AccessKey::Code(addr(2))),
+            keccak256(&[0x60, 0x00]).to_u256()
+        );
+        assert_eq!(w.read_key(&AccessKey::Code(addr(3))), U256::ZERO);
+    }
+
+    #[test]
+    fn apply_writes_matches_direct_mutation() {
+        let mut direct = WorldState::new();
+        direct.set_balance(addr(1), U256::from(10u64));
+        direct.set_nonce(addr(2), 4);
+        direct.set_storage(addr(3), H256::from_low_u64(1), U256::from(6u64));
+
+        let mut via_writes = WorldState::new();
+        let mut ws: WriteSet = Default::default();
+        ws.insert(AccessKey::Balance(addr(1)), U256::from(10u64));
+        ws.insert(AccessKey::Nonce(addr(2)), U256::from(4u64));
+        ws.insert(
+            AccessKey::Storage(addr(3), H256::from_low_u64(1)),
+            U256::from(6u64),
+        );
+        via_writes.apply_writes(&ws);
+        assert_eq!(direct.state_root(), via_writes.state_root());
+    }
+
+    #[test]
+    fn clone_is_deep_for_storage() {
+        let mut w = WorldState::new();
+        w.set_storage(addr(1), H256::ZERO, U256::ONE);
+        w.set_balance(addr(1), U256::ONE);
+        let snap = w.clone();
+        w.set_storage(addr(1), H256::ZERO, U256::from(2u64));
+        assert_eq!(snap.storage(&addr(1), &H256::ZERO), U256::ONE);
+    }
+}

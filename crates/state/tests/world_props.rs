@@ -1,0 +1,162 @@
+//! Property tests for the world state: the MPT commitment is a pure
+//! function of contents, and write-set application has the algebraic
+//! properties OCC-WSI relies on (disjoint write sets commute).
+
+use bp_state::WorldState;
+use bp_types::{AccessKey, Address, WriteSet, H256, U256};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Mutation {
+    Balance(u8, u64),
+    Nonce(u8, u32),
+    Storage(u8, u8, u64),
+}
+
+fn arb_mutations() -> impl Strategy<Value = Vec<Mutation>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<u64>()).prop_map(|(a, v)| Mutation::Balance(a, v)),
+            (any::<u8>(), any::<u32>()).prop_map(|(a, v)| Mutation::Nonce(a, v)),
+            (any::<u8>(), 0u8..8, any::<u64>()).prop_map(|(a, s, v)| Mutation::Storage(a, s, v)),
+        ],
+        0..40,
+    )
+}
+
+fn apply(world: &mut WorldState, m: &Mutation) {
+    match *m {
+        Mutation::Balance(a, v) => world.set_balance(Address::from_index(a as u64), U256::from(v)),
+        Mutation::Nonce(a, v) => world.set_nonce(Address::from_index(a as u64), v as u64),
+        Mutation::Storage(a, s, v) => world.set_storage(
+            Address::from_index(a as u64),
+            H256::from_low_u64(s as u64),
+            U256::from(v),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn state_root_depends_only_on_content(muts in arb_mutations(), seed in any::<u64>()) {
+        let mut a = WorldState::new();
+        for m in &muts {
+            apply(&mut a, m);
+        }
+        // Apply the same final content in a shuffled order (with duplicated
+        // intermediate writes, last-write-wins must hold).
+        let mut order: Vec<usize> = (0..muts.len()).collect();
+        let n = order.len().max(1);
+        for i in (1..order.len()).rev() {
+            let j = (seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64) % n as u64)
+                as usize % (i + 1);
+            order.swap(i, j);
+        }
+        // Shuffling changes which write wins per key, so instead rebuild
+        // from a's observable content: roots must match exactly.
+        let mut b = WorldState::new();
+        for (addr, acct) in a.accounts() {
+            b.set_balance(*addr, acct.balance);
+            b.set_nonce(*addr, acct.nonce);
+            for (slot, value) in &acct.storage {
+                b.set_storage(*addr, *slot, *value);
+            }
+            if !acct.code.is_empty() {
+                b.set_code(*addr, (*acct.code).clone());
+            }
+        }
+        prop_assert_eq!(a.state_root(), b.state_root());
+        let _ = order;
+    }
+
+    #[test]
+    fn disjoint_write_sets_commute(muts_a in arb_mutations(), muts_b in arb_mutations()) {
+        // Build two write sets over disjoint address spaces.
+        let mut ws_a: WriteSet = Default::default();
+        for m in &muts_a {
+            match *m {
+                Mutation::Balance(a, v) => {
+                    ws_a.insert(AccessKey::Balance(Address::from_index(a as u64)), U256::from(v));
+                }
+                Mutation::Nonce(a, v) => {
+                    ws_a.insert(AccessKey::Nonce(Address::from_index(a as u64)), U256::from(v as u64));
+                }
+                Mutation::Storage(a, s, v) => {
+                    ws_a.insert(
+                        AccessKey::Storage(
+                            Address::from_index(a as u64),
+                            H256::from_low_u64(s as u64),
+                        ),
+                        U256::from(v),
+                    );
+                }
+            }
+        }
+        let mut ws_b: WriteSet = Default::default();
+        for m in &muts_b {
+            // Offset B's addresses out of A's range (u8 space + 1000).
+            match *m {
+                Mutation::Balance(a, v) => {
+                    ws_b.insert(
+                        AccessKey::Balance(Address::from_index(1000 + a as u64)),
+                        U256::from(v),
+                    );
+                }
+                Mutation::Nonce(a, v) => {
+                    ws_b.insert(
+                        AccessKey::Nonce(Address::from_index(1000 + a as u64)),
+                        U256::from(v as u64),
+                    );
+                }
+                Mutation::Storage(a, s, v) => {
+                    ws_b.insert(
+                        AccessKey::Storage(
+                            Address::from_index(1000 + a as u64),
+                            H256::from_low_u64(s as u64),
+                        ),
+                        U256::from(v),
+                    );
+                }
+            }
+        }
+
+        let mut ab = WorldState::new();
+        ab.apply_writes(&ws_a);
+        ab.apply_writes(&ws_b);
+        let mut ba = WorldState::new();
+        ba.apply_writes(&ws_b);
+        ba.apply_writes(&ws_a);
+        prop_assert_eq!(ab.state_root(), ba.state_root());
+    }
+
+    #[test]
+    fn read_key_reflects_writes(muts in arb_mutations()) {
+        let mut world = WorldState::new();
+        let mut ws: WriteSet = Default::default();
+        for m in &muts {
+            match *m {
+                Mutation::Balance(a, v) => {
+                    ws.insert(AccessKey::Balance(Address::from_index(a as u64)), U256::from(v));
+                }
+                Mutation::Nonce(a, v) => {
+                    ws.insert(AccessKey::Nonce(Address::from_index(a as u64)), U256::from(v as u64));
+                }
+                Mutation::Storage(a, s, v) => {
+                    ws.insert(
+                        AccessKey::Storage(
+                            Address::from_index(a as u64),
+                            H256::from_low_u64(s as u64),
+                        ),
+                        U256::from(v),
+                    );
+                }
+            }
+        }
+        world.apply_writes(&ws);
+        for (key, value) in &ws {
+            prop_assert_eq!(world.read_key(key), *value, "key {:?}", key);
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The pending transaction pool.
+//!
+//! Proposers in BlockPilot pull transactions from this pool concurrently
+//! (Algorithm 1's `PopHeap`) and push aborted ones back (`PushHeap`). The
+//! pool therefore has to be both a priority queue and safe to share between
+//! worker threads:
+//!
+//! * selection is by **gas price** (the strategy the paper says proposers
+//!   typically use), with per-sender **nonce order** enforced: only the
+//!   lowest-nonce pending transaction of each sender is eligible, because a
+//!   later one can never commit before it;
+//! * re-injected (aborted) transactions keep their identity and priority.
+
+#![warn(missing_docs)]
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+
+use bp_evm::Transaction;
+use bp_types::{Address, TxHash};
+use parking_lot::Mutex;
+
+/// Heap entry ordering: higher gas price first, then insertion sequence for
+/// a stable total order.
+#[derive(Clone, Debug)]
+struct Entry {
+    gas_price: u64,
+    seq: u64,
+    hash: TxHash,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gas_price
+            .cmp(&other.gas_price)
+            .then(other.seq.cmp(&self.seq)) // earlier arrival wins ties
+    }
+}
+
+struct Inner {
+    // Eligible transactions (lowest pending nonce per sender).
+    ready: BinaryHeap<Entry>,
+    // All transactions by hash.
+    txs: HashMap<TxHash, Transaction>,
+    // Per-sender queue of pending nonces → hash.
+    by_sender: HashMap<Address, BTreeMap<u64, TxHash>>,
+    // Hashes currently checked out by a worker.
+    in_flight: HashSet<TxHash>,
+    seq: u64,
+}
+
+impl Inner {
+    /// Pushes the sender's lowest queued transaction into the ready heap if
+    /// it is not already in flight. Stale heap entries are filtered on pop,
+    /// so over-promotion is harmless.
+    fn promote(&mut self, sender: &Address) {
+        let Some(queue) = self.by_sender.get(sender) else {
+            return;
+        };
+        let Some((_, &hash)) = queue.iter().next() else {
+            return;
+        };
+        if self.in_flight.contains(&hash) {
+            return;
+        }
+        let tx = &self.txs[&hash];
+        self.seq += 1;
+        self.ready.push(Entry {
+            gas_price: tx.gas_price,
+            seq: self.seq,
+            hash,
+        });
+    }
+}
+
+/// A thread-safe pending pool with gas-price priority and per-sender nonce
+/// ordering.
+pub struct TxPool {
+    inner: Mutex<Inner>,
+}
+
+impl Default for TxPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        TxPool {
+            inner: Mutex::new(Inner {
+                ready: BinaryHeap::new(),
+                txs: HashMap::new(),
+                by_sender: HashMap::new(),
+                in_flight: HashSet::new(),
+                seq: 0,
+            }),
+        }
+    }
+
+    /// Adds a transaction. Duplicate hashes are ignored.
+    pub fn add(&self, tx: Transaction) {
+        let mut g = self.inner.lock();
+        let hash = tx.hash();
+        if g.txs.contains_key(&hash) {
+            return;
+        }
+        let sender = tx.sender;
+        let nonce = tx.nonce;
+        g.txs.insert(hash, tx);
+        let is_head = {
+            let queue = g.by_sender.entry(sender).or_default();
+            queue.insert(nonce, hash);
+            *queue.iter().next().expect("just inserted").1 == hash
+        };
+        if is_head {
+            g.promote(&sender);
+        }
+    }
+
+    /// Pops the highest-priority eligible transaction (Algorithm 1
+    /// `PopHeap`). The transaction is marked in-flight: the sender's next
+    /// transaction does not become eligible until this one commits or
+    /// returns.
+    pub fn pop(&self) -> Option<Transaction> {
+        let mut g = self.inner.lock();
+        loop {
+            let entry = g.ready.pop()?;
+            // Skip stale entries (committed, or re-queued with a new entry).
+            if g.in_flight.contains(&entry.hash) {
+                continue;
+            }
+            let Some(tx) = g.txs.get(&entry.hash) else {
+                continue;
+            };
+            // Stale entry for a sender whose head changed: only the current
+            // head may execute.
+            let head = g
+                .by_sender
+                .get(&tx.sender)
+                .and_then(|q| q.iter().next().map(|(_, h)| *h));
+            if head != Some(entry.hash) {
+                continue;
+            }
+            g.in_flight.insert(entry.hash);
+            return Some(g.txs[&entry.hash].clone());
+        }
+    }
+
+    /// Returns an aborted transaction to the pool (Algorithm 1 `PushHeap`):
+    /// it becomes eligible again with its original priority.
+    pub fn push_back(&self, tx: &Transaction) {
+        let mut g = self.inner.lock();
+        let hash = tx.hash();
+        debug_assert!(g.txs.contains_key(&hash), "push_back of unknown tx");
+        g.in_flight.remove(&hash);
+        g.promote(&tx.sender);
+    }
+
+    /// Marks a transaction as committed into a block: it leaves the pool and
+    /// the sender's next transaction becomes eligible.
+    pub fn commit(&self, tx: &Transaction) {
+        let mut g = self.inner.lock();
+        let hash = tx.hash();
+        g.in_flight.remove(&hash);
+        g.txs.remove(&hash);
+        let sender = tx.sender;
+        let now_empty = if let Some(queue) = g.by_sender.get_mut(&sender) {
+            queue.remove(&tx.nonce);
+            queue.is_empty()
+        } else {
+            false
+        };
+        if now_empty {
+            g.by_sender.remove(&sender);
+        } else {
+            g.promote(&sender);
+        }
+    }
+
+    /// Drops a transaction permanently (invalid nonce/funds).
+    pub fn discard(&self, tx: &Transaction) {
+        self.commit(tx);
+    }
+
+    /// Number of transactions currently in the pool (including in-flight).
+    pub fn len(&self) -> usize {
+        self.inner.lock().txs.len()
+    }
+
+    /// True iff the pool holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().txs.is_empty()
+    }
+
+    /// Number of transactions checked out by workers.
+    pub fn in_flight(&self) -> usize {
+        self.inner.lock().in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_types::U256;
+
+    fn addr(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    fn tx(sender: u64, nonce: u64, gas_price: u64) -> Transaction {
+        Transaction {
+            sender: addr(sender),
+            to: Some(addr(999)),
+            value: U256::ONE,
+            nonce,
+            gas_limit: 21_000,
+            gas_price,
+            data: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn pops_by_gas_price() {
+        let pool = TxPool::new();
+        pool.add(tx(1, 0, 10));
+        pool.add(tx(2, 0, 30));
+        pool.add(tx(3, 0, 20));
+        assert_eq!(pool.pop().unwrap().gas_price, 30);
+        assert_eq!(pool.pop().unwrap().gas_price, 20);
+        assert_eq!(pool.pop().unwrap().gas_price, 10);
+        assert!(pool.pop().is_none());
+    }
+
+    #[test]
+    fn nonce_order_within_sender() {
+        let pool = TxPool::new();
+        // Higher gas price on the later nonce must not jump the queue.
+        pool.add(tx(1, 1, 100));
+        pool.add(tx(1, 0, 1));
+        let first = pool.pop().unwrap();
+        assert_eq!(first.nonce, 0);
+        // Second tx not eligible until the first commits.
+        assert!(pool.pop().is_none());
+        pool.commit(&first);
+        assert_eq!(pool.pop().unwrap().nonce, 1);
+    }
+
+    #[test]
+    fn aborted_tx_returns_with_priority() {
+        let pool = TxPool::new();
+        pool.add(tx(1, 0, 50));
+        pool.add(tx(2, 0, 40));
+        let popped = pool.pop().unwrap();
+        assert_eq!(popped.gas_price, 50);
+        pool.push_back(&popped);
+        // It is eligible again and still beats the other.
+        assert_eq!(pool.pop().unwrap().gas_price, 50);
+    }
+
+    #[test]
+    fn commit_removes_and_unblocks() {
+        let pool = TxPool::new();
+        pool.add(tx(1, 0, 5));
+        pool.add(tx(1, 1, 5));
+        assert_eq!(pool.len(), 2);
+        let t0 = pool.pop().unwrap();
+        pool.commit(&t0);
+        assert_eq!(pool.len(), 1);
+        let t1 = pool.pop().unwrap();
+        assert_eq!(t1.nonce, 1);
+        pool.commit(&t1);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn duplicate_adds_ignored() {
+        let pool = TxPool::new();
+        let t = tx(1, 0, 5);
+        pool.add(t.clone());
+        pool.add(t);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn in_flight_counted() {
+        let pool = TxPool::new();
+        pool.add(tx(1, 0, 5));
+        assert_eq!(pool.in_flight(), 0);
+        let t = pool.pop().unwrap();
+        assert_eq!(pool.in_flight(), 1);
+        pool.push_back(&t);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn concurrent_pops_are_disjoint() {
+        use std::sync::Arc;
+        let pool = Arc::new(TxPool::new());
+        for s in 0..100u64 {
+            pool.add(tx(s, 0, s));
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(t) = pool.pop() {
+                    got.push(t.hash());
+                }
+                got
+            }));
+        }
+        let mut all: Vec<TxHash> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "no tx may be popped twice");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn later_arrival_of_lower_nonce_takes_precedence() {
+        let pool = TxPool::new();
+        pool.add(tx(1, 2, 10));
+        pool.add(tx(1, 1, 10));
+        pool.add(tx(1, 0, 10));
+        let t = pool.pop().unwrap();
+        assert_eq!(t.nonce, 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Access keys: the unit of conflict detection.
+//!
+//! Both sides of the BlockPilot framework reason about transactions through
+//! the set of state locations they read and write:
+//!
+//! * the OCC-WSI proposer keeps a *reserve table* mapping each [`AccessKey`]
+//!   to the version of the last transaction that wrote it, and aborts a
+//!   transaction whose read set observed an older version;
+//! * the validator scheduler builds the dependency graph by intersecting the
+//!   read/write sets of transactions at **account granularity** (the paper's
+//!   §4.3: balances change in every transaction and contract-storage writes
+//!   update the account's storage root).
+//!
+//! [`AccessKey::account`] maps a fine-grained key to its coarse account-level
+//! key, so both granularities are available to the scheduler.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::{Address, H256, U256};
+
+/// One addressable state location.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum AccessKey {
+    /// An account's balance counter.
+    Balance(Address),
+    /// An account's nonce counter.
+    Nonce(Address),
+    /// One storage slot of a contract account.
+    Storage(Address, H256),
+    /// An account's code.
+    Code(Address),
+}
+
+impl AccessKey {
+    /// The account this key belongs to.
+    pub fn address(&self) -> Address {
+        match *self {
+            AccessKey::Balance(a)
+            | AccessKey::Nonce(a)
+            | AccessKey::Storage(a, _)
+            | AccessKey::Code(a) => a,
+        }
+    }
+
+    /// Coarsens the key to account granularity (used by the validator's
+    /// dependency graph, which treats any two touches of the same account as
+    /// conflicting).
+    pub fn account(&self) -> AccessKey {
+        AccessKey::Balance(self.address())
+    }
+
+    /// True for storage-slot keys (the paper's "storage conflicts").
+    pub fn is_storage(&self) -> bool {
+        matches!(self, AccessKey::Storage(..))
+    }
+
+    /// True for balance/nonce keys (the paper's "counter conflicts").
+    pub fn is_counter(&self) -> bool {
+        matches!(self, AccessKey::Balance(_) | AccessKey::Nonce(_))
+    }
+}
+
+/// A read set: key → the state **version** the value was read at.
+///
+/// Versions are the OCC-WSI snapshot versions from Algorithm 1: version 0 is
+/// the pre-block state, and each committed transaction bumps the version of
+/// every key it writes.
+pub type ReadSet = BTreeMap<AccessKey, u64>;
+
+/// A write set: key → the value written.
+pub type WriteSet = BTreeMap<AccessKey, U256>;
+
+/// The read/write footprint of one executed transaction.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RwSet {
+    /// Keys read, with the version observed for each.
+    pub reads: ReadSet,
+    /// Keys written, with the final value for each.
+    pub writes: WriteSet,
+}
+
+impl RwSet {
+    /// An empty footprint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `key` at `version` (first read wins: the footprint
+    /// keeps the version of the *initial* observation, matching snapshot
+    /// reads).
+    pub fn record_read(&mut self, key: AccessKey, version: u64) {
+        self.reads.entry(key).or_insert(version);
+    }
+
+    /// Records a write of `value` to `key` (last write wins).
+    pub fn record_write(&mut self, key: AccessKey, value: U256) {
+        self.writes.insert(key, value);
+    }
+
+    /// True if `self`'s writes intersect `other`'s reads or writes, or vice
+    /// versa — i.e. the two transactions conflict (RAW, WAR or WAW) and must
+    /// not run concurrently on a validator.
+    pub fn conflicts_with(&self, other: &RwSet) -> bool {
+        let w_vs_rw = self
+            .writes
+            .keys()
+            .any(|k| other.reads.contains_key(k) || other.writes.contains_key(k));
+        if w_vs_rw {
+            return true;
+        }
+        other.writes.keys().any(|k| self.reads.contains_key(k))
+    }
+
+    /// Like [`RwSet::conflicts_with`] but at account granularity, the
+    /// coarsening used by the validator scheduler.
+    pub fn conflicts_with_account_level(&self, other: &RwSet) -> bool {
+        let mine: std::collections::BTreeSet<Address> = self
+            .writes
+            .keys()
+            .map(AccessKey::address)
+            .collect();
+        let theirs_touch = |k: &AccessKey| mine.contains(&k.address());
+        if other.reads.keys().any(theirs_touch) || other.writes.keys().any(theirs_touch) {
+            return true;
+        }
+        let their_writes: std::collections::BTreeSet<Address> =
+            other.writes.keys().map(AccessKey::address).collect();
+        self.reads.keys().any(|k| their_writes.contains(&k.address()))
+    }
+
+    /// All accounts this footprint touches.
+    pub fn touched_accounts(&self) -> std::collections::BTreeSet<Address> {
+        self.reads
+            .keys()
+            .chain(self.writes.keys())
+            .map(AccessKey::address)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    #[test]
+    fn account_coarsening() {
+        let k = AccessKey::Storage(addr(1), H256::from_low_u64(7));
+        assert_eq!(k.account(), AccessKey::Balance(addr(1)));
+        assert_eq!(k.address(), addr(1));
+        assert!(k.is_storage());
+        assert!(!k.is_counter());
+        assert!(AccessKey::Nonce(addr(1)).is_counter());
+    }
+
+    #[test]
+    fn first_read_version_wins() {
+        let mut rw = RwSet::new();
+        let k = AccessKey::Balance(addr(1));
+        rw.record_read(k, 3);
+        rw.record_read(k, 9);
+        assert_eq!(rw.reads[&k], 3);
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let mut rw = RwSet::new();
+        let k = AccessKey::Balance(addr(1));
+        rw.record_write(k, U256::from(1u64));
+        rw.record_write(k, U256::from(2u64));
+        assert_eq!(rw.writes[&k], U256::from(2u64));
+    }
+
+    #[test]
+    fn raw_conflict_detected() {
+        let mut a = RwSet::new();
+        a.record_write(AccessKey::Balance(addr(1)), U256::ONE);
+        let mut b = RwSet::new();
+        b.record_read(AccessKey::Balance(addr(1)), 0);
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a)); // WAR seen from the other side
+    }
+
+    #[test]
+    fn waw_conflict_detected() {
+        let mut a = RwSet::new();
+        a.record_write(AccessKey::Balance(addr(1)), U256::ONE);
+        let mut b = RwSet::new();
+        b.record_write(AccessKey::Balance(addr(1)), U256::from(2u64));
+        assert!(a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn read_read_is_not_a_conflict() {
+        let mut a = RwSet::new();
+        a.record_read(AccessKey::Balance(addr(1)), 0);
+        let mut b = RwSet::new();
+        b.record_read(AccessKey::Balance(addr(1)), 0);
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_conflict() {
+        let mut a = RwSet::new();
+        a.record_write(AccessKey::Balance(addr(1)), U256::ONE);
+        let mut b = RwSet::new();
+        b.record_write(AccessKey::Balance(addr(2)), U256::ONE);
+        b.record_read(AccessKey::Storage(addr(3), H256::ZERO), 0);
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn account_level_is_coarser() {
+        // Different storage slots of the same contract: no slot-level
+        // conflict, but an account-level one.
+        let c = addr(9);
+        let mut a = RwSet::new();
+        a.record_write(AccessKey::Storage(c, H256::from_low_u64(1)), U256::ONE);
+        let mut b = RwSet::new();
+        b.record_write(AccessKey::Storage(c, H256::from_low_u64(2)), U256::ONE);
+        assert!(!a.conflicts_with(&b));
+        assert!(a.conflicts_with_account_level(&b));
+    }
+
+    #[test]
+    fn touched_accounts_union() {
+        let mut a = RwSet::new();
+        a.record_read(AccessKey::Balance(addr(1)), 0);
+        a.record_write(AccessKey::Storage(addr(2), H256::ZERO), U256::ONE);
+        let touched = a.touched_accounts();
+        assert_eq!(touched.len(), 2);
+        assert!(touched.contains(&addr(1)) && touched.contains(&addr(2)));
+    }
+}

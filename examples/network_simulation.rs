@@ -1,0 +1,35 @@
+//! DiCE network simulation: four validator nodes, round-robin proposers,
+//! seeded link latencies, periodic forks — the whole
+//! Dissemination-Consensus-Execution loop of the paper's §3.2, ending in a
+//! converged canonical chain on every node.
+//!
+//! Run with `cargo run --release --example network_simulation`.
+
+use blockpilot::net::{run_network, NetConfig};
+
+fn main() {
+    let config = NetConfig {
+        nodes: 4,
+        heights: 8,
+        fork_every: 2,
+        latency: 1..45,
+        ticks_per_height: 20,
+        ..NetConfig::default()
+    };
+    println!(
+        "simulating {} nodes × {} heights (fork every {} heights, latency {:?} ticks)...\n",
+        config.nodes, config.heights, config.fork_every, config.latency
+    );
+    let report = run_network(config);
+    println!("heights processed        : {}", report.heights);
+    println!("forked heights           : {}", report.forks);
+    println!("uncle blocks             : {}", report.uncles);
+    println!("canonical transactions   : {}", report.total_txs);
+    println!("out-of-order deliveries  : {}", report.out_of_order_deliveries);
+    println!("converged                : {}", report.converged);
+    println!("final state root         : {:?}", report.final_root);
+    assert!(report.converged);
+    println!("\nEvery node validated every competing block (validators execute more");
+    println!("blocks than proposers, §3.4), parked children that arrived before their");
+    println!("parents, and converged on the identical MPT root.");
+}

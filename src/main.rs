@@ -1,0 +1,140 @@
+//! `blockpilot` — a small CLI over the library: run a chain simulation, a
+//! network simulation, or inspect the workload's conflict statistics.
+//!
+//! ```text
+//! blockpilot chain   [--blocks N] [--txs N] [--threads N] [--workers N]
+//! blockpilot network [--nodes N] [--heights N] [--fork-every N]
+//! blockpilot stats   [--blocks N]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use blockpilot::core::{
+    ConflictGranularity, OccWsiConfig, PipelineConfig, Proposer, Scheduler, Validator,
+};
+use blockpilot::net::{run_network, NetConfig};
+use blockpilot::workload::{WorkloadConfig, WorkloadGen};
+
+fn arg(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("chain") => chain(&args),
+        Some("network") => network(&args),
+        Some("stats") => stats(&args),
+        _ => {
+            eprintln!("usage: blockpilot <chain|network|stats> [options]");
+            eprintln!("  chain   [--blocks N] [--txs N] [--threads N] [--workers N]");
+            eprintln!("  network [--nodes N] [--heights N] [--fork-every N]");
+            eprintln!("  stats   [--blocks N]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Propose-and-validate a chain end to end with the real threaded stack.
+fn chain(args: &[String]) {
+    let blocks = arg(args, "--blocks", 5);
+    let txs = arg(args, "--txs", 50) as usize;
+    let threads = arg(args, "--threads", 4) as usize;
+    let workers = arg(args, "--workers", 4) as usize;
+
+    let mut gen = WorkloadGen::new(WorkloadConfig {
+        txs_per_block: txs,
+        tx_jitter: txs / 5,
+        accounts: 300,
+        ..WorkloadConfig::default()
+    });
+    let genesis = gen.genesis_state();
+    let validator = Validator::new(
+        PipelineConfig {
+            workers,
+            granularity: ConflictGranularity::Account,
+        },
+        genesis.clone(),
+    );
+    let mut parent = validator.genesis_hash();
+    let mut state = Arc::new(genesis);
+    let t0 = Instant::now();
+    let mut total = 0usize;
+    for height in 1..=blocks {
+        let proposer = Proposer::new(OccWsiConfig {
+            threads,
+            env: gen.block_env(height),
+            ..OccWsiConfig::default()
+        });
+        proposer.submit_transactions(gen.next_block_txs());
+        let proposal = proposer.propose_block(Arc::clone(&state), parent, height);
+        let outcome = validator.validate_and_commit(proposal.block.clone());
+        assert!(outcome.is_valid(), "height {height}: {:?}", outcome.result);
+        println!(
+            "height {height}: {:>3} txs, {} aborts, root {:?}",
+            proposal.block.tx_count(),
+            proposal.stats.aborts,
+            proposal.block.header.state_root
+        );
+        total += proposal.block.tx_count();
+        parent = proposal.block.hash();
+        state = Arc::new(proposal.post_state);
+    }
+    let dt = t0.elapsed();
+    println!(
+        "\n{total} txs / {blocks} blocks in {dt:?} ({:.0} tx/s end-to-end)",
+        total as f64 / dt.as_secs_f64()
+    );
+}
+
+/// Multi-node DiCE simulation.
+fn network(args: &[String]) {
+    let report = run_network(NetConfig {
+        nodes: arg(args, "--nodes", 4) as usize,
+        heights: arg(args, "--heights", 6),
+        fork_every: arg(args, "--fork-every", 3),
+        ..NetConfig::default()
+    });
+    println!("heights {}, forks {}, uncles {}", report.heights, report.forks, report.uncles);
+    println!(
+        "converged: {} (final root {:?})",
+        report.converged, report.final_root
+    );
+    println!(
+        "{} canonical txs, {} out-of-order deliveries",
+        report.total_txs, report.out_of_order_deliveries
+    );
+}
+
+/// Workload conflict statistics (the Figure 8 x-axis).
+fn stats(args: &[String]) {
+    let blocks = arg(args, "--blocks", 20) as usize;
+    let mut gen = WorkloadGen::new(WorkloadConfig::default());
+    let genesis = gen.genesis_state();
+    let scheduler = Scheduler::new(ConflictGranularity::Account);
+    let mut state = genesis;
+    let mut ratios = Vec::new();
+    for height in 1..=blocks as u64 {
+        let env = gen.block_env(height);
+        let txs = gen.next_block_txs();
+        let out = blockpilot::baseline::execute_block_serially(&state, &env, &txs)
+            .expect("workload blocks replay");
+        let schedule = scheduler.schedule(&out.profile, 16);
+        println!(
+            "block {height:>3}: {:>3} txs, {:>2} subgraphs, largest {:>4.1}%, makespan {:>5.1}% of serial",
+            txs.len(),
+            schedule.subgraphs.len(),
+            100.0 * schedule.largest_subgraph_ratio(),
+            100.0 * schedule.makespan_gas(&out.profile) as f64 / out.gas_used.max(1) as f64,
+        );
+        ratios.push(schedule.largest_subgraph_ratio());
+        state = out.post_state;
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+    println!("\nmean largest-subgraph ratio: {:.1}% (paper: 27.5%)", 100.0 * mean);
+}

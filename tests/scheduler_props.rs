@@ -1,0 +1,165 @@
+//! Property tests for the validator scheduler over randomly generated
+//! footprints: the lane invariants that make parallel replay safe.
+
+use blockpilot::block::{BlockProfile, TxProfile};
+use blockpilot::core::{AssignPolicy, ConflictGranularity, Scheduler};
+use blockpilot::types::{AccessKey, Address, RwSet, H256, U256};
+use proptest::prelude::*;
+
+/// A compact footprint description: which abstract keys each tx reads and
+/// writes, plus its gas.
+#[derive(Clone, Debug)]
+struct TxDesc {
+    reads: Vec<u8>,
+    writes: Vec<u8>,
+    gas: u64,
+}
+
+fn key(id: u8) -> AccessKey {
+    // Spread keys over both accounts and slots so both granularities are
+    // exercised: even ids are balances, odd ids are storage slots grouped
+    // four-per-contract.
+    if id % 2 == 0 {
+        AccessKey::Balance(Address::from_index(id as u64))
+    } else {
+        AccessKey::Storage(
+            Address::from_index(1000 + (id / 8) as u64),
+            H256::from_low_u64(id as u64),
+        )
+    }
+}
+
+fn profile(descs: &[TxDesc]) -> BlockProfile {
+    let entries = descs
+        .iter()
+        .map(|d| {
+            let mut rw = RwSet::new();
+            for &r in &d.reads {
+                rw.record_read(key(r), 0);
+            }
+            for &w in &d.writes {
+                rw.record_write(key(w), U256::ONE);
+            }
+            TxProfile::from_rw(&rw, d.gas)
+        })
+        .collect();
+    BlockProfile { entries }
+}
+
+fn arb_descs() -> impl Strategy<Value = Vec<TxDesc>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0u8..24, 0..4),
+            prop::collection::vec(0u8..24, 0..3),
+            1_000u64..200_000,
+        )
+            .prop_map(|(reads, writes, gas)| TxDesc { reads, writes, gas }),
+        0..60,
+    )
+}
+
+fn conflicts(a: &TxProfile, b: &TxProfile, granularity: ConflictGranularity) -> bool {
+    match granularity {
+        ConflictGranularity::Slot => a.rw().conflicts_with(&b.rw()),
+        ConflictGranularity::Account => a.rw().conflicts_with_account_level(&b.rw()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lanes_partition_the_block(descs in arb_descs(), lanes in 1usize..9) {
+        let p = profile(&descs);
+        let s = Scheduler::new(ConflictGranularity::Account).schedule(&p, lanes);
+        let mut seen = vec![false; descs.len()];
+        for lane in &s.lanes {
+            for &i in lane {
+                prop_assert!(!seen[i], "tx {i} scheduled twice");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b), "some tx unscheduled");
+    }
+
+    #[test]
+    fn no_conflicts_cross_lanes(descs in arb_descs(), lanes in 1usize..9) {
+        for granularity in [ConflictGranularity::Account, ConflictGranularity::Slot] {
+            let p = profile(&descs);
+            let s = Scheduler::new(granularity).schedule(&p, lanes);
+            for (la, lane_a) in s.lanes.iter().enumerate() {
+                for lane_b in s.lanes.iter().skip(la + 1) {
+                    for &i in lane_a {
+                        for &j in lane_b {
+                            prop_assert!(
+                                !conflicts(&p.entries[i], &p.entries[j], granularity),
+                                "txs {i} and {j} conflict across lanes ({granularity:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_preserve_block_order(descs in arb_descs(), lanes in 1usize..9) {
+        let p = profile(&descs);
+        let s = Scheduler::new(ConflictGranularity::Account).schedule(&p, lanes);
+        for lane in &s.lanes {
+            for w in lane.windows(2) {
+                prop_assert!(w[0] < w[1], "lane out of block order");
+            }
+        }
+    }
+
+    #[test]
+    fn subgraphs_are_conflict_closed(descs in arb_descs()) {
+        // Every conflicting pair must share a subgraph.
+        let p = profile(&descs);
+        let s = Scheduler::new(ConflictGranularity::Slot).schedule(&p, 4);
+        let mut component = vec![usize::MAX; descs.len()];
+        for (c, sg) in s.subgraphs.iter().enumerate() {
+            for &i in &sg.txs {
+                component[i] = c;
+            }
+        }
+        for i in 0..descs.len() {
+            for j in i + 1..descs.len() {
+                if conflicts(&p.entries[i], &p.entries[j], ConflictGranularity::Slot) {
+                    prop_assert_eq!(
+                        component[i], component[j],
+                        "conflicting txs {} and {} in different subgraphs", i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gas_lpt_never_worse_than_round_robin(descs in arb_descs(), lanes in 2usize..9) {
+        let p = profile(&descs);
+        let lpt = Scheduler::with_policy(ConflictGranularity::Account, AssignPolicy::GasLpt)
+            .schedule(&p, lanes);
+        let rr = Scheduler::with_policy(ConflictGranularity::Account, AssignPolicy::RoundRobin)
+            .schedule(&p, lanes);
+        prop_assert!(lpt.makespan_gas(&p) <= rr.makespan_gas(&p));
+    }
+
+    #[test]
+    fn slot_granularity_never_coarser(descs in arb_descs()) {
+        let p = profile(&descs);
+        let account = Scheduler::new(ConflictGranularity::Account).schedule(&p, 4);
+        let slot = Scheduler::new(ConflictGranularity::Slot).schedule(&p, 4);
+        prop_assert!(slot.subgraphs.len() >= account.subgraphs.len());
+        prop_assert!(slot.largest_subgraph_ratio() <= account.largest_subgraph_ratio() + 1e-9);
+    }
+
+    #[test]
+    fn schedule_is_deterministic(descs in arb_descs(), lanes in 1usize..9) {
+        let p = profile(&descs);
+        let a = Scheduler::new(ConflictGranularity::Account).schedule(&p, lanes);
+        let b = Scheduler::new(ConflictGranularity::Account).schedule(&p, lanes);
+        prop_assert_eq!(a, b);
+    }
+}
