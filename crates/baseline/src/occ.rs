@@ -41,7 +41,9 @@ impl OccOutcome {
         let mut parallel_gas: Vec<Gas> = self.parallel.iter().map(|&i| self.gas[i]).collect();
         parallel_gas.sort_unstable_by(|a, b| b.cmp(a));
         for g in parallel_gas {
-            let min = (0..loads.len()).min_by_key(|&t| loads[t]).expect("non-empty");
+            let min = (0..loads.len())
+                .min_by_key(|&t| loads[t])
+                .expect("non-empty");
             loads[min] += g;
         }
         let phase1 = loads.into_iter().max().unwrap_or(0);
@@ -96,8 +98,8 @@ pub fn occ_two_phase(
         // A read key written by any *other* transaction conflicts; a written
         // key touched by any other transaction conflicts.
         let read_ok = spec.rw.reads.keys().all(|k| {
-            let others = writers.get(k).copied().unwrap_or(0)
-                - u32::from(spec.rw.writes.contains_key(k));
+            let others =
+                writers.get(k).copied().unwrap_or(0) - u32::from(spec.rw.writes.contains_key(k));
             others == 0
         });
         let write_ok = spec
@@ -111,10 +113,7 @@ pub fn occ_two_phase(
     // A failed speculation has an *unknown* footprint, so no later
     // transaction may be hoisted past it: survivors must precede the first
     // failure in block order.
-    let first_failure = speculative
-        .iter()
-        .position(Option::is_none)
-        .unwrap_or(n);
+    let first_failure = speculative.iter().position(Option::is_none).unwrap_or(n);
     let mut parallel = Vec::new();
     let mut serial = Vec::new();
     for i in 0..n {
@@ -137,7 +136,7 @@ pub fn occ_two_phase(
             world.set_code(*addr, (**code).clone());
         }
         gas[i] = spec.receipt.gas_used;
-        fees = fees + spec.receipt.fee;
+        fees += spec.receipt.fee;
     }
     for &i in &serial {
         let result = {
@@ -149,7 +148,7 @@ pub fn occ_two_phase(
             world.set_code(*addr, (**code).clone());
         }
         gas[i] = result.receipt.gas_used;
-        fees = fees + result.receipt.fee;
+        fees += result.receipt.fee;
     }
     if !fees.is_zero() {
         let cb = world.balance(&env.coinbase);
@@ -243,7 +242,13 @@ mod tests {
                 gas_price: 1,
                 data: vec![],
             });
-            txs.push(Transaction::transfer(addr(i + 10), addr(i + 14), U256::ONE, 0, 1));
+            txs.push(Transaction::transfer(
+                addr(i + 10),
+                addr(i + 14),
+                U256::ONE,
+                0,
+                1,
+            ));
         }
         let out = occ_two_phase(&base, &env, &txs).unwrap();
         assert_eq!(out.parallel.len(), 4); // wait: transfers 15..18 overlap? senders 11..14 -> recipients 15..18, all distinct

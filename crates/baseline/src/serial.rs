@@ -43,7 +43,7 @@ pub fn execute_block_serially(
             world.set_code(*addr, (**code).clone());
         }
         gas_used += result.receipt.gas_used;
-        fees = fees + result.receipt.fee;
+        fees += result.receipt.fee;
         profile.push(TxProfile::from_rw(&result.rw, result.receipt.gas_used));
         receipts.push(result.receipt);
     }

@@ -14,8 +14,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use blockpilot_core::{
-    ConflictGranularity, OccWsiConfig, OccWsiProposer, PipelineConfig, Scheduler,
-    ValidatorPipeline,
+    ConflictGranularity, OccWsiConfig, OccWsiProposer, PipelineConfig, Scheduler, ValidatorPipeline,
 };
 use bp_baseline::{execute_block_serially, occ_two_phase};
 use bp_bench::generate_fixtures;

@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
-use bp_crypto::rlp::{decode, encode_item, Item};
 use bp_crypto::keccak256;
+use bp_crypto::rlp::{decode, encode_item, Item};
 use bp_evm::{contracts, execute_transaction, BlockEnv, Transaction, WorldView};
 use bp_state::{Trie, WorldState};
 use bp_types::{Address, H256, U256};
@@ -33,7 +33,9 @@ fn bench_rlp(c: &mut Criterion) {
     );
     let encoded = encode_item(&item);
     g.bench_function("encode_64x40B_list", |b| b.iter(|| encode_item(&item)));
-    g.bench_function("decode_64x40B_list", |b| b.iter(|| decode(&encoded).unwrap()));
+    g.bench_function("decode_64x40B_list", |b| {
+        b.iter(|| decode(&encoded).unwrap())
+    });
     g.finish();
 }
 
@@ -61,7 +63,9 @@ fn bench_trie(c: &mut Criterion) {
     }
     g.bench_function("root_hash_500", |b| b.iter(|| full.root_hash()));
     g.bench_function("get_hit", |b| b.iter(|| full.get(pairs[250].0.as_bytes())));
-    g.bench_function("prove_500", |b| b.iter(|| full.prove(pairs[250].0.as_bytes())));
+    g.bench_function("prove_500", |b| {
+        b.iter(|| full.prove(pairs[250].0.as_bytes()))
+    });
     g.finish();
 }
 
@@ -113,5 +117,12 @@ fn bench_evm(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_keccak, bench_rlp, bench_trie, bench_u256, bench_evm);
+criterion_group!(
+    benches,
+    bench_keccak,
+    bench_rlp,
+    bench_trie,
+    bench_u256,
+    bench_evm
+);
 criterion_main!(benches);

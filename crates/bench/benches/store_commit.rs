@@ -1,0 +1,99 @@
+//! Criterion benchmark for the persistent store's commit path: how fast a
+//! node can durably persist canonical blocks (block append + trie-node
+//! retention + fsync'd manifest swap), and how fast a cold `Store::open`
+//! recovers an existing directory.
+//!
+//! Run with `cargo bench -p bp-bench --bench store_commit`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bp_bench::generate_fixtures;
+use bp_block::{genesis_header, Block, BlockProfile};
+use bp_state::WorldState;
+use bp_store::{store::test_dir, Store};
+use bp_workload::{WorkloadConfig, WorkloadGen};
+
+struct Fixture {
+    genesis_world: WorldState,
+    genesis_block: Block,
+    // Sealed canonical blocks with their post-states, chained on genesis.
+    chain: Vec<(Block, Arc<WorldState>)>,
+}
+
+fn fixture(blocks: usize) -> Fixture {
+    let config = WorkloadConfig {
+        accounts: 200,
+        txs_per_block: 30,
+        tx_jitter: 0,
+        ..WorkloadConfig::default()
+    };
+    let genesis_world = WorkloadGen::new(config.clone()).genesis_state();
+    let genesis_block = Block {
+        header: genesis_header(genesis_world.state_root()),
+        transactions: vec![],
+        profile: BlockProfile::new(),
+    };
+    let mut parent = genesis_block.hash();
+    let chain = generate_fixtures(config, blocks)
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let block = f.seal(parent, i as u64 + 1);
+            parent = block.hash();
+            (block, f.post_state)
+        })
+        .collect();
+    Fixture {
+        genesis_world,
+        genesis_block,
+        chain,
+    }
+}
+
+fn persist_chain(f: &Fixture, dir: &std::path::Path) {
+    let mut store = Store::open(dir).expect("open");
+    store
+        .initialize(&f.genesis_world, &f.genesis_block)
+        .expect("initialize");
+    for (block, post) in &f.chain {
+        store.put_block(block).expect("put");
+        let (root, nodes) = post.commit_tries();
+        store.commit_root(root, &nodes).expect("retain root");
+        store.commit(block.hash()).expect("commit");
+    }
+}
+
+fn bench_store_commit(c: &mut Criterion) {
+    let f = fixture(4);
+    let mut g = c.benchmark_group("store");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(f.chain.len() as u64));
+
+    // Full durable path: every block ends in an fsync'd manifest swap.
+    g.bench_function("commit_30tx_blocks_fsync", |b| {
+        b.iter(|| {
+            let dir = test_dir("bench-commit");
+            persist_chain(&f, &dir);
+            std::fs::remove_dir_all(&dir).ok();
+        })
+    });
+
+    // Cold-start: reopen a populated directory (manifest pick, log scan,
+    // refcount rebuild by walking every retained root).
+    let dir = test_dir("bench-reopen");
+    persist_chain(&f, &dir);
+    g.bench_function("reopen_populated_store", |b| {
+        b.iter(|| {
+            let store = Store::open(&dir).expect("reopen");
+            assert!(store.is_initialized());
+            store
+        })
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    g.finish();
+}
+
+criterion_group!(benches, bench_store_commit);
+criterion_main!(benches);

@@ -21,7 +21,10 @@ fn main() {
     let fixtures = generate_fixtures(WorkloadConfig::default(), blocks);
     let model = CostModel::default();
 
-    println!("{:>12} {:>14} {:>20}", "policy", "mean speedup", "mean makespan (gas)");
+    println!(
+        "{:>12} {:>14} {:>20}",
+        "policy", "mean speedup", "mean makespan (gas)"
+    );
     for policy in [
         AssignPolicy::GasLpt,
         AssignPolicy::CountLpt,

@@ -26,7 +26,10 @@ fn main() {
         subgraph_counts.push(s.subgraphs.len() as f64);
     }
     println!("blocks                    : {blocks}");
-    println!("mean txs/block            : {:.1} (paper: 132)", mean(&tx_counts));
+    println!(
+        "mean txs/block            : {:.1} (paper: 132)",
+        mean(&tx_counts)
+    );
     println!(
         "largest subgraph (txs)    : mean {:.1}%  p50 {:.1}%  p90 {:.1}%  (paper mean: 27.5%)",
         100.0 * mean(&ratios),

@@ -25,7 +25,14 @@ fn main() {
         "{:>8} {:>12} {:>12} {:>14} {:>14}",
         "threads", "BlockPilot", "OCC [27]", "paper(BP)", "ratio-to-paper"
     );
-    let paper = [(2usize, 1.7f64), (4, 2.5), (6, 2.9), (8, 3.03), (12, 3.1), (16, 3.18)];
+    let paper = [
+        (2usize, 1.7f64),
+        (4, 2.5),
+        (6, 2.9),
+        (8, 3.03),
+        (12, 3.1),
+        (16, 3.18),
+    ];
     for (threads, paper_speedup) in paper {
         let mut bp = Vec::with_capacity(fixtures.len());
         let mut occ = Vec::with_capacity(fixtures.len());

@@ -31,7 +31,10 @@ fn main() {
     let accelerated =
         100.0 * speedups.iter().filter(|&&s| s > 1.0).count() as f64 / speedups.len() as f64;
     println!("blocks accelerated : {accelerated:.1}%   (paper: 99.8%)");
-    println!("mean speedup       : {:.2}x (paper: 3.18x)", mean(&speedups));
+    println!(
+        "mean speedup       : {:.2}x (paper: 3.18x)",
+        mean(&speedups)
+    );
     println!(
         "p10 / p50 / p90    : {:.2}x / {:.2}x / {:.2}x\n",
         percentile(&speedups, 10.0),

@@ -39,7 +39,7 @@ fn main() {
     let mut samples: Vec<(f64, f64)> = Vec::new(); // (ratio, speedup)
     for (i, (amm, zipf)) in sweeps.iter().enumerate() {
         let config = WorkloadConfig {
-            seed: 0xF16_8 + i as u64,
+            seed: 0xF168 + i as u64,
             mix: TxMix {
                 transfer: (1.0 - amm) * 0.62,
                 token: (1.0 - amm) * 0.38,

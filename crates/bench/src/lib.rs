@@ -131,7 +131,10 @@ pub fn histogram(values: &[f64], lo: f64, hi: f64, buckets: usize) -> Vec<f64> {
 /// Prints an ASCII bar chart row.
 pub fn bar(label: &str, value: f64, scale: f64) {
     let width = (value * scale).round().max(0.0) as usize;
-    println!("  {label:>18} | {:<50} {value:.2}", "#".repeat(width.min(50)));
+    println!(
+        "  {label:>18} | {:<50} {value:.2}",
+        "#".repeat(width.min(50))
+    );
 }
 
 #[cfg(test)]

@@ -68,11 +68,7 @@ impl ChainStore {
         }
         // Adopting a different block at this height orphans any canonical
         // descendants.
-        let to_remove: Vec<Height> = self
-            .canonical
-            .range(height..)
-            .map(|(h, _)| *h)
-            .collect();
+        let to_remove: Vec<Height> = self.canonical.range(height..).map(|(h, _)| *h).collect();
         for h in to_remove {
             self.canonical.remove(&h);
         }

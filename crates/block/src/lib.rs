@@ -22,8 +22,8 @@ use serde::{Deserialize, Serialize};
 
 pub use bloom::{logs_bloom, Bloom};
 pub use chain::ChainStore;
-pub use wire::{decode_block, encode_block};
 pub use profile::{BlockProfile, TxProfile};
+pub use wire::{decode_block, encode_block};
 
 /// A block header.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -195,7 +195,10 @@ mod tests {
         };
         let mut failed = ok.clone();
         failed.success = false;
-        assert_ne!(receipts_root(&[ok.clone()]), receipts_root(&[failed]));
+        assert_ne!(
+            receipts_root(std::slice::from_ref(&ok)),
+            receipts_root(&[failed])
+        );
         let mut pricier = ok.clone();
         pricier.gas_used = 22_000;
         assert_ne!(receipts_root(&[ok]), receipts_root(&[pricier]));

@@ -248,7 +248,13 @@ mod tests {
         header.height = 3;
         header.gas_used = 63_000;
         let txs = vec![
-            Transaction::transfer(Address::from_index(1), Address::from_index(2), U256::ONE, 0, 5),
+            Transaction::transfer(
+                Address::from_index(1),
+                Address::from_index(2),
+                U256::ONE,
+                0,
+                5,
+            ),
             Transaction {
                 sender: Address::from_index(3),
                 to: None,

@@ -1,6 +1,6 @@
 //! A lock-striped concurrent hash map.
 
-use core::hash::{BuildHasher, Hash, Hasher};
+use core::hash::{BuildHasher, Hash};
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 
@@ -48,9 +48,8 @@ impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
 impl<K: Hash + Eq, V, S: BuildHasher> ShardedMap<K, V, S> {
     #[inline]
     fn shard_for(&self, key: &K) -> &RwLock<HashMap<K, V, S>> {
-        let mut h = self.hasher.build_hasher();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) & self.mask]
+        let h = self.hasher.hash_one(key);
+        &self.shards[(h as usize) & self.mask]
     }
 
     /// Returns a clone of the value for `key`.

@@ -120,8 +120,16 @@ impl OccWsiProposer {
             for _ in 0..self.config.threads {
                 scope.spawn(|| {
                     self.worker(
-                        pool, &mv, &reserve, &versions, &builder, &cur_gas, &full, &aborts,
-                        &discarded, &executions,
+                        pool,
+                        &mv,
+                        &reserve,
+                        &versions,
+                        &builder,
+                        &cur_gas,
+                        &full,
+                        &aborts,
+                        &discarded,
+                        &executions,
                     )
                 });
             }
@@ -279,7 +287,8 @@ impl OccWsiProposer {
                     }
                     reserve.publish(result.rw.writes.keys(), version);
                     cur_gas.store(gas_after, Ordering::Release);
-                    b.profile.push(TxProfile::from_rw(&result.rw, result.receipt.gas_used));
+                    b.profile
+                        .push(TxProfile::from_rw(&result.rw, result.receipt.gas_used));
                     b.profile_len += 1;
                     b.txs.push(tx.clone());
                     b.receipts.push(result.receipt);
@@ -336,7 +345,7 @@ mod tests {
             for (a, code) in &result.deployed {
                 world.set_code(*a, (**code).clone());
             }
-            fees = fees + result.receipt.fee;
+            fees += result.receipt.fee;
         }
         let cb = world.balance(&env.coinbase);
         world.set_balance(env.coinbase, cb + fees);
@@ -348,7 +357,13 @@ mod tests {
         let world = Arc::new(funded_world(20));
         let pool = TxPool::new();
         for i in 1..=10u64 {
-            pool.add(Transaction::transfer(addr(i), addr(i + 10), U256::from(5u64), 0, i));
+            pool.add(Transaction::transfer(
+                addr(i),
+                addr(i + 10),
+                U256::from(5u64),
+                0,
+                i,
+            ));
         }
         let p = proposer(4);
         let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
@@ -385,7 +400,9 @@ mod tests {
         assert_eq!(proposal.block.tx_count(), 8);
         // The counter must reach exactly 8: lost updates would show here.
         assert_eq!(
-            proposal.post_state.storage(&c, &bp_types::H256::from_low_u64(0)),
+            proposal
+                .post_state
+                .storage(&c, &bp_types::H256::from_low_u64(0)),
             U256::from(8u64)
         );
         let replay = serial_replay(&proposal.block, &world, &p.config.env);
@@ -427,15 +444,29 @@ mod tests {
         let world = Arc::new(funded_world(5));
         let pool = TxPool::new();
         for nonce in 0..5u64 {
-            pool.add(Transaction::transfer(addr(1), addr(2), U256::ONE, nonce, 10));
+            pool.add(Transaction::transfer(
+                addr(1),
+                addr(2),
+                U256::ONE,
+                nonce,
+                10,
+            ));
         }
         let p = proposer(4);
         let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
         assert_eq!(proposal.block.tx_count(), 5);
-        let nonces: Vec<u64> = proposal.block.transactions.iter().map(|t| t.nonce).collect();
+        let nonces: Vec<u64> = proposal
+            .block
+            .transactions
+            .iter()
+            .map(|t| t.nonce)
+            .collect();
         assert_eq!(nonces, vec![0, 1, 2, 3, 4]);
         assert_eq!(proposal.post_state.nonce(&addr(1)), 5);
-        assert_eq!(proposal.post_state.balance(&addr(2)), U256::from(1_000_000_005u64));
+        assert_eq!(
+            proposal.post_state.balance(&addr(2)),
+            U256::from(1_000_000_005u64)
+        );
     }
 
     #[test]
@@ -500,9 +531,7 @@ mod tests {
         assert_eq!(proposal.block.profile.len(), proposal.block.tx_count());
         for (i, tx) in proposal.block.transactions.iter().enumerate() {
             let entry = &proposal.block.profile.entries[i];
-            assert!(entry
-                .writes
-                .contains_key(&AccessKey::Nonce(tx.sender)));
+            assert!(entry.writes.contains_key(&AccessKey::Nonce(tx.sender)));
             assert_eq!(entry.gas_used, proposal.receipts[i].gas_used);
         }
     }
@@ -524,8 +553,16 @@ mod tests {
         let mut w = funded_world(32);
         let amm = addr(200);
         w.set_code(amm, contracts::amm_pair());
-        w.set_storage(amm, contracts::amm_reserve_slot(0), U256::from(10_000_000u64));
-        w.set_storage(amm, contracts::amm_reserve_slot(1), U256::from(10_000_000u64));
+        w.set_storage(
+            amm,
+            contracts::amm_reserve_slot(0),
+            U256::from(10_000_000u64),
+        );
+        w.set_storage(
+            amm,
+            contracts::amm_reserve_slot(1),
+            U256::from(10_000_000u64),
+        );
         let world = Arc::new(w);
         let pool = TxPool::new();
         for i in 1..=16u64 {

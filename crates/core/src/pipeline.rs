@@ -21,9 +21,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bp_block::{receipts_root, tx_root, Block, BlockProfile};
-use bp_evm::{
-    execute_transaction, BlockEnv, Receipt, StateView, Transaction, TxError,
-};
+use bp_evm::{execute_transaction, BlockEnv, Receipt, StateView, Transaction, TxError};
 use bp_state::WorldState;
 use bp_types::{AccessKey, Address, BlockHash, Gas, RwSet, U256};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -287,7 +285,10 @@ impl ValidatorPipeline {
             } else if idx.states.contains_key(&parent) {
                 Some(false)
             } else {
-                idx.waiting.entry(parent).or_default().push((block.clone(), tx.clone()));
+                idx.waiting
+                    .entry(parent)
+                    .or_default()
+                    .push((block.clone(), tx.clone()));
                 Some(true)
             }
         };
@@ -311,6 +312,12 @@ impl ValidatorPipeline {
     /// Convenience: submit and wait.
     pub fn validate_block(&self, block: Block) -> ValidationOutcome {
         self.submit(block).wait()
+    }
+
+    /// The committed post-state of `hash` — available once the block
+    /// validated (or was registered as a trusted base state).
+    pub fn state_of(&self, hash: &BlockHash) -> Option<Arc<WorldState>> {
+        self.starter.index.lock().states.get(hash).cloned()
     }
 
     /// The configured worker count.
@@ -412,7 +419,9 @@ fn run_lane(job: &LaneJob) {
                     error: None,
                 }
             }
-            Err(TxError::BadNonce { .. }) | Err(TxError::InsufficientFunds) | Err(TxError::IntrinsicGas) => TxOutcome {
+            Err(TxError::BadNonce { .. })
+            | Err(TxError::InsufficientFunds)
+            | Err(TxError::IntrinsicGas) => TxOutcome {
                 rw: RwSet::new(),
                 receipt: Receipt {
                     success: false,
@@ -457,7 +466,11 @@ impl Starter {
         // applier will reject the block with a precise error.
         let lanes: Vec<Vec<usize>> = if block.profile.len() == block.transactions.len() {
             let schedule = self.scheduler.schedule(&block.profile, self.workers);
-            schedule.lanes.into_iter().filter(|l| !l.is_empty()).collect()
+            schedule
+                .lanes
+                .into_iter()
+                .filter(|l| !l.is_empty())
+                .collect()
         } else {
             let all: Vec<usize> = (0..block.transactions.len()).collect();
             if all.is_empty() {
@@ -582,7 +595,7 @@ fn validate_and_apply(task: &BlockTask) -> Result<(WorldState, Vec<Receipt>), Va
             world.set_code(*addr, (**code).clone());
         }
         gas_total += outcome.receipt.gas_used;
-        fees = fees + outcome.receipt.fee;
+        fees += outcome.receipt.fee;
         receipts.push(outcome.receipt.clone());
     }
     if gas_total != block.header.gas_used {
@@ -652,7 +665,10 @@ mod tests {
         proposer.propose(&pool, Arc::clone(base), parent, height)
     }
 
-    fn pipeline_with_genesis(workers: usize, world: &Arc<WorldState>) -> (ValidatorPipeline, BlockHash) {
+    fn pipeline_with_genesis(
+        workers: usize,
+        world: &Arc<WorldState>,
+    ) -> (ValidatorPipeline, BlockHash) {
         let pipeline = ValidatorPipeline::new(PipelineConfig {
             workers,
             granularity: ConflictGranularity::Account,
@@ -698,7 +714,10 @@ mod tests {
         let key = *entry.writes.keys().next().unwrap();
         entry.writes.insert(key, U256::from(123_456u64));
         let outcome = pipeline.validate_block(proposal.block);
-        assert_eq!(outcome.result, Err(ValidationError::ProfileMismatch { index: 0 }));
+        assert_eq!(
+            outcome.result,
+            Err(ValidationError::ProfileMismatch { index: 0 })
+        );
         pipeline.shutdown();
     }
 
@@ -720,7 +739,10 @@ mod tests {
         let mut proposal = propose_transfers(&world, genesis, 1, 1..5, 0);
         proposal.block.header.gas_used += 1;
         let outcome = pipeline.validate_block(proposal.block);
-        assert!(matches!(outcome.result, Err(ValidationError::GasMismatch { .. })));
+        assert!(matches!(
+            outcome.result,
+            Err(ValidationError::GasMismatch { .. })
+        ));
         pipeline.shutdown();
     }
 
@@ -776,7 +798,13 @@ mod tests {
         let mut parent = propose_transfers(&world, genesis, 1, 1..5, 0);
         parent.block.header.state_root = bp_types::H256::from_low_u64(0xBAD);
         let parent_hash = parent.block.hash();
-        let child = propose_transfers(&Arc::new(parent.post_state.clone()), parent_hash, 2, 1..5, 1);
+        let child = propose_transfers(
+            &Arc::new(parent.post_state.clone()),
+            parent_hash,
+            2,
+            1..5,
+            1,
+        );
         let hc = pipeline.submit(child.block);
         let hp = pipeline.submit(parent.block);
         assert!(!hp.wait().is_valid());

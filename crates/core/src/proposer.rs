@@ -48,7 +48,8 @@ impl Proposer {
         parent: BlockHash,
         height: Height,
     ) -> Proposal {
-        self.engine.propose(&self.pool, parent_state, parent, height)
+        self.engine
+            .propose(&self.pool, parent_state, parent, height)
     }
 
     /// The underlying OCC-WSI engine (for custom pools).
@@ -74,7 +75,13 @@ mod tests {
             ..Default::default()
         });
         proposer.submit_transactions((1..=10u64).map(|i| {
-            Transaction::transfer(Address::from_index(i), Address::from_index(99), U256::ONE, 0, i)
+            Transaction::transfer(
+                Address::from_index(i),
+                Address::from_index(99),
+                U256::ONE,
+                0,
+                i,
+            )
         }));
         assert_eq!(proposer.pool().len(), 10);
         let proposal = proposer.propose_block(world, BlockHash::ZERO, 1);

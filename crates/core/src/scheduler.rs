@@ -75,7 +75,12 @@ impl Schedule {
         if n == 0 {
             return 0.0;
         }
-        let largest = self.subgraphs.iter().map(|s| s.txs.len()).max().unwrap_or(0);
+        let largest = self
+            .subgraphs
+            .iter()
+            .map(|s| s.txs.len())
+            .max()
+            .unwrap_or(0);
         largest as f64 / n as f64
     }
 

@@ -1,28 +1,132 @@
-//! High-level validator node: the pipeline plus a fork-aware chain store.
+//! High-level validator node: the pipeline plus a fork-aware chain store,
+//! optionally backed by a persistent [`bp_store::Store`].
 
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 use bp_block::{genesis_header, Block, BlockProfile, ChainStore};
 use bp_state::WorldState;
-use bp_types::{BlockHash, Height};
+use bp_store::{Store, StoreError};
+use bp_types::{BlockHash, Height, H256};
 use parking_lot::Mutex;
 
 use crate::pipeline::{PipelineConfig, ValidationHandle, ValidationOutcome, ValidatorPipeline};
+
+/// How many recently committed state roots a persistent validator retains on
+/// disk. Older roots are pruned as new heads commit; the window is deep
+/// enough that a reorg within it never loses a needed state.
+pub const ROOT_RETENTION: usize = 8;
+
+/// Persistence context for a store-backed validator.
+struct StoreCtx {
+    store: Store,
+    /// Canonical blocks already durable — persisting them again would
+    /// double-retain their roots.
+    persisted: HashSet<BlockHash>,
+    /// Persisted roots in commit order, pruned beyond [`ROOT_RETENTION`].
+    recent_roots: VecDeque<(Height, H256)>,
+}
 
 /// A validator node.
 ///
 /// Receives blocks from the network (possibly several per height), validates
 /// them through the four-stage pipeline, tracks every fork in a
-/// [`ChainStore`], and commits the canonical chain.
+/// [`ChainStore`], and commits the canonical chain. With
+/// [`Validator::with_store`] every canonical commit is additionally made
+/// durable, and a restarted node rebuilds its chain and state by replaying
+/// the stored canonical chain from the genesis snapshot.
 pub struct Validator {
     pipeline: ValidatorPipeline,
     chain: Mutex<ChainStore>,
     genesis: BlockHash,
+    store: Option<Mutex<StoreCtx>>,
 }
 
 impl Validator {
-    /// Boots a validator from a genesis state.
+    /// Boots a validator from a genesis state (in-memory only).
     pub fn new(config: PipelineConfig, genesis_state: WorldState) -> Self {
+        let (validator, _) = Self::build(config, genesis_state);
+        validator
+    }
+
+    /// Boots a validator bound to a persistent store.
+    ///
+    /// * A fresh store is initialized from `genesis_state` (durable genesis
+    ///   snapshot + genesis block).
+    /// * An initialized store triggers **cold-start replay**: the genesis
+    ///   snapshot anchors the pipeline and every stored canonical block is
+    ///   re-validated in order, leaving the validator exactly where the last
+    ///   durable commit left it — the stored head, with its state resolvable
+    ///   from disk. `genesis_state` must match the stored snapshot.
+    pub fn with_store(
+        config: PipelineConfig,
+        genesis_state: WorldState,
+        store: Store,
+    ) -> Result<Self, StoreError> {
+        let mut store = store;
+        let recovering = store.is_initialized();
+        let genesis_state = if recovering {
+            let snapshot = store.genesis_state().expect("initialized store").clone();
+            if snapshot.state_root() != genesis_state.state_root() {
+                return Err(StoreError::Corrupt(
+                    "genesis state does not match the stored snapshot".into(),
+                ));
+            }
+            snapshot
+        } else {
+            genesis_state
+        };
+        let (mut validator, genesis_block) = Self::build(config, genesis_state.clone());
+
+        if !recovering {
+            store.initialize(&genesis_state, &genesis_block)?;
+        } else if store.head() == Some(genesis_block.hash()) {
+            // Stored chain is just the genesis: nothing to replay.
+        } else if !store.has_block(&genesis_block.hash()) {
+            return Err(StoreError::Corrupt(
+                "stored chain was built from a different genesis block".into(),
+            ));
+        }
+
+        let chain_blocks = store.canonical_chain()?;
+        let persisted: HashSet<BlockHash> = chain_blocks.iter().map(|b| b.hash()).collect();
+        let recent_roots: VecDeque<(Height, H256)> = chain_blocks
+            .iter()
+            .rev()
+            .take(ROOT_RETENTION)
+            .rev()
+            .map(|b| (b.height(), b.header.state_root))
+            .collect();
+        validator.store = Some(Mutex::new(StoreCtx {
+            store,
+            persisted,
+            recent_roots,
+        }));
+
+        // Cold-start replay: re-execute the stored canonical chain through
+        // the pipeline. Persistence is skipped (every hash is in
+        // `persisted`), so replay only rebuilds the in-memory view.
+        for block in chain_blocks.into_iter().filter(|b| b.height() > 0) {
+            let hash = block.hash();
+            let height = block.height();
+            let outcome = validator.receive_block(block).wait();
+            if !outcome.is_valid() {
+                return Err(StoreError::Corrupt(format!(
+                    "stored block {hash:?} at height {height} failed replay: {:?}",
+                    outcome.result
+                )));
+            }
+            if !validator.commit_canonical(hash) {
+                return Err(StoreError::Corrupt(format!(
+                    "stored block {hash:?} at height {height} does not extend the canonical chain"
+                )));
+            }
+        }
+        Ok(validator)
+    }
+
+    /// Shared construction: genesis block, chain store, pipeline.
+    fn build(config: PipelineConfig, genesis_state: WorldState) -> (Self, Block) {
         let header = genesis_header(genesis_state.state_root());
         let genesis_block = Block {
             header,
@@ -31,15 +135,19 @@ impl Validator {
         };
         let genesis = genesis_block.hash();
         let mut chain = ChainStore::new();
-        chain.insert(genesis_block);
+        chain.insert(genesis_block.clone());
         chain.set_canonical(genesis);
         let pipeline = ValidatorPipeline::new(config);
         pipeline.register_state(genesis, Arc::new(genesis_state));
-        Validator {
-            pipeline,
-            chain: Mutex::new(chain),
-            genesis,
-        }
+        (
+            Validator {
+                pipeline,
+                chain: Mutex::new(chain),
+                genesis,
+                store: None,
+            },
+            genesis_block,
+        )
     }
 
     /// Hash of the genesis block.
@@ -61,7 +169,7 @@ impl Validator {
         let hash = block.hash();
         let outcome = self.receive_block(block).wait();
         if outcome.is_valid() {
-            self.chain.lock().set_canonical(hash);
+            self.commit_canonical(hash);
         }
         outcome
     }
@@ -70,6 +178,11 @@ impl Validator {
     pub fn head(&self) -> Option<(BlockHash, Height)> {
         let chain = self.chain.lock();
         chain.head().map(|b| (b.hash(), b.height()))
+    }
+
+    /// The state root of the canonical head.
+    pub fn head_state_root(&self) -> Option<H256> {
+        self.chain.lock().head().map(|b| b.header.state_root)
     }
 
     /// Number of blocks known at `height` (canonical + uncles).
@@ -83,10 +196,15 @@ impl Validator {
     }
 
     /// Marks an already-validated block canonical at its height (the local
-    /// effect of a fork-choice decision arriving from consensus). Returns
-    /// false if the block is unknown or does not extend the canonical chain.
+    /// effect of a fork-choice decision arriving from consensus) and, on a
+    /// store-backed validator, durably persists it. Returns false if the
+    /// block is unknown or does not extend the canonical chain.
     pub fn commit_canonical(&self, hash: BlockHash) -> bool {
-        self.chain.lock().set_canonical(hash)
+        let accepted = self.chain.lock().set_canonical(hash);
+        if accepted {
+            self.persist(hash);
+        }
+        accepted
     }
 
     /// The canonical block hash at `height`, if decided.
@@ -97,5 +215,178 @@ impl Validator {
     /// Direct access to the pipeline (e.g. for multi-block benchmarks).
     pub fn pipeline(&self) -> &ValidatorPipeline {
         &self.pipeline
+    }
+
+    /// Runs `f` against the persistent store, if this validator has one.
+    pub fn with_store_ref<R>(&self, f: impl FnOnce(&Store) -> R) -> Option<R> {
+        self.store.as_ref().map(|ctx| f(&ctx.lock().store))
+    }
+
+    /// Tears the validator down, returning its store (if any) with all
+    /// committed state durable — the handle a restarted node reopens from.
+    pub fn into_store(self) -> Option<Store> {
+        self.store.map(|ctx| ctx.into_inner().store)
+    }
+
+    /// Durably records a newly canonical block: block bytes, its post-state
+    /// trie nodes, a retention-window prune, then the manifest swap. A
+    /// storage failure here is unrecoverable by design (the durable view
+    /// would silently diverge), so it panics like fsync-gated databases do.
+    fn persist(&self, hash: BlockHash) {
+        let Some(ctx) = &self.store else {
+            return;
+        };
+        let mut ctx = ctx.lock();
+        if ctx.persisted.contains(&hash) {
+            return;
+        }
+        let block = self
+            .chain
+            .lock()
+            .get(&hash)
+            .cloned()
+            .expect("canonical block is in the chain store");
+        let state = self
+            .pipeline
+            .state_of(&hash)
+            .expect("canonical block has a validated post-state");
+        let (root, nodes) = state.commit_tries();
+        debug_assert_eq!(root, block.header.state_root);
+        let height = block.height();
+        let result: Result<(), StoreError> = (|| {
+            ctx.store.put_block(&block)?;
+            ctx.store.commit_root(root, &nodes)?;
+            ctx.recent_roots.push_back((height, root));
+            while ctx.recent_roots.len() > ROOT_RETENTION {
+                let (_, old) = ctx.recent_roots.pop_front().expect("len checked");
+                ctx.store.prune(old)?;
+            }
+            ctx.store.commit(hash)
+        })();
+        result.expect("persistent store commit failed");
+        ctx.persisted.insert(hash);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occ_wsi::{OccWsiConfig, OccWsiProposer};
+    use bp_evm::{BlockEnv, Transaction};
+    use bp_store::store::test_dir;
+    use bp_txpool::TxPool;
+    use bp_types::{Address, U256};
+
+    fn addr(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    fn genesis_world(n: u64) -> WorldState {
+        let mut w = WorldState::new();
+        for i in 1..=n {
+            w.set_balance(addr(i), U256::from(1_000_000_000u64));
+        }
+        w
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig {
+            workers: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Proposes and commits `heights` blocks of transfers on `validator`.
+    fn grow_chain(validator: &Validator, heights: u64, start_nonce: u64) {
+        for h in 1..=heights {
+            let (parent, parent_height) = validator.head().expect("head exists");
+            let base = validator.pipeline().state_of(&parent).expect("head state");
+            let pool = TxPool::new();
+            for i in 1..=6u64 {
+                pool.add(Transaction::transfer(
+                    addr(i),
+                    addr(i + 50),
+                    U256::from(5u64),
+                    start_nonce + h - 1,
+                    i,
+                ));
+            }
+            let proposer = OccWsiProposer::new(OccWsiConfig {
+                threads: 2,
+                env: BlockEnv {
+                    number: parent_height + 1,
+                    ..BlockEnv::default()
+                },
+                ..Default::default()
+            });
+            let proposal = proposer.propose(&pool, base, parent, parent_height + 1);
+            let outcome = validator.validate_and_commit(proposal.block);
+            assert!(outcome.is_valid(), "{:?}", outcome.result);
+        }
+    }
+
+    #[test]
+    fn store_backed_validator_recovers_head_and_state() {
+        let dir = test_dir("validator-recovery");
+        let world = genesis_world(60);
+        let (head, height, root) = {
+            let validator =
+                Validator::with_store(config(), world.clone(), Store::open(&dir).unwrap()).unwrap();
+            grow_chain(&validator, 3, 0);
+            let (head, height) = validator.head().unwrap();
+            let root = validator.head_state_root().unwrap();
+            // All committed state is durable; drop the validator (crash-like
+            // from the chain's perspective — nothing extra flushed on drop).
+            (head, height, root)
+        };
+        let recovered =
+            Validator::with_store(config(), world.clone(), Store::open(&dir).unwrap()).unwrap();
+        assert_eq!(recovered.head(), Some((head, height)));
+        assert_eq!(recovered.head_state_root(), Some(root));
+        // The recovered head state is resolvable from disk and the pipeline
+        // can keep extending the chain.
+        recovered
+            .with_store_ref(|s| {
+                assert_eq!(s.open_trie(root).unwrap().root_hash(), root);
+            })
+            .unwrap();
+        grow_chain(&recovered, 1, 3);
+        assert_eq!(recovered.head().unwrap().1, height + 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_genesis_is_rejected_on_recovery() {
+        let dir = test_dir("validator-genesis-mismatch");
+        {
+            let validator =
+                Validator::with_store(config(), genesis_world(10), Store::open(&dir).unwrap())
+                    .unwrap();
+            grow_chain(&validator, 1, 0);
+        }
+        let err =
+            match Validator::with_store(config(), genesis_world(11), Store::open(&dir).unwrap()) {
+                Ok(_) => panic!("mismatched genesis must be rejected"),
+                Err(e) => e,
+            };
+        assert!(matches!(err, StoreError::Corrupt(_)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn root_retention_prunes_old_roots() {
+        let dir = test_dir("validator-retention");
+        let world = genesis_world(60);
+        let validator =
+            Validator::with_store(config(), world.clone(), Store::open(&dir).unwrap()).unwrap();
+        let genesis_root = world.state_root();
+        grow_chain(&validator, ROOT_RETENTION as u64 + 2, 0);
+        validator
+            .with_store_ref(|s| {
+                assert_eq!(s.roots().len(), ROOT_RETENTION);
+                assert!(!s.contains_root(&genesis_root));
+            })
+            .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

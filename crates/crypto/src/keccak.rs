@@ -60,8 +60,8 @@ fn keccak_f(state: &mut [[u64; 5]; 5]) {
         }
         for x in 0..5 {
             let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
-            for y in 0..5 {
-                state[x][y] ^= d;
+            for lane in &mut state[x] {
+                *lane ^= d;
             }
         }
         // ρ and π

@@ -264,7 +264,10 @@ pub fn decode_at(data: &[u8]) -> Result<(Item, usize), DecodeError> {
             let payload = rest
                 .get(len_of_len..len_of_len + len)
                 .ok_or(DecodeError::UnexpectedEof)?;
-            Ok((Item::List(decode_list_payload(payload)?), 1 + len_of_len + len))
+            Ok((
+                Item::List(decode_list_payload(payload)?),
+                1 + len_of_len + len,
+            ))
         }
     }
 }
@@ -381,7 +384,11 @@ mod tests {
         // [ [], [[]], [ [], [[]] ] ]
         let empty = Item::List(vec![]);
         let one = Item::List(vec![empty.clone()]);
-        let three = Item::List(vec![empty.clone(), one.clone(), Item::List(vec![empty, one])]);
+        let three = Item::List(vec![
+            empty.clone(),
+            one.clone(),
+            Item::List(vec![empty, one]),
+        ]);
         assert_eq!(
             encode_item(&three),
             vec![0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0]

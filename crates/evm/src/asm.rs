@@ -121,7 +121,10 @@ impl Asm {
                 }
             }
         }
-        assert!(pc <= u16::MAX as usize, "program too large for 2-byte labels");
+        assert!(
+            pc <= u16::MAX as usize,
+            "program too large for 2-byte labels"
+        );
         let mut out = Vec::with_capacity(pc);
         for chunk in &self.chunks {
             match chunk {
@@ -147,7 +150,11 @@ mod tests {
 
     #[test]
     fn push_widths_are_minimal() {
-        let code = Asm::new().push(U256::ZERO).push(U256::from(0xFFu64)).push(U256::from(0x1234u64)).build();
+        let code = Asm::new()
+            .push(U256::ZERO)
+            .push(U256::from(0xFFu64))
+            .push(U256::from(0x1234u64))
+            .build();
         assert_eq!(code, vec![0x60, 0x00, 0x60, 0xFF, 0x61, 0x12, 0x34]);
     }
 

@@ -202,7 +202,8 @@ mod tests {
         let c = addr(100);
         w.set_code(c, counter());
         let view = WorldView(&w);
-        let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), c, vec![], 0)).unwrap();
+        let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), c, vec![], 0))
+            .unwrap();
         assert!(res.receipt.success);
         assert_eq!(
             res.rw.writes[&AccessKey::Storage(c, H256::from_low_u64(0))],
@@ -211,7 +212,9 @@ mod tests {
         // Apply and increment again.
         w.apply_writes(&res.rw.writes);
         let view = WorldView(&w);
-        let res2 = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(2), c, vec![], 0)).unwrap();
+        let res2 =
+            execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(2), c, vec![], 0))
+                .unwrap();
         assert_eq!(
             res2.rw.writes[&AccessKey::Storage(c, H256::from_low_u64(0))],
             U256::from(2u64)
@@ -226,7 +229,8 @@ mod tests {
         w.set_storage(t, token_balance_slot(&addr(1)), U256::from(1000u64));
         let view = WorldView(&w);
         let data = token_transfer_calldata(&addr(2), U256::from(300u64));
-        let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), t, data, 0)).unwrap();
+        let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), t, data, 0))
+            .unwrap();
         assert!(res.receipt.success, "transfer should succeed");
         assert_eq!(
             res.rw.writes[&AccessKey::Storage(t, token_balance_slot(&addr(1)))],
@@ -246,7 +250,8 @@ mod tests {
         w.set_storage(t, token_balance_slot(&addr(1)), U256::from(10u64));
         let view = WorldView(&w);
         let data = token_transfer_calldata(&addr(2), U256::from(300u64));
-        let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), t, data, 0)).unwrap();
+        let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), t, data, 0))
+            .unwrap();
         assert!(!res.receipt.success);
         // No token slots written.
         assert!(!res
@@ -284,7 +289,8 @@ mod tests {
         w.set_storage(p, amm_reserve_slot(1), U256::from(1_000_000u64));
         let view = WorldView(&w);
         let data = amm_swap_calldata(0, U256::from(10_000u64));
-        let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), p, data, 0)).unwrap();
+        let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), p, data, 0))
+            .unwrap();
         assert!(res.receipt.success);
         let r0 = res.rw.writes[&AccessKey::Storage(p, amm_reserve_slot(0))];
         let r1 = res.rw.writes[&AccessKey::Storage(p, amm_reserve_slot(1))];
@@ -367,7 +373,8 @@ mod tests {
         let c = addr(100);
         w.set_code(c, counter());
         let view = WorldView(&w);
-        let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), c, vec![], 0)).unwrap();
+        let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), c, vec![], 0))
+            .unwrap();
         // 21000 intrinsic + SLOAD + SSTORE_SET dominate.
         assert!(res.receipt.gas_used > 21_000 + crate::gas::SLOAD + crate::gas::SSTORE_SET - 100);
     }

@@ -92,10 +92,24 @@ pub fn memory_expansion(from_words: u64, to_words: u64) -> Gas {
 pub fn intrinsic_gas(data: &[u8], is_create: bool) -> Gas {
     let data_gas: Gas = data
         .iter()
-        .map(|&b| if b == 0 { TX_DATA_ZERO } else { TX_DATA_NONZERO })
+        .map(|&b| {
+            if b == 0 {
+                TX_DATA_ZERO
+            } else {
+                TX_DATA_NONZERO
+            }
+        })
         .sum();
     TX_BASE + data_gas + if is_create { TX_CREATE } else { 0 }
 }
+
+// The scheduler's gas-as-time proxy relies on storage ops dominating ALU
+// work; checked at compile time.
+const _: () = {
+    assert!(SLOAD > 100 * VERYLOW);
+    assert!(SSTORE_SET > SLOAD);
+    assert!(SSTORE_RESET > SLOAD);
+};
 
 #[cfg(test)]
 mod tests {
@@ -109,7 +123,10 @@ mod tests {
 
     #[test]
     fn intrinsic_counts_data_bytes() {
-        assert_eq!(intrinsic_gas(&[0, 0, 1, 2], false), 21_000 + 4 + 4 + 16 + 16);
+        assert_eq!(
+            intrinsic_gas(&[0, 0, 1, 2], false),
+            21_000 + 4 + 4 + 16 + 16
+        );
     }
 
     #[test]
@@ -125,13 +142,5 @@ mod tests {
             memory_expansion(5, 10) + memory_expansion(0, 5),
             memory_cost(10)
         );
-    }
-
-    #[test]
-    fn storage_ops_dominate_alu() {
-        // The scheduler's gas-as-time proxy relies on this ordering.
-        assert!(SLOAD > 100 * VERYLOW);
-        assert!(SSTORE_SET > SLOAD);
-        assert!(SSTORE_RESET > SLOAD);
     }
 }

@@ -377,8 +377,11 @@ pub fn run_frame<V: StateView>(
                 let n = len.to_usize().unwrap_or(0);
                 let s = src.to_usize().unwrap_or(usize::MAX);
                 for j in 0..n {
-                    m.memory[dst_off + j] =
-                        s.checked_add(j).and_then(|i| frame.input.get(i)).copied().unwrap_or(0);
+                    m.memory[dst_off + j] = s
+                        .checked_add(j)
+                        .and_then(|i| frame.input.get(i))
+                        .copied()
+                        .unwrap_or(0);
                 }
             }
             Op::CodeSize => {
@@ -395,8 +398,11 @@ pub fn run_frame<V: StateView>(
                 let n = len.to_usize().unwrap_or(0);
                 let s = src.to_usize().unwrap_or(usize::MAX);
                 for j in 0..n {
-                    m.memory[dst_off + j] =
-                        s.checked_add(j).and_then(|i| code.get(i)).copied().unwrap_or(0);
+                    m.memory[dst_off + j] = s
+                        .checked_add(j)
+                        .and_then(|i| code.get(i))
+                        .copied()
+                        .unwrap_or(0);
                 }
             }
             Op::ReturnDataSize => {
@@ -439,8 +445,11 @@ pub fn run_frame<V: StateView>(
                 let n = len.to_usize().unwrap_or(0);
                 let s = src.to_usize().unwrap_or(usize::MAX);
                 for j in 0..n {
-                    m.memory[dst_off + j] =
-                        s.checked_add(j).and_then(|i| ext.get(i)).copied().unwrap_or(0);
+                    m.memory[dst_off + j] = s
+                        .checked_add(j)
+                        .and_then(|i| ext.get(i))
+                        .copied()
+                        .unwrap_or(0);
                 }
             }
             Op::GasPrice => {
@@ -550,9 +559,7 @@ pub fn run_frame<V: StateView>(
                 }
                 let data_len = len.to_u64().ok_or(VmError::OutOfGas)?;
                 m.charge(
-                    gas::LOG
-                        + gas::LOG_TOPIC * topic_count as u64
-                        + gas::LOG_DATA * data_len,
+                    gas::LOG + gas::LOG_TOPIC * topic_count as u64 + gas::LOG_DATA * data_len,
                 )?;
                 let off = m.expand_memory(offset, len)?;
                 let data = m.mem_slice(off, data_len as usize).to_vec();
@@ -574,15 +581,8 @@ pub fn run_frame<V: StateView>(
                 let init = m.mem_slice(off, len.to_usize().unwrap_or(0)).to_vec();
                 let forwarded = m.gas_left - m.gas_left / 64;
                 m.charge(forwarded)?;
-                let (created, gas_returned) = do_create(
-                    host,
-                    env,
-                    &frame,
-                    value,
-                    init,
-                    forwarded,
-                    depth,
-                );
+                let (created, gas_returned) =
+                    do_create(host, env, &frame, value, init, forwarded, depth);
                 m.gas_left += gas_returned;
                 m.return_data.clear();
                 match created {
@@ -621,7 +621,11 @@ pub fn run_frame<V: StateView>(
                 let cap = m.gas_left - m.gas_left / 64;
                 let forwarded = gas_req.to_u64().unwrap_or(u64::MAX).min(cap);
                 m.charge(forwarded)?;
-                let stipend = if transfers_value { gas::CALL_STIPEND } else { 0 };
+                let stipend = if transfers_value {
+                    gas::CALL_STIPEND
+                } else {
+                    0
+                };
 
                 let kind = match op {
                     Op::Call => CallKind::Call,
@@ -861,7 +865,11 @@ mod tests {
         Address::from_index(i)
     }
 
-    fn run_code(code: Vec<u8>, input: Vec<u8>, world: &WorldState) -> (Result<FrameResult, VmError>, bp_types::RwSet) {
+    fn run_code(
+        code: Vec<u8>,
+        input: Vec<u8>,
+        world: &WorldState,
+    ) -> (Result<FrameResult, VmError>, bp_types::RwSet) {
         let view = WorldView(world);
         let mut host = BufferedHost::new(&view);
         let frame = Frame {
@@ -944,7 +952,9 @@ mod tests {
             U256::ONE
         );
         assert_eq!(
-            returns_word(ret_top(Asm::new().push_u64(0b1100).push_u64(0b1010).op(Op::And))),
+            returns_word(ret_top(
+                Asm::new().push_u64(0b1100).push_u64(0b1010).op(Op::And)
+            )),
             U256::from(0b1000u64)
         );
     }
@@ -977,7 +987,9 @@ mod tests {
             .build();
         let (res, rw) = run_code(code, Vec::new(), &w);
         assert!(!res.unwrap().reverted);
-        assert!(rw.reads.contains_key(&AccessKey::Storage(addr(100), H256::from_low_u64(1))));
+        assert!(rw
+            .reads
+            .contains_key(&AccessKey::Storage(addr(100), H256::from_low_u64(1))));
         assert_eq!(
             rw.writes[&AccessKey::Storage(addr(100), H256::from_low_u64(2))],
             U256::from(8u64)
@@ -1073,7 +1085,14 @@ mod tests {
             origin: addr(1),
             value: U256::ZERO,
             input: Vec::new(),
-            code: Arc::new(Asm::new().push_u64(1).push_u64(2).op(Op::Add).op(Op::Stop).build()),
+            code: Arc::new(
+                Asm::new()
+                    .push_u64(1)
+                    .push_u64(2)
+                    .op(Op::Add)
+                    .op(Op::Stop)
+                    .build(),
+            ),
             gas: 5, // two pushes alone need 6
             gas_price: 1,
             is_static: false,
@@ -1182,7 +1201,10 @@ mod tests {
         let out = res.unwrap();
         assert_eq!(U256::from_be_slice(&out.output), U256::ONE);
         assert_eq!(rw.writes[&AccessKey::Balance(addr(55))], U256::from(77u64));
-        assert_eq!(rw.writes[&AccessKey::Balance(addr(100))], U256::from(923u64));
+        assert_eq!(
+            rw.writes[&AccessKey::Balance(addr(100))],
+            U256::from(923u64)
+        );
     }
 
     #[test]
@@ -1303,7 +1325,9 @@ mod tests {
         );
         // SIGNEXTEND(0, 0xFF) = -1.
         assert_eq!(
-            returns_word(ret_top(Asm::new().push_u64(0xFF).push_u64(0).op(Op::SignExtend))),
+            returns_word(ret_top(
+                Asm::new().push_u64(0xFF).push_u64(0).op(Op::SignExtend)
+            )),
             U256::MAX
         );
         // SAR: -4 >> 1 = -2.
@@ -1381,7 +1405,10 @@ mod tests {
             .op(Op::Return)
             .build();
         let (res, _) = run_code(code, Vec::new(), &w);
-        assert_eq!(U256::from_be_slice(&res.unwrap().output), U256::from(0x2Au64));
+        assert_eq!(
+            U256::from_be_slice(&res.unwrap().output),
+            U256::from(0x2Au64)
+        );
     }
 
     #[test]
@@ -1487,7 +1514,12 @@ mod tests {
         let mut w = WorldState::new();
         w.set_balance(addr(100), U256::from(1_000_000u64));
         // Inner: SSTORE.
-        let inner = Asm::new().push_u64(1).push_u64(0).op(Op::SStore).op(Op::Stop).build();
+        let inner = Asm::new()
+            .push_u64(1)
+            .push_u64(0)
+            .op(Op::SStore)
+            .op(Op::Stop)
+            .build();
         w.set_code(addr(201), inner);
         // Middle: plain CALL to inner, returns inner's success flag.
         let middle = ret_top(

@@ -198,7 +198,10 @@ mod tests {
     #[test]
     fn push_dup_swap_ranges_excluded() {
         for b in PUSH1..=SWAP16 {
-            assert!(Op::from_byte(b).is_none(), "0x{b:02x} should be range-decoded");
+            assert!(
+                Op::from_byte(b).is_none(),
+                "0x{b:02x} should be range-decoded"
+            );
         }
     }
 

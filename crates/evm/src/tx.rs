@@ -156,7 +156,9 @@ pub fn execute_transaction<V: StateView>(
 
     let gas_cost = U256::from(tx.gas_limit) * U256::from(tx.gas_price);
     let balance = host.balance(&tx.sender);
-    let needed = gas_cost.checked_add(tx.value).ok_or(TxError::InsufficientFunds)?;
+    let needed = gas_cost
+        .checked_add(tx.value)
+        .ok_or(TxError::InsufficientFunds)?;
     if balance < needed {
         return Err(TxError::InsufficientFunds);
     }
@@ -168,8 +170,7 @@ pub fn execute_transaction<V: StateView>(
 
     let cp = host.checkpoint();
     let exec_gas = tx.gas_limit - intrinsic;
-    let (mut success, mut gas_left, mut output, mut created) =
-        (true, exec_gas, Vec::new(), None);
+    let (mut success, mut gas_left, mut output, mut created) = (true, exec_gas, Vec::new(), None);
 
     match &tx.to {
         Some(to) => {
@@ -301,7 +302,10 @@ mod tests {
         assert!(res.receipt.success);
         assert_eq!(res.receipt.gas_used, 21_000);
         assert_eq!(res.receipt.fee, U256::from(21_000u64));
-        assert_eq!(res.rw.writes[&AccessKey::Balance(addr(2))], U256::from(500u64));
+        assert_eq!(
+            res.rw.writes[&AccessKey::Balance(addr(2))],
+            U256::from(500u64)
+        );
         assert_eq!(
             res.rw.writes[&AccessKey::Balance(addr(1))],
             U256::from(10_000_000u64 - 500 - 21_000)
@@ -316,7 +320,10 @@ mod tests {
         let tx = Transaction::transfer(addr(1), addr(2), U256::ONE, 5, 1);
         assert_eq!(
             execute_transaction(&view, &BlockEnv::default(), &tx).unwrap_err(),
-            TxError::BadNonce { expected: 0, got: 5 }
+            TxError::BadNonce {
+                expected: 0,
+                got: 5
+            }
         );
     }
 
@@ -379,10 +386,7 @@ mod tests {
         // Nonce and fee deduction survive.
         assert_eq!(res.rw.writes[&AccessKey::Nonce(addr(1))], U256::ONE);
         let final_balance = res.rw.writes[&AccessKey::Balance(addr(1))];
-        assert_eq!(
-            final_balance,
-            U256::from(10_000_000u64) - res.receipt.fee
-        );
+        assert_eq!(final_balance, U256::from(10_000_000u64) - res.receipt.fee);
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub mod proposer;
 pub mod validator;
 
 pub use pipeline::{simulate_multiblock, MultiBlockSimResult};
-pub use proposer::{simulate_proposer, simulate_proposer_with_rule, ProposerSimResult, ValidationRule};
+pub use proposer::{
+    simulate_proposer, simulate_proposer_with_rule, ProposerSimResult, ValidationRule,
+};
 pub use validator::{simulate_validator, ValidatorSimResult};
 
 use bp_types::Gas;

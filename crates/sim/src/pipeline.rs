@@ -65,9 +65,8 @@ pub fn simulate_multiblock(
 
     // Workers: min-heap of (available time, worker id); remember each
     // worker's last block for the switch penalty.
-    let mut heap: BinaryHeap<Reverse<(Gas, usize)>> = (0..workers)
-        .map(|w| Reverse((0, w)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(Gas, usize)>> =
+        (0..workers).map(|w| Reverse((0, w))).collect();
     let mut last_block: Vec<Option<usize>> = vec![None; workers];
     let mut block_exec_finish: Vec<Gas> = vec![0; blocks.len()];
     let mut switches: u64 = 0;
@@ -91,8 +90,7 @@ pub fn simulate_multiblock(
     // `(B-1)/B` fraction of results arrive from a different block than the
     // previous one and pay the cross-context cost.
     let b_count = blocks.len().max(1) as u64;
-    let applier_tx_cost =
-        model.applier_per_tx + model.applier_switch * (b_count - 1) / b_count;
+    let applier_tx_cost = model.applier_per_tx + model.applier_switch * (b_count - 1) / b_count;
     // The applier streams: it consumes results from every in-flight block
     // while lanes still execute, so the run ends when both the slowest lane
     // has finished (plus its block's preparation) and the single applier has
@@ -170,8 +168,18 @@ mod tests {
         let one = mk(1);
         let two = mk(2);
         let four = mk(4);
-        assert!(two.speedup > one.speedup, "{} vs {}", two.speedup, one.speedup);
-        assert!(four.speedup > two.speedup, "{} vs {}", four.speedup, two.speedup);
+        assert!(
+            two.speedup > one.speedup,
+            "{} vs {}",
+            two.speedup,
+            one.speedup
+        );
+        assert!(
+            four.speedup > two.speedup,
+            "{} vs {}",
+            four.speedup,
+            two.speedup
+        );
     }
 
     #[test]

@@ -206,8 +206,7 @@ pub fn simulate_proposer_with_rule(
                 let stale = match sim.rule {
                     ValidationRule::Wsi => outcome.reads.iter().any(key_stale),
                     ValidationRule::ClassicOcc => {
-                        outcome.reads.iter().any(key_stale)
-                            || outcome.writes.keys().any(key_stale)
+                        outcome.reads.iter().any(key_stale) || outcome.writes.keys().any(key_stale)
                     }
                 };
                 if stale {
@@ -392,14 +391,25 @@ mod tests {
             })
             .collect();
         for i in 13..=24u64 {
-            txs.push(Transaction::transfer(addr(i), addr(i + 12), U256::ONE, 0, 1));
+            txs.push(Transaction::transfer(
+                addr(i),
+                addr(i + 12),
+                U256::ONE,
+                0,
+                1,
+            ));
         }
         let model = CostModel::default();
         let wsi = simulate_proposer_with_rule(&base, &env, &txs, 8, &model, ValidationRule::Wsi);
         let occ =
             simulate_proposer_with_rule(&base, &env, &txs, 8, &model, ValidationRule::ClassicOcc);
         assert_eq!(wsi.committed, occ.committed);
-        assert!(occ.aborts >= wsi.aborts, "occ {} < wsi {}", occ.aborts, wsi.aborts);
+        assert!(
+            occ.aborts >= wsi.aborts,
+            "occ {} < wsi {}",
+            occ.aborts,
+            wsi.aborts
+        );
     }
 
     #[test]

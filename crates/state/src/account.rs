@@ -1,7 +1,7 @@
 //! The Ethereum account: the RLP structure stored in the state trie.
 
-use bp_crypto::rlp::{self, DecodeError, RlpStream};
 use bp_crypto::keccak256;
+use bp_crypto::rlp::{self, DecodeError, RlpStream};
 use bp_types::{H256, U256};
 
 use crate::trie;
@@ -104,11 +104,15 @@ mod tests {
 
     #[test]
     fn nonzero_fields_not_empty() {
-        let mut a = Account::default();
-        a.nonce = 1;
+        let a = Account {
+            nonce: 1,
+            ..Account::default()
+        };
         assert!(!a.is_empty());
-        let mut b = Account::default();
-        b.balance = U256::ONE;
+        let b = Account {
+            balance: U256::ONE,
+            ..Account::default()
+        };
         assert!(!b.is_empty());
     }
 

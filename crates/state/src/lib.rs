@@ -16,5 +16,7 @@ pub mod world;
 
 pub use account::Account;
 pub use mvstate::MultiVersionState;
-pub use trie::{empty_root, verify_proof, Trie};
+pub use trie::{
+    empty_root, summarize_node, verify_proof, NodeResolver, NodeSummary, Trie, TrieLoadError,
+};
 pub use world::{AccountState, WorldState};

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use bp_concurrent::ShardedMap;
-use bp_types::{AccessKey, Address, U256, WriteSet};
+use bp_types::{AccessKey, Address, WriteSet, U256};
 
 use crate::world::WorldState;
 
@@ -45,12 +45,7 @@ impl MultiVersionState {
     /// and the version it was committed at (0 for base reads).
     pub fn read_at(&self, key: &AccessKey, version: u64) -> (U256, u64) {
         let hit = self.versions.with(key, |chain| {
-            chain.and_then(|c| {
-                c.iter()
-                    .rev()
-                    .find(|(v, _)| *v <= version)
-                    .copied()
-            })
+            chain.and_then(|c| c.iter().rev().find(|(v, _)| *v <= version).copied())
         });
         match hit {
             Some((v, value)) => (value, v),
@@ -79,9 +74,7 @@ impl MultiVersionState {
     /// Code of `addr` as visible in this block (base code unless a creation
     /// installed new code).
     pub fn code(&self, addr: &Address) -> Arc<Vec<u8>> {
-        self.code
-            .get(addr)
-            .unwrap_or_else(|| self.base.code(addr))
+        self.code.get(addr).unwrap_or_else(|| self.base.code(addr))
     }
 
     /// Installs code created during the block.
@@ -176,7 +169,10 @@ mod tests {
         let mv = mv_with_base();
         let mut w: WriteSet = Default::default();
         w.insert(bal(1), U256::from(42u64));
-        w.insert(AccessKey::Storage(addr(2), H256::from_low_u64(1)), U256::from(8u64));
+        w.insert(
+            AccessKey::Storage(addr(2), H256::from_low_u64(1)),
+            U256::from(8u64),
+        );
         mv.commit_writes(&w, 1);
         let mut w2: WriteSet = Default::default();
         w2.insert(bal(1), U256::from(43u64));
@@ -184,7 +180,10 @@ mod tests {
 
         let at1 = mv.materialize(1);
         assert_eq!(at1.balance(&addr(1)), U256::from(42u64));
-        assert_eq!(at1.storage(&addr(2), &H256::from_low_u64(1)), U256::from(8u64));
+        assert_eq!(
+            at1.storage(&addr(2), &H256::from_low_u64(1)),
+            U256::from(8u64)
+        );
 
         let at2 = mv.materialize(2);
         assert_eq!(at2.balance(&addr(1)), U256::from(43u64));

@@ -125,7 +125,10 @@ mod tests {
     fn hex_prefix_spec_vectors() {
         // From the yellow paper appendix C examples.
         // [1, 2, 3, 4, 5] extension (odd) -> 0x11 0x23 0x45
-        assert_eq!(Nibbles(vec![1, 2, 3, 4, 5]).hex_prefix(false), vec![0x11, 0x23, 0x45]);
+        assert_eq!(
+            Nibbles(vec![1, 2, 3, 4, 5]).hex_prefix(false),
+            vec![0x11, 0x23, 0x45]
+        );
         // [0, 1, 2, 3, 4, 5] extension (even) -> 0x00 0x01 0x23 0x45
         assert_eq!(
             Nibbles(vec![0, 1, 2, 3, 4, 5]).hex_prefix(false),

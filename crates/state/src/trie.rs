@@ -9,9 +9,16 @@
 //!
 //! The trie also produces Merkle proofs ([`Trie::prove`] /
 //! [`verify_proof`]), used in tests to cross-check the commitment logic.
+//!
+//! For persistence the trie can be decomposed into its *hashed nodes*
+//! ([`Trie::commit_nodes`]) — the `(keccak(encoding), encoding)` pairs a node
+//! database stores — and reconstructed from a root hash by resolving child
+//! references through a [`NodeResolver`] ([`Trie::from_root`]). Nodes whose
+//! encoding is shorter than 32 bytes are inlined in their parent (the MPT
+//! inlining rule) and never hit the database.
 
-use bp_crypto::rlp::{self, Item, RlpStream};
 use bp_crypto::keccak256;
+use bp_crypto::rlp::{self, Item, RlpStream};
 use bp_types::H256;
 
 use crate::nibbles::Nibbles;
@@ -119,6 +126,258 @@ impl Trie {
         prove_at(&self.root, &path, 0, &mut proof);
         proof
     }
+
+    /// Decomposes the trie into its root hash and every *hashed* node —
+    /// `(keccak(encoding), encoding)` for the root and for each node whose
+    /// encoding is at least 32 bytes. Shorter nodes are inlined into their
+    /// parent's encoding and carry no identity of their own.
+    ///
+    /// A node referenced from several places (identical subtrees) is emitted
+    /// once **per reference**, so a reference-counting store that increments
+    /// on commit and decrements along a traversal stays balanced.
+    pub fn commit_nodes(&self) -> (H256, Vec<(H256, Vec<u8>)>) {
+        if matches!(self.root, Node::Empty) {
+            return (empty_root(), Vec::new());
+        }
+        let mut out = Vec::new();
+        let enc = collect_nodes(&self.root, &mut out);
+        let root = keccak256(&enc);
+        out.push((root, enc));
+        (root, out)
+    }
+
+    /// Reconstructs a trie from its root hash, resolving hashed children
+    /// through `resolver`. The inverse of [`Trie::commit_nodes`]: a round
+    /// trip reproduces the identical contents and root hash.
+    pub fn from_root(root: H256, resolver: &dyn NodeResolver) -> Result<Trie, TrieLoadError> {
+        if root == empty_root() {
+            return Ok(Trie::new());
+        }
+        let bytes = resolver
+            .resolve_node(&root)
+            .ok_or(TrieLoadError::MissingNode(root))?;
+        if keccak256(&bytes) != root {
+            return Err(TrieLoadError::HashMismatch(root));
+        }
+        let item = rlp::decode(&bytes).map_err(|_| TrieLoadError::BadNode(root))?;
+        let node = node_from_item(&item, resolver)?;
+        Ok(Trie { root: node })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence: node decomposition and resolver-based loading
+// ---------------------------------------------------------------------------
+
+/// Resolves trie nodes by hash — the bridge between in-memory tries and a
+/// persistent node database.
+pub trait NodeResolver {
+    /// The encoding of the node hashing to `hash`, if stored.
+    fn resolve_node(&self, hash: &H256) -> Option<Vec<u8>>;
+}
+
+impl NodeResolver for std::collections::HashMap<H256, Vec<u8>> {
+    fn resolve_node(&self, hash: &H256) -> Option<Vec<u8>> {
+        self.get(hash).cloned()
+    }
+}
+
+/// Failures reconstructing a trie from a [`NodeResolver`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TrieLoadError {
+    /// A referenced node is absent from the resolver.
+    MissingNode(H256),
+    /// A stored node failed to decode as a trie node.
+    BadNode(H256),
+    /// A stored node's bytes do not hash to the requested hash.
+    HashMismatch(H256),
+}
+
+impl std::fmt::Display for TrieLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrieLoadError::MissingNode(h) => write!(f, "missing trie node {h:?}"),
+            TrieLoadError::BadNode(h) => write!(f, "undecodable trie node {h:?}"),
+            TrieLoadError::HashMismatch(h) => write!(f, "trie node bytes do not hash to {h:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TrieLoadError {}
+
+/// The storage-relevant structure of one encoded trie node: which children it
+/// references by hash, and which values it carries (its own and those of any
+/// inlined descendants). Used by node stores to traverse persisted tries
+/// without materializing them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeSummary {
+    /// Hash-referenced children, in traversal order.
+    pub children: Vec<H256>,
+    /// Leaf and branch values found in this node and its inlined descendants.
+    pub values: Vec<Vec<u8>>,
+}
+
+/// Summarizes one encoded node for traversal: hash-referenced children plus
+/// every value embedded in the encoding (including values of inlined
+/// descendants — an inlined node is under 32 bytes, so it can never itself
+/// hold a 33-byte hash reference, but it can hold a short value).
+pub fn summarize_node(bytes: &[u8]) -> Result<NodeSummary, TrieLoadError> {
+    let bad = || TrieLoadError::BadNode(keccak256(bytes));
+    let item = rlp::decode(bytes).map_err(|_| bad())?;
+    let mut summary = NodeSummary::default();
+    summarize_item(&item, &mut summary).map_err(|_| bad())?;
+    Ok(summary)
+}
+
+/// Recursion for [`summarize_node`]; `Err(())` marks a malformed node.
+fn summarize_item(item: &Item, out: &mut NodeSummary) -> Result<(), ()> {
+    let list = item.as_list().map_err(|_| ())?;
+    match list.len() {
+        2 => {
+            let hp = list[0].as_bytes().map_err(|_| ())?;
+            let (_, is_leaf) = Nibbles::from_hex_prefix(hp).ok_or(())?;
+            if is_leaf {
+                out.values
+                    .push(list[1].as_bytes().map_err(|_| ())?.to_vec());
+            } else {
+                summarize_child(&list[1], out)?;
+            }
+        }
+        17 => {
+            for child in &list[..16] {
+                match child {
+                    Item::Bytes(b) if b.is_empty() => {}
+                    other => summarize_child(other, out)?,
+                }
+            }
+            let value = list[16].as_bytes().map_err(|_| ())?;
+            if !value.is_empty() {
+                out.values.push(value.to_vec());
+            }
+        }
+        _ => return Err(()),
+    }
+    Ok(())
+}
+
+fn summarize_child(item: &Item, out: &mut NodeSummary) -> Result<(), ()> {
+    match item {
+        Item::Bytes(b) if b.len() == 32 => {
+            let arr: [u8; 32] = b[..].try_into().expect("checked length");
+            out.children.push(H256(arr));
+            Ok(())
+        }
+        inline @ Item::List(_) => summarize_item(inline, out),
+        _ => Err(()),
+    }
+}
+
+/// Post-order node collection: returns the encoding of `node`, appending
+/// every hashed descendant to `out` along the way (mirrors
+/// [`append_child_ref`], reusing child encodings instead of recomputing).
+fn collect_nodes(node: &Node, out: &mut Vec<(H256, Vec<u8>)>) -> Vec<u8> {
+    let append_child = |s: &mut RlpStream, child: &Node, out: &mut Vec<(H256, Vec<u8>)>| {
+        let enc = collect_nodes(child, out);
+        if enc.len() < 32 {
+            s.append_raw(&enc);
+        } else {
+            let h = keccak256(&enc);
+            s.append_h256(&h);
+            out.push((h, enc));
+        }
+    };
+    match node {
+        Node::Empty => vec![0x80],
+        Node::Leaf { path, value } => {
+            let mut s = RlpStream::new();
+            s.begin_list(2);
+            s.append_bytes(&path.hex_prefix(true));
+            s.append_bytes(value);
+            s.out()
+        }
+        Node::Extension { path, child } => {
+            let mut s = RlpStream::new();
+            s.begin_list(2);
+            s.append_bytes(&path.hex_prefix(false));
+            append_child(&mut s, child, out);
+            s.out()
+        }
+        Node::Branch { children, value } => {
+            let mut s = RlpStream::new();
+            s.begin_list(17);
+            for c in children.iter() {
+                match c {
+                    Node::Empty => s.append_bytes(&[]),
+                    _ => append_child(&mut s, c, out),
+                }
+            }
+            match value {
+                Some(v) => s.append_bytes(v),
+                None => s.append_bytes(&[]),
+            }
+            s.out()
+        }
+    }
+}
+
+/// Rebuilds a [`Node`] from its decoded RLP item, resolving hashed children.
+fn node_from_item(item: &Item, resolver: &dyn NodeResolver) -> Result<Node, TrieLoadError> {
+    let bad = || TrieLoadError::BadNode(keccak256(&rlp::encode_item(item)));
+    let list = item.as_list().map_err(|_| bad())?;
+    match list.len() {
+        2 => {
+            let hp = list[0].as_bytes().map_err(|_| bad())?;
+            let (path, is_leaf) = Nibbles::from_hex_prefix(hp).ok_or_else(bad)?;
+            if is_leaf {
+                let value = list[1].as_bytes().map_err(|_| bad())?.to_vec();
+                Ok(Node::Leaf { path, value })
+            } else {
+                let child = child_from_item(&list[1], resolver)?;
+                Ok(Node::Extension {
+                    path,
+                    child: Box::new(child),
+                })
+            }
+        }
+        17 => {
+            let mut children = Node::empty_children();
+            for (i, slot) in list[..16].iter().enumerate() {
+                children[i] = match slot {
+                    Item::Bytes(b) if b.is_empty() => Node::Empty,
+                    other => child_from_item(other, resolver)?,
+                };
+            }
+            let value_bytes = list[16].as_bytes().map_err(|_| bad())?;
+            let value = if value_bytes.is_empty() {
+                None
+            } else {
+                Some(value_bytes.to_vec())
+            };
+            Ok(Node::Branch { children, value })
+        }
+        _ => Err(bad()),
+    }
+}
+
+/// Resolves one child reference: a 32-byte string is a hash looked up through
+/// the resolver; a nested list is an inlined node decoded in place.
+fn child_from_item(item: &Item, resolver: &dyn NodeResolver) -> Result<Node, TrieLoadError> {
+    match item {
+        Item::Bytes(b) if b.len() == 32 => {
+            let arr: [u8; 32] = b[..].try_into().expect("checked length");
+            let hash = H256(arr);
+            let bytes = resolver
+                .resolve_node(&hash)
+                .ok_or(TrieLoadError::MissingNode(hash))?;
+            if keccak256(&bytes) != hash {
+                return Err(TrieLoadError::HashMismatch(hash));
+            }
+            let child_item = rlp::decode(&bytes).map_err(|_| TrieLoadError::BadNode(hash))?;
+            node_from_item(&child_item, resolver)
+        }
+        inline @ Item::List(_) => node_from_item(inline, resolver),
+        _ => Err(TrieLoadError::BadNode(H256::ZERO)),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -166,10 +425,7 @@ fn insert_at(node: Node, path: Nibbles, value: Vec<u8>) -> Node {
             };
             wrap_extension(path, common, branch)
         }
-        Node::Extension {
-            path: epath,
-            child,
-        } => {
+        Node::Extension { path: epath, child } => {
             let common = epath.common_prefix_len(&path);
             if common == epath.len() {
                 let new_child = insert_at(*child, path.slice_from(common), value);
@@ -185,10 +441,7 @@ fn insert_at(node: Node, path: Nibbles, value: Vec<u8>) -> Node {
             children[eidx] = if rest.is_empty() {
                 *child
             } else {
-                Node::Extension {
-                    path: rest,
-                    child,
-                }
+                Node::Extension { path: rest, child }
             };
             let branch_value;
             if common == path.len() {
@@ -272,10 +525,7 @@ fn get_at<'a>(node: &'a Node, path: &Nibbles, depth: usize) -> Option<&'a [u8]> 
 fn remove_at(node: Node, path: &Nibbles, depth: usize) -> (Node, bool) {
     match node {
         Node::Empty => (Node::Empty, false),
-        Node::Leaf {
-            path: lpath,
-            value,
-        } => {
+        Node::Leaf { path: lpath, value } => {
             if path.slice_from(depth) == lpath {
                 (Node::Empty, true)
             } else {
@@ -390,7 +640,10 @@ fn walk(node: &Node, prefix: &mut Vec<u8>, out: &mut Vec<(Vec<u8>, Vec<u8>)>) {
 }
 
 fn pack_nibbles(nibbles: &[u8]) -> Vec<u8> {
-    debug_assert!(nibbles.len() % 2 == 0, "byte keys have even nibble count");
+    debug_assert!(
+        nibbles.len().is_multiple_of(2),
+        "byte keys have even nibble count"
+    );
     nibbles
         .chunks(2)
         .map(|p| p[0] << 4 | p.get(1).copied().unwrap_or(0))
@@ -452,10 +705,7 @@ fn prove_at(node: &Node, path: &Nibbles, depth: usize, proof: &mut Vec<Vec<u8>>)
     match node {
         Node::Empty => {}
         Node::Leaf { .. } => proof.push(encode_node(node)),
-        Node::Extension {
-            path: epath,
-            child,
-        } => {
+        Node::Extension { path: epath, child } => {
             proof.push(encode_node(node));
             let rest = path.slice_from(depth);
             if rest.len() >= epath.len() && rest.common_prefix_len(epath) == epath.len() {
@@ -483,7 +733,11 @@ fn prove_at(node: &Node, path: &Nibbles, depth: usize, proof: &mut Vec<Vec<u8>>)
 /// Returns `Ok(Some(value))` when the proof shows `key` present with that
 /// value, `Ok(None)` when it shows absence, and `Err` when the proof is
 /// inconsistent with `root`.
-pub fn verify_proof(root: H256, key: &[u8], proof: &[Vec<u8>]) -> Result<Option<Vec<u8>>, ProofError> {
+pub fn verify_proof(
+    root: H256,
+    key: &[u8],
+    proof: &[Vec<u8>],
+) -> Result<Option<Vec<u8>>, ProofError> {
     let path = Nibbles::from_bytes(key);
     if proof.is_empty() {
         return if root == empty_root() {
@@ -512,12 +766,16 @@ pub fn verify_proof(root: H256, key: &[u8], proof: &[Vec<u8>]) -> Result<Option<
         match list.len() {
             2 => {
                 let hp = list[0].as_bytes().map_err(|_| ProofError::BadNode)?;
-                let (npath, is_leaf) =
-                    Nibbles::from_hex_prefix(hp).ok_or(ProofError::BadNode)?;
+                let (npath, is_leaf) = Nibbles::from_hex_prefix(hp).ok_or(ProofError::BadNode)?;
                 let rest = path.slice_from(depth);
                 if is_leaf {
                     return if rest == npath {
-                        Ok(Some(list[1].as_bytes().map_err(|_| ProofError::BadNode)?.to_vec()))
+                        Ok(Some(
+                            list[1]
+                                .as_bytes()
+                                .map_err(|_| ProofError::BadNode)?
+                                .to_vec(),
+                        ))
                     } else {
                         Ok(None)
                     };
@@ -752,5 +1010,82 @@ mod tests {
         let proof = t.prove(b"hello");
         let bad_root = H256::from_low_u64(123);
         assert!(verify_proof(bad_root, b"hello", &proof).is_err());
+    }
+
+    #[test]
+    fn commit_nodes_empty_trie() {
+        let (root, nodes) = Trie::new().commit_nodes();
+        assert_eq!(root, empty_root());
+        assert!(nodes.is_empty());
+        let loaded = Trie::from_root(root, &std::collections::HashMap::new()).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn commit_nodes_roundtrips_through_resolver() {
+        let mut t = Trie::new();
+        for i in 0..200u32 {
+            t.insert(&i.to_be_bytes(), format!("value-{i}").into_bytes());
+        }
+        let (root, nodes) = t.commit_nodes();
+        assert_eq!(root, t.root_hash());
+        // Every emitted node hashes to its key and is >= 32 bytes (hashed,
+        // not inlined).
+        let mut db = std::collections::HashMap::new();
+        for (h, enc) in &nodes {
+            assert_eq!(keccak256(enc), *h);
+            assert!(enc.len() >= 32);
+            db.insert(*h, enc.clone());
+        }
+        let loaded = Trie::from_root(root, &db).unwrap();
+        assert_eq!(loaded.root_hash(), root);
+        assert_eq!(loaded.iter(), t.iter());
+    }
+
+    #[test]
+    fn from_root_reports_missing_node() {
+        let mut t = Trie::new();
+        for i in 0..50u32 {
+            t.insert(&i.to_be_bytes(), format!("value-{i}").into_bytes());
+        }
+        let (root, nodes) = t.commit_nodes();
+        let mut db: std::collections::HashMap<H256, Vec<u8>> = nodes.into_iter().collect();
+        // Drop a non-root node; loading must fail with MissingNode.
+        let victim = *db.keys().find(|h| **h != root).unwrap();
+        db.remove(&victim);
+        assert_eq!(
+            Trie::from_root(root, &db),
+            Err(TrieLoadError::MissingNode(victim))
+        );
+    }
+
+    #[test]
+    fn summarize_node_covers_all_children_and_values() {
+        let mut t = Trie::new();
+        for i in 0..200u32 {
+            t.insert(&i.to_be_bytes(), format!("value-{i}").into_bytes());
+        }
+        let (root, nodes) = t.commit_nodes();
+        let db: std::collections::HashMap<H256, Vec<u8>> = nodes.iter().cloned().collect();
+        // BFS from the root using summaries; we must reach every stored node
+        // exactly as often as commit_nodes emitted it, and collect every value.
+        let mut counts: std::collections::HashMap<H256, usize> = std::collections::HashMap::new();
+        let mut values = Vec::new();
+        let mut queue = vec![root];
+        while let Some(h) = queue.pop() {
+            *counts.entry(h).or_insert(0) += 1;
+            let summary = summarize_node(&db[&h]).unwrap();
+            values.extend(summary.values);
+            queue.extend(summary.children);
+        }
+        let mut emitted: std::collections::HashMap<H256, usize> = std::collections::HashMap::new();
+        for (h, _) in &nodes {
+            *emitted.entry(*h).or_insert(0) += 1;
+        }
+        assert_eq!(counts, emitted);
+        values.sort();
+        let mut expected: Vec<Vec<u8>> = t.iter().into_iter().map(|(_, v)| v).collect();
+        expected.sort();
+        assert_eq!(values, expected);
     }
 }

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bp_crypto::keccak256;
-use bp_types::{AccessKey, Address, H256, U256, WriteSet};
+use bp_types::{AccessKey, Address, WriteSet, H256, U256};
 
 use crate::account::{empty_code_hash, Account};
 use crate::trie::Trie;
@@ -58,7 +58,10 @@ impl WorldState {
 
     /// The balance of `addr` (zero if absent).
     pub fn balance(&self, addr: &Address) -> U256 {
-        self.accounts.get(addr).map(|a| a.balance).unwrap_or(U256::ZERO)
+        self.accounts
+            .get(addr)
+            .map(|a| a.balance)
+            .unwrap_or(U256::ZERO)
     }
 
     /// The nonce of `addr` (zero if absent).
@@ -179,6 +182,50 @@ impl WorldState {
             account_trie.insert(keccak256(addr.as_bytes()).as_bytes(), body.rlp_encode());
         }
         account_trie.root_hash()
+    }
+
+    /// Commits the world into its secure MPT form and returns the state root
+    /// together with every hashed trie node — the account trie's plus those
+    /// of each non-empty storage trie. Feeding the nodes to a node database
+    /// lets [`crate::trie::Trie::from_root`] re-open the account trie and,
+    /// via the `storage_root` inside each account body, every storage trie.
+    ///
+    /// Nodes are emitted once per reference (see
+    /// [`crate::trie::Trie::commit_nodes`]), so reference-counting stores
+    /// stay balanced across commit and prune.
+    pub fn commit_tries(&self) -> (H256, Vec<(H256, Vec<u8>)>) {
+        let mut nodes = Vec::new();
+        let mut account_trie = Trie::new();
+        for (addr, acct) in &self.accounts {
+            if acct.is_empty() {
+                continue;
+            }
+            let mut storage_trie = Trie::new();
+            for (slot, value) in &acct.storage {
+                if value.is_zero() {
+                    continue;
+                }
+                let leaf = bp_crypto::rlp::encode_bytes(&value.to_be_bytes_trimmed());
+                storage_trie.insert(keccak256(slot.as_bytes()).as_bytes(), leaf);
+            }
+            let (storage_root, storage_nodes) = storage_trie.commit_nodes();
+            nodes.extend(storage_nodes);
+            let code_hash = if acct.code.is_empty() {
+                empty_code_hash()
+            } else {
+                keccak256(&acct.code)
+            };
+            let body = Account {
+                nonce: acct.nonce,
+                balance: acct.balance,
+                storage_root,
+                code_hash,
+            };
+            account_trie.insert(keccak256(addr.as_bytes()).as_bytes(), body.rlp_encode());
+        }
+        let (root, account_nodes) = account_trie.commit_nodes();
+        nodes.extend(account_nodes);
+        (root, nodes)
     }
 }
 
@@ -303,6 +350,39 @@ mod tests {
         );
         via_writes.apply_writes(&ws);
         assert_eq!(direct.state_root(), via_writes.state_root());
+    }
+
+    #[test]
+    fn commit_tries_matches_state_root_and_roundtrips() {
+        let mut w = WorldState::new();
+        for i in 0..40u64 {
+            w.set_balance(addr(i), U256::from(1000 + i));
+            w.set_nonce(addr(i), i);
+            if i % 3 == 0 {
+                w.set_storage(addr(i), H256::from_low_u64(i), U256::from(7 * i + 1));
+                w.set_storage(addr(i), H256::from_low_u64(i + 1), U256::from(9 * i + 1));
+            }
+        }
+        let (root, nodes) = w.commit_tries();
+        assert_eq!(root, w.state_root());
+        let db: std::collections::HashMap<H256, Vec<u8>> = nodes.into_iter().collect();
+        // The account trie reloads from the emitted nodes…
+        let account_trie = Trie::from_root(root, &db).unwrap();
+        assert_eq!(account_trie.root_hash(), root);
+        // …and every account body's storage trie resolves through them too.
+        let mut nonempty_storage = 0;
+        for (_, body) in account_trie.iter() {
+            let acct = Account::rlp_decode(&body).unwrap();
+            let storage = Trie::from_root(acct.storage_root, &db).unwrap();
+            assert_eq!(storage.root_hash(), acct.storage_root);
+            if acct.storage_root != trie::empty_root() {
+                nonempty_storage += 1;
+            }
+        }
+        assert!(
+            nonempty_storage > 0,
+            "fixture should exercise storage tries"
+        );
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Node persistence backends.
+//!
+//! A [`NodeBackend`] is a hash-keyed store for MPT node encodings. The
+//! reference-counting layer ([`crate::nodestore::NodeStore`]) decides *what*
+//! to put and delete; backends decide *where* it lives:
+//!
+//! * [`MemoryBackend`] — a plain map, for tests and ephemeral nodes;
+//! * [`FileBackend`] — an append-only log of put/delete records replayed on
+//!   open. Durability is two-phase: records are written through immediately
+//!   but only [`NodeBackend::sync`] makes them crash-safe, returning the
+//!   durable byte length a manifest can record. On reopen, bytes beyond the
+//!   manifest's recorded length are truncated away, so a torn tail can never
+//!   resurrect a half-written node.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use bp_state::NodeResolver;
+use bp_types::H256;
+
+use crate::StoreError;
+
+/// Hash-keyed storage for trie node encodings.
+pub trait NodeBackend {
+    /// The stored bytes for `hash`, if present.
+    fn get(&self, hash: &H256) -> Option<Vec<u8>>;
+
+    /// True iff `hash` is stored.
+    fn contains(&self, hash: &H256) -> bool {
+        self.get(hash).is_some()
+    }
+
+    /// Stores `bytes` under `hash` (idempotent for identical content —
+    /// node keys are content hashes).
+    fn put(&mut self, hash: H256, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Removes `hash`.
+    fn delete(&mut self, hash: &H256) -> Result<(), StoreError>;
+
+    /// Makes all prior writes durable, returning the durable byte length of
+    /// the backing log (0 for memory backends).
+    fn sync(&mut self) -> Result<u64, StoreError>;
+
+    /// Number of stored nodes.
+    fn node_count(&self) -> usize;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBackend
+// ---------------------------------------------------------------------------
+
+/// A volatile in-memory backend.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryBackend {
+    nodes: HashMap<H256, Vec<u8>>,
+}
+
+impl MemoryBackend {
+    /// An empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl NodeBackend for MemoryBackend {
+    fn get(&self, hash: &H256) -> Option<Vec<u8>> {
+        self.nodes.get(hash).cloned()
+    }
+
+    fn contains(&self, hash: &H256) -> bool {
+        self.nodes.contains_key(hash)
+    }
+
+    fn put(&mut self, hash: H256, bytes: &[u8]) -> Result<(), StoreError> {
+        self.nodes.insert(hash, bytes.to_vec());
+        Ok(())
+    }
+
+    fn delete(&mut self, hash: &H256) -> Result<(), StoreError> {
+        self.nodes.remove(hash);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<u64, StoreError> {
+        Ok(0)
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl NodeResolver for MemoryBackend {
+    fn resolve_node(&self, hash: &H256) -> Option<Vec<u8>> {
+        self.get(hash)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileBackend
+// ---------------------------------------------------------------------------
+
+const TAG_PUT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+
+/// An append-only on-disk backend.
+///
+/// Record format: `tag(1) hash(32)` followed, for puts, by
+/// `len(u32 BE) bytes(len)`. The full map is replayed into memory on open;
+/// the log is the durable form, the map the working form.
+#[derive(Debug)]
+pub struct FileBackend {
+    file: File,
+    nodes: HashMap<H256, Vec<u8>>,
+    /// Byte length of the log including not-yet-synced appends.
+    len: u64,
+}
+
+impl FileBackend {
+    /// Opens (or creates) the log at `path`, trusting exactly the first
+    /// `committed_len` bytes: anything beyond is an unsynced tail from a
+    /// previous run and is truncated away before replay.
+    pub fn open(path: &Path, committed_len: u64) -> Result<Self, StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let actual = file.metadata()?.len();
+        if actual < committed_len {
+            return Err(StoreError::Corrupt(format!(
+                "node log {} shorter ({actual}) than committed length {committed_len}",
+                path.display()
+            )));
+        }
+        if actual > committed_len {
+            file.set_len(committed_len)?;
+        }
+        file.seek(SeekFrom::Start(0))?;
+        let mut data = Vec::with_capacity(committed_len as usize);
+        file.read_to_end(&mut data)?;
+        let nodes = replay(&data, path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(FileBackend {
+            file,
+            nodes,
+            len: committed_len,
+        })
+    }
+
+    fn append(&mut self, record: &[u8]) -> Result<(), StoreError> {
+        self.file.write_all(record)?;
+        self.len += record.len() as u64;
+        Ok(())
+    }
+}
+
+/// Replays a committed log prefix into the node map.
+fn replay(data: &[u8], path: &Path) -> Result<HashMap<H256, Vec<u8>>, StoreError> {
+    let corrupt = |what: &str| StoreError::Corrupt(format!("node log {}: {what}", path.display()));
+    let mut nodes = HashMap::new();
+    let mut at = 0usize;
+    while at < data.len() {
+        let tag = data[at];
+        let hash_end = at + 1 + 32;
+        let hash_bytes = data
+            .get(at + 1..hash_end)
+            .ok_or_else(|| corrupt("truncated record hash"))?;
+        let hash = H256(hash_bytes.try_into().expect("slice is 32 bytes"));
+        match tag {
+            TAG_PUT => {
+                let len_bytes = data
+                    .get(hash_end..hash_end + 4)
+                    .ok_or_else(|| corrupt("truncated record length"))?;
+                let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+                let body = data
+                    .get(hash_end + 4..hash_end + 4 + len)
+                    .ok_or_else(|| corrupt("truncated record body"))?;
+                nodes.insert(hash, body.to_vec());
+                at = hash_end + 4 + len;
+            }
+            TAG_DELETE => {
+                nodes.remove(&hash);
+                at = hash_end;
+            }
+            _ => return Err(corrupt("unknown record tag")),
+        }
+    }
+    Ok(nodes)
+}
+
+impl NodeBackend for FileBackend {
+    fn get(&self, hash: &H256) -> Option<Vec<u8>> {
+        self.nodes.get(hash).cloned()
+    }
+
+    fn contains(&self, hash: &H256) -> bool {
+        self.nodes.contains_key(hash)
+    }
+
+    fn put(&mut self, hash: H256, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut record = Vec::with_capacity(1 + 32 + 4 + bytes.len());
+        record.push(TAG_PUT);
+        record.extend_from_slice(&hash.0);
+        record.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+        record.extend_from_slice(bytes);
+        self.append(&record)?;
+        self.nodes.insert(hash, bytes.to_vec());
+        Ok(())
+    }
+
+    fn delete(&mut self, hash: &H256) -> Result<(), StoreError> {
+        let mut record = Vec::with_capacity(1 + 32);
+        record.push(TAG_DELETE);
+        record.extend_from_slice(&hash.0);
+        self.append(&record)?;
+        self.nodes.remove(hash);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<u64, StoreError> {
+        self.file.sync_all()?;
+        Ok(self.len)
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl NodeResolver for FileBackend {
+    fn resolve_node(&self, hash: &H256) -> Option<Vec<u8>> {
+        self.get(hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::test_dir;
+
+    fn h(i: u64) -> H256 {
+        H256::from_low_u64(i)
+    }
+
+    #[test]
+    fn memory_backend_put_get_delete() {
+        let mut b = MemoryBackend::new();
+        b.put(h(1), b"one").unwrap();
+        b.put(h(2), b"two").unwrap();
+        assert_eq!(b.get(&h(1)), Some(b"one".to_vec()));
+        assert_eq!(b.node_count(), 2);
+        b.delete(&h(1)).unwrap();
+        assert_eq!(b.get(&h(1)), None);
+        assert_eq!(b.node_count(), 1);
+    }
+
+    #[test]
+    fn file_backend_replays_committed_prefix() {
+        let dir = test_dir("file-backend-replay");
+        let path = dir.join("nodes.log");
+        let committed;
+        {
+            let mut b = FileBackend::open(&path, 0).unwrap();
+            b.put(h(1), b"one").unwrap();
+            b.put(h(2), b"two").unwrap();
+            b.delete(&h(1)).unwrap();
+            committed = b.sync().unwrap();
+            // An unsynced write after the sync point…
+            b.put(h(3), b"three").unwrap();
+        }
+        // …is discarded when reopening at the committed length.
+        let b = FileBackend::open(&path, committed).unwrap();
+        assert_eq!(b.get(&h(1)), None);
+        assert_eq!(b.get(&h(2)), Some(b"two".to_vec()));
+        assert_eq!(b.get(&h(3)), None);
+        assert_eq!(b.node_count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backend_rejects_log_shorter_than_committed() {
+        let dir = test_dir("file-backend-short");
+        let path = dir.join("nodes.log");
+        {
+            let mut b = FileBackend::open(&path, 0).unwrap();
+            b.put(h(1), b"one").unwrap();
+            b.sync().unwrap();
+        }
+        let err = FileBackend::open(&path, 10_000).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,210 @@
+//! Append-only block file.
+//!
+//! Blocks are stored as length-prefixed RLP segments — `len(u32 BE)`
+//! followed by `bp_block::encode_block` bytes — with an in-memory
+//! hash → `(offset, len)` index rebuilt by scanning the committed prefix on
+//! open. The log itself carries no commitment; the manifest records the
+//! durable length, so a torn final record is simply cut off on reopen and
+//! can never surface as a partial block.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+use bp_block::{decode_block, encode_block, Block};
+use bp_types::BlockHash;
+
+use crate::StoreError;
+
+/// The append-only block log plus its offset index.
+#[derive(Debug)]
+pub struct BlockLog {
+    file: File,
+    /// hash → (payload offset, payload length).
+    index: HashMap<BlockHash, (u64, u32)>,
+    /// Byte length including not-yet-synced appends.
+    len: u64,
+}
+
+impl BlockLog {
+    /// Opens (or creates) the log at `path`, trusting exactly the first
+    /// `committed_len` bytes; any longer tail is an unsynced remnant and is
+    /// truncated away before indexing.
+    pub fn open(path: &Path, committed_len: u64) -> Result<Self, StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let actual = file.metadata()?.len();
+        if actual < committed_len {
+            return Err(StoreError::Corrupt(format!(
+                "block log {} shorter ({actual}) than committed length {committed_len}",
+                path.display()
+            )));
+        }
+        if actual > committed_len {
+            file.set_len(committed_len)?;
+        }
+        file.seek(SeekFrom::Start(0))?;
+        let mut data = Vec::with_capacity(committed_len as usize);
+        file.read_to_end(&mut data)?;
+        let index = scan(&data, path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(BlockLog {
+            file,
+            index,
+            len: committed_len,
+        })
+    }
+
+    /// Appends a block (buffered in the OS; durable after [`BlockLog::sync`]).
+    /// Re-appending a known hash is a no-op — the first copy stays
+    /// authoritative.
+    pub fn append(&mut self, block: &Block) -> Result<(), StoreError> {
+        let hash = block.hash();
+        if self.index.contains_key(&hash) {
+            return Ok(());
+        }
+        let payload = encode_block(block);
+        let mut record = Vec::with_capacity(4 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        record.extend_from_slice(&payload);
+        self.file.write_all(&record)?;
+        self.index
+            .insert(hash, (self.len + 4, payload.len() as u32));
+        self.len += record.len() as u64;
+        Ok(())
+    }
+
+    /// Reads a block back by hash.
+    pub fn get(&self, hash: &BlockHash) -> Result<Option<Block>, StoreError> {
+        let Some(&(offset, len)) = self.index.get(hash) else {
+            return Ok(None);
+        };
+        let mut payload = vec![0u8; len as usize];
+        self.file.read_exact_at(&mut payload, offset)?;
+        let block = decode_block(&payload)
+            .map_err(|e| StoreError::Corrupt(format!("block {hash:?} undecodable: {e}")))?;
+        Ok(Some(block))
+    }
+
+    /// The raw encoded bytes of a block, if stored.
+    pub fn get_raw(&self, hash: &BlockHash) -> Result<Option<Vec<u8>>, StoreError> {
+        let Some(&(offset, len)) = self.index.get(hash) else {
+            return Ok(None);
+        };
+        let mut payload = vec![0u8; len as usize];
+        self.file.read_exact_at(&mut payload, offset)?;
+        Ok(Some(payload))
+    }
+
+    /// True iff `hash` is stored.
+    pub fn contains(&self, hash: &BlockHash) -> bool {
+        self.index.contains_key(hash)
+    }
+
+    /// Number of stored blocks.
+    pub fn block_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Makes all appends durable; returns the durable byte length for the
+    /// manifest.
+    pub fn sync(&mut self) -> Result<u64, StoreError> {
+        self.file.sync_all()?;
+        Ok(self.len)
+    }
+}
+
+/// Scans a committed log prefix, indexing every record by block hash.
+fn scan(data: &[u8], path: &Path) -> Result<HashMap<BlockHash, (u64, u32)>, StoreError> {
+    let corrupt =
+        |what: String| StoreError::Corrupt(format!("block log {}: {what}", path.display()));
+    let mut index = HashMap::new();
+    let mut at = 0usize;
+    while at < data.len() {
+        let len_bytes = data
+            .get(at..at + 4)
+            .ok_or_else(|| corrupt("truncated record length".into()))?;
+        let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        let payload = data
+            .get(at + 4..at + 4 + len)
+            .ok_or_else(|| corrupt("truncated record body".into()))?;
+        let block =
+            decode_block(payload).map_err(|e| corrupt(format!("undecodable block: {e}")))?;
+        index.insert(block.hash(), ((at + 4) as u64, len as u32));
+        at += 4 + len;
+    }
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::test_dir;
+    use bp_block::{genesis_header, BlockProfile};
+    use bp_types::H256;
+
+    fn block(height: u64, seed: u64) -> Block {
+        let mut header = genesis_header(H256::from_low_u64(height + 1));
+        header.height = height;
+        header.proposer_seed = seed;
+        Block {
+            header,
+            transactions: vec![],
+            profile: BlockProfile::new(),
+        }
+    }
+
+    #[test]
+    fn append_get_roundtrip() {
+        let dir = test_dir("blocklog-roundtrip");
+        let path = dir.join("blocks.log");
+        let mut log = BlockLog::open(&path, 0).unwrap();
+        let b0 = block(0, 0);
+        let b1 = block(1, 7);
+        log.append(&b0).unwrap();
+        log.append(&b1).unwrap();
+        assert_eq!(log.get(&b0.hash()).unwrap().unwrap(), b0);
+        assert_eq!(log.get(&b1.hash()).unwrap().unwrap(), b1);
+        assert_eq!(log.get(&H256::from_low_u64(999)).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_append_is_idempotent() {
+        let dir = test_dir("blocklog-dup");
+        let path = dir.join("blocks.log");
+        let mut log = BlockLog::open(&path, 0).unwrap();
+        let b = block(3, 1);
+        log.append(&b).unwrap();
+        let len_once = log.sync().unwrap();
+        log.append(&b).unwrap();
+        assert_eq!(log.sync().unwrap(), len_once);
+        assert_eq!(log.block_count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_discards_unsynced_tail() {
+        let dir = test_dir("blocklog-tail");
+        let path = dir.join("blocks.log");
+        let b0 = block(0, 0);
+        let b1 = block(1, 0);
+        let committed;
+        {
+            let mut log = BlockLog::open(&path, 0).unwrap();
+            log.append(&b0).unwrap();
+            committed = log.sync().unwrap();
+            log.append(&b1).unwrap();
+        }
+        let log = BlockLog::open(&path, committed).unwrap();
+        assert!(log.contains(&b0.hash()));
+        assert!(!log.contains(&b1.hash()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,294 @@
+//! Reference-counted trie node storage.
+//!
+//! A [`NodeStore`] retains, per committed state root, every MPT node
+//! reachable from it — account-trie nodes *and*, by decoding account bodies
+//! found in leaf values, the nodes of each storage trie. Counting is
+//! per-reference, matching [`bp_state::Trie::commit_nodes`]'s per-reference
+//! emission: committing a root increments each reachable node once per path
+//! from that root, and [`NodeStore::prune`] performs the mirror-image walk,
+//! deleting nodes whose count reaches zero. A node shared by several
+//! retained roots therefore survives until the last of them is pruned.
+//!
+//! On cold start the counts are rebuilt by walking every retained root —
+//! which doubles as an integrity check: a missing node surfaces as
+//! [`StoreError::MissingNode`] instead of a latent read failure later.
+
+use std::collections::HashMap;
+
+use bp_state::{empty_root, summarize_node, Account, NodeResolver, Trie};
+use bp_types::H256;
+
+use crate::backend::NodeBackend;
+use crate::StoreError;
+
+/// Refcounted node storage over a pluggable backend.
+#[derive(Debug)]
+pub struct NodeStore<B> {
+    backend: B,
+    refcounts: HashMap<H256, u64>,
+    /// Retained roots as a multiset (the same root may be committed for
+    /// consecutive identical states, e.g. empty blocks).
+    roots: Vec<H256>,
+}
+
+impl<B: NodeBackend> NodeStore<B> {
+    /// An empty store over `backend` (which must hold no retained state).
+    pub fn new(backend: B) -> Self {
+        NodeStore {
+            backend,
+            refcounts: HashMap::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// Rebuilds refcounts for a backend already holding node data — the
+    /// cold-start path. Every root in `roots` is walked per-reference; a
+    /// node missing along any walk fails the open.
+    pub fn rebuild(backend: B, roots: Vec<H256>) -> Result<Self, StoreError> {
+        let mut store = NodeStore {
+            backend,
+            refcounts: HashMap::new(),
+            roots: Vec::new(),
+        };
+        for root in roots {
+            let refs = store.walk_refs(root)?;
+            for h in refs {
+                *store.refcounts.entry(h).or_insert(0) += 1;
+            }
+            store.roots.push(root);
+        }
+        Ok(store)
+    }
+
+    /// Retains `root`, storing `nodes` — the per-reference `(hash, bytes)`
+    /// list from [`bp_state::WorldState::commit_tries`] (or
+    /// [`bp_state::Trie::commit_nodes`]). Each listed reference bumps its
+    /// node's count; first references write the bytes to the backend.
+    pub fn commit_root(&mut self, root: H256, nodes: &[(H256, Vec<u8>)]) -> Result<(), StoreError> {
+        for (hash, bytes) in nodes {
+            let rc = self.refcounts.entry(*hash).or_insert(0);
+            *rc += 1;
+            if *rc == 1 {
+                self.backend.put(*hash, bytes)?;
+            }
+        }
+        self.roots.push(root);
+        Ok(())
+    }
+
+    /// Releases one retention of `root`: the mirror walk of
+    /// [`NodeStore::commit_root`], deleting nodes whose count drops to zero.
+    pub fn prune(&mut self, root: H256) -> Result<(), StoreError> {
+        let pos = self
+            .roots
+            .iter()
+            .position(|r| *r == root)
+            .ok_or(StoreError::UnknownRoot(root))?;
+        // Collect the full per-reference list *before* mutating, so the walk
+        // reads a consistent backend.
+        let refs = self.walk_refs(root)?;
+        self.roots.swap_remove(pos);
+        for h in refs {
+            match self.refcounts.get_mut(&h) {
+                Some(rc) if *rc > 1 => *rc -= 1,
+                Some(_) => {
+                    self.refcounts.remove(&h);
+                    self.backend.delete(&h)?;
+                }
+                None => {
+                    return Err(StoreError::Corrupt(format!(
+                        "refcount underflow for node {h:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every hash reachable from `root`, listed once per reference: the
+    /// account trie's nodes, plus — for each leaf value that decodes as an
+    /// account body — the nodes of that account's storage trie.
+    fn walk_refs(&self, root: H256) -> Result<Vec<H256>, StoreError> {
+        let mut refs = Vec::new();
+        let mut stack = Vec::new();
+        if root != empty_root() {
+            stack.push(root);
+        }
+        while let Some(h) = stack.pop() {
+            refs.push(h);
+            let bytes = self.backend.get(&h).ok_or(StoreError::MissingNode(h))?;
+            let summary = summarize_node(&bytes)
+                .map_err(|e| StoreError::Corrupt(format!("node {h:?}: {e}")))?;
+            stack.extend(summary.children);
+            for value in summary.values {
+                // Account bodies are RLP 4-lists; storage values are byte
+                // strings — decoding disambiguates them unambiguously.
+                if let Ok(account) = Account::rlp_decode(&value) {
+                    if account.storage_root != empty_root() {
+                        stack.push(account.storage_root);
+                    }
+                }
+            }
+        }
+        Ok(refs)
+    }
+
+    /// Materializes the trie rooted at `root` from stored nodes.
+    pub fn open_trie(&self, root: H256) -> Result<Trie, StoreError> {
+        Trie::from_root(root, self).map_err(|e| match e {
+            bp_state::TrieLoadError::MissingNode(h) => StoreError::MissingNode(h),
+            other => StoreError::Corrupt(format!("trie load: {other}")),
+        })
+    }
+
+    /// True iff `root` is currently retained (at least once).
+    pub fn contains_root(&self, root: &H256) -> bool {
+        *root == empty_root() || self.roots.contains(root)
+    }
+
+    /// The retained root multiset.
+    pub fn roots(&self) -> &[H256] {
+        &self.roots
+    }
+
+    /// Number of distinct stored nodes.
+    pub fn node_count(&self) -> usize {
+        self.backend.node_count()
+    }
+
+    /// Flushes the backend; returns its durable log length.
+    pub fn sync(&mut self) -> Result<u64, StoreError> {
+        self.backend.sync()
+    }
+
+    /// Read access to the backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+}
+
+impl<B: NodeBackend> NodeResolver for NodeStore<B> {
+    fn resolve_node(&self, hash: &H256) -> Option<Vec<u8>> {
+        self.backend.get(hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+    use bp_state::WorldState;
+    use bp_types::{Address, U256};
+
+    fn world(n: u64, offset: u64) -> WorldState {
+        let mut w = WorldState::new();
+        for i in 0..n {
+            let a = Address::from_index(i);
+            w.set_balance(a, U256::from(100 + offset + i));
+            if i % 3 == 0 {
+                w.set_storage(a, H256::from_low_u64(i), U256::from(offset + i + 1));
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn commit_then_prune_leaves_store_empty() {
+        let mut store = NodeStore::new(MemoryBackend::new());
+        let w = world(30, 0);
+        let (root, nodes) = w.commit_tries();
+        store.commit_root(root, &nodes).unwrap();
+        assert!(store.contains_root(&root));
+        assert!(store.node_count() > 0);
+        let opened = store.open_trie(root).unwrap();
+        assert_eq!(opened.root_hash(), root);
+        store.prune(root).unwrap();
+        assert_eq!(store.node_count(), 0);
+        assert!(!store.contains_root(&root));
+        assert!(store.refcounts.is_empty());
+    }
+
+    #[test]
+    fn shared_nodes_survive_until_last_root_pruned() {
+        let mut store = NodeStore::new(MemoryBackend::new());
+        let w1 = world(40, 0);
+        let mut w2 = w1.clone();
+        // Small delta: most of the trie is shared between the two roots.
+        w2.set_balance(Address::from_index(0), U256::from(999u64));
+        let (r1, n1) = w1.commit_tries();
+        let (r2, n2) = w2.commit_tries();
+        assert_ne!(r1, r2);
+        store.commit_root(r1, &n1).unwrap();
+        store.commit_root(r2, &n2).unwrap();
+        store.prune(r1).unwrap();
+        // r2 must remain fully resolvable after r1's release.
+        let opened = store.open_trie(r2).unwrap();
+        assert_eq!(opened.root_hash(), r2);
+        store.prune(r2).unwrap();
+        assert_eq!(store.node_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_root_commits_prune_independently() {
+        let mut store = NodeStore::new(MemoryBackend::new());
+        let (root, nodes) = world(10, 0).commit_tries();
+        store.commit_root(root, &nodes).unwrap();
+        store.commit_root(root, &nodes).unwrap();
+        store.prune(root).unwrap();
+        assert!(store.contains_root(&root));
+        assert_eq!(store.open_trie(root).unwrap().root_hash(), root);
+        store.prune(root).unwrap();
+        assert_eq!(store.node_count(), 0);
+    }
+
+    #[test]
+    fn prune_unknown_root_errors() {
+        let mut store: NodeStore<MemoryBackend> = NodeStore::new(MemoryBackend::new());
+        let err = store.prune(H256::from_low_u64(42)).unwrap_err();
+        assert!(matches!(err, StoreError::UnknownRoot(_)));
+    }
+
+    #[test]
+    fn rebuild_reproduces_refcounts() {
+        let mut store = NodeStore::new(MemoryBackend::new());
+        let w1 = world(25, 0);
+        let mut w2 = w1.clone();
+        w2.set_nonce(Address::from_index(3), 9);
+        let (r1, n1) = w1.commit_tries();
+        let (r2, n2) = w2.commit_tries();
+        store.commit_root(r1, &n1).unwrap();
+        store.commit_root(r2, &n2).unwrap();
+        let mut counts: Vec<(H256, u64)> = store.refcounts.iter().map(|(h, c)| (*h, *c)).collect();
+        counts.sort();
+        // Rebuild from the backend contents + root list alone.
+        let rebuilt = NodeStore::rebuild(store.backend.clone(), store.roots.clone()).unwrap();
+        let mut rebuilt_counts: Vec<(H256, u64)> =
+            rebuilt.refcounts.iter().map(|(h, c)| (*h, *c)).collect();
+        rebuilt_counts.sort();
+        assert_eq!(counts, rebuilt_counts);
+    }
+
+    #[test]
+    fn rebuild_detects_missing_node() {
+        let mut store = NodeStore::new(MemoryBackend::new());
+        let (root, nodes) = world(25, 0).commit_tries();
+        store.commit_root(root, &nodes).unwrap();
+        let mut backend = store.backend.clone();
+        let victim = *store.refcounts.keys().find(|h| **h != root).unwrap();
+        backend.delete(&victim).unwrap();
+        let err = NodeStore::rebuild(backend, vec![root]).unwrap_err();
+        assert!(matches!(err, StoreError::MissingNode(h) if h == victim));
+    }
+
+    #[test]
+    fn empty_root_commit_and_prune_are_noops() {
+        let mut store = NodeStore::new(MemoryBackend::new());
+        let (root, nodes) = WorldState::new().commit_tries();
+        assert_eq!(root, empty_root());
+        assert!(nodes.is_empty());
+        store.commit_root(root, &nodes).unwrap();
+        assert!(store.contains_root(&root));
+        store.prune(root).unwrap();
+        assert_eq!(store.node_count(), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Crash-injection tests: truncate the data logs at every byte boundary of
+//! the last committed record and assert `Store::open` recovers to the
+//! previous manifest head — never a torn block or dangling root.
+
+use std::fs::OpenOptions;
+use std::path::Path;
+
+use bp_block::{genesis_header, Block, BlockProfile};
+use bp_state::WorldState;
+use bp_store::store::test_dir;
+use bp_store::Store;
+use bp_types::{Address, U256};
+
+fn genesis_world() -> WorldState {
+    let mut w = WorldState::new();
+    for i in 1..=8u64 {
+        w.set_balance(Address::from_index(i), U256::from(1_000_000u64));
+    }
+    w
+}
+
+fn genesis_block(state: &WorldState) -> Block {
+    Block {
+        header: genesis_header(state.state_root()),
+        transactions: vec![],
+        profile: BlockProfile::new(),
+    }
+}
+
+fn child_block(parent: &Block, state: &mut WorldState, seq: u64) -> Block {
+    state.set_balance(Address::from_index(900 + seq), U256::from(seq + 1));
+    let mut header = genesis_header(state.state_root());
+    header.parent_hash = parent.hash();
+    header.height = parent.height() + 1;
+    header.proposer_seed = seq;
+    Block {
+        header,
+        transactions: vec![],
+        profile: BlockProfile::new(),
+    }
+}
+
+fn copy_store(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+fn truncate(path: &Path, len: u64) {
+    OpenOptions::new()
+        .write(true)
+        .open(path)
+        .unwrap()
+        .set_len(len)
+        .unwrap();
+}
+
+/// Kill the process at any byte boundary inside the last block record: the
+/// newest manifest no longer fits the data file, so `Store::open` must fall
+/// back one generation — to the previous head, never a torn block.
+#[test]
+fn truncating_last_block_record_recovers_previous_head() {
+    let dir = test_dir("crash-blocks");
+    let mut world = genesis_world();
+    let gblock = genesis_block(&world);
+    let mut store = Store::open(&dir).unwrap();
+    store.initialize(&world, &gblock).unwrap();
+
+    let b1 = child_block(&gblock, &mut world, 1);
+    store.put_block(&b1).unwrap();
+    let (root1, nodes1) = world.commit_tries();
+    store.commit_root(root1, &nodes1).unwrap();
+    store.commit(b1.hash()).unwrap();
+    let blocks_len_at_b1 = std::fs::metadata(dir.join("blocks.log")).unwrap().len();
+
+    let b2 = child_block(&b1, &mut world, 2);
+    store.put_block(&b2).unwrap();
+    let (root2, nodes2) = world.commit_tries();
+    store.commit_root(root2, &nodes2).unwrap();
+    store.commit(b2.hash()).unwrap();
+    let blocks_len_at_b2 = std::fs::metadata(dir.join("blocks.log")).unwrap().len();
+    drop(store);
+
+    assert!(blocks_len_at_b2 > blocks_len_at_b1, "b2 appended a record");
+    for cut in blocks_len_at_b1..blocks_len_at_b2 {
+        let scratch = test_dir("crash-blocks-cut");
+        copy_store(&dir, &scratch);
+        truncate(&scratch.join("blocks.log"), cut);
+        let recovered =
+            Store::open(&scratch).unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        assert_eq!(recovered.head(), Some(b1.hash()), "cut at byte {cut}");
+        assert!(!recovered.has_block(&b2.hash()), "torn b2 visible at {cut}");
+        assert_eq!(
+            recovered.get_block(&b1.hash()).unwrap().as_ref(),
+            Some(&b1),
+            "durable b1 damaged at {cut}"
+        );
+        assert!(recovered.contains_root(&root1));
+        assert!(!recovered.contains_root(&root2));
+        std::fs::remove_dir_all(&scratch).unwrap();
+    }
+
+    // The untruncated file keeps the newest generation.
+    let full = Store::open(&dir).unwrap();
+    assert_eq!(full.head(), Some(b2.hash()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Same crash model applied to the node log: a torn trie-node tail rolls
+/// the whole store back one commit.
+#[test]
+fn truncating_last_node_records_recovers_previous_head() {
+    let dir = test_dir("crash-nodes");
+    let mut world = genesis_world();
+    let gblock = genesis_block(&world);
+    let mut store = Store::open(&dir).unwrap();
+    store.initialize(&world, &gblock).unwrap();
+
+    let b1 = child_block(&gblock, &mut world, 1);
+    store.put_block(&b1).unwrap();
+    let (root1, nodes1) = world.commit_tries();
+    store.commit_root(root1, &nodes1).unwrap();
+    store.commit(b1.hash()).unwrap();
+    let nodes_len_at_b1 = std::fs::metadata(dir.join("nodes.log")).unwrap().len();
+
+    let b2 = child_block(&b1, &mut world, 2);
+    store.put_block(&b2).unwrap();
+    let (root2, nodes2) = world.commit_tries();
+    store.commit_root(root2, &nodes2).unwrap();
+    store.commit(b2.hash()).unwrap();
+    let nodes_len_at_b2 = std::fs::metadata(dir.join("nodes.log")).unwrap().len();
+    drop(store);
+
+    assert!(
+        nodes_len_at_b2 > nodes_len_at_b1,
+        "b2 appended node records"
+    );
+    for cut in nodes_len_at_b1..nodes_len_at_b2 {
+        let scratch = test_dir("crash-nodes-cut");
+        copy_store(&dir, &scratch);
+        truncate(&scratch.join("nodes.log"), cut);
+        let recovered =
+            Store::open(&scratch).unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        assert_eq!(recovered.head(), Some(b1.hash()), "cut at byte {cut}");
+        assert!(recovered.contains_root(&root1));
+        assert!(!recovered.contains_root(&root2));
+        assert_eq!(recovered.open_trie(root1).unwrap().root_hash(), root1);
+        std::fs::remove_dir_all(&scratch).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

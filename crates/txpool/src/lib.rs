@@ -191,8 +191,30 @@ impl TxPool {
     }
 
     /// Drops a transaction permanently (invalid nonce/funds).
+    ///
+    /// Unlike [`TxPool::commit`], the sender's queued higher-nonce
+    /// transactions go with it: with this nonce never committing, every
+    /// later nonce has an unfillable gap and could otherwise sit in the
+    /// pool forever — worse, promoting the next nonce as `commit` does
+    /// would offer proposers a transaction that can only abort.
     pub fn discard(&self, tx: &Transaction) {
-        self.commit(tx);
+        let mut g = self.inner.lock();
+        let hash = tx.hash();
+        g.in_flight.remove(&hash);
+        g.txs.remove(&hash);
+        if let Some(queue) = g.by_sender.remove(&tx.sender) {
+            let doomed: Vec<TxHash> = queue.range(tx.nonce..).map(|(_, h)| *h).collect();
+            for h in doomed {
+                g.txs.remove(&h);
+                g.in_flight.remove(&h);
+            }
+            let mut keep: BTreeMap<u64, TxHash> = queue;
+            keep.retain(|&nonce, _| nonce < tx.nonce);
+            if !keep.is_empty() {
+                g.by_sender.insert(tx.sender, keep);
+            }
+        }
+        // Stale heap entries for the removed hashes are filtered on pop.
     }
 
     /// Number of transactions currently in the pool (including in-flight).
@@ -332,6 +354,43 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), total, "no tx may be popped twice");
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn discard_drops_dependent_higher_nonces() {
+        let pool = TxPool::new();
+        pool.add(tx(1, 0, 10));
+        pool.add(tx(1, 1, 10));
+        pool.add(tx(1, 2, 10));
+        pool.add(tx(2, 0, 5));
+        let t0 = pool.pop().unwrap();
+        assert_eq!((t0.sender, t0.nonce), (addr(1), 0));
+        // Nonce 0 is permanently invalid: nonces 1 and 2 can never execute
+        // either and must leave the pool with it, not be promoted.
+        pool.discard(&t0);
+        assert_eq!(pool.len(), 1, "only the other sender's tx survives");
+        let rest = pool.pop().unwrap();
+        assert_eq!(rest.sender, addr(2));
+        assert!(pool.pop().is_none());
+        pool.commit(&rest);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn discard_keeps_lower_nonces_intact() {
+        let pool = TxPool::new();
+        pool.add(tx(1, 0, 10));
+        pool.add(tx(1, 1, 10));
+        pool.add(tx(1, 2, 10));
+        // Discard the middle nonce without ever popping it: the gap dooms
+        // nonce 2, but nonce 0 is still perfectly executable.
+        pool.discard(&tx(1, 1, 10));
+        assert_eq!(pool.len(), 1);
+        let t = pool.pop().unwrap();
+        assert_eq!(t.nonce, 0);
+        pool.commit(&t);
+        assert!(pool.pop().is_none(), "doomed nonce 2 must not resurface");
+        assert!(pool.is_empty());
     }
 
     #[test]

@@ -115,18 +115,17 @@ impl RwSet {
     /// Like [`RwSet::conflicts_with`] but at account granularity, the
     /// coarsening used by the validator scheduler.
     pub fn conflicts_with_account_level(&self, other: &RwSet) -> bool {
-        let mine: std::collections::BTreeSet<Address> = self
-            .writes
-            .keys()
-            .map(AccessKey::address)
-            .collect();
+        let mine: std::collections::BTreeSet<Address> =
+            self.writes.keys().map(AccessKey::address).collect();
         let theirs_touch = |k: &AccessKey| mine.contains(&k.address());
         if other.reads.keys().any(theirs_touch) || other.writes.keys().any(theirs_touch) {
             return true;
         }
         let their_writes: std::collections::BTreeSet<Address> =
             other.writes.keys().map(AccessKey::address).collect();
-        self.reads.keys().any(|k| their_writes.contains(&k.address()))
+        self.reads
+            .keys()
+            .any(|k| their_writes.contains(&k.address()))
     }
 
     /// All accounts this footprint touches.

@@ -10,7 +10,9 @@
 use core::cmp::Ordering;
 use core::fmt;
 use core::iter::Sum;
-use core::ops::{Add, AddAssign, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub, SubAssign};
+use core::ops::{
+    Add, AddAssign, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub, SubAssign,
+};
 
 use serde::{Deserialize, Serialize};
 
@@ -107,10 +109,10 @@ impl U256 {
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
+            *limb = s2;
             carry = c1 || c2;
         }
         (U256(out), carry)
@@ -121,10 +123,10 @@ impl U256 {
     pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow as u64);
-            out[i] = d2;
+            *limb = d2;
             borrow = b1 || b2;
         }
         (U256(out), borrow)
@@ -242,7 +244,9 @@ impl U256 {
             return sum.div_mod(modulus).1;
         }
         // sum + 2^256 mod m == (sum mod m + 2^256 mod m) mod m.
-        let wrap = (U256::MAX.div_mod(modulus).1 + U256::ONE).div_mod(modulus).1;
+        let wrap = (U256::MAX.div_mod(modulus).1 + U256::ONE)
+            .div_mod(modulus)
+            .1;
         sum.div_mod(modulus).1.add_mod(wrap, modulus)
     }
 
@@ -301,8 +305,16 @@ impl U256 {
             return U256::ZERO;
         }
         let neg = self.is_negative_signed() != rhs.is_negative_signed();
-        let a = if self.is_negative_signed() { self.wrapping_neg() } else { self };
-        let b = if rhs.is_negative_signed() { rhs.wrapping_neg() } else { rhs };
+        let a = if self.is_negative_signed() {
+            self.wrapping_neg()
+        } else {
+            self
+        };
+        let b = if rhs.is_negative_signed() {
+            rhs.wrapping_neg()
+        } else {
+            rhs
+        };
         let q = a / b;
         if neg {
             q.wrapping_neg()
@@ -317,8 +329,16 @@ impl U256 {
         if rhs.is_zero() {
             return U256::ZERO;
         }
-        let a = if self.is_negative_signed() { self.wrapping_neg() } else { self };
-        let b = if rhs.is_negative_signed() { rhs.wrapping_neg() } else { rhs };
+        let a = if self.is_negative_signed() {
+            self.wrapping_neg()
+        } else {
+            self
+        };
+        let b = if rhs.is_negative_signed() {
+            rhs.wrapping_neg()
+        } else {
+            rhs
+        };
         let r = a % b;
         if self.is_negative_signed() {
             r.wrapping_neg()
@@ -354,7 +374,11 @@ impl U256 {
     /// Arithmetic right shift (EVM `SAR`): fills with the sign bit.
     pub fn sar(self, shift: u32) -> U256 {
         if shift >= 256 {
-            return if self.is_negative_signed() { U256::MAX } else { U256::ZERO };
+            return if self.is_negative_signed() {
+                U256::MAX
+            } else {
+                U256::ZERO
+            };
         }
         let logical = self >> shift;
         if self.is_negative_signed() && shift > 0 {
@@ -575,10 +599,10 @@ impl Shr<u32> for U256 {
         let limb_shift = (shift / 64) as usize;
         let bit_shift = shift % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 - limb_shift {
-            out[i] = self.0[i + limb_shift] >> bit_shift;
+        for (i, limb) in out.iter_mut().enumerate().take(4 - limb_shift) {
+            *limb = self.0[i + limb_shift] >> bit_shift;
             if bit_shift != 0 && i + limb_shift + 1 < 4 {
-                out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+                *limb |= self.0[i + limb_shift + 1] << (64 - bit_shift);
             }
         }
         U256(out)
@@ -712,7 +736,12 @@ mod tests {
 
     #[test]
     fn div_identity() {
-        let a = U256([0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210, 0xdead_beef, 42]);
+        let a = U256([
+            0x0123_4567_89ab_cdef,
+            0xfedc_ba98_7654_3210,
+            0xdead_beef,
+            42,
+        ]);
         let b = U256([99999, 1, 0, 0]);
         let (q, r) = a.div_mod(b);
         assert_eq!(q * b + r, a);
@@ -794,7 +823,10 @@ mod tests {
     fn trimmed_bytes() {
         assert!(U256::ZERO.to_be_bytes_trimmed().is_empty());
         assert_eq!(u(0x0400).to_be_bytes_trimmed(), vec![0x04, 0x00]);
-        assert_eq!(U256::from_be_slice(&[1, 0, 0]).to_be_bytes_trimmed(), vec![1, 0, 0]);
+        assert_eq!(
+            U256::from_be_slice(&[1, 0, 0]).to_be_bytes_trimmed(),
+            vec![1, 0, 0]
+        );
     }
 
     #[test]
@@ -858,10 +890,16 @@ mod tests {
         // 0xFF extended from byte 0 becomes -1.
         assert_eq!(U256::from(0xFFu64).sign_extend(U256::ZERO), U256::MAX);
         // 0x7F stays positive.
-        assert_eq!(U256::from(0x7Fu64).sign_extend(U256::ZERO), U256::from(0x7Fu64));
+        assert_eq!(
+            U256::from(0x7Fu64).sign_extend(U256::ZERO),
+            U256::from(0x7Fu64)
+        );
         // High bytes above k are masked off for positive values.
         assert_eq!(U256::from(0x1FFu64).sign_extend(U256::ZERO), U256::MAX);
-        assert_eq!(U256::from(0x100FFu64).sign_extend(U256::ONE), U256::from(0xFFu64));
+        assert_eq!(
+            U256::from(0x100FFu64).sign_extend(U256::ONE),
+            U256::from(0xFFu64)
+        );
         // k ≥ 31 is identity.
         assert_eq!(U256::MAX.sign_extend(U256::from(31u64)), U256::MAX);
         assert_eq!(U256::MAX.sign_extend(U256::from(1000u64)), U256::MAX);

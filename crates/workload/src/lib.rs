@@ -176,8 +176,16 @@ impl WorkloadGen {
         for p in 0..self.config.amm_pairs {
             let pair = self.amm_address(p);
             w.set_code(pair, contracts::amm_pair());
-            w.set_storage(pair, contracts::amm_reserve_slot(0), U256::from(AMM_RESERVE));
-            w.set_storage(pair, contracts::amm_reserve_slot(1), U256::from(AMM_RESERVE));
+            w.set_storage(
+                pair,
+                contracts::amm_reserve_slot(0),
+                U256::from(AMM_RESERVE),
+            );
+            w.set_storage(
+                pair,
+                contracts::amm_reserve_slot(1),
+                U256::from(AMM_RESERVE),
+            );
         }
         w.set_code(self.registry_address(), contracts::registry());
         w
@@ -328,7 +336,7 @@ mod tests {
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
         assert!((mean - 132.0).abs() < 15.0, "mean {mean}");
         for &s in &sizes {
-            assert!(s >= 132 - 24 && s <= 132 + 24);
+            assert!((132 - 24..=132 + 24).contains(&s));
         }
     }
 
@@ -411,6 +419,9 @@ mod tests {
             .filter(|t| t.to.map(|a| token_addr_space.contains(&a)).unwrap_or(false))
             .count();
         let amms = txs.len() - transfers - tokens;
-        assert!(transfers > 0 && tokens > 0 && amms > 0, "{transfers}/{tokens}/{amms}");
+        assert!(
+            transfers > 0 && tokens > 0 && amms > 0,
+            "{transfers}/{tokens}/{amms}"
+        );
     }
 }

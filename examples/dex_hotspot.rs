@@ -17,8 +17,16 @@ fn main() {
     let amm = Address::from_index(500);
     let mut genesis = WorldState::new();
     genesis.set_code(amm, contracts::amm_pair());
-    genesis.set_storage(amm, contracts::amm_reserve_slot(0), U256::from(10_000_000u64));
-    genesis.set_storage(amm, contracts::amm_reserve_slot(1), U256::from(10_000_000u64));
+    genesis.set_storage(
+        amm,
+        contracts::amm_reserve_slot(0),
+        U256::from(10_000_000u64),
+    );
+    genesis.set_storage(
+        amm,
+        contracts::amm_reserve_slot(1),
+        U256::from(10_000_000u64),
+    );
     for i in 1..=40u64 {
         genesis.set_balance(Address::from_index(i), U256::from(1_000_000_000u64));
     }
@@ -56,8 +64,8 @@ fn main() {
         let proposal = proposer.propose_block(Arc::clone(&genesis), BlockHash::ZERO, 1);
 
         // The validator-side dependency analysis over the block profile.
-        let schedule = Scheduler::new(ConflictGranularity::Account)
-            .schedule(&proposal.block.profile, 16);
+        let schedule =
+            Scheduler::new(ConflictGranularity::Account).schedule(&proposal.block.profile, 16);
         let sim = simulate_validator(&schedule, &proposal.block.profile, &CostModel::default());
         println!("--- {name} ---");
         println!("  txs                  : {}", proposal.block.tx_count());
@@ -67,16 +75,19 @@ fn main() {
             "  largest subgraph     : {:.0}% of the block",
             100.0 * schedule.largest_subgraph_ratio()
         );
-        println!("  validator speedup    : {:.2}x at 16 threads (gas-time)", sim.speedup);
+        println!(
+            "  validator speedup    : {:.2}x at 16 threads (gas-time)",
+            sim.speedup
+        );
 
         // Sanity: the block replays serially to the same root.
-        let serial = execute_block_serially(
-            &genesis,
-            &BlockEnv::default(),
-            &proposal.block.transactions,
-        )
-        .expect("replayable");
-        assert_eq!(serial.post_state.state_root(), proposal.block.header.state_root);
+        let serial =
+            execute_block_serially(&genesis, &BlockEnv::default(), &proposal.block.transactions)
+                .expect("replayable");
+        assert_eq!(
+            serial.post_state.state_root(),
+            proposal.block.header.state_root
+        );
         println!("  serial replay        : state root matches\n");
     }
     println!("Swaps on one pair serialize (they all read+write both reserve slots),");

@@ -49,8 +49,16 @@ fn main() {
     };
     let block_a = make_proposal(1..11, 1).block;
     let block_b = make_proposal(11..21, 1).block;
-    println!("proposer A block: {:?} ({} txs)", block_a.hash(), block_a.tx_count());
-    println!("proposer B block: {:?} ({} txs)", block_b.hash(), block_b.tx_count());
+    println!(
+        "proposer A block: {:?} ({} txs)",
+        block_a.hash(),
+        block_a.tx_count()
+    );
+    println!(
+        "proposer B block: {:?} ({} txs)",
+        block_b.hash(),
+        block_b.tx_count()
+    );
     assert_ne!(block_a.hash(), block_b.hash());
 
     // The validator receives both — they validate concurrently in the
@@ -61,8 +69,16 @@ fn main() {
     let outcome_b = handle_b.wait();
     println!(
         "validation: A = {}, B = {}",
-        if outcome_a.is_valid() { "VALID" } else { "REJECTED" },
-        if outcome_b.is_valid() { "VALID" } else { "REJECTED" },
+        if outcome_a.is_valid() {
+            "VALID"
+        } else {
+            "REJECTED"
+        },
+        if outcome_b.is_valid() {
+            "VALID"
+        } else {
+            "REJECTED"
+        },
     );
     assert!(outcome_a.is_valid() && outcome_b.is_valid());
 

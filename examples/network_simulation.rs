@@ -25,9 +25,19 @@ fn main() {
     println!("forked heights           : {}", report.forks);
     println!("uncle blocks             : {}", report.uncles);
     println!("canonical transactions   : {}", report.total_txs);
-    println!("out-of-order deliveries  : {}", report.out_of_order_deliveries);
+    println!(
+        "out-of-order deliveries  : {}",
+        report.out_of_order_deliveries
+    );
     println!("converged                : {}", report.converged);
     println!("final state root         : {:?}", report.final_root);
+    println!("delivery latency (ticks) :");
+    for (node, stats) in report.delivery_latency.iter().enumerate() {
+        println!(
+            "  node {node}: min {} / avg {:.1} / max {} over {} deliveries",
+            stats.min, stats.avg, stats.max, stats.deliveries
+        );
+    }
     assert!(report.converged);
     println!("\nEvery node validated every competing block (validators execute more");
     println!("blocks than proposers, §3.4), parked children that arrived before their");

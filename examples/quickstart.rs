@@ -49,14 +49,21 @@ fn main() {
         proposal.block.header.gas_used,
         proposal.stats.aborts,
     );
-    println!("block profile    : {} read/write-set entries", proposal.block.profile.len());
+    println!(
+        "block profile    : {} read/write-set entries",
+        proposal.block.profile.len()
+    );
 
     // 4. The validator re-executes the block in parallel lanes and checks
     //    every footprint against the profile, then the MPT state root.
     let outcome = validator.validate_and_commit(proposal.block);
     println!(
         "validation       : {} (prepare {:?}, execute {:?}, validate {:?})",
-        if outcome.is_valid() { "VALID" } else { "REJECTED" },
+        if outcome.is_valid() {
+            "VALID"
+        } else {
+            "REJECTED"
+        },
         outcome.timings.prepare,
         outcome.timings.execute,
         outcome.timings.validate,

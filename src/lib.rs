@@ -7,6 +7,7 @@
 //! This facade crate re-exports the public API of every subsystem. See the
 //! README for a tour and `examples/` for runnable programs.
 
+pub use blockpilot_core as core;
 pub use bp_baseline as baseline;
 pub use bp_block as block;
 pub use bp_concurrent as concurrent;
@@ -15,10 +16,10 @@ pub use bp_evm as evm;
 pub use bp_net as net;
 pub use bp_sim as sim;
 pub use bp_state as state;
+pub use bp_store as store;
 pub use bp_txpool as txpool;
 pub use bp_types as types;
 pub use bp_workload as workload;
-pub use blockpilot_core as core;
 
 pub use blockpilot_core::{
     occ_wsi::{OccWsiConfig, OccWsiProposer},

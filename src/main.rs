@@ -100,7 +100,10 @@ fn network(args: &[String]) {
         fork_every: arg(args, "--fork-every", 3),
         ..NetConfig::default()
     });
-    println!("heights {}, forks {}, uncles {}", report.heights, report.forks, report.uncles);
+    println!(
+        "heights {}, forks {}, uncles {}",
+        report.heights, report.forks, report.uncles
+    );
     println!(
         "converged: {} (final root {:?})",
         report.converged, report.final_root
@@ -136,5 +139,8 @@ fn stats(args: &[String]) {
         state = out.post_state;
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
-    println!("\nmean largest-subgraph ratio: {:.1}% (paper: 27.5%)", 100.0 * mean);
+    println!(
+        "\nmean largest-subgraph ratio: {:.1}% (paper: 27.5%)",
+        100.0 * mean
+    );
 }

@@ -37,7 +37,11 @@ fn honest_proposal() -> (Proposal, Arc<blockpilot::state::WorldState>, BlockHash
     (proposal, base, parent)
 }
 
-fn validate(block: blockpilot::block::Block, base: &Arc<blockpilot::state::WorldState>, parent: BlockHash) -> Result<(), ValidationError> {
+fn validate(
+    block: blockpilot::block::Block,
+    base: &Arc<blockpilot::state::WorldState>,
+    parent: BlockHash,
+) -> Result<(), ValidationError> {
     let pipeline = ValidatorPipeline::new(PipelineConfig {
         workers: 3,
         granularity: ConflictGranularity::Account,

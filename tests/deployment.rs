@@ -58,7 +58,13 @@ fn deployment_flows_through_proposer_and_validator() {
         data: counter_init(),
     });
     for i in 2..=4u64 {
-        proposer.submit_transaction(Transaction::transfer(addr(i), addr(i + 10), U256::ONE, 0, 1));
+        proposer.submit_transaction(Transaction::transfer(
+            addr(i),
+            addr(i + 10),
+            U256::ONE,
+            0,
+            1,
+        ));
     }
     let p1 = proposer.propose_block(Arc::new(genesis), validator.genesis_hash(), 1);
     assert_eq!(p1.block.tx_count(), 4);

@@ -4,9 +4,7 @@
 
 use std::sync::Arc;
 
-use blockpilot::core::{
-    ConflictGranularity, OccWsiConfig, PipelineConfig, Proposer, Validator,
-};
+use blockpilot::core::{OccWsiConfig, PipelineConfig, Proposer, Validator};
 use blockpilot::evm::{BlockEnv, Transaction};
 use blockpilot::state::WorldState;
 use blockpilot::types::{Address, U256};

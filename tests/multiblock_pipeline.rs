@@ -5,8 +5,7 @@
 use std::sync::Arc;
 
 use blockpilot::core::{
-    ConflictGranularity, OccWsiConfig, OccWsiProposer, PipelineConfig, Proposal,
-    ValidatorPipeline,
+    ConflictGranularity, OccWsiConfig, OccWsiProposer, PipelineConfig, Proposal, ValidatorPipeline,
 };
 use blockpilot::txpool::TxPool;
 use blockpilot::types::BlockHash;

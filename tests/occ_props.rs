@@ -53,7 +53,11 @@ fn world() -> WorldState {
     w.set_code(token, contracts::token());
     for i in 0..12u8 {
         w.set_balance(addr(i), U256::from(1_000_000_000u64));
-        w.set_storage(token, contracts::token_balance_slot(&addr(i)), U256::from(1_000_000u64));
+        w.set_storage(
+            token,
+            contracts::token_balance_slot(&addr(i)),
+            U256::from(1_000_000u64),
+        );
     }
     w
 }
