@@ -126,7 +126,7 @@ pub fn occ_two_phase(
 
     // Commit phase-1 survivors (their effects commute), then phase 2:
     // re-execute the conflicting transactions serially in block order.
-    let mut world = base.clone();
+    let mut world = base.snapshot();
     let mut gas = vec![0u64; n];
     let mut fees = U256::ZERO;
     for &i in &parallel {

@@ -28,7 +28,7 @@ pub fn execute_block_serially(
     env: &BlockEnv,
     txs: &[Transaction],
 ) -> Result<SerialOutcome, (usize, TxError)> {
-    let mut world = base.clone();
+    let mut world = base.snapshot();
     let mut receipts = Vec::with_capacity(txs.len());
     let mut profile = BlockProfile::new();
     let mut gas_used: Gas = 0;

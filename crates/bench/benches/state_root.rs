@@ -1,0 +1,95 @@
+//! Criterion benchmark for state commitment: cold (from-scratch) vs
+//! incremental (dirty-tracked) root computation across world sizes and dirty
+//! fractions, plus the paper-shaped scenario of one 132-transaction block's
+//! dirty set over a 10k-account world.
+//!
+//! Run with `cargo bench -p bp-bench --bench state_root`.
+//! A JSON baseline captured from the same workloads lives in
+//! `BENCH_state_root.json` (produced by the `state_root_baseline` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bp_state::WorldState;
+use bp_types::{Address, H256, U256};
+
+/// A populated world: every account has a balance, a nonce, and
+/// `slots_per_account` storage slots.
+fn build_world(accounts: u64, slots_per_account: u64) -> WorldState {
+    let mut world = WorldState::new();
+    for i in 0..accounts {
+        let addr = Address::from_index(i);
+        world.set_balance(addr, U256::from(1_000_000 + i));
+        world.set_nonce(addr, i % 7);
+        for s in 0..slots_per_account {
+            world.set_storage(addr, H256::from_low_u64(s), U256::from(i * 10 + s + 1));
+        }
+    }
+    world
+}
+
+/// Dirties `count` spread-out accounts (balance + one storage slot each),
+/// varying values by `salt` so every commit really changes the root.
+fn dirty_accounts(world: &mut WorldState, total: u64, count: usize, salt: u64) {
+    for i in 0..count {
+        let addr = Address::from_index((i as u64 * 97 + salt) % total);
+        world.set_balance(addr, U256::from(salt * 1000 + i as u64 + 1));
+        world.set_storage(addr, H256::from_low_u64(1), U256::from(salt + i as u64 + 1));
+    }
+}
+
+fn bench_state_root(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_root");
+    g.sample_size(10);
+
+    for &accounts in &[1_000u64, 10_000, 100_000] {
+        let mut world = build_world(accounts, 2);
+        let _ = world.state_root(); // prime the incremental memo
+
+        // From-scratch rebuild: what every commit cost before incremental
+        // commitment (and still the debug-mode oracle).
+        g.bench_with_input(BenchmarkId::new("cold", accounts), &accounts, |b, _| {
+            b.iter(|| world.rebuild_root())
+        });
+
+        for &fraction in &[0.001f64, 0.01, 0.1] {
+            let dirty = ((accounts as f64 * fraction) as usize).max(1);
+            let mut salt = 1u64;
+            g.bench_with_input(
+                BenchmarkId::new(format!("incremental_f{fraction}"), accounts),
+                &accounts,
+                |b, _| {
+                    b.iter(|| {
+                        salt += 1;
+                        dirty_accounts(&mut world, accounts, dirty, salt);
+                        world.state_root()
+                    })
+                },
+            );
+        }
+    }
+
+    // The acceptance scenario: one 132-transaction block of transfers over a
+    // 10k-account world — each transfer dirties the sender's balance+nonce
+    // and the recipient's balance.
+    let accounts = 10_000u64;
+    let mut world = build_world(accounts, 2);
+    let _ = world.state_root();
+    let mut salt = 1u64;
+    g.bench_function("block_132tx_10k_accounts", |b| {
+        b.iter(|| {
+            salt += 1;
+            for t in 0..132u64 {
+                let sender = Address::from_index((t * 37 + salt) % accounts);
+                let recipient = Address::from_index((t * 61 + salt * 13) % accounts);
+                world.set_balance(sender, U256::from(salt * 7 + t));
+                world.set_nonce(sender, salt + t);
+                world.set_balance(recipient, U256::from(salt * 11 + t));
+            }
+            world.state_root()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_state_root);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Records the `BENCH_state_root.json` baseline: cold (from-scratch) vs
+//! incremental (dirty-tracked) state-root computation, matching the
+//! workloads of the `state_root` Criterion bench but using plain wall-clock
+//! timing so the baseline can be (re)captured anywhere.
+//!
+//! Usage: `cargo run -p bp-bench --release --bin state_root_baseline [out.json]`
+
+use std::time::Instant;
+
+use bp_state::WorldState;
+use bp_types::{Address, H256, U256};
+
+struct Row {
+    scenario: String,
+    accounts: u64,
+    dirty_accounts: usize,
+    cold_ms: f64,
+    incremental_ms: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.cold_ms / self.incremental_ms
+    }
+}
+
+fn build_world(accounts: u64, slots_per_account: u64) -> WorldState {
+    let mut world = WorldState::new();
+    for i in 0..accounts {
+        let addr = Address::from_index(i);
+        world.set_balance(addr, U256::from(1_000_000 + i));
+        world.set_nonce(addr, i % 7);
+        for s in 0..slots_per_account {
+            world.set_storage(addr, H256::from_low_u64(s), U256::from(i * 10 + s + 1));
+        }
+    }
+    world
+}
+
+fn dirty_accounts(world: &mut WorldState, total: u64, count: usize, salt: u64) {
+    for i in 0..count {
+        let addr = Address::from_index((i as u64 * 97 + salt) % total);
+        world.set_balance(addr, U256::from(salt * 1000 + i as u64 + 1));
+        world.set_storage(addr, H256::from_low_u64(1), U256::from(salt + i as u64 + 1));
+    }
+}
+
+/// Average milliseconds of `reps` runs of `f`.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / reps as f64
+}
+
+fn measure(scenario: &str, accounts: u64, dirty: usize, reps: usize) -> Row {
+    let mut world = build_world(accounts, 2);
+    let _ = world.state_root(); // prime the incremental memo
+    let cold_ms = time_ms(reps, || {
+        std::hint::black_box(world.rebuild_root());
+    });
+    let mut salt = 0u64;
+    let incremental_ms = time_ms(reps, || {
+        salt += 1;
+        dirty_accounts(&mut world, accounts, dirty, salt);
+        std::hint::black_box(world.state_root());
+    });
+    Row {
+        scenario: scenario.to_string(),
+        accounts,
+        dirty_accounts: dirty,
+        cold_ms,
+        incremental_ms,
+    }
+}
+
+/// One 132-transaction block of transfers over a 10k-account world: each
+/// transfer dirties the sender's balance+nonce and the recipient's balance.
+fn measure_block_scenario(reps: usize) -> Row {
+    let accounts = 10_000u64;
+    let mut world = build_world(accounts, 2);
+    let _ = world.state_root();
+    let cold_ms = time_ms(reps, || {
+        std::hint::black_box(world.rebuild_root());
+    });
+    let mut salt = 0u64;
+    let incremental_ms = time_ms(reps, || {
+        salt += 1;
+        for t in 0..132u64 {
+            let sender = Address::from_index((t * 37 + salt) % accounts);
+            let recipient = Address::from_index((t * 61 + salt * 13) % accounts);
+            world.set_balance(sender, U256::from(salt * 7 + t));
+            world.set_nonce(sender, salt + t);
+            world.set_balance(recipient, U256::from(salt * 11 + t));
+        }
+        std::hint::black_box(world.state_root());
+    });
+    Row {
+        scenario: "block_132tx".to_string(),
+        accounts,
+        dirty_accounts: 264,
+        cold_ms,
+        incremental_ms,
+    }
+}
+
+fn main() {
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "run with --release: debug builds cross-check every incremental root \
+             against a from-scratch rebuild, which is exactly what this measures"
+        );
+        std::process::exit(2);
+    }
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_state_root.json".to_string());
+
+    let mut rows = Vec::new();
+    for &(accounts, reps) in &[(1_000u64, 50usize), (10_000, 20), (100_000, 3)] {
+        for &fraction in &[0.001f64, 0.01, 0.1] {
+            let dirty = ((accounts as f64 * fraction) as usize).max(1);
+            let name = format!("dirty_f{fraction}");
+            rows.push(measure(&name, accounts, dirty, reps));
+        }
+    }
+    rows.push(measure_block_scenario(20));
+
+    println!(
+        "{:>14} {:>9} {:>7} {:>12} {:>14} {:>9}",
+        "scenario", "accounts", "dirty", "cold(ms)", "increm(ms)", "speedup"
+    );
+    let mut json =
+        String::from("{\n  \"bench\": \"state_root\",\n  \"unit\": \"ms\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:>14} {:>9} {:>7} {:>12.3} {:>14.4} {:>8.1}x",
+            r.scenario,
+            r.accounts,
+            r.dirty_accounts,
+            r.cold_ms,
+            r.incremental_ms,
+            r.speedup()
+        );
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"accounts\": {}, \"dirty_accounts\": {}, \
+             \"cold_ms\": {:.4}, \"incremental_ms\": {:.4}, \"speedup\": {:.2}}}{}\n",
+            r.scenario,
+            r.accounts,
+            r.dirty_accounts,
+            r.cold_ms,
+            r.incremental_ms,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write baseline json");
+    println!("\nwrote {out_path}");
+
+    let block = rows.last().expect("block scenario present");
+    assert!(
+        block.speedup() >= 5.0,
+        "acceptance: 132-tx block over 10k accounts must be >= 5x vs cold, got {:.1}x",
+        block.speedup()
+    );
+}

@@ -578,7 +578,9 @@ fn validate_and_apply(task: &BlockTask) -> Result<(WorldState, Vec<Receipt>), Va
         });
     }
     let results = task.results.lock();
-    let mut world = (*task.base).clone();
+    // Copy-on-write snapshot of the parent state: O(accounts) pointer bumps
+    // instead of a deep copy of the whole world per block.
+    let mut world = task.base.snapshot();
     let mut gas_total: Gas = 0;
     let mut fees = U256::ZERO;
     let mut receipts = Vec::with_capacity(block.transactions.len());

@@ -167,7 +167,7 @@ pub fn simulate_proposer_with_rule(
     rule: ValidationRule,
 ) -> ProposerSimResult {
     assert!(threads > 0);
-    let base = Arc::new(base.clone());
+    let base = Arc::new(base.snapshot());
     let pool = TxPool::new();
     for tx in txs {
         pool.add(tx.clone());

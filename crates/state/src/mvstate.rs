@@ -84,15 +84,19 @@ impl MultiVersionState {
 
     /// Materializes the world as of `version` (base plus the newest write ≤
     /// `version` of every key). Used when sealing the proposed block.
+    ///
+    /// Starts from a copy-on-write snapshot of the base world and applies all
+    /// versioned writes as one batched [`WriteSet`], so the cost is
+    /// O(written keys), not O(world size).
     pub fn materialize(&self, version: u64) -> WorldState {
-        let mut world = (*self.base).clone();
+        let mut world = self.base.snapshot();
+        let mut writes: WriteSet = Default::default();
         for (key, chain) in self.versions.snapshot() {
             if let Some((_, value)) = chain.iter().rev().find(|(v, _)| *v <= version) {
-                let mut ws: WriteSet = Default::default();
-                ws.insert(key, *value);
-                world.apply_writes(&ws);
+                writes.insert(key, *value);
             }
         }
+        world.apply_writes(&writes);
         for (addr, code) in self.code.snapshot() {
             world.set_code(addr, (*code).clone());
         }

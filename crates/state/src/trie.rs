@@ -7,6 +7,14 @@
 //! validators compare against the proposed block header (§5.2: "two world
 //! states are considered identical only if their MPT roots are the same").
 //!
+//! Nodes are **structurally shared**: children are held behind [`Arc`], so
+//! `Trie::clone` is O(1) and an insert/remove path-copies only the nodes on
+//! the touched path while every untouched subtree stays shared with prior
+//! clones. Each shared node memoizes its RLP encoding and keccak hash, so
+//! recomputing the root after k mutations re-hashes O(k · depth) nodes, not
+//! the whole trie. This is what makes the world state's incremental
+//! commitment O(dirty keys) per block instead of O(total state).
+//!
 //! The trie also produces Merkle proofs ([`Trie::prove`] /
 //! [`verify_proof`]), used in tests to cross-check the commitment logic.
 //!
@@ -16,6 +24,8 @@
 //! references through a [`NodeResolver`] ([`Trie::from_root`]). Nodes whose
 //! encoding is shorter than 32 bytes are inlined in their parent (the MPT
 //! inlining rule) and never hit the database.
+
+use std::sync::{Arc, OnceLock};
 
 use bp_crypto::keccak256;
 use bp_crypto::rlp::{self, Item, RlpStream};
@@ -37,24 +47,105 @@ enum Node {
     },
     Extension {
         path: Nibbles,
-        child: Box<Node>,
+        child: NodeRef,
     },
     Branch {
-        children: Box<[Node; 16]>,
+        children: Box<[NodeRef; 16]>,
         value: Option<Vec<u8>>,
     },
 }
 
 impl Node {
-    fn empty_children() -> Box<[Node; 16]> {
-        Box::new(std::array::from_fn(|_| Node::Empty))
+    fn empty_children() -> Box<[NodeRef; 16]> {
+        Box::new(std::array::from_fn(|_| NodeRef::empty()))
+    }
+}
+
+/// Memoized commitment of one node: its RLP encoding (with children already
+/// reduced to hash references or inlined bytes) and, for encodings of 32
+/// bytes or more, the keccak hash its parent refers to it by.
+#[derive(Clone, Debug)]
+struct EncCache {
+    encoding: Arc<Vec<u8>>,
+    /// `Some` iff `encoding.len() >= 32` (the node is hashed, not inlined).
+    hash: Option<H256>,
+}
+
+/// A shared, immutable handle to a node. Cloning bumps a refcount; mutation
+/// goes through [`NodeRef::take`], which copies the node only when it is
+/// shared (path copying) and always discards the stale encoding cache.
+#[derive(Clone, Debug)]
+struct NodeRef(Arc<NodeInner>);
+
+#[derive(Debug)]
+struct NodeInner {
+    node: Node,
+    enc: OnceLock<EncCache>,
+}
+
+impl PartialEq for NodeRef {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.node() == other.node()
+    }
+}
+
+impl NodeRef {
+    fn new(node: Node) -> Self {
+        NodeRef(Arc::new(NodeInner {
+            node,
+            enc: OnceLock::new(),
+        }))
+    }
+
+    /// The shared empty node (one allocation program-wide).
+    fn empty() -> Self {
+        static EMPTY: OnceLock<NodeRef> = OnceLock::new();
+        EMPTY.get_or_init(|| NodeRef::new(Node::Empty)).clone()
+    }
+
+    fn node(&self) -> &Node {
+        &self.0.node
+    }
+
+    fn is_empty_node(&self) -> bool {
+        matches!(self.0.node, Node::Empty)
+    }
+
+    /// Takes the node out for mutation: moves when this is the only
+    /// reference, shallow-copies (children stay shared) otherwise. Either
+    /// way the encoding cache is dropped — the caller is about to change
+    /// the node, so the memoized commitment would be stale.
+    fn take(self) -> Node {
+        match Arc::try_unwrap(self.0) {
+            Ok(inner) => inner.node,
+            Err(shared) => shared.node.clone(),
+        }
+    }
+
+    /// The memoized encoding + hash, computed on first use.
+    fn enc(&self) -> &EncCache {
+        self.0.enc.get_or_init(|| {
+            let encoding = encode_node(&self.0.node);
+            let hash = if encoding.len() >= 32 {
+                Some(keccak256(&encoding))
+            } else {
+                None
+            };
+            EncCache {
+                encoding: Arc::new(encoding),
+                hash,
+            }
+        })
     }
 }
 
 /// An in-memory Merkle Patricia Trie over byte keys and byte values.
+///
+/// Cloning is O(1): both tries share all nodes until one of them mutates
+/// (copy-on-write along the mutated path only).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Trie {
-    root: Node,
+    root: NodeRef,
 }
 
 impl Default for Trie {
@@ -66,7 +157,9 @@ impl Default for Trie {
 impl Trie {
     /// An empty trie.
     pub fn new() -> Self {
-        Trie { root: Node::Empty }
+        Trie {
+            root: NodeRef::empty(),
+        }
     }
 
     /// Inserts `value` at `key`. Empty values are equivalent to deletion, as
@@ -77,36 +170,39 @@ impl Trie {
             return;
         }
         let path = Nibbles::from_bytes(key);
-        let root = std::mem::replace(&mut self.root, Node::Empty);
-        self.root = insert_at(root, path, value);
+        let root = std::mem::replace(&mut self.root, NodeRef::empty()).take();
+        self.root = NodeRef::new(insert_at(root, path, value));
     }
 
     /// Returns the value at `key`, if present.
     pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
         let path = Nibbles::from_bytes(key);
-        get_at(&self.root, &path, 0)
+        get_at(self.root.node(), &path, 0)
     }
 
     /// Removes `key`, returning whether it was present.
     pub fn remove(&mut self, key: &[u8]) -> bool {
         let path = Nibbles::from_bytes(key);
-        let root = std::mem::replace(&mut self.root, Node::Empty);
+        let root = std::mem::replace(&mut self.root, NodeRef::empty()).take();
         let (new_root, removed) = remove_at(root, &path, 0);
-        self.root = new_root;
+        self.root = NodeRef::new(new_root);
         removed
     }
 
     /// True iff the trie holds no entries.
     pub fn is_empty(&self) -> bool {
-        matches!(self.root, Node::Empty)
+        self.root.is_empty_node()
     }
 
-    /// The Merkle root of the current contents.
+    /// The Merkle root of the current contents. Memoized: repeated calls
+    /// without intervening mutation are O(1), and after k mutations only the
+    /// touched paths are re-encoded and re-hashed.
     pub fn root_hash(&self) -> H256 {
-        match &self.root {
-            Node::Empty => empty_root(),
-            node => keccak256(&encode_node(node)),
+        if self.root.is_empty_node() {
+            return empty_root();
         }
+        let enc = self.root.enc();
+        enc.hash.unwrap_or_else(|| keccak256(&enc.encoding))
     }
 
     /// Collects all (key, value) pairs in lexicographic key order. Keys are
@@ -114,7 +210,7 @@ impl Trie {
     /// even-length byte keys get those bytes back exactly.
     pub fn iter(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
         let mut out = Vec::new();
-        walk(&self.root, &mut Vec::new(), &mut out);
+        walk(self.root.node(), &mut Vec::new(), &mut out);
         out
     }
 
@@ -135,14 +231,18 @@ impl Trie {
     /// A node referenced from several places (identical subtrees) is emitted
     /// once **per reference**, so a reference-counting store that increments
     /// on commit and decrements along a traversal stays balanced.
+    ///
+    /// Encodings and hashes come from the per-node memo, so repeated commits
+    /// of a mostly-unchanged trie pay hashing only for the changed paths.
     pub fn commit_nodes(&self) -> (H256, Vec<(H256, Vec<u8>)>) {
-        if matches!(self.root, Node::Empty) {
+        if self.root.is_empty_node() {
             return (empty_root(), Vec::new());
         }
         let mut out = Vec::new();
-        let enc = collect_nodes(&self.root, &mut out);
-        let root = keccak256(&enc);
-        out.push((root, enc));
+        collect_hashed_children(&self.root, &mut out);
+        let enc = self.root.enc();
+        let root = enc.hash.unwrap_or_else(|| keccak256(&enc.encoding));
+        out.push((root, (*enc.encoding).clone()));
         (root, out)
     }
 
@@ -161,7 +261,9 @@ impl Trie {
         }
         let item = rlp::decode(&bytes).map_err(|_| TrieLoadError::BadNode(root))?;
         let node = node_from_item(&item, resolver)?;
-        Ok(Trie { root: node })
+        Ok(Trie {
+            root: NodeRef::new(node),
+        })
     }
 }
 
@@ -272,50 +374,30 @@ fn summarize_child(item: &Item, out: &mut NodeSummary) -> Result<(), ()> {
     }
 }
 
-/// Post-order node collection: returns the encoding of `node`, appending
-/// every hashed descendant to `out` along the way (mirrors
-/// [`append_child_ref`], reusing child encodings instead of recomputing).
-fn collect_nodes(node: &Node, out: &mut Vec<(H256, Vec<u8>)>) -> Vec<u8> {
-    let append_child = |s: &mut RlpStream, child: &Node, out: &mut Vec<(H256, Vec<u8>)>| {
-        let enc = collect_nodes(child, out);
-        if enc.len() < 32 {
-            s.append_raw(&enc);
-        } else {
-            let h = keccak256(&enc);
-            s.append_h256(&h);
-            out.push((h, enc));
+/// Post-order collection of every hashed descendant reachable from `node`
+/// (the node itself is NOT emitted — the caller handles it, because the root
+/// is emitted unconditionally while inner nodes only when hashed).
+///
+/// An inlined child (encoding < 32 bytes) cannot itself reference a hashed
+/// node — a 33-byte hash reference would not fit — so recursion only follows
+/// hash-referenced children.
+fn collect_hashed_children(node: &NodeRef, out: &mut Vec<(H256, Vec<u8>)>) {
+    let push_child = |child: &NodeRef, out: &mut Vec<(H256, Vec<u8>)>| {
+        let enc = child.enc();
+        if let Some(h) = enc.hash {
+            collect_hashed_children(child, out);
+            out.push((h, (*enc.encoding).clone()));
         }
     };
-    match node {
-        Node::Empty => vec![0x80],
-        Node::Leaf { path, value } => {
-            let mut s = RlpStream::new();
-            s.begin_list(2);
-            s.append_bytes(&path.hex_prefix(true));
-            s.append_bytes(value);
-            s.out()
-        }
-        Node::Extension { path, child } => {
-            let mut s = RlpStream::new();
-            s.begin_list(2);
-            s.append_bytes(&path.hex_prefix(false));
-            append_child(&mut s, child, out);
-            s.out()
-        }
-        Node::Branch { children, value } => {
-            let mut s = RlpStream::new();
-            s.begin_list(17);
+    match node.node() {
+        Node::Empty | Node::Leaf { .. } => {}
+        Node::Extension { child, .. } => push_child(child, out),
+        Node::Branch { children, .. } => {
             for c in children.iter() {
-                match c {
-                    Node::Empty => s.append_bytes(&[]),
-                    _ => append_child(&mut s, c, out),
+                if !c.is_empty_node() {
+                    push_child(c, out);
                 }
             }
-            match value {
-                Some(v) => s.append_bytes(v),
-                None => s.append_bytes(&[]),
-            }
-            s.out()
         }
     }
 }
@@ -335,7 +417,7 @@ fn node_from_item(item: &Item, resolver: &dyn NodeResolver) -> Result<Node, Trie
                 let child = child_from_item(&list[1], resolver)?;
                 Ok(Node::Extension {
                     path,
-                    child: Box::new(child),
+                    child: NodeRef::new(child),
                 })
             }
         }
@@ -343,8 +425,8 @@ fn node_from_item(item: &Item, resolver: &dyn NodeResolver) -> Result<Node, Trie
             let mut children = Node::empty_children();
             for (i, slot) in list[..16].iter().enumerate() {
                 children[i] = match slot {
-                    Item::Bytes(b) if b.is_empty() => Node::Empty,
-                    other => child_from_item(other, resolver)?,
+                    Item::Bytes(b) if b.is_empty() => NodeRef::empty(),
+                    other => NodeRef::new(child_from_item(other, resolver)?),
                 };
             }
             let value_bytes = list[16].as_bytes().map_err(|_| bad())?;
@@ -402,10 +484,10 @@ fn insert_at(node: Node, path: Nibbles, value: Vec<u8>) -> Node {
                 branch_value = Some(lvalue);
             } else {
                 let idx = lpath.at(common) as usize;
-                children[idx] = Node::Leaf {
+                children[idx] = NodeRef::new(Node::Leaf {
                     path: lpath.slice_from(common + 1),
                     value: lvalue,
-                };
+                });
             }
             if common == path.len() {
                 let branch = Node::Branch {
@@ -415,10 +497,10 @@ fn insert_at(node: Node, path: Nibbles, value: Vec<u8>) -> Node {
                 return wrap_extension(lpath, common, branch);
             }
             let idx = path.at(common) as usize;
-            children[idx] = Node::Leaf {
+            children[idx] = NodeRef::new(Node::Leaf {
                 path: path.slice_from(common + 1),
                 value,
-            };
+            });
             let branch = Node::Branch {
                 children,
                 value: branch_value,
@@ -428,10 +510,10 @@ fn insert_at(node: Node, path: Nibbles, value: Vec<u8>) -> Node {
         Node::Extension { path: epath, child } => {
             let common = epath.common_prefix_len(&path);
             if common == epath.len() {
-                let new_child = insert_at(*child, path.slice_from(common), value);
+                let new_child = insert_at(child.take(), path.slice_from(common), value);
                 return Node::Extension {
                     path: epath,
-                    child: Box::new(new_child),
+                    child: NodeRef::new(new_child),
                 };
             }
             // The new key diverges inside this extension: split it.
@@ -439,9 +521,9 @@ fn insert_at(node: Node, path: Nibbles, value: Vec<u8>) -> Node {
             let eidx = epath.at(common) as usize;
             let rest = epath.slice_from(common + 1);
             children[eidx] = if rest.is_empty() {
-                *child
+                child
             } else {
-                Node::Extension { path: rest, child }
+                NodeRef::new(Node::Extension { path: rest, child })
             };
             let branch_value;
             if common == path.len() {
@@ -449,10 +531,10 @@ fn insert_at(node: Node, path: Nibbles, value: Vec<u8>) -> Node {
             } else {
                 branch_value = None;
                 let idx = path.at(common) as usize;
-                children[idx] = Node::Leaf {
+                children[idx] = NodeRef::new(Node::Leaf {
                     path: path.slice_from(common + 1),
                     value,
-                };
+                });
             }
             let branch = Node::Branch {
                 children,
@@ -471,8 +553,8 @@ fn insert_at(node: Node, path: Nibbles, value: Vec<u8>) -> Node {
                 };
             }
             let idx = path.at(0) as usize;
-            let child = std::mem::replace(&mut children[idx], Node::Empty);
-            children[idx] = insert_at(child, path.slice_from(1), value);
+            let child = std::mem::replace(&mut children[idx], NodeRef::empty());
+            children[idx] = NodeRef::new(insert_at(child.take(), path.slice_from(1), value));
             Node::Branch {
                 children,
                 value: bvalue,
@@ -489,7 +571,7 @@ fn wrap_extension(full_path: Nibbles, common: usize, branch: Node) -> Node {
     } else {
         Node::Extension {
             path: Nibbles(full_path.0[..common].to_vec()),
-            child: Box::new(branch),
+            child: NodeRef::new(branch),
         }
     }
 }
@@ -507,7 +589,7 @@ fn get_at<'a>(node: &'a Node, path: &Nibbles, depth: usize) -> Option<&'a [u8]> 
         Node::Extension { path: epath, child } => {
             let rest = path.slice_from(depth);
             if rest.len() >= epath.len() && rest.common_prefix_len(epath) == epath.len() {
-                get_at(child, path, depth + epath.len())
+                get_at(child.node(), path, depth + epath.len())
             } else {
                 None
             }
@@ -516,7 +598,7 @@ fn get_at<'a>(node: &'a Node, path: &Nibbles, depth: usize) -> Option<&'a [u8]> 
             if depth == path.len() {
                 value.as_deref()
             } else {
-                get_at(&children[path.at(depth) as usize], path, depth + 1)
+                get_at(children[path.at(depth) as usize].node(), path, depth + 1)
             }
         }
     }
@@ -535,12 +617,12 @@ fn remove_at(node: Node, path: &Nibbles, depth: usize) -> (Node, bool) {
         Node::Extension { path: epath, child } => {
             let rest = path.slice_from(depth);
             if rest.len() >= epath.len() && rest.common_prefix_len(&epath) == epath.len() {
-                let (new_child, removed) = remove_at(*child, path, depth + epath.len());
+                let (new_child, removed) = remove_at(child.take(), path, depth + epath.len());
                 if !removed {
                     return (
                         Node::Extension {
                             path: epath,
-                            child: Box::new(new_child),
+                            child: NodeRef::new(new_child),
                         },
                         false,
                     );
@@ -560,9 +642,9 @@ fn remove_at(node: Node, path: &Nibbles, depth: usize) -> (Node, bool) {
                 had
             } else {
                 let idx = path.at(depth) as usize;
-                let child = std::mem::replace(&mut children[idx], Node::Empty);
-                let (new_child, removed) = remove_at(child, path, depth + 1);
-                children[idx] = new_child;
+                let child = std::mem::replace(&mut children[idx], NodeRef::empty());
+                let (new_child, removed) = remove_at(child.take(), path, depth + 1);
+                children[idx] = NodeRef::new(new_child);
                 removed
             };
             if !removed {
@@ -587,16 +669,14 @@ fn collapse_extension(epath: Nibbles, child: Node) -> Node {
         },
         branch @ Node::Branch { .. } => Node::Extension {
             path: epath,
-            child: Box::new(branch),
+            child: NodeRef::new(branch),
         },
     }
 }
 
 /// Collapses a branch that may have dropped to ≤1 occupant.
-fn normalize_branch(mut children: Box<[Node; 16]>, value: Option<Vec<u8>>) -> Node {
-    let occupied: Vec<usize> = (0..16)
-        .filter(|&i| !matches!(children[i], Node::Empty))
-        .collect();
+fn normalize_branch(mut children: Box<[NodeRef; 16]>, value: Option<Vec<u8>>) -> Node {
+    let occupied: Vec<usize> = (0..16).filter(|&i| !children[i].is_empty_node()).collect();
     match (occupied.len(), &value) {
         (0, None) => Node::Empty,
         (0, Some(_)) => Node::Leaf {
@@ -605,8 +685,8 @@ fn normalize_branch(mut children: Box<[Node; 16]>, value: Option<Vec<u8>>) -> No
         },
         (1, None) => {
             let idx = occupied[0];
-            let child = std::mem::replace(&mut children[idx], Node::Empty);
-            collapse_extension(Nibbles(vec![idx as u8]), child)
+            let child = std::mem::replace(&mut children[idx], NodeRef::empty());
+            collapse_extension(Nibbles(vec![idx as u8]), child.take())
         }
         _ => Node::Branch { children, value },
     }
@@ -623,7 +703,7 @@ fn walk(node: &Node, prefix: &mut Vec<u8>, out: &mut Vec<(Vec<u8>, Vec<u8>)>) {
         Node::Extension { path, child } => {
             let len = prefix.len();
             prefix.extend_from_slice(&path.0);
-            walk(child, prefix, out);
+            walk(child.node(), prefix, out);
             prefix.truncate(len);
         }
         Node::Branch { children, value } => {
@@ -632,7 +712,7 @@ fn walk(node: &Node, prefix: &mut Vec<u8>, out: &mut Vec<(Vec<u8>, Vec<u8>)>) {
             }
             for (i, c) in children.iter().enumerate() {
                 prefix.push(i as u8);
-                walk(c, prefix, out);
+                walk(c.node(), prefix, out);
                 prefix.pop();
             }
         }
@@ -654,7 +734,8 @@ fn pack_nibbles(nibbles: &[u8]) -> Vec<u8> {
 // Encoding and proofs
 // ---------------------------------------------------------------------------
 
-/// RLP encoding of a node.
+/// RLP encoding of a node. Child references come from each child's memoized
+/// [`EncCache`], so a re-encode after a mutation touches only the dirty path.
 fn encode_node(node: &Node) -> Vec<u8> {
     match node {
         Node::Empty => vec![0x80],
@@ -676,9 +757,10 @@ fn encode_node(node: &Node) -> Vec<u8> {
             let mut s = RlpStream::new();
             s.begin_list(17);
             for c in children.iter() {
-                match c {
-                    Node::Empty => s.append_bytes(&[]),
-                    _ => append_child_ref(&mut s, c),
+                if c.is_empty_node() {
+                    s.append_bytes(&[]);
+                } else {
+                    append_child_ref(&mut s, c);
                 }
             }
             match value {
@@ -692,35 +774,34 @@ fn encode_node(node: &Node) -> Vec<u8> {
 
 /// Appends a child reference: the node itself when its encoding is shorter
 /// than 32 bytes, otherwise its keccak hash (the MPT inlining rule).
-fn append_child_ref(s: &mut RlpStream, child: &Node) {
-    let enc = encode_node(child);
-    if enc.len() < 32 {
-        s.append_raw(&enc);
-    } else {
-        s.append_h256(&keccak256(&enc));
+fn append_child_ref(s: &mut RlpStream, child: &NodeRef) {
+    let enc = child.enc();
+    match enc.hash {
+        Some(h) => s.append_h256(&h),
+        None => s.append_raw(&enc.encoding),
     }
 }
 
-fn prove_at(node: &Node, path: &Nibbles, depth: usize, proof: &mut Vec<Vec<u8>>) {
-    match node {
+fn prove_at(node: &NodeRef, path: &Nibbles, depth: usize, proof: &mut Vec<Vec<u8>>) {
+    match node.node() {
         Node::Empty => {}
-        Node::Leaf { .. } => proof.push(encode_node(node)),
+        Node::Leaf { .. } => proof.push((*node.enc().encoding).clone()),
         Node::Extension { path: epath, child } => {
-            proof.push(encode_node(node));
+            proof.push((*node.enc().encoding).clone());
             let rest = path.slice_from(depth);
             if rest.len() >= epath.len() && rest.common_prefix_len(epath) == epath.len() {
                 // Only recurse into children that are hashed separately;
                 // inlined children are already inside this node's encoding.
-                if encode_node(child).len() >= 32 {
+                if child.enc().hash.is_some() {
                     prove_at(child, path, depth + epath.len(), proof);
                 }
             }
         }
         Node::Branch { children, .. } => {
-            proof.push(encode_node(node));
+            proof.push((*node.enc().encoding).clone());
             if depth < path.len() {
                 let child = &children[path.at(depth) as usize];
-                if !matches!(child, Node::Empty) && encode_node(child).len() >= 32 {
+                if !child.is_empty_node() && child.enc().hash.is_some() {
                     prove_at(child, path, depth + 1, proof);
                 }
             }
@@ -963,6 +1044,51 @@ mod tests {
     }
 
     #[test]
+    fn clone_shares_structure_and_diverges_on_write() {
+        let mut t = Trie::new();
+        for i in 0..100u32 {
+            t.insert(&i.to_be_bytes(), format!("v{i}").into_bytes());
+        }
+        let root = t.root_hash();
+        let snap = t.clone();
+        // Mutating the original must not disturb the clone…
+        t.insert(&7u32.to_be_bytes(), b"changed".to_vec());
+        t.remove(&55u32.to_be_bytes());
+        assert_eq!(snap.root_hash(), root);
+        assert_eq!(snap.get(&7u32.to_be_bytes()), Some(&b"v7"[..]));
+        assert_eq!(snap.get(&55u32.to_be_bytes()), Some(&b"v55"[..]));
+        // …and the mutated trie equals a fresh build of the same contents.
+        let mut fresh = Trie::new();
+        for i in 0..100u32 {
+            if i == 55 {
+                continue;
+            }
+            let v = if i == 7 {
+                b"changed".to_vec()
+            } else {
+                format!("v{i}").into_bytes()
+            };
+            fresh.insert(&i.to_be_bytes(), v);
+        }
+        assert_eq!(t.root_hash(), fresh.root_hash());
+    }
+
+    #[test]
+    fn memoized_root_survives_interleaved_reads_and_writes() {
+        let mut t = Trie::new();
+        let mut reference = Trie::new();
+        for i in 0..60u32 {
+            t.insert(&i.to_be_bytes(), format!("v{i}").into_bytes());
+            // Force memoization mid-build; the final root must still match a
+            // build that never hashed intermediate states.
+            let _ = t.root_hash();
+            reference.insert(&i.to_be_bytes(), format!("v{i}").into_bytes());
+        }
+        assert_eq!(t.root_hash(), reference.root_hash());
+        assert_eq!(t.commit_nodes().0, reference.commit_nodes().0);
+    }
+
+    #[test]
     fn proof_of_present_key_verifies() {
         let mut t = Trie::new();
         for i in 0..100u32 {
@@ -1040,6 +1166,38 @@ mod tests {
         let loaded = Trie::from_root(root, &db).unwrap();
         assert_eq!(loaded.root_hash(), root);
         assert_eq!(loaded.iter(), t.iter());
+    }
+
+    #[test]
+    fn incremental_commit_nodes_match_fresh_build() {
+        // commit_nodes on a trie mutated after a prior commit (memo warm)
+        // must emit exactly what a cold build of the same contents emits.
+        let mut t = Trie::new();
+        for i in 0..150u32 {
+            t.insert(&i.to_be_bytes(), format!("value-{i}").into_bytes());
+        }
+        let _ = t.commit_nodes(); // warm the memo
+        t.insert(&3u32.to_be_bytes(), b"mutated".to_vec());
+        t.remove(&77u32.to_be_bytes());
+        let (root_inc, mut nodes_inc) = t.commit_nodes();
+
+        let mut fresh = Trie::new();
+        for i in 0..150u32 {
+            if i == 77 {
+                continue;
+            }
+            let v = if i == 3 {
+                b"mutated".to_vec()
+            } else {
+                format!("value-{i}").into_bytes()
+            };
+            fresh.insert(&i.to_be_bytes(), v);
+        }
+        let (root_cold, mut nodes_cold) = fresh.commit_nodes();
+        assert_eq!(root_inc, root_cold);
+        nodes_inc.sort();
+        nodes_cold.sort();
+        assert_eq!(nodes_inc, nodes_cold);
     }
 
     #[test]

@@ -4,15 +4,29 @@
 //! on. [`WorldState::state_root`] commits it into the authenticated form — a
 //! *secure* Merkle Patricia Trie (keys hashed with keccak, as in Ethereum) of
 //! RLP-encoded accounts, each carrying the root of its own storage trie.
+//!
+//! Commitment is **incremental**: every mutation records which account (and
+//! which storage slots) it dirtied, and the tries produced by the previous
+//! commit are retained. `state_root()` / `commit_tries()` then re-insert only
+//! the dirty entries — removing deleted slots and emptied accounts — so the
+//! per-block cost is O(dirty keys · log n) instead of O(total state). Dirty
+//! accounts' storage tries are hashed in parallel. In debug builds every
+//! incremental root is cross-checked against a from-scratch rebuild
+//! ([`WorldState::rebuild_root`]).
+//!
+//! Accounts are held behind [`Arc`] with clone-on-write semantics, so
+//! cloning a `WorldState` ([`WorldState::snapshot`]) is O(accounts) pointer
+//! bumps and subsequent writes copy only the touched accounts — the
+//! validator pipeline takes one such snapshot per block.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use bp_crypto::keccak256;
 use bp_types::{AccessKey, Address, WriteSet, H256, U256};
 
 use crate::account::{empty_code_hash, Account};
-use crate::trie::Trie;
+use crate::trie::{self, Trie};
 
 /// One account's in-memory state.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -34,10 +48,79 @@ impl AccountState {
     }
 }
 
+/// What a mutation dirtied within one account since the last commit.
+#[derive(Clone, Debug)]
+enum DirtyAccount {
+    /// The account body and/or the listed storage slots changed; every other
+    /// slot is untouched, so the retained storage trie can be patched.
+    Slots(HashSet<H256>),
+    /// The account was mutated through an escape hatch
+    /// ([`WorldState::account_mut`]) that may have rewritten anything —
+    /// rebuild its storage trie from scratch.
+    Full,
+}
+
+/// The tries produced by the last commit, reused as the base for the next.
+#[derive(Clone, Debug)]
+struct WorldCommit {
+    root: H256,
+    account_trie: Trie,
+    /// Storage tries of accounts with non-empty storage. Tries are
+    /// structurally shared with prior commits, so cloning this map is cheap.
+    storage_tries: HashMap<Address, Trie>,
+}
+
+impl Default for WorldCommit {
+    fn default() -> Self {
+        WorldCommit {
+            root: trie::empty_root(),
+            account_trie: Trie::new(),
+            storage_tries: HashMap::new(),
+        }
+    }
+}
+
+/// Dirty bookkeeping between commits. Lives behind a mutex only so the
+/// read-side `state_root(&self)` can refresh the memo; all mutation paths
+/// take `&mut self` and use the lock-free `get_mut`.
+#[derive(Debug, Default)]
+struct CommitTracker {
+    /// Accounts touched since the last commit. Absent entirely ⇒ the last
+    /// commit is current.
+    dirty: HashMap<Address, DirtyAccount>,
+    /// The last commit, shared O(1) across clones until one of them
+    /// recommits.
+    commit: Option<Arc<WorldCommit>>,
+}
+
 /// The mutable world state of the chain.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Debug, Default)]
 pub struct WorldState {
-    accounts: HashMap<Address, AccountState>,
+    accounts: HashMap<Address, Arc<AccountState>>,
+    tracker: Mutex<CommitTracker>,
+}
+
+impl Clone for WorldState {
+    /// Copy-on-write: O(accounts) refcount bumps. Account bodies, storage
+    /// maps, code blobs, and the retained commit tries are all shared until
+    /// either side writes.
+    fn clone(&self) -> Self {
+        let tracker = self.tracker.lock().unwrap_or_else(PoisonError::into_inner);
+        WorldState {
+            accounts: self.accounts.clone(),
+            tracker: Mutex::new(CommitTracker {
+                dirty: tracker.dirty.clone(),
+                commit: tracker.commit.clone(),
+            }),
+        }
+    }
+}
+
+impl PartialEq for WorldState {
+    /// Equality is by account contents only — commit memos are derived data.
+    fn eq(&self, other: &Self) -> bool {
+        self.accounts == other.accounts
+    }
 }
 
 impl WorldState {
@@ -46,14 +129,43 @@ impl WorldState {
         Self::default()
     }
 
+    /// A copy-on-write snapshot: the validator pipeline's per-block base.
+    /// Alias of `clone()`, named for intent — the copy is O(accounts)
+    /// pointer bumps, and writes to either side copy only touched accounts.
+    pub fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
     /// Read access to an account, if it exists.
     pub fn account(&self, addr: &Address) -> Option<&AccountState> {
-        self.accounts.get(addr)
+        self.accounts.get(addr).map(|a| &**a)
     }
 
     /// Mutable access, creating the account if needed.
+    ///
+    /// This hands out the raw account — including its storage map — so the
+    /// account is conservatively marked fully dirty and its storage trie is
+    /// rebuilt at the next commit. Prefer the typed setters, which track
+    /// exactly what changed.
     pub fn account_mut(&mut self, addr: Address) -> &mut AccountState {
-        self.accounts.entry(addr).or_default()
+        self.tracker
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .dirty
+            .insert(addr, DirtyAccount::Full);
+        Arc::make_mut(self.accounts.entry(addr).or_default())
+    }
+
+    /// Marks the account body (balance/nonce/code) dirty without touching
+    /// storage slots, and returns the account for mutation.
+    fn body_mut(&mut self, addr: Address) -> &mut AccountState {
+        self.tracker
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .dirty
+            .entry(addr)
+            .or_insert_with(|| DirtyAccount::Slots(HashSet::new()));
+        Arc::make_mut(self.accounts.entry(addr).or_default())
     }
 
     /// The balance of `addr` (zero if absent).
@@ -88,17 +200,31 @@ impl WorldState {
 
     /// Sets a balance, creating the account if needed.
     pub fn set_balance(&mut self, addr: Address, balance: U256) {
-        self.account_mut(addr).balance = balance;
+        self.body_mut(addr).balance = balance;
     }
 
     /// Sets a nonce.
     pub fn set_nonce(&mut self, addr: Address, nonce: u64) {
-        self.account_mut(addr).nonce = nonce;
+        self.body_mut(addr).nonce = nonce;
     }
 
     /// Sets a storage slot. Writing zero deletes the slot, as in Ethereum.
     pub fn set_storage(&mut self, addr: Address, key: H256, value: U256) {
-        let acct = self.account_mut(addr);
+        let tracker = self
+            .tracker
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        match tracker
+            .dirty
+            .entry(addr)
+            .or_insert_with(|| DirtyAccount::Slots(HashSet::new()))
+        {
+            DirtyAccount::Slots(slots) => {
+                slots.insert(key);
+            }
+            DirtyAccount::Full => {}
+        }
+        let acct = Arc::make_mut(self.accounts.entry(addr).or_default());
         if value.is_zero() {
             acct.storage.remove(&key);
         } else {
@@ -108,7 +234,7 @@ impl WorldState {
 
     /// Installs contract code.
     pub fn set_code(&mut self, addr: Address, code: Vec<u8>) {
-        self.account_mut(addr).code = Arc::new(code);
+        self.body_mut(addr).code = Arc::new(code);
     }
 
     /// Reads the value behind an [`AccessKey`] as a 256-bit word (code reads
@@ -153,7 +279,7 @@ impl WorldState {
 
     /// Iterates over all accounts.
     pub fn accounts(&self) -> impl Iterator<Item = (&Address, &AccountState)> {
-        self.accounts.iter()
+        self.accounts.iter().map(|(a, acct)| (a, &**acct))
     }
 
     /// Commits the world into a secure MPT and returns the state root.
@@ -161,27 +287,13 @@ impl WorldState {
     /// Empty accounts are skipped (EIP-161). Storage tries use
     /// `keccak(slot) → rlp(value)` leaves; the account trie uses
     /// `keccak(address) → rlp(account)`.
+    ///
+    /// Incremental: only accounts dirtied since the previous call are
+    /// re-inserted into the retained tries, and dirty storage tries are
+    /// hashed in parallel. Debug builds assert the result against
+    /// [`WorldState::rebuild_root`].
     pub fn state_root(&self) -> H256 {
-        let mut account_trie = Trie::new();
-        for (addr, acct) in &self.accounts {
-            if acct.is_empty() {
-                continue;
-            }
-            let storage_root = storage_root(&acct.storage);
-            let code_hash = if acct.code.is_empty() {
-                empty_code_hash()
-            } else {
-                keccak256(&acct.code)
-            };
-            let body = Account {
-                nonce: acct.nonce,
-                balance: acct.balance,
-                storage_root,
-                code_hash,
-            };
-            account_trie.insert(keccak256(addr.as_bytes()).as_bytes(), body.rlp_encode());
-        }
-        account_trie.root_hash()
+        self.refresh().root
     }
 
     /// Commits the world into its secure MPT form and returns the state root
@@ -192,52 +304,230 @@ impl WorldState {
     ///
     /// Nodes are emitted once per reference (see
     /// [`crate::trie::Trie::commit_nodes`]), so reference-counting stores
-    /// stay balanced across commit and prune.
+    /// stay balanced across commit and prune. The tries come from the same
+    /// incremental memo as [`WorldState::state_root`]: unchanged subtrees
+    /// reuse their cached encodings instead of being re-hashed.
     pub fn commit_tries(&self) -> (H256, Vec<(H256, Vec<u8>)>) {
+        let commit = self.refresh();
         let mut nodes = Vec::new();
+        for storage_trie in commit.storage_tries.values() {
+            let (_, storage_nodes) = storage_trie.commit_nodes();
+            nodes.extend(storage_nodes);
+        }
+        let (root, account_nodes) = commit.account_trie.commit_nodes();
+        nodes.extend(account_nodes);
+        (root, nodes)
+    }
+
+    /// Recomputes the state root from scratch, ignoring and not touching the
+    /// incremental memo. The oracle the incremental path is checked against
+    /// (automatically so in debug builds).
+    pub fn rebuild_root(&self) -> H256 {
         let mut account_trie = Trie::new();
         for (addr, acct) in &self.accounts {
             if acct.is_empty() {
                 continue;
             }
-            let mut storage_trie = Trie::new();
+            let root = storage_root(&acct.storage);
+            account_trie.insert(
+                keccak256(addr.as_bytes()).as_bytes(),
+                account_body(acct, root),
+            );
+        }
+        account_trie.root_hash()
+    }
+
+    /// Brings the retained commit up to date with all dirty accounts and
+    /// returns it.
+    fn refresh(&self) -> Arc<WorldCommit> {
+        let mut tracker = self.tracker.lock().unwrap_or_else(PoisonError::into_inner);
+        // First commit ever (for this lineage): everything is dirty.
+        let (mut commit, dirty) = match tracker.commit.take() {
+            Some(prev) => {
+                if tracker.dirty.is_empty() {
+                    // Nothing changed since the last commit.
+                    let out = Arc::clone(&prev);
+                    tracker.commit = Some(prev);
+                    return out;
+                }
+                let dirty: Vec<(Address, DirtyAccount)> = tracker.dirty.drain().collect();
+                // Unshared after a snapshot recommits? Reuse in place; else
+                // clone (cheap — tries share structure).
+                let commit = Arc::try_unwrap(prev).unwrap_or_else(|shared| (*shared).clone());
+                (commit, dirty)
+            }
+            None => {
+                tracker.dirty.clear();
+                let dirty = self
+                    .accounts
+                    .keys()
+                    .map(|addr| (*addr, DirtyAccount::Full))
+                    .collect();
+                (WorldCommit::default(), dirty)
+            }
+        };
+
+        let updates = compute_updates(&dirty, &self.accounts, &commit.storage_tries);
+        for update in updates {
+            match update {
+                AccountUpdate::Remove(addr) => {
+                    commit
+                        .account_trie
+                        .remove(keccak256(addr.as_bytes()).as_bytes());
+                    commit.storage_tries.remove(&addr);
+                }
+                AccountUpdate::Upsert(addr, storage_trie, body) => {
+                    commit
+                        .account_trie
+                        .insert(keccak256(addr.as_bytes()).as_bytes(), body);
+                    if storage_trie.is_empty() {
+                        commit.storage_tries.remove(&addr);
+                    } else {
+                        commit.storage_tries.insert(addr, storage_trie);
+                    }
+                }
+            }
+        }
+        commit.root = commit.account_trie.root_hash();
+        debug_assert_eq!(
+            commit.root,
+            self.rebuild_root(),
+            "incremental state root diverged from from-scratch rebuild"
+        );
+        let commit = Arc::new(commit);
+        tracker.commit = Some(Arc::clone(&commit));
+        commit
+    }
+}
+
+/// The effect of one dirty account on the account trie.
+enum AccountUpdate {
+    /// Account is empty or absent: drop it (EIP-161).
+    Remove(Address),
+    /// Re-insert with this up-to-date storage trie and RLP body.
+    Upsert(Address, Trie, Vec<u8>),
+}
+
+/// Computes every dirty account's update. The storage-trie hashing dominates,
+/// so above a small threshold the work is fanned out across threads (scoped —
+/// borrows the maps directly).
+fn compute_updates(
+    dirty: &[(Address, DirtyAccount)],
+    accounts: &HashMap<Address, Arc<AccountState>>,
+    prev_tries: &HashMap<Address, Trie>,
+) -> Vec<AccountUpdate> {
+    /// Below this many dirty accounts, thread spawn overhead outweighs the
+    /// hashing it would parallelize.
+    const PARALLEL_THRESHOLD: usize = 33;
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(dirty.len().div_ceil(8).max(1));
+    if dirty.len() < PARALLEL_THRESHOLD || workers < 2 {
+        return dirty
+            .iter()
+            .map(|(addr, dirt)| compute_update(*addr, dirt, accounts, prev_tries))
+            .collect();
+    }
+    let chunk = dirty.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = dirty
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|(addr, dirt)| compute_update(*addr, dirt, accounts, prev_tries))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("storage hashing worker panicked"))
+            .collect()
+    })
+}
+
+/// Computes one dirty account's update: patch (or rebuild) its storage trie,
+/// hash it, and re-encode the account body.
+fn compute_update(
+    addr: Address,
+    dirt: &DirtyAccount,
+    accounts: &HashMap<Address, Arc<AccountState>>,
+    prev_tries: &HashMap<Address, Trie>,
+) -> AccountUpdate {
+    let acct = match accounts.get(&addr) {
+        Some(acct) if !acct.is_empty() => acct,
+        _ => return AccountUpdate::Remove(addr),
+    };
+    let storage_trie = match (dirt, prev_tries.get(&addr)) {
+        // Precise slot tracking with a retained trie: patch only the dirty
+        // slots. A slot now zero/absent is deleted from the trie.
+        (DirtyAccount::Slots(slots), Some(prev)) => {
+            let mut trie = prev.clone();
+            for slot in slots {
+                let key = keccak256(slot.as_bytes());
+                match acct.storage.get(slot) {
+                    Some(value) if !value.is_zero() => {
+                        trie.insert(key.as_bytes(), storage_leaf(value));
+                    }
+                    _ => {
+                        trie.remove(key.as_bytes());
+                    }
+                }
+            }
+            trie
+        }
+        // Fully dirty, or no retained trie (storage was empty at the last
+        // commit): rebuild. With slot tracking and no retained trie every
+        // non-zero slot is itself dirty, so this does no extra work.
+        _ => {
+            let mut trie = Trie::new();
             for (slot, value) in &acct.storage {
                 if value.is_zero() {
                     continue;
                 }
-                let leaf = bp_crypto::rlp::encode_bytes(&value.to_be_bytes_trimmed());
-                storage_trie.insert(keccak256(slot.as_bytes()).as_bytes(), leaf);
+                trie.insert(keccak256(slot.as_bytes()).as_bytes(), storage_leaf(value));
             }
-            let (storage_root, storage_nodes) = storage_trie.commit_nodes();
-            nodes.extend(storage_nodes);
-            let code_hash = if acct.code.is_empty() {
-                empty_code_hash()
-            } else {
-                keccak256(&acct.code)
-            };
-            let body = Account {
-                nonce: acct.nonce,
-                balance: acct.balance,
-                storage_root,
-                code_hash,
-            };
-            account_trie.insert(keccak256(addr.as_bytes()).as_bytes(), body.rlp_encode());
+            trie
         }
-        let (root, account_nodes) = account_trie.commit_nodes();
-        nodes.extend(account_nodes);
-        (root, nodes)
-    }
+    };
+    // Hash here, inside the parallel region — the memo makes the later
+    // account-trie pass O(1) per storage root.
+    let root = storage_trie.root_hash();
+    let body = account_body(acct, root);
+    AccountUpdate::Upsert(addr, storage_trie, body)
 }
 
-/// Root of one account's storage trie.
+/// RLP leaf for one storage value.
+fn storage_leaf(value: &U256) -> Vec<u8> {
+    bp_crypto::rlp::encode_bytes(&value.to_be_bytes_trimmed())
+}
+
+/// RLP account body with the given storage root.
+fn account_body(acct: &AccountState, storage_root: H256) -> Vec<u8> {
+    let code_hash = if acct.code.is_empty() {
+        empty_code_hash()
+    } else {
+        keccak256(&acct.code)
+    };
+    Account {
+        nonce: acct.nonce,
+        balance: acct.balance,
+        storage_root,
+        code_hash,
+    }
+    .rlp_encode()
+}
+
+/// Root of one account's storage trie, built from scratch.
 pub fn storage_root(storage: &HashMap<H256, U256>) -> H256 {
     let mut trie = Trie::new();
     for (slot, value) in storage {
         if value.is_zero() {
             continue;
         }
-        let leaf = bp_crypto::rlp::encode_bytes(&value.to_be_bytes_trimmed());
-        trie.insert(keccak256(slot.as_bytes()).as_bytes(), leaf);
+        trie.insert(keccak256(slot.as_bytes()).as_bytes(), storage_leaf(value));
     }
     trie.root_hash()
 }
@@ -393,5 +683,148 @@ mod tests {
         let snap = w.clone();
         w.set_storage(addr(1), H256::ZERO, U256::from(2u64));
         assert_eq!(snap.storage(&addr(1), &H256::ZERO), U256::ONE);
+    }
+
+    // ---- incremental-commitment specific coverage ----
+
+    /// Builds a fresh world with the same contents (no memo) for oracle use.
+    fn rebuilt(w: &WorldState) -> WorldState {
+        let mut fresh = WorldState::new();
+        for (a, acct) in w.accounts() {
+            let m = fresh.account_mut(*a);
+            *m = acct.clone();
+        }
+        fresh
+    }
+
+    #[test]
+    fn incremental_root_matches_fresh_build_across_mutations() {
+        let mut w = WorldState::new();
+        for i in 0..50u64 {
+            w.set_balance(addr(i), U256::from(100 + i));
+            if i % 4 == 0 {
+                w.set_storage(addr(i), H256::from_low_u64(i), U256::from(i + 1));
+            }
+        }
+        // Commit, then mutate a small dirty set repeatedly; every recommit
+        // must match a from-scratch world.
+        for round in 0..5u64 {
+            let _ = w.state_root();
+            w.set_balance(addr(round), U256::from(round * 7 + 1));
+            w.set_storage(addr(round), H256::from_low_u64(99), U256::from(round + 1));
+            w.set_storage(addr(round + 1), H256::from_low_u64(round), U256::ZERO);
+            w.set_nonce(addr(49 - round), round);
+            assert_eq!(w.state_root(), rebuilt(&w).state_root(), "round {round}");
+            assert_eq!(w.state_root(), w.rebuild_root());
+        }
+    }
+
+    #[test]
+    fn account_emptied_after_commit_leaves_root() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from(5u64));
+        let r_one = w.state_root();
+        w.set_balance(addr(2), U256::from(9u64));
+        let _ = w.state_root();
+        // Empty account 2 again (balance back to zero ⇒ EIP-161 empty); the
+        // incremental path must remove it from the retained account trie.
+        w.set_balance(addr(2), U256::ZERO);
+        assert_eq!(w.state_root(), r_one);
+    }
+
+    #[test]
+    fn storage_emptied_after_commit_drops_trie() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::ONE);
+        let r_plain = w.state_root();
+        w.set_storage(addr(1), H256::from_low_u64(3), U256::from(4u64));
+        let _ = w.state_root();
+        w.set_storage(addr(1), H256::from_low_u64(3), U256::ZERO);
+        assert_eq!(w.state_root(), r_plain);
+        // No stale storage nodes may linger in the commit output.
+        let (_, nodes) = w.commit_tries();
+        let fresh_nodes = rebuilt(&w).commit_tries().1;
+        let mut a = nodes;
+        let mut b = fresh_nodes;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn account_mut_escape_hatch_is_tracked() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::ONE);
+        w.set_storage(addr(1), H256::from_low_u64(1), U256::from(2u64));
+        let _ = w.state_root();
+        // Mutate the storage map directly, bypassing set_storage.
+        w.account_mut(addr(1))
+            .storage
+            .insert(H256::from_low_u64(7), U256::from(8u64));
+        assert_eq!(w.state_root(), w.rebuild_root());
+    }
+
+    #[test]
+    fn snapshot_diverges_independently() {
+        let mut w = WorldState::new();
+        for i in 0..20u64 {
+            w.set_balance(addr(i), U256::from(i + 1));
+        }
+        let base_root = w.state_root();
+        let mut snap = w.snapshot();
+        // Writes on each side are invisible to the other.
+        w.set_balance(addr(0), U256::from(777u64));
+        snap.set_balance(addr(1), U256::from(888u64));
+        assert_eq!(snap.balance(&addr(0)), U256::ONE);
+        assert_eq!(w.balance(&addr(1)), U256::from(2u64));
+        assert_ne!(w.state_root(), base_root);
+        assert_ne!(snap.state_root(), base_root);
+        assert_ne!(w.state_root(), snap.state_root());
+        assert_eq!(w.state_root(), w.rebuild_root());
+        assert_eq!(snap.state_root(), snap.rebuild_root());
+        // Reverting the divergent writes re-converges both lineages.
+        w.set_balance(addr(0), U256::ONE);
+        snap.set_balance(addr(1), U256::from(2u64));
+        assert_eq!(w.state_root(), base_root);
+        assert_eq!(snap.state_root(), base_root);
+    }
+
+    #[test]
+    fn incremental_commit_tries_match_fresh_world() {
+        let mut w = WorldState::new();
+        for i in 0..60u64 {
+            w.set_balance(addr(i), U256::from(1 + i));
+            w.set_storage(addr(i), H256::from_low_u64(i % 5), U256::from(i + 1));
+        }
+        let _ = w.commit_tries();
+        for i in 0..10u64 {
+            w.set_storage(addr(i), H256::from_low_u64(i % 5), U256::from(1000 + i));
+            w.set_balance(addr(i + 30), U256::from(2000 + i));
+        }
+        let (root_inc, mut nodes_inc) = w.commit_tries();
+        let (root_fresh, mut nodes_fresh) = rebuilt(&w).commit_tries();
+        assert_eq!(root_inc, root_fresh);
+        nodes_inc.sort();
+        nodes_fresh.sort();
+        assert_eq!(nodes_inc, nodes_fresh);
+    }
+
+    #[test]
+    fn parallel_hashing_path_matches_serial_oracle() {
+        // Enough dirty accounts with storage to cross the parallel
+        // threshold inside compute_updates.
+        let mut w = WorldState::new();
+        for i in 0..200u64 {
+            w.set_balance(addr(i), U256::from(i + 1));
+            for s in 0..4u64 {
+                w.set_storage(addr(i), H256::from_low_u64(s), U256::from(i * 10 + s + 1));
+            }
+        }
+        assert_eq!(w.state_root(), w.rebuild_root());
+        // Dirty a wide slice after the first commit and recommit.
+        for i in 0..100u64 {
+            w.set_storage(addr(i), H256::from_low_u64(1), U256::from(5555 + i));
+        }
+        assert_eq!(w.state_root(), w.rebuild_root());
     }
 }

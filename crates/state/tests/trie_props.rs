@@ -109,3 +109,58 @@ proptest! {
         prop_assert_ne!(a.root_hash(), b.root_hash());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Memoized commitment equivalence
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn memoized_roots_and_commits_match_cold_build(
+        pairs in arb_pairs(),
+        removals in prop::collection::vec(any::<prop::sample::Index>(), 0..10),
+    ) {
+        // Interleave mutations with root_hash/commit_nodes/clone so the
+        // per-node memo is warm in as many states as possible; the final
+        // root and emitted node set must match a cold build of the same
+        // contents.
+        let mut trie = Trie::new();
+        let mut model = BTreeMap::new();
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            trie.insert(k, v.clone());
+            model.insert(k.clone(), v.clone());
+            if i % 3 == 0 {
+                let _ = trie.root_hash();
+            }
+            if i % 7 == 0 {
+                let _ = trie.commit_nodes();
+            }
+        }
+        let snapshot = trie.clone();
+        let snapshot_root = trie.root_hash();
+        if !pairs.is_empty() {
+            for idx in &removals {
+                let (k, _) = &pairs[idx.index(pairs.len())];
+                trie.remove(k);
+                model.remove(k);
+            }
+        }
+
+        let mut cold = Trie::new();
+        for (k, v) in &model {
+            cold.insert(k, v.clone());
+        }
+        prop_assert_eq!(trie.root_hash(), cold.root_hash());
+
+        let (warm_root, mut warm_nodes) = trie.commit_nodes();
+        let (cold_root, mut cold_nodes) = cold.commit_nodes();
+        prop_assert_eq!(warm_root, cold_root);
+        warm_nodes.sort();
+        cold_nodes.sort();
+        prop_assert_eq!(warm_nodes, cold_nodes);
+
+        // The pre-removal clone is untouched by the removals (structural
+        // sharing never leaks mutations).
+        prop_assert_eq!(snapshot.root_hash(), snapshot_root);
+    }
+}

@@ -160,3 +160,150 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental commitment equivalence
+// ---------------------------------------------------------------------------
+
+/// Richer op stream for the incremental-commitment properties: zero writes
+/// (slot deletion), zeroed balances/nonces (EIP-161 account emptying), code
+/// installs, the `account_mut` escape hatch, CoW snapshots, and mid-sequence
+/// commits that advance the incremental memo.
+#[derive(Clone, Debug)]
+enum Op {
+    Balance(u8, u8),
+    Nonce(u8, u8),
+    Storage(u8, u8, u8),
+    Code(u8, u8),
+    RawStorage(u8, u8, u8),
+    Commit,
+    Fork,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    // Tiny address/slot/value spaces so deletions, emptyings, and rewrites
+    // of the same key are common.
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..12, 0u8..4).prop_map(|(a, v)| Op::Balance(a, v)),
+            (0u8..12, 0u8..4).prop_map(|(a, v)| Op::Nonce(a, v)),
+            (0u8..12, 0u8..6, 0u8..4).prop_map(|(a, s, v)| Op::Storage(a, s, v)),
+            (0u8..12, 0u8..3).prop_map(|(a, v)| Op::Code(a, v)),
+            (0u8..12, 0u8..6, 0u8..4).prop_map(|(a, s, v)| Op::RawStorage(a, s, v)),
+            Just(Op::Commit),
+            Just(Op::Fork),
+        ],
+        0..60,
+    )
+}
+
+fn apply_op(world: &mut WorldState, op: &Op) {
+    let addr = |a: u8| Address::from_index(a as u64);
+    match *op {
+        Op::Balance(a, v) => world.set_balance(addr(a), U256::from(v as u64)),
+        Op::Nonce(a, v) => world.set_nonce(addr(a), v as u64),
+        Op::Storage(a, s, v) => {
+            world.set_storage(addr(a), H256::from_low_u64(s as u64), U256::from(v as u64))
+        }
+        Op::Code(a, v) => world.set_code(addr(a), vec![v; v as usize]),
+        Op::RawStorage(a, s, v) => {
+            // Bypass set_storage: mutate the account's storage map directly
+            // through the conservatively-tracked escape hatch.
+            let acct = world.account_mut(addr(a));
+            let slot = H256::from_low_u64(s as u64);
+            if v == 0 {
+                acct.storage.remove(&slot);
+            } else {
+                acct.storage.insert(slot, U256::from(v as u64));
+            }
+        }
+        Op::Commit | Op::Fork => {}
+    }
+}
+
+/// A fresh world with identical contents and no incremental memo.
+fn fresh_copy(world: &WorldState) -> WorldState {
+    let mut fresh = WorldState::new();
+    for (a, acct) in world.accounts() {
+        *fresh.account_mut(*a) = acct.clone();
+    }
+    fresh
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_root_always_matches_from_scratch(ops in arb_ops()) {
+        let mut world = WorldState::new();
+        for op in &ops {
+            apply_op(&mut world, op);
+            if matches!(op, Op::Commit) {
+                // Advance the incremental memo mid-sequence; the root must
+                // match a from-scratch rebuild at every commit point.
+                prop_assert_eq!(world.state_root(), world.rebuild_root());
+            }
+        }
+        let incremental = world.state_root();
+        prop_assert_eq!(incremental, world.rebuild_root());
+        prop_assert_eq!(incremental, fresh_copy(&world).state_root());
+    }
+
+    #[test]
+    fn incremental_commit_tries_roundtrip(ops in arb_ops()) {
+        use bp_state::trie::Trie;
+
+        let mut world = WorldState::new();
+        for op in &ops {
+            apply_op(&mut world, op);
+            if matches!(op, Op::Commit) {
+                let _ = world.commit_tries();
+            }
+        }
+        let (root, nodes) = world.commit_tries();
+        prop_assert_eq!(root, world.state_root());
+
+        // Same nodes as a memo-less world with identical contents.
+        let (fresh_root, fresh_nodes) = fresh_copy(&world).commit_tries();
+        prop_assert_eq!(root, fresh_root);
+        let mut a = nodes.clone();
+        let mut b = fresh_nodes;
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+
+        // And the emitted nodes reload: the account trie from the root, and
+        // each account's storage trie from the root inside its body.
+        let db: std::collections::HashMap<_, _> = nodes.into_iter().collect();
+        let account_trie = Trie::from_root(root, &db).unwrap();
+        prop_assert_eq!(account_trie.root_hash(), root);
+        for (_, body) in account_trie.iter() {
+            let acct = bp_state::Account::rlp_decode(&body).unwrap();
+            let storage = Trie::from_root(acct.storage_root, &db).unwrap();
+            prop_assert_eq!(storage.root_hash(), acct.storage_root);
+        }
+    }
+
+    #[test]
+    fn snapshots_commit_independently(ops in arb_ops()) {
+        // Split the op stream at every Fork: ops before run on both
+        // lineages, ops after only on the original. The snapshot's root must
+        // stay that of the shared prefix.
+        let mut world = WorldState::new();
+        let mut snapshots: Vec<(WorldState, bp_types::H256)> = Vec::new();
+        for op in &ops {
+            if matches!(op, Op::Fork) {
+                let snap = world.snapshot();
+                let root = snap.state_root();
+                snapshots.push((snap, root));
+            }
+            apply_op(&mut world, op);
+        }
+        let final_root = world.state_root();
+        prop_assert_eq!(final_root, world.rebuild_root());
+        for (snap, root_at_fork) in snapshots {
+            prop_assert_eq!(snap.state_root(), root_at_fork);
+            prop_assert_eq!(snap.state_root(), snap.rebuild_root());
+        }
+    }
+}

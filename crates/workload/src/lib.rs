@@ -394,7 +394,7 @@ mod tests {
         use bp_state::WorldState;
 
         pub fn execute(base: &WorldState, env: &BlockEnv, txs: &[Transaction]) -> usize {
-            let mut world = base.clone();
+            let mut world = base.snapshot();
             let mut ok = 0;
             for tx in txs {
                 let result = {
