@@ -1,0 +1,51 @@
+//! Criterion micro-bench of the proposer commit path: a full
+//! [`OccWsiProposer::propose`] of one standard 132-tx block, two-phase vs
+//! coarse-lock, at 1/2/4/8 worker threads.
+//!
+//! `cargo bench -p bp-bench --bench proposer_commit`
+
+use std::sync::Arc;
+
+use blockpilot_core::{CommitPath, OccWsiConfig, OccWsiProposer};
+use bp_bench::generate_fixtures;
+use bp_txpool::TxPool;
+use bp_types::BlockHash;
+use bp_workload::WorkloadConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_propose(c: &mut Criterion) {
+    let fixtures = generate_fixtures(WorkloadConfig::default(), 1);
+    let fixture = &fixtures[0];
+
+    let mut group = c.benchmark_group("proposer_commit");
+    group.sample_size(20);
+    for (path, name) in [
+        (CommitPath::TwoPhase, "two_phase"),
+        (CommitPath::CoarseLock, "coarse_lock"),
+    ] {
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                let proposer = OccWsiProposer::new(OccWsiConfig {
+                    threads,
+                    env: fixture.env,
+                    commit_path: path,
+                    ..OccWsiConfig::default()
+                });
+                b.iter(|| {
+                    let pool = TxPool::new();
+                    for tx in &fixture.txs {
+                        pool.add(tx.clone());
+                    }
+                    let proposal =
+                        proposer.propose(&pool, Arc::clone(&fixture.pre_state), BlockHash::ZERO, 1);
+                    assert_eq!(proposal.stats.committed, fixture.txs.len() as u64);
+                    proposal
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propose);
+criterion_main!(benches);

@@ -7,8 +7,13 @@
 //! Usage: `cargo run -p bp-bench --release --bin fig6_proposer`
 //! (`BP_BLOCKS=N` overrides the sample size).
 
+use std::sync::Arc;
+
+use blockpilot_core::{OccWsiConfig, OccWsiProposer};
 use bp_bench::{bar, block_count, generate_fixtures, histogram, mean};
 use bp_sim::{simulate_proposer, CostModel};
+use bp_txpool::TxPool;
+use bp_types::BlockHash;
 use bp_workload::WorkloadConfig;
 
 fn main() {
@@ -57,5 +62,56 @@ fn main() {
         if *pct > 0.0 {
             bar(&format!("{}x-{}x", i, i + 1), *pct, 1.0);
         }
+    }
+
+    // Real (threaded) proposer on the same fixtures: wall time plus the
+    // per-worker commit/abort/retry breakdown from ProposerStats. On a
+    // single-core host this measures overhead, not scaling — the gas-time
+    // series above carries the scaling claim.
+    println!("\nreal proposer (two-phase commit, wall clock):");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>24}",
+        "threads", "wall µs/blk", "tx/s", "aborts", "retries", "per-worker commits"
+    );
+    for threads in [2usize, 4, 8] {
+        let mut wall = Vec::with_capacity(fixtures.len());
+        let mut tx_s = Vec::with_capacity(fixtures.len());
+        let mut aborts = 0u64;
+        let mut retries = 0u64;
+        let mut last_workers = String::new();
+        for f in &fixtures {
+            let pool = TxPool::new();
+            for tx in &f.txs {
+                pool.add(tx.clone());
+            }
+            let proposer = OccWsiProposer::new(OccWsiConfig {
+                threads,
+                env: f.env,
+                ..OccWsiConfig::default()
+            });
+            let proposal = proposer.propose(&pool, Arc::clone(&f.pre_state), BlockHash::ZERO, 1);
+            assert_eq!(proposal.stats.committed, f.txs.len() as u64);
+            wall.push(proposal.stats.wall_micros as f64);
+            tx_s.push(proposal.stats.committed_per_sec());
+            aborts += proposal.stats.aborts;
+            retries += proposal
+                .stats
+                .workers
+                .iter()
+                .map(|w| w.retries)
+                .sum::<u64>();
+            last_workers = proposal
+                .stats
+                .workers
+                .iter()
+                .map(|w| w.committed.to_string())
+                .collect::<Vec<_>>()
+                .join("/");
+        }
+        println!(
+            "{threads:>8} {:>12.0} {:>12.0} {aborts:>10} {retries:>10} {last_workers:>24}",
+            mean(&wall),
+            mean(&tx_s),
+        );
     }
 }

@@ -1,0 +1,434 @@
+//! Proposer commit-path A/B: two-phase vs coarse-lock.
+//!
+//! Records `BENCH_proposer.json` with committed-tx/s and abort rate at
+//! 1/2/4/8/16 threads for both [`CommitPath`]s on the standard 132-tx
+//! workload, in two series:
+//!
+//! * **gas-time, implementation-calibrated** (primary): the deterministic
+//!   bp-sim proposer with *every* overhead measured on this machine — the
+//!   serial EVM execution rate fixes the gas↔time exchange rate, and the
+//!   real dispatch and commit-section operations (validation, multi-version
+//!   and reserve publication, body pushes) are micro-timed to place
+//!   `per_tx_dispatch`, `commit_sync` and `commit_admit` on the same scale.
+//!   This is how thread counts beyond the machine's cores are evaluated
+//!   (see EXPERIMENTS.md: the evaluation container has a single CPU).
+//! * **gas-time, paper model** (sensitivity): the same A/B under the fig6
+//!   harness's geth-calibrated dispatch and state-contention coefficients.
+//!   Those model a *global*-StateDB node, where execution inflation drowns
+//!   the commit lock — the advantage shrinks accordingly; reported so both
+//!   readings are on the record.
+//! * **wall-clock** (secondary): the real [`OccWsiProposer`] on real
+//!   threads. Honest but flat on a single-core machine — reported for
+//!   completeness, not for scaling claims.
+//!
+//! Usage: `cargo run -p bp-bench --release --bin proposer_baseline
+//! [out.json]` (`BP_BLOCKS=N` overrides the sample size).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use blockpilot_core::{CommitPath, OccWsiConfig, OccWsiProposer};
+use bp_baseline::execute_block_serially;
+use bp_bench::{block_count, generate_fixtures, mean, BlockFixture};
+use bp_concurrent::{ReserveTable, VersionAllocator, VersionGate};
+use bp_evm::MvSnapshot;
+use bp_sim::{simulate_proposer_configured, CostModel, ValidationRule};
+use bp_state::MultiVersionState;
+use bp_txpool::TxPool;
+use bp_types::BlockHash;
+use bp_workload::WorkloadConfig;
+
+const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+const PATHS: [CommitPath; 2] = [CommitPath::TwoPhase, CommitPath::CoarseLock];
+
+fn path_name(path: CommitPath) -> &'static str {
+    match path {
+        CommitPath::TwoPhase => "two_phase",
+        CommitPath::CoarseLock => "coarse_lock",
+    }
+}
+
+/// Machine-specific constants tying gas-time to this host's wall clock.
+struct Calibration {
+    /// Execution gas the serial EVM retires per microsecond.
+    gas_per_us: f64,
+    /// Mean microseconds of the full coarse commit section per transaction.
+    commit_us: f64,
+    /// Mean microseconds of the Phase A admit slice per transaction.
+    admit_us: f64,
+    /// Mean microseconds of per-transaction dispatch (batched pool checkout,
+    /// snapshot setup, pool commit).
+    dispatch_us: f64,
+}
+
+impl Calibration {
+    fn commit_sync_gas(&self) -> u64 {
+        (self.commit_us * self.gas_per_us).round().max(2.0) as u64
+    }
+
+    fn commit_admit_gas(&self) -> u64 {
+        let admit = (self.admit_us * self.gas_per_us).round().max(1.0) as u64;
+        admit.min(self.commit_sync_gas() - 1)
+    }
+
+    fn dispatch_gas(&self) -> u64 {
+        (self.dispatch_us * self.gas_per_us).round().max(1.0) as u64
+    }
+
+    /// The A/B model: every overhead in it is measured on this host. No
+    /// cross-worker state-contention coefficient — the structures both
+    /// commit paths share (multi-version state, reserve table) are
+    /// lock-striped sharded maps, and the coefficient the fig6 harness uses
+    /// models geth's *global* StateDB traffic, which would drown the very
+    /// commit section this A/B isolates (see the paper-model sensitivity
+    /// series for that variant).
+    fn implementation_model(&self) -> CostModel {
+        CostModel {
+            per_tx_dispatch: self.dispatch_gas(),
+            commit_sync: self.commit_sync_gas(),
+            commit_admit: self.commit_admit_gas(),
+            state_contention_permille: 0,
+            ..CostModel::default()
+        }
+    }
+
+    /// The fig6 harness model (geth-calibrated dispatch + contention), with
+    /// only the commit sections re-measured. Sensitivity series.
+    fn paper_model(&self) -> CostModel {
+        CostModel {
+            commit_sync: self.commit_sync_gas(),
+            commit_admit: self.commit_admit_gas(),
+            ..CostModel::default()
+        }
+    }
+}
+
+/// Trials per calibration microbench. Each keeps its *fastest* trial —
+/// on a shared host, scheduler noise only ever adds time, so min-of-N is
+/// the least-biased estimate of the true section length (and max-of-N of
+/// the execution rate). A single-trial calibration can swing the derived
+/// gas costs by ±20% run to run.
+const CALIBRATION_TRIALS: usize = 5;
+
+/// Measures the serial execution rate and micro-times the two commit
+/// sections, replaying the fixtures' committed footprints against the real
+/// concurrent structures (single-threaded: we want section *length*, not
+/// contention — the simulator supplies the contention).
+fn calibrate(fixtures: &[BlockFixture]) -> Calibration {
+    let mut gas_per_us = 0.0f64;
+    for _ in 0..CALIBRATION_TRIALS {
+        let started = Instant::now();
+        let mut gas_total = 0u64;
+        for f in fixtures {
+            let out =
+                execute_block_serially(&f.pre_state, &f.env, &f.txs).expect("fixtures replay");
+            std::hint::black_box(&out.post_state);
+            gas_total += out.gas_used;
+        }
+        let exec_us = started.elapsed().as_secs_f64() * 1e6;
+        gas_per_us = gas_per_us.max(gas_total as f64 / exec_us);
+    }
+
+    let commits: usize = fixtures.iter().map(|f| f.profile.len()).sum();
+
+    // Full coarse section: WSI validation over the read set, multi-version
+    // + reserve publication, version allocation, profile clone and block
+    // body pushes — worker_coarse's locked region.
+    let mut commit_us = f64::INFINITY;
+    for _ in 0..CALIBRATION_TRIALS {
+        let started = Instant::now();
+        for f in fixtures {
+            let mv = MultiVersionState::new(Arc::clone(&f.pre_state), 1);
+            let reserve = ReserveTable::new(1);
+            let versions = VersionAllocator::new();
+            let mut body = Vec::with_capacity(f.txs.len());
+            for (i, entry) in f.profile.entries.iter().enumerate() {
+                let snapshot = versions.current();
+                let stale = entry.reads.keys().any(|k| reserve.is_stale(k, snapshot));
+                std::hint::black_box(stale);
+                let version = snapshot + 1;
+                mv.commit_writes(&entry.writes, version);
+                reserve.publish(entry.writes.keys(), version);
+                versions.allocate();
+                body.push((f.txs[i].clone(), entry.clone()));
+            }
+            std::hint::black_box(&body);
+        }
+        commit_us = commit_us.min(started.elapsed().as_secs_f64() * 1e6 / commits as f64);
+    }
+
+    // Phase A admit slice: validation, gate registration, reserve intents,
+    // version allocation. (Value publication, gate opening and body pushes
+    // happen off-lock in Phase B.)
+    let mut admit_us = f64::INFINITY;
+    for _ in 0..CALIBRATION_TRIALS {
+        let started = Instant::now();
+        for f in fixtures {
+            let reserve = ReserveTable::new(1);
+            let versions = VersionAllocator::new();
+            let gate = VersionGate::new();
+            for entry in &f.profile.entries {
+                let snapshot = versions.current();
+                let stale = entry.reads.keys().any(|k| reserve.is_stale(k, snapshot));
+                std::hint::black_box(stale);
+                let version = snapshot + 1;
+                gate.register(version);
+                reserve.publish(entry.writes.keys(), version);
+                versions.allocate();
+            }
+            std::hint::black_box(gate.pending());
+        }
+        admit_us = admit_us.min(started.elapsed().as_secs_f64() * 1e6 / commits as f64);
+    }
+
+    // Per-transaction dispatch: batched pool checkout, snapshot setup,
+    // pool commit bookkeeping.
+    let mut dispatch_us = f64::INFINITY;
+    for _ in 0..CALIBRATION_TRIALS {
+        let pools: Vec<TxPool> = fixtures
+            .iter()
+            .map(|f| {
+                let pool = TxPool::new();
+                for tx in &f.txs {
+                    pool.add(tx.clone());
+                }
+                pool
+            })
+            .collect();
+        let mut dispatched = 0usize;
+        let started = Instant::now();
+        for (f, pool) in fixtures.iter().zip(&pools) {
+            let mv = MultiVersionState::new(Arc::clone(&f.pre_state), 1);
+            loop {
+                let batch = pool.pop_many(4);
+                if batch.is_empty() {
+                    break;
+                }
+                for tx in batch {
+                    let snapshot = MvSnapshot::new(&mv, 0);
+                    std::hint::black_box(snapshot.version());
+                    pool.commit(&tx);
+                    dispatched += 1;
+                }
+            }
+        }
+        dispatch_us = dispatch_us.min(started.elapsed().as_secs_f64() * 1e6 / dispatched as f64);
+    }
+
+    Calibration {
+        gas_per_us,
+        commit_us,
+        admit_us,
+        dispatch_us,
+    }
+}
+
+struct Row {
+    series: &'static str,
+    path: CommitPath,
+    threads: usize,
+    committed_tx_s: f64,
+    abort_rate: f64,
+}
+
+fn gas_time_rows(
+    fixtures: &[BlockFixture],
+    cal: &Calibration,
+    model: &CostModel,
+    series: &'static str,
+) -> Vec<Row> {
+    let gas_per_sec = cal.gas_per_us * 1e6;
+    let mut rows = Vec::new();
+    for path in PATHS {
+        for threads in THREADS {
+            let mut tx_s = Vec::with_capacity(fixtures.len());
+            let mut aborts = 0u64;
+            let mut committed = 0u64;
+            for f in fixtures {
+                let r = simulate_proposer_configured(
+                    &f.pre_state,
+                    &f.env,
+                    &f.txs,
+                    threads,
+                    model,
+                    ValidationRule::Wsi,
+                    path,
+                );
+                assert_eq!(r.committed, f.txs.len(), "all txs must commit");
+                tx_s.push(r.committed as f64 * gas_per_sec / r.makespan as f64);
+                aborts += r.aborts;
+                committed += r.committed as u64;
+            }
+            rows.push(Row {
+                series,
+                path,
+                threads,
+                committed_tx_s: mean(&tx_s),
+                abort_rate: aborts as f64 / (aborts + committed) as f64,
+            });
+        }
+    }
+    rows
+}
+
+fn wall_clock_rows(fixtures: &[BlockFixture]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for path in PATHS {
+        for threads in THREADS {
+            let mut tx_s = Vec::with_capacity(fixtures.len());
+            let mut aborts = 0u64;
+            let mut executions = 0u64;
+            for f in fixtures {
+                let pool = TxPool::new();
+                for tx in &f.txs {
+                    pool.add(tx.clone());
+                }
+                let proposer = OccWsiProposer::new(OccWsiConfig {
+                    threads,
+                    env: f.env,
+                    commit_path: path,
+                    ..OccWsiConfig::default()
+                });
+                let proposal =
+                    proposer.propose(&pool, Arc::clone(&f.pre_state), BlockHash::ZERO, 1);
+                assert_eq!(
+                    proposal.stats.committed,
+                    f.txs.len() as u64,
+                    "all txs must commit"
+                );
+                tx_s.push(proposal.stats.committed_per_sec());
+                aborts += proposal.stats.aborts;
+                executions += proposal.stats.executions;
+            }
+            rows.push(Row {
+                series: "wall_clock",
+                path,
+                threads,
+                committed_tx_s: mean(&tx_s),
+                abort_rate: aborts as f64 / executions.max(1) as f64,
+            });
+        }
+    }
+    rows
+}
+
+fn print_series(rows: &[Row], series: &'static str) {
+    println!(
+        "{:>8} {:>16} {:>16} {:>10} | abort% {:>8} {:>8}",
+        "threads", "two_phase tx/s", "coarse tx/s", "ratio", "2p", "coarse"
+    );
+    for threads in THREADS {
+        let find = |path: CommitPath| {
+            rows.iter()
+                .find(|r| r.series == series && r.path == path && r.threads == threads)
+                .expect("row exists")
+        };
+        let tp = find(CommitPath::TwoPhase);
+        let cl = find(CommitPath::CoarseLock);
+        println!(
+            "{threads:>8} {:>16.0} {:>16.0} {:>9.2}x | {:>14.2} {:>8.2}",
+            tp.committed_tx_s,
+            cl.committed_tx_s,
+            tp.committed_tx_s / cl.committed_tx_s,
+            100.0 * tp.abort_rate,
+            100.0 * cl.abort_rate,
+        );
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_proposer.json".to_string());
+    let blocks = block_count(12);
+    println!("=== proposer commit-path A/B: two-phase vs coarse lock ===");
+    println!("workload: {blocks} mainnet-like 132-tx blocks (seeded)\n");
+
+    let fixtures = generate_fixtures(WorkloadConfig::default(), blocks);
+    let cal = calibrate(&fixtures);
+    println!(
+        "calibration: {:.1} gas/µs, dispatch {:.2} µs/tx ({} gas), \
+         coarse section {:.2} µs/tx ({} gas), admit slice {:.2} µs/tx ({} gas)\n",
+        cal.gas_per_us,
+        cal.dispatch_us,
+        cal.dispatch_gas(),
+        cal.commit_us,
+        cal.commit_sync_gas(),
+        cal.admit_us,
+        cal.commit_admit_gas()
+    );
+
+    let mut rows = gas_time_rows(
+        &fixtures,
+        &cal,
+        &cal.implementation_model(),
+        "gas_time_calibrated",
+    );
+    rows.extend(gas_time_rows(
+        &fixtures,
+        &cal,
+        &cal.paper_model(),
+        "gas_time_paper_model",
+    ));
+    rows.extend(wall_clock_rows(&fixtures));
+
+    println!("gas-time, implementation-calibrated model (all overheads measured):");
+    print_series(&rows, "gas_time_calibrated");
+    println!("\ngas-time, fig6 paper model (geth-calibrated dispatch+contention), sensitivity:");
+    print_series(&rows, "gas_time_paper_model");
+    println!(
+        "\nwall-clock, {} real thread(s) available on this host:",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    print_series(&rows, "wall_clock");
+
+    let at8 = |path: CommitPath| {
+        rows.iter()
+            .find(|r| r.series == "gas_time_calibrated" && r.path == path && r.threads == 8)
+            .expect("row exists")
+            .committed_tx_s
+    };
+    let ratio8 = at8(CommitPath::TwoPhase) / at8(CommitPath::CoarseLock);
+    println!("\ntwo-phase vs coarse at 8 threads (calibrated): {ratio8:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"proposer_commit\",\n");
+    json.push_str("  \"workload\": \"132-tx mainnet-like blocks (seeded)\",\n");
+    json.push_str(&format!("  \"blocks\": {blocks},\n"));
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str(&format!(
+        "  \"calibration\": {{\"gas_per_us\": {:.2}, \"dispatch_us\": {:.3}, \
+         \"coarse_section_us\": {:.3}, \"admit_slice_us\": {:.3}, \"dispatch_gas\": {}, \
+         \"commit_sync_gas\": {}, \"commit_admit_gas\": {}}},\n",
+        cal.gas_per_us,
+        cal.dispatch_us,
+        cal.commit_us,
+        cal.admit_us,
+        cal.dispatch_gas(),
+        cal.commit_sync_gas(),
+        cal.commit_admit_gas()
+    ));
+    json.push_str(&format!(
+        "  \"two_phase_vs_coarse_at_8_threads\": {ratio8:.3},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"series\": \"{}\", \"path\": \"{}\", \"threads\": {}, \
+             \"committed_tx_s\": {:.1}, \"abort_rate\": {:.4}}}{}\n",
+            r.series,
+            path_name(r.path),
+            r.threads,
+            r.committed_tx_s,
+            r.abort_rate,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write baseline json");
+    println!("wrote {out_path}");
+}

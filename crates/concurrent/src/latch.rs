@@ -1,4 +1,7 @@
-//! A countdown latch for stage barriers in the validator pipeline.
+//! Latches: a countdown latch for stage barriers in the validator pipeline,
+//! and the per-version visibility gate of the two-phase proposer commit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -48,6 +51,91 @@ impl CountdownLatch {
     }
 }
 
+#[derive(Default)]
+struct GateState {
+    /// Versions allocated (Phase A) but not yet fully published (Phase B).
+    pending: std::collections::BTreeSet<u64>,
+    /// Highest version ever registered.
+    highest: u64,
+}
+
+/// Per-version visibility gate for the two-phase proposer commit.
+///
+/// Phase A of a commit allocates a version and [`VersionGate::register`]s it
+/// as *pending* before the version becomes discoverable; Phase B publishes
+/// the write set outside any global lock and then [`VersionGate::open`]s the
+/// version. A snapshot reader that lands on a still-pending version parks on
+/// [`VersionGate::wait_visible`] until every version at or below its snapshot
+/// is fully published — instead of every committer blocking every reader
+/// behind one coarse commit lock.
+///
+/// Registration must happen-before the version is discoverable by readers
+/// (the proposer does both under its commit-sequence lock); with that, a
+/// reader waiting on version `v` is guaranteed the gate already knows about
+/// every version `≤ v`.
+#[derive(Default)]
+pub struct VersionGate {
+    /// All versions `≤ visible` are fully published (lock-free fast path).
+    visible: AtomicU64,
+    state: Mutex<GateState>,
+    cond: Condvar,
+}
+
+impl VersionGate {
+    /// A gate with no versions registered (everything up to `u64::MAX` that
+    /// was never registered counts as visible).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `version` pending. Must be called before the version becomes
+    /// discoverable by snapshot readers.
+    pub fn register(&self, version: u64) {
+        let mut g = self.state.lock();
+        g.pending.insert(version);
+        g.highest = g.highest.max(version);
+    }
+
+    /// Marks `version` fully published and wakes any readers whose snapshot
+    /// it was blocking.
+    pub fn open(&self, version: u64) {
+        let mut g = self.state.lock();
+        g.pending.remove(&version);
+        g.highest = g.highest.max(version);
+        let new_visible = match g.pending.first() {
+            Some(&min_pending) => min_pending - 1,
+            None => g.highest,
+        };
+        self.visible.store(new_visible, Ordering::Release);
+        drop(g);
+        self.cond.notify_all();
+    }
+
+    /// Blocks until every registered version `≤ version` has been opened.
+    ///
+    /// Versions that were never registered do not block: the gate only
+    /// tracks the pending window between Phase A and Phase B.
+    pub fn wait_visible(&self, version: u64) {
+        if self.visible.load(Ordering::Acquire) >= version {
+            return;
+        }
+        let mut g = self.state.lock();
+        while g.pending.first().is_some_and(|&min| min <= version) {
+            self.cond.wait(&mut g);
+        }
+    }
+
+    /// The highest version below which everything registered is published.
+    pub fn visible(&self) -> u64 {
+        self.visible.load(Ordering::Acquire)
+    }
+
+    /// Number of versions currently in the pending window (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +171,60 @@ mod tests {
         l.count_down();
         assert_eq!(l.remaining(), 0);
         l.wait();
+    }
+
+    #[test]
+    fn unregistered_versions_are_visible() {
+        let g = VersionGate::new();
+        g.wait_visible(0);
+        g.wait_visible(42); // never registered: must not block
+        assert_eq!(g.pending(), 0);
+    }
+
+    #[test]
+    fn visibility_tracks_the_pending_window() {
+        let g = VersionGate::new();
+        g.register(1);
+        g.register(2);
+        assert_eq!(g.visible(), 0);
+        g.open(1);
+        assert_eq!(g.visible(), 1);
+        g.wait_visible(1);
+        g.open(2);
+        assert_eq!(g.visible(), 2);
+        g.wait_visible(2);
+        assert_eq!(g.pending(), 0);
+    }
+
+    #[test]
+    fn out_of_order_opens_hold_the_watermark() {
+        let g = VersionGate::new();
+        g.register(1);
+        g.register(2);
+        g.register(3);
+        g.open(3);
+        g.open(2);
+        // Version 1 still pending: nothing at or above it is visible.
+        assert_eq!(g.visible(), 0);
+        g.open(1);
+        assert_eq!(g.visible(), 3);
+    }
+
+    #[test]
+    fn waiters_wake_when_their_version_opens() {
+        let g = Arc::new(VersionGate::new());
+        g.register(1);
+        g.register(2);
+        let waiter = {
+            let g = Arc::clone(&g);
+            thread::spawn(move || {
+                g.wait_visible(2);
+                g.visible()
+            })
+        };
+        // Open out of order; the waiter needs both.
+        g.open(2);
+        g.open(1);
+        assert!(waiter.join().unwrap() >= 2);
     }
 }

@@ -17,7 +17,7 @@ pub mod reserve;
 pub mod sharded;
 pub mod version;
 
-pub use latch::CountdownLatch;
+pub use latch::{CountdownLatch, VersionGate};
 pub use reserve::ReserveTable;
 pub use sharded::ShardedMap;
 pub use version::VersionAllocator;

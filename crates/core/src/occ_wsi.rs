@@ -2,7 +2,7 @@
 //!
 //! Worker threads repeatedly pop the highest-priority pending transaction,
 //! take a snapshot of the multi-version block state at the current commit
-//! version, execute optimistically, then validate-and-commit atomically:
+//! version, execute optimistically, then validate-and-commit:
 //!
 //! * **validation** (write-snapshot isolation): abort iff some key in the
 //!   transaction's *read set* was written by a transaction that committed
@@ -16,45 +16,117 @@
 //!
 //! The committed sequence is a serializable schedule by construction, and it
 //! *is* the block order.
+//!
+//! # Two-phase commit (the default path)
+//!
+//! The straightforward implementation funnels every commit through one
+//! global mutex covering validation, version allocation, multi-version
+//! publication, reserve publication, gas accounting and block-body pushes —
+//! and stops scaling as soon as commits are frequent. The default
+//! [`CommitPath::TwoPhase`] protocol shrinks the serialized region to the
+//! part that genuinely needs atomicity:
+//!
+//! * **Phase A** (under a commit-sequence lock, microseconds): WSI read-set
+//!   validation, gas-limit admission, version allocation, and publication of
+//!   the write *intentions* to the lock-free [`ReserveTable`]. Validation
+//!   and intent publication must be mutually ordered — a committer must see
+//!   the reservations of everything admitted before it, or a stale read
+//!   could slip through — so they share the tiny critical section. The new
+//!   version is registered *pending* on a [`VersionGate`] before it becomes
+//!   discoverable.
+//! * **Phase B** (no global lock): publish the write *values* to the
+//!   [`MultiVersionState`], install deployed code, open the version's
+//!   visibility latch, and append the `(version, tx, receipt, profile)`
+//!   record to a per-worker segment buffer. Snapshot readers that land on a
+//!   still-pending version wait on its latch instead of blocking committers.
+//!
+//! Block bodies never touch the critical path: [`OccWsiProposer::propose`]
+//! merges the per-worker segments in version order at seal time.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use bp_block::{receipts_root, tx_root, Block, BlockHeader, BlockProfile, TxProfile};
-use bp_concurrent::{ReserveTable, VersionAllocator};
-use bp_evm::{execute_transaction, BlockEnv, MvSnapshot, Receipt, Transaction, TxError};
+use bp_concurrent::{ReserveTable, VersionAllocator, VersionGate};
+use bp_evm::{execute_transaction, gas, BlockEnv, MvSnapshot, Receipt, Transaction, TxError};
 use bp_state::{MultiVersionState, WorldState};
 use bp_txpool::TxPool;
 use bp_types::{BlockHash, Gas, Height, U256};
 use parking_lot::Mutex;
+
+/// How many transactions a worker checks out from the pool per heap lock
+/// acquisition. Small enough that priority inversion is bounded, large
+/// enough to amortize the pool's mutex on hot paths.
+const POP_BATCH: usize = 4;
+
+/// After the block first fails to fit a transaction, how many further
+/// pending candidates each worker still tries before sealing. Bounded so a
+/// nearly-full block cannot degenerate into scanning the whole pool.
+const MAX_UNFIT_CANDIDATES: usize = 8;
+
+/// Which commit protocol the proposer runs (kept switchable for A/B
+/// benchmarking; see `proposer_baseline` in `bp-bench`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CommitPath {
+    /// Two-phase commit: tiny serialized admission (validation + version
+    /// allocation + reserve intents), lock-free publication behind a
+    /// per-version visibility gate, per-worker block segments.
+    #[default]
+    TwoPhase,
+    /// The original single-mutex commit: validation, publication, gas and
+    /// block-body pushes all under one global lock. Kept as the baseline.
+    CoarseLock,
+}
 
 /// Configuration for a proposal run.
 #[derive(Clone, Debug)]
 pub struct OccWsiConfig {
     /// Worker thread count (Algorithm 1's thread pool).
     pub threads: usize,
-    /// Block gas limit: packing stops when no pending transaction fits.
+    /// Block gas limit. Packing seals when no pending transaction fits:
+    /// after the first transaction overflows the remaining gas, workers
+    /// still probe a bounded number of further (smaller) candidates before
+    /// giving up, so one oversized transaction does not strand the rest.
     pub gas_limit: Gas,
     /// Execution environment for the new block.
     pub env: BlockEnv,
     /// Optional ceiling on transactions per block (0 = unlimited).
     pub max_txs: usize,
+    /// Commit protocol (two-phase by default; coarse lock for A/B).
+    pub commit_path: CommitPath,
 }
 
 impl Default for OccWsiConfig {
     fn default() -> Self {
         OccWsiConfig {
-            threads: 4,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(1),
             gas_limit: 30_000_000,
             env: BlockEnv::default(),
             max_txs: 0,
+            commit_path: CommitPath::default(),
         }
     }
 }
 
+/// Per-worker counters from one proposal run (contention diagnostics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Transactions this worker committed.
+    pub committed: u64,
+    /// WSI validation failures this worker hit.
+    pub aborts: u64,
+    /// Future-nonce retries (prerequisite not yet committed) this worker
+    /// burned.
+    pub retries: u64,
+}
+
 /// Statistics from one proposal run (feeds the Figure 6 harness and the
 /// WSI-vs-OCC ablation).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProposerStats {
     /// Transactions committed into the block.
     pub committed: u64,
@@ -64,6 +136,22 @@ pub struct ProposerStats {
     pub discarded: u64,
     /// Total executions (committed + aborted + discarded attempts).
     pub executions: u64,
+    /// Wall time of the parallel packing phase, in microseconds.
+    pub wall_micros: u64,
+    /// Per-worker commit/abort/retry breakdown, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ProposerStats {
+    /// Committed transactions per wall-clock second of the packing phase
+    /// (0.0 for an instantaneous empty run).
+    pub fn committed_per_sec(&self) -> f64 {
+        if self.wall_micros == 0 {
+            0.0
+        } else {
+            self.committed as f64 * 1e6 / self.wall_micros as f64
+        }
+    }
 }
 
 /// The outcome of one proposal: a sealed block plus everything a caller
@@ -77,6 +165,33 @@ pub struct Proposal {
     pub post_state: WorldState,
     /// Run statistics.
     pub stats: ProposerStats,
+}
+
+/// One committed transaction, buffered by the worker that committed it and
+/// merged into the block body at seal time.
+struct CommitRecord {
+    version: u64,
+    tx: Transaction,
+    receipt: Receipt,
+    profile: TxProfile,
+}
+
+/// State shared by all workers of one proposal run.
+struct Shared<'a> {
+    pool: &'a TxPool,
+    mv: &'a MultiVersionState,
+    reserve: &'a ReserveTable,
+    versions: &'a VersionAllocator,
+    gate: &'a VersionGate,
+    /// The commit-sequence lock serializing Phase A. Guards nothing by
+    /// value; the data it orders (reserve table, version allocator, gas
+    /// meter) is reachable lock-free.
+    admit: &'a Mutex<()>,
+    cur_gas: &'a AtomicU64,
+    full: &'a AtomicBool,
+    aborts: &'a AtomicU64,
+    discarded: &'a AtomicU64,
+    executions: &'a AtomicU64,
 }
 
 /// The OCC-WSI proposer.
@@ -106,9 +221,22 @@ impl OccWsiProposer {
         parent: BlockHash,
         height: Height,
     ) -> Proposal {
-        let mv = MultiVersionState::new(Arc::clone(&parent_state), self.config.threads);
+        let gate = Arc::new(VersionGate::new());
+        let mv = match self.config.commit_path {
+            // Snapshots on the two-phase path wait on the gate for any
+            // version still pending publication.
+            CommitPath::TwoPhase => MultiVersionState::with_gate(
+                Arc::clone(&parent_state),
+                self.config.threads,
+                Arc::clone(&gate),
+            ),
+            CommitPath::CoarseLock => {
+                MultiVersionState::new(Arc::clone(&parent_state), self.config.threads)
+            }
+        };
         let reserve = ReserveTable::new(self.config.threads);
         let versions = VersionAllocator::new();
+        let admit = Mutex::new(());
         let builder = Mutex::new(BlockBuilder::default());
         let cur_gas = AtomicU64::new(0);
         let full = AtomicBool::new(false);
@@ -116,27 +244,64 @@ impl OccWsiProposer {
         let discarded = AtomicU64::new(0);
         let executions = AtomicU64::new(0);
 
-        std::thread::scope(|scope| {
-            for _ in 0..self.config.threads {
-                scope.spawn(|| {
-                    self.worker(
-                        pool,
-                        &mv,
-                        &reserve,
-                        &versions,
-                        &builder,
-                        &cur_gas,
-                        &full,
-                        &aborts,
-                        &discarded,
-                        &executions,
-                    )
-                });
-            }
-        });
+        let shared = Shared {
+            pool,
+            mv: &mv,
+            reserve: &reserve,
+            versions: &versions,
+            gate: &gate,
+            admit: &admit,
+            cur_gas: &cur_gas,
+            full: &full,
+            aborts: &aborts,
+            discarded: &discarded,
+            executions: &executions,
+        };
 
-        let built = builder.into_inner();
+        let started = Instant::now();
+        let (mut records, worker_stats) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.config.threads)
+                .map(|_| {
+                    scope.spawn(|| match self.config.commit_path {
+                        CommitPath::TwoPhase => self.worker_two_phase(&shared),
+                        CommitPath::CoarseLock => {
+                            (Vec::new(), self.worker_coarse(&shared, &builder))
+                        }
+                    })
+                })
+                .collect();
+            let mut records = Vec::new();
+            let mut stats = Vec::new();
+            for h in handles {
+                let (r, s) = h.join().expect("worker panicked");
+                records.extend(r);
+                stats.push(s);
+            }
+            (records, stats)
+        });
+        let wall_micros = started.elapsed().as_micros() as u64;
         let gas_used = cur_gas.load(Ordering::Acquire);
+
+        // Merge the per-worker segments into the block body, in version
+        // (= block) order. Versions are dense 1..=committed.
+        let built = match self.config.commit_path {
+            CommitPath::TwoPhase => {
+                records.sort_unstable_by_key(|r| r.version);
+                debug_assert!(records
+                    .iter()
+                    .enumerate()
+                    .all(|(i, r)| r.version == i as u64 + 1));
+                let mut b = BlockBuilder::default();
+                for r in records {
+                    b.txs.push(r.tx);
+                    b.receipts.push(r.receipt);
+                    b.profile.push(r.profile);
+                    b.profile_len += 1;
+                }
+                b
+            }
+            CommitPath::CoarseLock => builder.into_inner(),
+        };
 
         // Seal: materialize the post-state, credit aggregated fees to the
         // coinbase, and build the header.
@@ -174,24 +339,23 @@ impl OccWsiProposer {
                 aborts: aborts.load(Ordering::Acquire),
                 discarded: discarded.load(Ordering::Acquire),
                 executions: executions.load(Ordering::Acquire),
+                wall_micros,
+                workers: worker_stats,
             },
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn worker(
-        &self,
-        pool: &TxPool,
-        mv: &MultiVersionState,
-        reserve: &ReserveTable,
-        versions: &VersionAllocator,
-        builder: &Mutex<BlockBuilder>,
-        cur_gas: &AtomicU64,
-        full: &AtomicBool,
-        aborts: &AtomicU64,
-        discarded: &AtomicU64,
-        executions: &AtomicU64,
-    ) {
+    /// The two-phase worker loop (the default commit path).
+    fn worker_two_phase(&self, s: &Shared<'_>) -> (Vec<CommitRecord>, WorkerStats) {
+        let mut stats = WorkerStats::default();
+        let mut records: Vec<CommitRecord> = Vec::new();
+        // Locally checked-out work, popped in batches to amortize the pool
+        // lock. Entries are in-flight from the pool's point of view.
+        let mut batch: std::collections::VecDeque<Transaction> = Default::default();
+        // Transactions that did not fit the remaining gas; held aside (gas
+        // only grows, so they can never fit later in this block) and
+        // returned to the pool at seal time.
+        let mut unfit: Vec<Transaction> = Vec::new();
         let mut idle_spins = 0u32;
         // Future-nonce transactions (a predecessor from the same sender has
         // not committed yet) are retried, but only while commits are still
@@ -200,35 +364,59 @@ impl OccWsiProposer {
         let mut futile: std::collections::HashMap<bp_types::TxHash, (u64, u32)> =
             std::collections::HashMap::new();
         const MAX_FUTILE_RETRIES: u32 = 50;
-        loop {
-            if full.load(Ordering::Acquire) {
-                return;
+
+        let flush = |batch: &mut std::collections::VecDeque<Transaction>,
+                     unfit: &mut Vec<Transaction>| {
+            for tx in batch.drain(..) {
+                s.pool.push_back(&tx);
             }
-            let Some(tx) = pool.pop() else {
-                // The pool may refill when an in-flight transaction of some
-                // sender commits; spin briefly before giving up.
-                if pool.is_empty() || idle_spins > 64 {
-                    return;
+            for tx in unfit.drain(..) {
+                s.pool.push_back(&tx);
+            }
+        };
+
+        loop {
+            if s.full.load(Ordering::Acquire) {
+                flush(&mut batch, &mut unfit);
+                return (records, stats);
+            }
+            let tx = match batch.pop_front() {
+                Some(tx) => tx,
+                None => {
+                    let mut popped = s.pool.pop_many(POP_BATCH);
+                    if popped.is_empty() {
+                        // The pool may refill when an in-flight transaction
+                        // of some sender commits; spin briefly before giving
+                        // up.
+                        if s.pool.is_empty() || idle_spins > 64 {
+                            flush(&mut batch, &mut unfit);
+                            return (records, stats);
+                        }
+                        idle_spins += 1;
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    let first = popped.remove(0);
+                    batch.extend(popped);
+                    first
                 }
-                idle_spins += 1;
-                std::thread::yield_now();
-                continue;
             };
             idle_spins = 0;
 
-            // snapshot(thread, version) <- State(version)
-            let snapshot_version = versions.current();
-            let snapshot = MvSnapshot::new(mv, snapshot_version);
-            executions.fetch_add(1, Ordering::Relaxed);
+            // snapshot(thread, version) <- State(version); the snapshot
+            // waits on the visibility gate if any version ≤ it is pending.
+            let snapshot_version = s.versions.current();
+            let snapshot = MvSnapshot::new(s.mv, snapshot_version);
+            s.executions.fetch_add(1, Ordering::Relaxed);
             let exec = execute_transaction(&snapshot, &self.config.env, &tx);
 
-            match exec {
+            let result = match exec {
                 Err(TxError::BadNonce { expected, got }) if got > expected => {
                     // A prerequisite from the same sender hasn't committed
                     // yet. Retry while the block is still making progress;
                     // if nothing commits across repeated attempts the
                     // prerequisite is missing entirely — drop the tx.
-                    let version_now = versions.current();
+                    let version_now = s.versions.current();
                     let entry = futile.entry(tx.hash()).or_insert((version_now, 0));
                     if entry.0 == version_now {
                         entry.1 += 1;
@@ -236,64 +424,206 @@ impl OccWsiProposer {
                         *entry = (version_now, 1);
                     }
                     if entry.1 >= MAX_FUTILE_RETRIES {
-                        discarded.fetch_add(1, Ordering::Relaxed);
-                        pool.discard(&tx);
+                        s.discarded.fetch_add(1, Ordering::Relaxed);
+                        s.pool.discard(&tx);
                     } else {
-                        aborts.fetch_add(1, Ordering::Relaxed);
-                        pool.push_back(&tx);
+                        s.aborts.fetch_add(1, Ordering::Relaxed);
+                        stats.retries += 1;
+                        s.pool.push_back(&tx);
                         std::thread::yield_now();
                     }
                     continue;
                 }
                 Err(_) => {
-                    discarded.fetch_add(1, Ordering::Relaxed);
-                    pool.discard(&tx);
+                    s.discarded.fetch_add(1, Ordering::Relaxed);
+                    s.pool.discard(&tx);
+                    continue;
+                }
+                Ok(result) => result,
+            };
+
+            // ---- Phase A: admission, under the commit-sequence lock. ----
+            let version = {
+                let _seq = s.admit.lock();
+                if s.full.load(Ordering::Acquire) {
+                    s.pool.push_back(&tx);
+                    flush(&mut batch, &mut unfit);
+                    return (records, stats);
+                }
+                // WSI validation over the read set: the lock orders us
+                // after the reserve intents of every admitted predecessor.
+                let stale = result
+                    .rw
+                    .reads
+                    .keys()
+                    .any(|key| s.reserve.is_stale(key, snapshot_version));
+                if stale {
+                    drop(_seq);
+                    s.aborts.fetch_add(1, Ordering::Relaxed);
+                    stats.aborts += 1;
+                    s.pool.push_back(&tx);
+                    continue;
+                }
+                // Gas-limit admission.
+                let gas_now = s.cur_gas.load(Ordering::Acquire);
+                let gas_after = gas_now + result.receipt.gas_used;
+                if gas_after > self.config.gas_limit {
+                    // This one doesn't fit, but smaller pending transactions
+                    // may: hold it aside and keep probing (bounded), unless
+                    // nothing can ever fit the remaining headroom.
+                    let nothing_fits = self.config.gas_limit - gas_now < gas::TX_BASE
+                        || unfit.len() + 1 > MAX_UNFIT_CANDIDATES;
+                    if nothing_fits {
+                        s.full.store(true, Ordering::Release);
+                        drop(_seq);
+                        s.pool.push_back(&tx);
+                        flush(&mut batch, &mut unfit);
+                        return (records, stats);
+                    }
+                    drop(_seq);
+                    unfit.push(tx);
+                    continue;
+                }
+                if self.config.max_txs > 0 && s.versions.current() as usize >= self.config.max_txs {
+                    s.full.store(true, Ordering::Release);
+                    drop(_seq);
+                    s.pool.push_back(&tx);
+                    flush(&mut batch, &mut unfit);
+                    return (records, stats);
+                }
+                // Admit: register the version as pending *before* it becomes
+                // discoverable through the allocator, publish the write
+                // intents, and account the gas.
+                let version = s.versions.current() + 1;
+                s.gate.register(version);
+                s.reserve.publish(result.rw.writes.keys(), version);
+                s.cur_gas.store(gas_after, Ordering::Release);
+                let allocated = s.versions.allocate();
+                debug_assert_eq!(allocated, version);
+                version
+            };
+
+            // ---- Phase B: publication, outside any global lock. ----
+            s.mv.commit_writes(&result.rw.writes, version);
+            for (addr, code) in &result.deployed {
+                s.mv.install_code(*addr, Arc::clone(code));
+            }
+            s.gate.open(version);
+            let profile = TxProfile::from_rw(&result.rw, result.receipt.gas_used);
+            records.push(CommitRecord {
+                version,
+                tx: tx.clone(),
+                receipt: result.receipt,
+                profile,
+            });
+            stats.committed += 1;
+            s.pool.commit(&tx);
+        }
+    }
+
+    /// The original coarse-lock worker loop, kept verbatim (modulo the
+    /// publish-before-allocate reorder, which closes a racy snapshot window)
+    /// as the A/B baseline.
+    fn worker_coarse(&self, s: &Shared<'_>, builder: &Mutex<BlockBuilder>) -> WorkerStats {
+        let mut stats = WorkerStats::default();
+        let mut idle_spins = 0u32;
+        let mut futile: std::collections::HashMap<bp_types::TxHash, (u64, u32)> =
+            std::collections::HashMap::new();
+        const MAX_FUTILE_RETRIES: u32 = 50;
+        loop {
+            if s.full.load(Ordering::Acquire) {
+                return stats;
+            }
+            let Some(tx) = s.pool.pop() else {
+                if s.pool.is_empty() || idle_spins > 64 {
+                    return stats;
+                }
+                idle_spins += 1;
+                std::thread::yield_now();
+                continue;
+            };
+            idle_spins = 0;
+
+            let snapshot_version = s.versions.current();
+            let snapshot = MvSnapshot::new(s.mv, snapshot_version);
+            s.executions.fetch_add(1, Ordering::Relaxed);
+            let exec = execute_transaction(&snapshot, &self.config.env, &tx);
+
+            match exec {
+                Err(TxError::BadNonce { expected, got }) if got > expected => {
+                    let version_now = s.versions.current();
+                    let entry = futile.entry(tx.hash()).or_insert((version_now, 0));
+                    if entry.0 == version_now {
+                        entry.1 += 1;
+                    } else {
+                        *entry = (version_now, 1);
+                    }
+                    if entry.1 >= MAX_FUTILE_RETRIES {
+                        s.discarded.fetch_add(1, Ordering::Relaxed);
+                        s.pool.discard(&tx);
+                    } else {
+                        s.aborts.fetch_add(1, Ordering::Relaxed);
+                        stats.retries += 1;
+                        s.pool.push_back(&tx);
+                        std::thread::yield_now();
+                    }
+                    continue;
+                }
+                Err(_) => {
+                    s.discarded.fetch_add(1, Ordering::Relaxed);
+                    s.pool.discard(&tx);
                     continue;
                 }
                 Ok(result) => {
                     // DetectConflict + commit, atomically.
                     let mut b = builder.lock();
-                    if full.load(Ordering::Acquire) {
-                        pool.push_back(&tx);
-                        return;
+                    if s.full.load(Ordering::Acquire) {
+                        s.pool.push_back(&tx);
+                        return stats;
                     }
                     // WSI validation over the read set.
                     let stale = result
                         .rw
                         .reads
                         .keys()
-                        .any(|key| reserve.is_stale(key, snapshot_version));
+                        .any(|key| s.reserve.is_stale(key, snapshot_version));
                     if stale {
                         drop(b);
-                        aborts.fetch_add(1, Ordering::Relaxed);
-                        pool.push_back(&tx);
+                        s.aborts.fetch_add(1, Ordering::Relaxed);
+                        stats.aborts += 1;
+                        s.pool.push_back(&tx);
                         continue;
                     }
                     // Gas-limit check.
-                    let gas_after = cur_gas.load(Ordering::Acquire) + result.receipt.gas_used;
+                    let gas_after = s.cur_gas.load(Ordering::Acquire) + result.receipt.gas_used;
                     if gas_after > self.config.gas_limit
                         || (self.config.max_txs > 0 && b.txs.len() >= self.config.max_txs)
                     {
-                        full.store(true, Ordering::Release);
+                        s.full.store(true, Ordering::Release);
                         drop(b);
-                        pool.push_back(&tx);
-                        return;
+                        s.pool.push_back(&tx);
+                        return stats;
                     }
-                    // Commit.
-                    let version = versions.allocate();
-                    mv.commit_writes(&result.rw.writes, version);
+                    // Commit: publish at the next version *before* the
+                    // allocator makes it discoverable, so no concurrent
+                    // snapshot can observe the version number ahead of its
+                    // write set.
+                    let version = s.versions.current() + 1;
+                    s.mv.commit_writes(&result.rw.writes, version);
                     for (addr, code) in &result.deployed {
-                        mv.install_code(*addr, Arc::clone(code));
+                        s.mv.install_code(*addr, Arc::clone(code));
                     }
-                    reserve.publish(result.rw.writes.keys(), version);
-                    cur_gas.store(gas_after, Ordering::Release);
+                    s.reserve.publish(result.rw.writes.keys(), version);
+                    s.versions.allocate();
+                    s.cur_gas.store(gas_after, Ordering::Release);
                     b.profile
                         .push(TxProfile::from_rw(&result.rw, result.receipt.gas_used));
                     b.profile_len += 1;
                     b.txs.push(tx.clone());
                     b.receipts.push(result.receipt);
                     drop(b);
-                    pool.commit(&tx);
+                    stats.committed += 1;
+                    s.pool.commit(&tx);
                 }
             }
         }
@@ -311,7 +641,9 @@ struct BlockBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bp_evm::asm::Asm;
     use bp_evm::contracts;
+    use bp_evm::opcode::Op;
     use bp_types::{AccessKey, Address};
 
     fn addr(i: u64) -> Address {
@@ -329,6 +661,14 @@ mod tests {
     fn proposer(threads: usize) -> OccWsiProposer {
         OccWsiProposer::new(OccWsiConfig {
             threads,
+            ..OccWsiConfig::default()
+        })
+    }
+
+    fn proposer_on(path: CommitPath, threads: usize) -> OccWsiProposer {
+        OccWsiProposer::new(OccWsiConfig {
+            threads,
+            commit_path: path,
             ..OccWsiConfig::default()
         })
     }
@@ -353,60 +693,74 @@ mod tests {
     }
 
     #[test]
+    fn default_threads_match_the_machine() {
+        let got = OccWsiConfig::default().threads;
+        let want = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(got, want.max(1));
+        assert!(got >= 1);
+    }
+
+    #[test]
     fn proposes_disjoint_transfers() {
-        let world = Arc::new(funded_world(20));
-        let pool = TxPool::new();
-        for i in 1..=10u64 {
-            pool.add(Transaction::transfer(
-                addr(i),
-                addr(i + 10),
-                U256::from(5u64),
-                0,
-                i,
-            ));
+        for path in [CommitPath::TwoPhase, CommitPath::CoarseLock] {
+            let world = Arc::new(funded_world(20));
+            let pool = TxPool::new();
+            for i in 1..=10u64 {
+                pool.add(Transaction::transfer(
+                    addr(i),
+                    addr(i + 10),
+                    U256::from(5u64),
+                    0,
+                    i,
+                ));
+            }
+            let p = proposer_on(path, 4);
+            let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
+            assert_eq!(proposal.block.tx_count(), 10);
+            assert_eq!(proposal.stats.committed, 10);
+            assert!(pool.is_empty());
+            // Serializability: replaying the block order serially reproduces
+            // the exact post-state root.
+            let replay = serial_replay(&proposal.block, &world, &p.config.env);
+            assert_eq!(replay.state_root(), proposal.post_state.state_root());
+            assert_eq!(proposal.block.header.state_root, replay.state_root());
         }
-        let p = proposer(4);
-        let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
-        assert_eq!(proposal.block.tx_count(), 10);
-        assert_eq!(proposal.stats.committed, 10);
-        assert!(pool.is_empty());
-        // Serializability: replaying the block order serially reproduces the
-        // exact post-state root.
-        let replay = serial_replay(&proposal.block, &world, &p.config.env);
-        assert_eq!(replay.state_root(), proposal.post_state.state_root());
-        assert_eq!(proposal.block.header.state_root, replay.state_root());
     }
 
     #[test]
     fn conflicting_counter_calls_all_commit_serializably() {
-        let mut w = funded_world(20);
-        let c = addr(100);
-        w.set_code(c, contracts::counter());
-        let world = Arc::new(w);
-        let pool = TxPool::new();
-        for i in 1..=8u64 {
-            pool.add(Transaction {
-                sender: addr(i),
-                to: Some(c),
-                value: U256::ZERO,
-                nonce: 0,
-                gas_limit: 200_000,
-                gas_price: 1,
-                data: vec![],
-            });
+        for path in [CommitPath::TwoPhase, CommitPath::CoarseLock] {
+            let mut w = funded_world(20);
+            let c = addr(100);
+            w.set_code(c, contracts::counter());
+            let world = Arc::new(w);
+            let pool = TxPool::new();
+            for i in 1..=8u64 {
+                pool.add(Transaction {
+                    sender: addr(i),
+                    to: Some(c),
+                    value: U256::ZERO,
+                    nonce: 0,
+                    gas_limit: 200_000,
+                    gas_price: 1,
+                    data: vec![],
+                });
+            }
+            let p = proposer_on(path, 4);
+            let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
+            assert_eq!(proposal.block.tx_count(), 8);
+            // The counter must reach exactly 8: lost updates would show here.
+            assert_eq!(
+                proposal
+                    .post_state
+                    .storage(&c, &bp_types::H256::from_low_u64(0)),
+                U256::from(8u64)
+            );
+            let replay = serial_replay(&proposal.block, &world, &p.config.env);
+            assert_eq!(replay.state_root(), proposal.post_state.state_root());
         }
-        let p = proposer(4);
-        let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
-        assert_eq!(proposal.block.tx_count(), 8);
-        // The counter must reach exactly 8: lost updates would show here.
-        assert_eq!(
-            proposal
-                .post_state
-                .storage(&c, &bp_types::H256::from_low_u64(0)),
-            U256::from(8u64)
-        );
-        let replay = serial_replay(&proposal.block, &world, &p.config.env);
-        assert_eq!(replay.state_root(), proposal.post_state.state_root());
     }
 
     #[test]
@@ -437,6 +791,16 @@ mod tests {
             proposal.stats.executions - proposal.stats.committed,
             proposal.stats.aborts
         );
+        // Per-worker counters must reconcile with the totals.
+        let worker_committed: u64 = proposal.stats.workers.iter().map(|w| w.committed).sum();
+        assert_eq!(worker_committed, proposal.stats.committed);
+        let worker_aborts: u64 = proposal
+            .stats
+            .workers
+            .iter()
+            .map(|w| w.aborts + w.retries)
+            .sum();
+        assert_eq!(worker_aborts, proposal.stats.aborts);
     }
 
     #[test]
@@ -471,38 +835,96 @@ mod tests {
 
     #[test]
     fn gas_limit_bounds_the_block() {
-        let world = Arc::new(funded_world(30));
+        for path in [CommitPath::TwoPhase, CommitPath::CoarseLock] {
+            let world = Arc::new(funded_world(30));
+            let pool = TxPool::new();
+            for i in 1..=20u64 {
+                pool.add(Transaction::transfer(addr(i), addr(99), U256::ONE, 0, 1));
+            }
+            let p = OccWsiProposer::new(OccWsiConfig {
+                threads: 4,
+                gas_limit: 21_000 * 5, // exactly five transfers
+                commit_path: path,
+                ..OccWsiConfig::default()
+            });
+            let proposal = p.propose(&pool, world, BlockHash::ZERO, 1);
+            assert_eq!(proposal.block.tx_count(), 5);
+            assert_eq!(proposal.block.header.gas_used, 21_000 * 5);
+            // The remaining transactions stay pending.
+            assert_eq!(pool.len(), 15);
+            assert_eq!(pool.in_flight(), 0);
+        }
+    }
+
+    /// A contract that stores to `slots` fresh storage slots: ~20k gas each,
+    /// for building transactions much heavier than a plain transfer.
+    fn gas_burner(slots: u64) -> Vec<u8> {
+        let mut a = Asm::new();
+        for slot in 0..slots {
+            a = a.push_u64(1).push_u64(slot).op(Op::SStore);
+        }
+        a.op(Op::Stop).build()
+    }
+
+    #[test]
+    fn oversized_transaction_does_not_strand_smaller_ones() {
+        // Regression for the gas-packing early stop: the highest-priority
+        // transaction overflows the block, but five cheap transfers still
+        // fit and must be packed before sealing.
+        let mut w = funded_world(10);
+        let burner = addr(200);
+        w.set_code(burner, gas_burner(6)); // ≥ 120k gas + intrinsic
+        let world = Arc::new(w);
         let pool = TxPool::new();
-        for i in 1..=20u64 {
-            pool.add(Transaction::transfer(addr(i), addr(99), U256::ONE, 0, 1));
+        pool.add(Transaction {
+            sender: addr(9),
+            to: Some(burner),
+            value: U256::ZERO,
+            nonce: 0,
+            gas_limit: 1_000_000,
+            gas_price: 1_000, // popped first
+            data: vec![],
+        });
+        for i in 1..=5u64 {
+            pool.add(Transaction::transfer(addr(i), addr(8), U256::ONE, 0, 1));
         }
         let p = OccWsiProposer::new(OccWsiConfig {
-            threads: 4,
-            gas_limit: 21_000 * 5, // exactly five transfers
+            threads: 2,
+            gas_limit: 21_000 * 5, // five transfers; the burner never fits
             ..OccWsiConfig::default()
         });
-        let proposal = p.propose(&pool, world, BlockHash::ZERO, 1);
-        assert_eq!(proposal.block.tx_count(), 5);
+        let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
+        assert_eq!(proposal.block.tx_count(), 5, "small transfers must pack");
         assert_eq!(proposal.block.header.gas_used, 21_000 * 5);
-        // The remaining transactions stay pending.
-        assert_eq!(pool.len(), 15);
+        assert!(proposal
+            .block
+            .transactions
+            .iter()
+            .all(|t| t.to == Some(addr(8))));
+        // The oversized transaction goes back to the pool intact.
+        assert_eq!(pool.len(), 1);
         assert_eq!(pool.in_flight(), 0);
+        let replay = serial_replay(&proposal.block, &world, &p.config.env);
+        assert_eq!(replay.state_root(), proposal.post_state.state_root());
     }
 
     #[test]
     fn max_txs_caps_the_block() {
-        let world = Arc::new(funded_world(30));
-        let pool = TxPool::new();
-        for i in 1..=20u64 {
-            pool.add(Transaction::transfer(addr(i), addr(99), U256::ONE, 0, 1));
+        for path in [CommitPath::TwoPhase, CommitPath::CoarseLock] {
+            let world = Arc::new(funded_world(30));
+            let pool = TxPool::new();
+            for i in 1..=20u64 {
+                pool.add(Transaction::transfer(addr(i), addr(99), U256::ONE, 0, 1));
+            }
+            let p = OccWsiProposer::new(OccWsiConfig {
+                threads: 2,
+                max_txs: 7,
+                commit_path: path,
+                ..OccWsiConfig::default()
+            });
+            let proposal = p.propose(&pool, world, BlockHash::ZERO, 1);
+            assert_eq!(proposal.block.tx_count(), 7);
         }
-        let p = OccWsiProposer::new(OccWsiConfig {
-            threads: 2,
-            max_txs: 7,
-            ..OccWsiConfig::default()
-        });
-        let proposal = p.propose(&pool, world, BlockHash::ZERO, 1);
-        assert_eq!(proposal.block.tx_count(), 7);
     }
 
     #[test]
@@ -550,36 +972,89 @@ mod tests {
     #[test]
     fn hotspot_block_is_serializable_with_many_threads() {
         // Heavy contention: all transactions hit one AMM pair.
-        let mut w = funded_world(32);
-        let amm = addr(200);
-        w.set_code(amm, contracts::amm_pair());
-        w.set_storage(
-            amm,
-            contracts::amm_reserve_slot(0),
-            U256::from(10_000_000u64),
-        );
-        w.set_storage(
-            amm,
-            contracts::amm_reserve_slot(1),
-            U256::from(10_000_000u64),
-        );
-        let world = Arc::new(w);
-        let pool = TxPool::new();
-        for i in 1..=16u64 {
-            pool.add(Transaction {
-                sender: addr(i),
-                to: Some(amm),
-                value: U256::ZERO,
-                nonce: 0,
-                gas_limit: 300_000,
-                gas_price: 1,
-                data: contracts::amm_swap_calldata((i % 2) as u8, U256::from(1000 + i)),
-            });
+        for path in [CommitPath::TwoPhase, CommitPath::CoarseLock] {
+            let mut w = funded_world(32);
+            let amm = addr(200);
+            w.set_code(amm, contracts::amm_pair());
+            w.set_storage(
+                amm,
+                contracts::amm_reserve_slot(0),
+                U256::from(10_000_000u64),
+            );
+            w.set_storage(
+                amm,
+                contracts::amm_reserve_slot(1),
+                U256::from(10_000_000u64),
+            );
+            let world = Arc::new(w);
+            let pool = TxPool::new();
+            for i in 1..=16u64 {
+                pool.add(Transaction {
+                    sender: addr(i),
+                    to: Some(amm),
+                    value: U256::ZERO,
+                    nonce: 0,
+                    gas_limit: 300_000,
+                    gas_price: 1,
+                    data: contracts::amm_swap_calldata((i % 2) as u8, U256::from(1000 + i)),
+                });
+            }
+            let p = proposer_on(path, 8);
+            let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
+            assert_eq!(proposal.block.tx_count(), 16);
+            let replay = serial_replay(&proposal.block, &world, &p.config.env);
+            assert_eq!(replay.state_root(), proposal.post_state.state_root());
         }
-        let p = proposer(8);
-        let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
-        assert_eq!(proposal.block.tx_count(), 16);
-        let replay = serial_replay(&proposal.block, &world, &p.config.env);
-        assert_eq!(replay.state_root(), proposal.post_state.state_root());
+    }
+
+    #[test]
+    fn two_phase_and_coarse_agree_on_the_state_root() {
+        // Same pool contents through both commit paths: each proposal must
+        // independently satisfy the serial-replay witness (schedules and
+        // block orders may differ).
+        let mut w = funded_world(24);
+        let c = addr(100);
+        w.set_code(c, contracts::counter());
+        let world = Arc::new(w);
+        for path in [CommitPath::TwoPhase, CommitPath::CoarseLock] {
+            let pool = TxPool::new();
+            for i in 1..=10u64 {
+                pool.add(Transaction::transfer(
+                    addr(i),
+                    addr(i + 10),
+                    U256::ONE,
+                    0,
+                    i,
+                ));
+                pool.add(Transaction {
+                    sender: addr(i),
+                    to: Some(c),
+                    value: U256::ZERO,
+                    nonce: 1,
+                    gas_limit: 200_000,
+                    gas_price: 1,
+                    data: vec![],
+                });
+            }
+            let p = proposer_on(path, 4);
+            let proposal = p.propose(&pool, Arc::clone(&world), BlockHash::ZERO, 1);
+            assert_eq!(proposal.block.tx_count(), 20);
+            let replay = serial_replay(&proposal.block, &world, &p.config.env);
+            assert_eq!(replay.state_root(), proposal.post_state.state_root());
+        }
+    }
+
+    #[test]
+    fn stats_record_wall_time() {
+        let world = Arc::new(funded_world(10));
+        let pool = TxPool::new();
+        for i in 1..=6u64 {
+            pool.add(Transaction::transfer(addr(i), addr(9), U256::ONE, 0, 1));
+        }
+        let p = proposer(2);
+        let proposal = p.propose(&pool, world, BlockHash::ZERO, 1);
+        assert!(proposal.stats.wall_micros > 0);
+        assert!(proposal.stats.committed_per_sec() > 0.0);
+        assert_eq!(proposal.stats.workers.len(), 2);
     }
 }

@@ -46,7 +46,13 @@ pub struct MvSnapshot<'a> {
 
 impl<'a> MvSnapshot<'a> {
     /// Snapshot of `mv` at `version`.
+    ///
+    /// Under the two-phase proposer commit, `version` may still be pending
+    /// publication; taking the snapshot waits on the multi-version state's
+    /// visibility gate so every subsequent read is serialized against a
+    /// fully published prefix. Without a gate this is free.
     pub fn new(mv: &'a MultiVersionState, version: u64) -> Self {
+        mv.wait_visible(version);
         MvSnapshot { mv, version }
     }
 

@@ -26,7 +26,8 @@ pub mod validator;
 
 pub use pipeline::{simulate_multiblock, MultiBlockSimResult};
 pub use proposer::{
-    simulate_proposer, simulate_proposer_with_rule, ProposerSimResult, ValidationRule,
+    simulate_proposer, simulate_proposer_configured, simulate_proposer_with_rule,
+    ProposerSimResult, ValidationRule,
 };
 pub use validator::{simulate_validator, ValidatorSimResult};
 
@@ -43,10 +44,25 @@ pub struct CostModel {
     /// Per-execution worker overhead (dequeue, snapshot setup, result
     /// hand-off).
     pub per_tx_dispatch: Gas,
-    /// Commit-section cost per committed transaction in the OCC-WSI
-    /// proposer (validation + reserve-table publication under the commit
-    /// lock — Algorithm 1's "synchronize with all worker threads").
+    /// Total commit-section cost per committed transaction in the OCC-WSI
+    /// proposer (validation, version allocation, multi-version + reserve
+    /// publication, block-body push). Under [`CommitPath::CoarseLock`] the
+    /// whole section serializes through one commit resource; under
+    /// [`CommitPath::TwoPhase`] only [`CostModel::commit_admit`] of it does,
+    /// and the remaining `commit_sync - commit_admit` (Phase B publication)
+    /// runs on the committing thread's own clock.
+    ///
+    /// [`CommitPath::CoarseLock`]: blockpilot_core::CommitPath::CoarseLock
+    /// [`CommitPath::TwoPhase`]: blockpilot_core::CommitPath::TwoPhase
     pub commit_sync: Gas,
+    /// The serialized Phase A slice of [`CostModel::commit_sync`]: WSI
+    /// read-set validation + gas admission + version allocation + reserve
+    /// intents under the commit-sequence lock. Also the cost a *failed*
+    /// validation occupies the commit resource for (aborts validate under
+    /// the lock on both paths). Calibrated from the real proposer's measured
+    /// admit-section share (see `proposer_baseline` in bp-bench and
+    /// DESIGN.md §7).
+    pub commit_admit: Gas,
     /// Proposer-side state-access contention, in **per-mille of execution
     /// gas per additional concurrent worker**: with `t` workers every
     /// execution costs `gas × (1000 + state_contention_permille × (t-1)) /
@@ -76,6 +92,7 @@ impl Default for CostModel {
         CostModel {
             per_tx_dispatch: 2_200,
             commit_sync: 2_000,
+            commit_admit: 300,
             state_contention_permille: 115,
             prepare_per_tx: 300,
             applier_per_tx: 1_600,

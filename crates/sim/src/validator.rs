@@ -81,6 +81,7 @@ mod tests {
         CostModel {
             per_tx_dispatch: 0,
             commit_sync: 0,
+            commit_admit: 0,
             state_contention_permille: 0,
             prepare_per_tx: 0,
             applier_per_tx: 0,
@@ -138,6 +139,7 @@ mod tests {
             per_tx_dispatch: 0,
             prepare_per_tx: 0,
             commit_sync: 0,
+            commit_admit: 0,
             state_contention_permille: 0,
             block_switch: 0,
             applier_switch: 0,

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use bp_concurrent::ShardedMap;
+use bp_concurrent::{ShardedMap, VersionGate};
 use bp_types::{AccessKey, Address, WriteSet, U256};
 
 use crate::world::WorldState;
@@ -23,6 +23,10 @@ pub struct MultiVersionState {
     versions: ShardedMap<AccessKey, Vec<(u64, U256)>>,
     // Code installed by in-block contract creations.
     code: ShardedMap<Address, Arc<Vec<u8>>>,
+    // Two-phase commit: versions may be allocated (Phase A) before their
+    // write sets are published (Phase B). Snapshot readers that land on a
+    // pending version wait on this gate instead of taking any global lock.
+    gate: Option<Arc<VersionGate>>,
 }
 
 impl MultiVersionState {
@@ -32,6 +36,26 @@ impl MultiVersionState {
             base,
             versions: ShardedMap::for_threads(threads),
             code: ShardedMap::for_threads(threads),
+            gate: None,
+        }
+    }
+
+    /// Like [`MultiVersionState::new`], but with a [`VersionGate`] tracking
+    /// which versions are still pending publication (the two-phase proposer
+    /// commit). Snapshots taken at a pending version block in
+    /// [`MultiVersionState::wait_visible`] until the version opens.
+    pub fn with_gate(base: Arc<WorldState>, threads: usize, gate: Arc<VersionGate>) -> Self {
+        let mut mv = Self::new(base, threads);
+        mv.gate = Some(gate);
+        mv
+    }
+
+    /// Blocks until every version `≤ version` is fully published. A no-op
+    /// without a gate (single-phase commit publishes before the version
+    /// becomes discoverable).
+    pub fn wait_visible(&self, version: u64) {
+        if let Some(gate) = &self.gate {
+            gate.wait_visible(version);
         }
     }
 
@@ -204,6 +228,39 @@ mod tests {
         assert_eq!(*mv.code(&addr(5)), vec![1, 2, 3]);
         let world = mv.materialize(0);
         assert_eq!(*world.code(&addr(5)), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn gated_snapshot_waits_for_pending_publication() {
+        use bp_concurrent::VersionGate;
+        use std::thread;
+
+        let gate = Arc::new(VersionGate::new());
+        let mut base = WorldState::new();
+        base.set_balance(addr(1), U256::from(100u64));
+        let mv = Arc::new(MultiVersionState::with_gate(
+            Arc::new(base),
+            2,
+            Arc::clone(&gate),
+        ));
+
+        // Version 1 is allocated (registered) but not yet published.
+        gate.register(1);
+        let reader = {
+            let mv = Arc::clone(&mv);
+            thread::spawn(move || {
+                mv.wait_visible(1);
+                mv.read_at(&bal(1), 1)
+            })
+        };
+        // Publish, then open: the reader must observe the committed value.
+        let mut w: WriteSet = Default::default();
+        w.insert(bal(1), U256::from(55u64));
+        mv.commit_writes(&w, 1);
+        gate.open(1);
+        assert_eq!(reader.join().unwrap(), (U256::from(55u64), 1));
+        // Ungated reads below the pending window never block.
+        mv.wait_visible(0);
     }
 
     #[test]

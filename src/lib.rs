@@ -22,7 +22,7 @@ pub use bp_types as types;
 pub use bp_workload as workload;
 
 pub use blockpilot_core::{
-    occ_wsi::{OccWsiConfig, OccWsiProposer},
+    occ_wsi::{CommitPath, OccWsiConfig, OccWsiProposer, ProposerStats},
     pipeline::{PipelineConfig, ValidatorPipeline},
     proposer::Proposer,
     scheduler::{ConflictGranularity, Schedule, Scheduler},
