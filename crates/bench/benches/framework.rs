@@ -92,6 +92,7 @@ fn bench_pipeline(c: &mut Criterion) {
             let pipeline = ValidatorPipeline::new(PipelineConfig {
                 workers,
                 granularity: ConflictGranularity::Account,
+                ..Default::default()
             });
             pipeline.register_state(parent, Arc::clone(&f.pre_state));
             b.iter(|| {

@@ -1,0 +1,117 @@
+//! Criterion benchmarks for the restructured validator pipeline: dispatch
+//! granularity (subgraph jobs vs static lanes), the applier pool on a
+//! same-height window, and the lock-free result slots.
+//!
+//! On a single-core runner these measure the *absolute cost* of each path —
+//! the speedup figures come from the `validator_baseline` virtual-time
+//! harness, where the schedule (not the wall clock) is what is measured.
+//!
+//! Run with `cargo bench -p bp-bench --bench validator_pipeline`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use blockpilot_core::{ConflictGranularity, DispatchPolicy, PipelineConfig, ValidatorPipeline};
+use bp_bench::generate_fixtures;
+use bp_concurrent::ResultSlots;
+use bp_types::BlockHash;
+use bp_workload::WorkloadConfig;
+
+fn fixture(seed_salt: u64) -> bp_bench::BlockFixture {
+    let base = WorkloadConfig::default();
+    let config = WorkloadConfig {
+        seed: base.seed ^ seed_salt,
+        txs_per_block: 60,
+        tx_jitter: 0,
+        accounts: 300,
+        ..WorkloadConfig::default()
+    };
+    generate_fixtures(config, 1).remove(0)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let f = fixture(0);
+    let parent = BlockHash::from_low_u64(1);
+    let block = f.seal(parent, 1);
+    let mut g = c.benchmark_group("validator_dispatch");
+    g.sample_size(10);
+    for dispatch in [DispatchPolicy::Subgraph, DispatchPolicy::StaticLanes] {
+        for workers in [1usize, 4] {
+            g.bench_function(format!("{dispatch:?}_60tx_{workers}w"), |b| {
+                let pipeline = ValidatorPipeline::new(PipelineConfig {
+                    workers,
+                    granularity: ConflictGranularity::Account,
+                    dispatch,
+                    appliers: 2,
+                });
+                pipeline.register_state(parent, Arc::clone(&f.pre_state));
+                b.iter(|| {
+                    let outcome = pipeline.validate_block(block.clone());
+                    assert!(outcome.is_valid());
+                    outcome
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_applier_pool(c: &mut Criterion) {
+    // Two same-height siblings on one genesis: with one applier their
+    // block-validation stages queue, with a pool they overlap.
+    let parent = BlockHash::from_low_u64(1);
+    let a = fixture(0x9E37_79B9);
+    let b_fixture = fixture(0x7F4A_7C15);
+    let blocks = [a.seal(parent, 1), b_fixture.seal(parent, 1)];
+    let mut g = c.benchmark_group("applier_pool");
+    g.sample_size(10);
+    for appliers in [1usize, 2] {
+        g.bench_function(format!("same_height_2blocks_{appliers}appliers"), |b| {
+            let pipeline = ValidatorPipeline::new(PipelineConfig {
+                workers: 4,
+                granularity: ConflictGranularity::Account,
+                dispatch: DispatchPolicy::Subgraph,
+                appliers,
+            });
+            pipeline.register_state(parent, Arc::clone(&a.pre_state));
+            b.iter(|| {
+                let handles: Vec<_> = blocks
+                    .iter()
+                    .map(|bl| pipeline.submit(bl.clone()))
+                    .collect();
+                for handle in handles {
+                    assert!(handle.wait().is_valid());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_result_slots(c: &mut Criterion) {
+    let mut g = c.benchmark_group("result_slots");
+    g.sample_size(30);
+    g.bench_function("publish_take_1024", |b| {
+        b.iter(|| {
+            let slots: ResultSlots<u64> = ResultSlots::new(1024);
+            for i in 0..1024 {
+                slots.publish(i, i as u64);
+            }
+            let mut sum = 0u64;
+            for i in 0..1024 {
+                sum += slots.take(i).unwrap();
+            }
+            sum
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch,
+    bench_applier_pool,
+    bench_result_slots
+);
+criterion_main!(benches);

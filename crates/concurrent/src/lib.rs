@@ -8,16 +8,19 @@
 //! small `parking_lot::RwLock`ed maps. [`ReserveTable`] builds the versioned
 //! write-reservation semantics of Algorithm 1 on top of it, and
 //! [`VersionAllocator`] hands out the monotonically increasing commit
-//! versions.
+//! versions. [`ResultSlots`] gives the validator pipeline a lock-free,
+//! single-writer result array for the transaction-execution phase.
 
 #![warn(missing_docs)]
 
 pub mod latch;
 pub mod reserve;
 pub mod sharded;
+pub mod slots;
 pub mod version;
 
 pub use latch::{CountdownLatch, VersionGate};
 pub use reserve::ReserveTable;
 pub use sharded::ShardedMap;
+pub use slots::ResultSlots;
 pub use version::VersionAllocator;

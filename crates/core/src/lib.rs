@@ -22,8 +22,8 @@ pub mod validator;
 
 pub use occ_wsi::{CommitPath, OccWsiConfig, OccWsiProposer, Proposal, ProposerStats, WorkerStats};
 pub use pipeline::{
-    PipelineConfig, StageTimings, ValidationError, ValidationHandle, ValidationOutcome,
-    ValidatorPipeline,
+    DispatchPolicy, PipelineConfig, StageTimings, ValidationError, ValidationHandle,
+    ValidationOutcome, ValidatorPipeline,
 };
 pub use proposer::Proposer;
 pub use scheduler::{AssignPolicy, ConflictGranularity, Schedule, Scheduler, Subgraph};

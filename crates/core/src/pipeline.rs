@@ -1,33 +1,61 @@
 //! The validator pipeline (§4.3): preparation → transaction execution →
 //! block validation → block commitment.
 //!
-//! * **Preparation** — the scheduler splits the block into conflict-free
-//!   lanes from its profile (dependency subgraphs, gas-LPT assignment).
-//! * **Transaction execution** — a shared *worker pool* executes lanes from
+//! * **Preparation** — cheap header commitments (`tx_root`, profile length)
+//!   are checked first so malformed blocks are rejected before a single
+//!   transaction executes; the scheduler then splits the block into
+//!   dependency subgraphs from its profile.
+//! * **Transaction execution** — a shared *worker pool* executes jobs from
 //!   *any* in-flight block: two blocks at the same height overlap fully,
-//!   exactly as in the paper's Figure 5.
-//! * **Block validation** — the *applier* gathers lane results, checks every
-//!   transaction's read/write sets against the block profile (Algorithm 2),
-//!   applies writes in block order, credits aggregated fees, and compares
-//!   the resulting MPT root with the proposed header.
+//!   exactly as in the paper's Figure 5. Under the default
+//!   [`DispatchPolicy::Subgraph`] every dependency subgraph is its own pool
+//!   job (enqueued heaviest-first), so the pool load-balances dynamically
+//!   across subgraphs and blocks; [`DispatchPolicy::StaticLanes`] keeps the
+//!   old gas-LPT pre-packing as the A/B baseline. Each result is published
+//!   into a lock-free single-writer slot ([`ResultSlots`]) — no mutex on the
+//!   per-transaction result path. Footprint verification (Algorithm 2) is
+//!   *overlapped*: each worker checks its transaction against the block
+//!   profile right after executing it, and the first mismatch trips a
+//!   per-block cancellation flag so the block's remaining jobs stop early.
+//! * **Block validation** — an *applier pool* drains the result slots in
+//!   block order, applies writes, credits aggregated fees, and compares the
+//!   resulting MPT root with the proposed header. Independent blocks (same
+//!   height, or different forks) validate on different applier threads
+//!   concurrently.
 //! * **Block commitment** — a validated block's post-state is indexed by its
 //!   hash; blocks at the next height that were parked waiting for this
 //!   parent are released, which is precisely the paper's rule that a block
 //!   may not enter validation before its predecessor has cleared it.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use bp_block::{receipts_root, tx_root, Block, BlockProfile};
+use bp_block::{receipts_root, tx_root, Block};
+use bp_concurrent::ResultSlots;
 use bp_evm::{execute_transaction, BlockEnv, Receipt, StateView, Transaction, TxError};
 use bp_state::WorldState;
-use bp_types::{AccessKey, Address, BlockHash, Gas, RwSet, U256};
+use bp_types::{AccessKey, Address, BlockHash, Gas, U256};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::scheduler::{ConflictGranularity, Scheduler};
+
+/// How prepared blocks are handed to the worker pool (kept switchable for
+/// A/B benchmarking; see `validator_baseline` in `bp-bench`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Every dependency subgraph is its own pool job, enqueued
+    /// heaviest-first: the pool load-balances dynamically across subgraphs
+    /// and in-flight blocks.
+    #[default]
+    Subgraph,
+    /// Subgraphs are pre-packed into `workers` gas-LPT lanes at preparation
+    /// and each lane is one job. Kept as the baseline: a straggler lane
+    /// cannot be rebalanced once packed.
+    StaticLanes,
+}
 
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
@@ -36,6 +64,11 @@ pub struct PipelineConfig {
     pub workers: usize,
     /// Conflict granularity for the preparation phase.
     pub granularity: ConflictGranularity,
+    /// Execution-job granularity (subgraph-dynamic vs static lanes).
+    pub dispatch: DispatchPolicy,
+    /// Applier-pool size: how many blocks can be in block validation
+    /// simultaneously.
+    pub appliers: usize,
 }
 
 impl Default for PipelineConfig {
@@ -43,6 +76,8 @@ impl Default for PipelineConfig {
         PipelineConfig {
             workers: 4,
             granularity: ConflictGranularity::Account,
+            dispatch: DispatchPolicy::Subgraph,
+            appliers: 2,
         }
     }
 }
@@ -100,9 +135,11 @@ impl std::error::Error for ValidationError {}
 /// Wall-clock spent in each pipeline stage for one block.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StageTimings {
-    /// Preparation (scheduling).
+    /// Preparation (header checks + scheduling).
     pub prepare: Duration,
-    /// Transaction execution (first lane start → last lane end).
+    /// Channel queueing: job enqueue → first job start.
+    pub queue_wait: Duration,
+    /// Transaction execution (first job start → last job end).
     pub execute: Duration,
     /// Block validation (applier).
     pub validate: Duration,
@@ -123,6 +160,13 @@ pub struct ValidationOutcome {
     pub receipts: Vec<Receipt>,
     /// Per-stage timings.
     pub timings: StageTimings,
+    /// How many transactions actually executed (header-check rejections
+    /// execute zero; early-aborted blocks execute fewer than the block
+    /// carries).
+    pub executed_txs: usize,
+    /// True iff the per-block cancellation flag tripped and remaining
+    /// execution jobs were cut short.
+    pub aborted_early: bool,
 }
 
 impl ValidationOutcome {
@@ -149,26 +193,67 @@ impl ValidationHandle {
 // ---------------------------------------------------------------------------
 
 struct TxOutcome {
-    rw: RwSet,
+    rw: bp_types::RwSet,
     receipt: Receipt,
     deployed: Vec<(Address, Arc<Vec<u8>>)>,
-    error: Option<usize>, // index, when replay rejected the tx
 }
+
+/// Abort-record encoding: `(index << 1) | kind`, taken with `fetch_min` so
+/// concurrent detections resolve to the lowest offending index (kind breaks
+/// ties at equal index in favour of `TxRejected`, matching the serial
+/// applier's old check order).
+const ABORT_NONE: u64 = u64::MAX;
+const ABORT_KIND_REJECTED: u64 = 0;
+const ABORT_KIND_PROFILE: u64 = 1;
 
 struct BlockTask {
     block: Arc<Block>,
     base: Arc<WorldState>,
     env: BlockEnv,
-    results: Mutex<Vec<Option<TxOutcome>>>,
-    remaining_lanes: AtomicUsize,
+    /// Set when a preparation-phase header check failed: the block skipped
+    /// execution entirely and the applier reports this error.
+    header_error: Option<ValidationError>,
+    results: ResultSlots<TxOutcome>,
+    remaining_jobs: AtomicUsize,
+    /// Trips on the first footprint mismatch / replay rejection; remaining
+    /// jobs of this block stop instead of executing to completion.
+    cancelled: AtomicBool,
+    abort: AtomicU64,
+    executed: AtomicUsize,
     verdict: Sender<ValidationOutcome>,
     prepare: Duration,
-    exec_start: Instant,
+    submitted: Instant,
+    exec_start: OnceLock<Instant>,
 }
 
-struct LaneJob {
+impl BlockTask {
+    fn record_abort(&self, index: usize, kind: u64) {
+        self.abort
+            .fetch_min(((index as u64) << 1) | kind, Ordering::AcqRel);
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    fn abort_error(&self) -> Option<ValidationError> {
+        match self.abort.load(Ordering::Acquire) {
+            ABORT_NONE => None,
+            rec => {
+                let index = (rec >> 1) as usize;
+                Some(if rec & 1 == ABORT_KIND_PROFILE {
+                    ValidationError::ProfileMismatch { index }
+                } else {
+                    ValidationError::TxRejected { index }
+                })
+            }
+        }
+    }
+}
+
+struct ExecJob {
     task: Arc<BlockTask>,
-    lane: Vec<usize>,
+    /// Transaction indices, ascending (block order): one subgraph under
+    /// [`DispatchPolicy::Subgraph`], one packed lane under
+    /// [`DispatchPolicy::StaticLanes`].
+    txs: Vec<usize>,
 }
 
 enum ApplierMsg {
@@ -183,11 +268,12 @@ struct StateIndex {
 }
 
 /// Everything needed to push a prepared block into the worker pool. Shared
-/// by the public API and the applier (which releases parked children).
+/// by the public API and the appliers (which release parked children).
 struct Starter {
     scheduler: Scheduler,
     workers: usize,
-    lane_tx: Sender<LaneJob>,
+    dispatch: DispatchPolicy,
+    job_tx: Sender<ExecJob>,
     applier_tx: Sender<ApplierMsg>,
     index: Arc<Mutex<StateIndex>>,
 }
@@ -197,14 +283,15 @@ pub struct ValidatorPipeline {
     config: PipelineConfig,
     starter: Arc<Starter>,
     workers: Vec<std::thread::JoinHandle<()>>,
-    applier: Option<std::thread::JoinHandle<()>>,
+    appliers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ValidatorPipeline {
-    /// Spawns the worker pool and applier.
+    /// Spawns the worker and applier pools.
     pub fn new(config: PipelineConfig) -> Self {
         assert!(config.workers > 0);
-        let (lane_tx, lane_rx) = unbounded::<LaneJob>();
+        assert!(config.appliers > 0);
+        let (job_tx, job_rx) = unbounded::<ExecJob>();
         let (applier_tx, applier_rx) = unbounded::<ApplierMsg>();
         let index = Arc::new(Mutex::new(StateIndex {
             states: HashMap::new(),
@@ -214,46 +301,54 @@ impl ValidatorPipeline {
         let starter = Arc::new(Starter {
             scheduler: Scheduler::new(config.granularity),
             workers: config.workers,
-            lane_tx,
+            dispatch: config.dispatch,
+            job_tx,
             applier_tx,
             index,
         });
 
         let mut workers = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
-            let lane_rx: Receiver<LaneJob> = lane_rx.clone();
+            let job_rx: Receiver<ExecJob> = job_rx.clone();
             let applier_tx = starter.applier_tx.clone();
             workers.push(std::thread::spawn(move || {
-                while let Ok(job) = lane_rx.recv() {
-                    run_lane(&job);
-                    if job.task.remaining_lanes.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        let exec = job.task.exec_start.elapsed();
+                while let Ok(job) = job_rx.recv() {
+                    run_job(&job);
+                    if job.task.remaining_jobs.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let exec = job
+                            .task
+                            .exec_start
+                            .get()
+                            .map(|s| s.elapsed())
+                            .unwrap_or_default();
                         let _ = applier_tx.send(ApplierMsg::BlockDone(job.task, exec));
                     }
                 }
             }));
         }
 
-        let applier = {
+        let mut appliers = Vec::with_capacity(config.appliers);
+        for _ in 0..config.appliers {
             let starter = Arc::clone(&starter);
-            std::thread::spawn(move || {
+            let applier_rx = applier_rx.clone();
+            appliers.push(std::thread::spawn(move || {
                 while let Ok(msg) = applier_rx.recv() {
                     match msg {
                         ApplierMsg::BlockDone(task, exec) => apply_block(task, exec, &starter),
                         ApplierMsg::Shutdown => break,
                     }
                 }
-                // Dropping `starter` here closes the lane channel (the
+                // Dropping `starter` here closes the job channel (the
                 // public handle replaced its copy at shutdown), which ends
-                // the worker loops.
-            })
-        };
+                // the worker loops once every applier has exited.
+            }));
+        }
 
         ValidatorPipeline {
             config,
             starter,
             workers,
-            applier: Some(applier),
+            appliers,
         }
     }
 
@@ -296,14 +391,11 @@ impl ValidatorPipeline {
             Some(false) => self.starter.start_block(block, tx),
             Some(true) => {}
             None => {
-                let _ = tx.send(ValidationOutcome {
-                    block_hash: block.hash(),
-                    height: block.height(),
-                    result: Err(ValidationError::ParentInvalid),
-                    post_state: None,
-                    receipts: vec![],
-                    timings: StageTimings::default(),
-                });
+                let _ = tx.send(rejection_outcome(
+                    block.hash(),
+                    block.height(),
+                    ValidationError::ParentInvalid,
+                ));
             }
         }
         ValidationHandle { rx }
@@ -325,32 +417,40 @@ impl ValidatorPipeline {
         self.config.workers
     }
 
+    /// The configured applier-pool size.
+    pub fn appliers(&self) -> usize {
+        self.config.appliers
+    }
+
     /// Shuts the pipeline down, joining all threads.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        if self.applier.is_none() {
+        if self.appliers.is_empty() {
             return; // already shut down
         }
-        // Ask the applier to stop, then drop this handle's channel senders
-        // by swapping in a dead Starter. The applier's own Arc<Starter> (and
-        // with it the last lane sender) dies when its thread exits, which in
-        // turn ends the worker loops.
+        // Ask every applier to stop, then drop this handle's channel senders
+        // by swapping in a dead Starter. Each applier's own Arc<Starter>
+        // (and with it the last job sender) dies when its thread exits,
+        // which in turn ends the worker loops.
         let applier_tx = self.starter.applier_tx.clone();
-        let (dead_lane, _) = unbounded();
+        let (dead_job, _) = unbounded();
         let (dead_applier, _) = unbounded();
         self.starter = Arc::new(Starter {
             scheduler: self.starter.scheduler,
             workers: self.starter.workers,
-            lane_tx: dead_lane,
+            dispatch: self.starter.dispatch,
+            job_tx: dead_job,
             applier_tx: dead_applier,
             index: Arc::clone(&self.starter.index),
         });
-        let _ = applier_tx.send(ApplierMsg::Shutdown);
+        for _ in 0..self.appliers.len() {
+            let _ = applier_tx.send(ApplierMsg::Shutdown);
+        }
         drop(applier_tx);
-        if let Some(a) = self.applier.take() {
+        for a in self.appliers.drain(..) {
             let _ = a.join();
         }
         for w in self.workers.drain(..) {
@@ -365,21 +465,38 @@ impl Drop for ValidatorPipeline {
     }
 }
 
+fn rejection_outcome(
+    block_hash: BlockHash,
+    height: u64,
+    error: ValidationError,
+) -> ValidationOutcome {
+    ValidationOutcome {
+        block_hash,
+        height,
+        result: Err(error),
+        post_state: None,
+        receipts: vec![],
+        timings: StageTimings::default(),
+        executed_txs: 0,
+        aborted_early: false,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Transaction-execution phase
 // ---------------------------------------------------------------------------
 
-/// A lane's view: the pre-block world plus the writes of the lane's already
-/// executed transactions. Lanes are conflict-free against each other, so no
-/// other lane's writes can be observed by these transactions in a serial
-/// replay either.
-struct LaneView<'a> {
+/// A job's view: the pre-block world plus the writes of the job's already
+/// executed transactions. Jobs (subgraphs or lanes) are conflict-free
+/// against each other, so no other job's writes can be observed by these
+/// transactions in a serial replay either.
+struct JobView<'a> {
     base: &'a WorldState,
     overlay: HashMap<AccessKey, U256>,
     code_overlay: HashMap<Address, Arc<Vec<u8>>>,
 }
 
-impl StateView for LaneView<'_> {
+impl StateView for JobView<'_> {
     fn read_key(&self, key: &AccessKey) -> (U256, u64) {
         match self.overlay.get(key) {
             Some(v) => (*v, 0),
@@ -395,56 +512,67 @@ impl StateView for LaneView<'_> {
     }
 }
 
-fn run_lane(job: &LaneJob) {
+fn run_job(job: &ExecJob) {
     let task = &job.task;
-    let mut view = LaneView {
+    task.exec_start.get_or_init(Instant::now);
+    let mut view = JobView {
         base: &task.base,
         overlay: HashMap::new(),
         code_overlay: HashMap::new(),
     };
-    for &i in &job.lane {
+    for &i in &job.txs {
+        // Early abort: a sibling job (or an earlier transaction of this
+        // one) found a mismatch — this block can never validate, stop
+        // burning workers on it.
+        if task.cancelled.load(Ordering::Acquire) {
+            return;
+        }
         let tx: &Transaction = &task.block.transactions[i];
-        let outcome = match execute_transaction(&view, &task.env, tx) {
+        match execute_transaction(&view, &task.env, tx) {
             Ok(result) => {
+                task.executed.fetch_add(1, Ordering::Relaxed);
+                // Overlapped verification (Algorithm 2, moved out of the
+                // applier): check the replayed footprint against the block
+                // profile right here, while sibling jobs still execute.
+                if !task.block.profile.matches(i, &result.rw) {
+                    task.record_abort(i, ABORT_KIND_PROFILE);
+                    return;
+                }
                 for (key, value) in &result.rw.writes {
                     view.overlay.insert(*key, *value);
                 }
                 for (addr, code) in &result.deployed {
                     view.code_overlay.insert(*addr, Arc::clone(code));
                 }
-                TxOutcome {
-                    rw: result.rw,
-                    deployed: result.deployed.into_iter().collect(),
-                    receipt: result.receipt,
-                    error: None,
-                }
+                // Lock-free publication: this job is the slot's only writer.
+                task.results.publish(
+                    i,
+                    TxOutcome {
+                        rw: result.rw,
+                        deployed: result.deployed.into_iter().collect(),
+                        receipt: result.receipt,
+                    },
+                );
             }
             Err(TxError::BadNonce { .. })
             | Err(TxError::InsufficientFunds)
-            | Err(TxError::IntrinsicGas) => TxOutcome {
-                rw: RwSet::new(),
-                receipt: Receipt {
-                    success: false,
-                    gas_used: 0,
-                    output: vec![],
-                    logs: vec![],
-                    fee: U256::ZERO,
-                    created: None,
-                },
-                deployed: vec![],
-                error: Some(i),
-            },
-        };
-        task.results.lock()[i] = Some(outcome);
+            | Err(TxError::IntrinsicGas) => {
+                task.executed.fetch_add(1, Ordering::Relaxed);
+                task.record_abort(i, ABORT_KIND_REJECTED);
+                return;
+            }
+        }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Block-validation + commitment phases (the applier)
+// Block-validation + commitment phases (the applier pool)
 // ---------------------------------------------------------------------------
 
 impl Starter {
-    /// Preparation phase for a block whose parent state is available.
+    /// Preparation phase for a block whose parent state is available:
+    /// header checks first (a malformed block is rejected before any
+    /// transaction executes), then scheduling and job dispatch.
     fn start_block(&self, block: Block, verdict: Sender<ValidationOutcome>) {
         let base = {
             let idx = self.index.lock();
@@ -461,47 +589,70 @@ impl Starter {
             gas_limit: block.header.gas_limit,
         };
         let t0 = Instant::now();
-        // A malformed profile (wrong length) cannot drive scheduling; fall
-        // back to one serial lane over the real transaction list — the
-        // applier will reject the block with a precise error.
-        let lanes: Vec<Vec<usize>> = if block.profile.len() == block.transactions.len() {
-            let schedule = self.scheduler.schedule(&block.profile, self.workers);
-            schedule
-                .lanes
-                .into_iter()
-                .filter(|l| !l.is_empty())
-                .collect()
+        // Cheap header commitments, checked before execution (fail fast):
+        // a tampered transaction list or a profile of the wrong length can
+        // never validate, so don't spend a single worker slot on it.
+        let header_error = if block.header.tx_root != tx_root(&block.transactions) {
+            Some(ValidationError::TxRootMismatch)
+        } else if block.profile.len() != block.transactions.len() {
+            Some(ValidationError::ProfileMismatch {
+                index: block.profile.len().min(block.transactions.len()),
+            })
         } else {
-            let all: Vec<usize> = (0..block.transactions.len()).collect();
-            if all.is_empty() {
-                Vec::new()
-            } else {
-                vec![all]
+            None
+        };
+        let jobs: Vec<Vec<usize>> = if header_error.is_some() {
+            Vec::new()
+        } else {
+            match self.dispatch {
+                // Heaviest subgraph first: the pool drains big components
+                // early, so stragglers don't trail the block's completion.
+                DispatchPolicy::Subgraph => self
+                    .scheduler
+                    .subgraphs(&block.profile)
+                    .into_iter()
+                    .map(|sg| sg.txs)
+                    .collect(),
+                DispatchPolicy::StaticLanes => self
+                    .scheduler
+                    .schedule(&block.profile, self.workers)
+                    .lanes
+                    .into_iter()
+                    .filter(|l| !l.is_empty())
+                    .collect(),
             }
         };
         let prepare = t0.elapsed();
         let n = block.transactions.len();
+        let rejected = header_error.is_some();
         let task = Arc::new(BlockTask {
             block: Arc::new(block),
             base,
             env,
-            results: Mutex::new((0..n).map(|_| None).collect()),
-            remaining_lanes: AtomicUsize::new(lanes.len()),
+            header_error,
+            results: ResultSlots::new(n),
+            remaining_jobs: AtomicUsize::new(jobs.len()),
+            cancelled: AtomicBool::new(false),
+            abort: AtomicU64::new(ABORT_NONE),
+            executed: AtomicUsize::new(0),
             verdict,
             prepare,
-            exec_start: Instant::now(),
+            submitted: Instant::now(),
+            exec_start: OnceLock::new(),
         });
-        if lanes.is_empty() {
-            // Empty block: straight to the applier.
+        if rejected || jobs.is_empty() {
+            // Header rejections and empty blocks go straight to the applier
+            // pool so the commitment bookkeeping (invalid-set insert,
+            // parked-children release) stays in one place.
             let _ = self
                 .applier_tx
                 .send(ApplierMsg::BlockDone(task, Duration::ZERO));
             return;
         }
-        for lane in lanes {
-            let _ = self.lane_tx.send(LaneJob {
+        for txs in jobs {
+            let _ = self.job_tx.send(ExecJob {
                 task: Arc::clone(&task),
-                lane,
+                txs,
             });
         }
     }
@@ -514,8 +665,14 @@ fn apply_block(task: Arc<BlockTask>, exec: Duration, starter: &Starter) {
     let result = validate_and_apply(&task);
     let validate = t0.elapsed();
 
+    let queue_wait = task
+        .exec_start
+        .get()
+        .map(|s| s.duration_since(task.submitted))
+        .unwrap_or_default();
     let timings = StageTimings {
         prepare: task.prepare,
+        queue_wait,
         execute: exec,
         validate,
     };
@@ -542,14 +699,11 @@ fn apply_block(task: Arc<BlockTask>, exec: Duration, starter: &Starter) {
         if post_state.is_some() {
             starter.start_block(child, child_verdict);
         } else {
-            let _ = child_verdict.send(ValidationOutcome {
-                block_hash: child.hash(),
-                height: child.height(),
-                result: Err(ValidationError::ParentInvalid),
-                post_state: None,
-                receipts: vec![],
-                timings: StageTimings::default(),
-            });
+            let _ = child_verdict.send(rejection_outcome(
+                child.hash(),
+                child.height(),
+                ValidationError::ParentInvalid,
+            ));
         }
     }
 
@@ -560,45 +714,41 @@ fn apply_block(task: Arc<BlockTask>, exec: Duration, starter: &Starter) {
         post_state,
         receipts,
         timings,
+        executed_txs: task.executed.load(Ordering::Relaxed),
+        aborted_early: task.cancelled.load(Ordering::Relaxed),
     });
 }
 
-/// Algorithm 2: verify every transaction's read/write sets against the block
-/// profile, apply changes in block order, and check the block-level
-/// commitments.
+/// Block validation: drain the execution results in block order, apply
+/// writes, and check the block-level commitments. Per-transaction footprint
+/// checks (Algorithm 2) already ran inside the workers; a recorded abort
+/// short-circuits here.
 fn validate_and_apply(task: &BlockTask) -> Result<(WorldState, Vec<Receipt>), ValidationError> {
     let block = &task.block;
-    let profile: &BlockProfile = &block.profile;
-    if block.header.tx_root != tx_root(&block.transactions) {
-        return Err(ValidationError::TxRootMismatch);
+    if let Some(err) = &task.header_error {
+        return Err(err.clone());
     }
-    if profile.len() != block.transactions.len() {
-        return Err(ValidationError::ProfileMismatch {
-            index: profile.len().min(block.transactions.len()),
-        });
+    if let Some(err) = task.abort_error() {
+        return Err(err);
     }
-    let results = task.results.lock();
     // Copy-on-write snapshot of the parent state: O(accounts) pointer bumps
     // instead of a deep copy of the whole world per block.
     let mut world = task.base.snapshot();
     let mut gas_total: Gas = 0;
     let mut fees = U256::ZERO;
     let mut receipts = Vec::with_capacity(block.transactions.len());
-    for (i, slot) in results.iter().enumerate() {
-        let outcome = slot.as_ref().expect("all lanes completed");
-        if outcome.error.is_some() {
-            return Err(ValidationError::TxRejected { index: i });
-        }
-        if !profile.matches(i, &outcome.rw) {
-            return Err(ValidationError::ProfileMismatch { index: i });
-        }
+    for i in 0..block.transactions.len() {
+        let outcome = task
+            .results
+            .take(i)
+            .expect("uncancelled block executed every transaction");
         world.apply_writes(&outcome.rw.writes);
         for (addr, code) in &outcome.deployed {
             world.set_code(*addr, (**code).clone());
         }
         gas_total += outcome.receipt.gas_used;
         fees += outcome.receipt.fee;
-        receipts.push(outcome.receipt.clone());
+        receipts.push(outcome.receipt);
     }
     if gas_total != block.header.gas_used {
         return Err(ValidationError::GasMismatch {
@@ -674,6 +824,7 @@ mod tests {
         let pipeline = ValidatorPipeline::new(PipelineConfig {
             workers,
             granularity: ConflictGranularity::Account,
+            ..PipelineConfig::default()
         });
         let genesis = BlockHash::from_low_u64(1);
         pipeline.register_state(genesis, Arc::clone(world));
@@ -692,6 +843,44 @@ mod tests {
             proposal.post_state.state_root()
         );
         assert_eq!(outcome.receipts.len(), proposal.block.tx_count());
+        assert_eq!(outcome.executed_txs, proposal.block.tx_count());
+        assert!(!outcome.aborted_early);
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn validates_honest_block_on_static_lanes() {
+        let world = Arc::new(funded_world(10));
+        let pipeline = ValidatorPipeline::new(PipelineConfig {
+            workers: 4,
+            dispatch: DispatchPolicy::StaticLanes,
+            ..PipelineConfig::default()
+        });
+        let genesis = BlockHash::from_low_u64(1);
+        pipeline.register_state(genesis, Arc::clone(&world));
+        let proposal = propose_transfers(&world, genesis, 1, 1..9, 0);
+        let outcome = pipeline.validate_block(proposal.block.clone());
+        assert!(outcome.is_valid(), "{:?}", outcome.result);
+        assert_eq!(
+            outcome.post_state.unwrap().state_root(),
+            proposal.post_state.state_root()
+        );
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn validates_honest_block_on_single_applier() {
+        let world = Arc::new(funded_world(10));
+        let pipeline = ValidatorPipeline::new(PipelineConfig {
+            workers: 2,
+            appliers: 1,
+            ..PipelineConfig::default()
+        });
+        let genesis = BlockHash::from_low_u64(1);
+        pipeline.register_state(genesis, Arc::clone(&world));
+        let proposal = propose_transfers(&world, genesis, 1, 1..9, 0);
+        let outcome = pipeline.validate_block(proposal.block);
+        assert!(outcome.is_valid(), "{:?}", outcome.result);
         pipeline.shutdown();
     }
 
@@ -720,17 +909,36 @@ mod tests {
             outcome.result,
             Err(ValidationError::ProfileMismatch { index: 0 })
         );
+        assert!(outcome.aborted_early);
         pipeline.shutdown();
     }
 
     #[test]
-    fn rejects_tampered_tx_list() {
+    fn rejects_tampered_tx_list_without_executing() {
         let world = Arc::new(funded_world(10));
         let (pipeline, genesis) = pipeline_with_genesis(2, &world);
         let mut proposal = propose_transfers(&world, genesis, 1, 1..5, 0);
         proposal.block.transactions.swap(0, 1);
         let outcome = pipeline.validate_block(proposal.block);
         assert_eq!(outcome.result, Err(ValidationError::TxRootMismatch));
+        // Fail fast: the header check runs at preparation, so not a single
+        // transaction of the doomed block reaches a worker.
+        assert_eq!(outcome.executed_txs, 0);
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn rejects_truncated_profile_without_executing() {
+        let world = Arc::new(funded_world(10));
+        let (pipeline, genesis) = pipeline_with_genesis(2, &world);
+        let mut proposal = propose_transfers(&world, genesis, 1, 1..5, 0);
+        proposal.block.profile.entries.pop();
+        let outcome = pipeline.validate_block(proposal.block);
+        assert!(matches!(
+            outcome.result,
+            Err(ValidationError::ProfileMismatch { .. })
+        ));
+        assert_eq!(outcome.executed_txs, 0);
         pipeline.shutdown();
     }
 
@@ -745,6 +953,39 @@ mod tests {
             outcome.result,
             Err(ValidationError::GasMismatch { .. })
         ));
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn early_abort_stops_remaining_subgraph_jobs() {
+        // One worker drains the subgraph jobs sequentially; tampering the
+        // first-dispatched subgraph's transaction must cancel the rest of
+        // the block before it executes.
+        let world = Arc::new(funded_world(10));
+        let pipeline = ValidatorPipeline::new(PipelineConfig {
+            workers: 1,
+            ..PipelineConfig::default()
+        });
+        let genesis = BlockHash::from_low_u64(1);
+        pipeline.register_state(genesis, Arc::clone(&world));
+        let mut proposal = propose_transfers(&world, genesis, 1, 1..9, 0);
+        let n = proposal.block.tx_count();
+        // Equal-gas singleton subgraphs dispatch ascending by first member,
+        // so tx 0 executes first on the single worker.
+        let entry = &mut proposal.block.profile.entries[0];
+        let key = *entry.writes.keys().next().unwrap();
+        entry.writes.insert(key, U256::from(0xBAD_u64));
+        let outcome = pipeline.validate_block(proposal.block);
+        assert_eq!(
+            outcome.result,
+            Err(ValidationError::ProfileMismatch { index: 0 })
+        );
+        assert!(outcome.aborted_early);
+        assert!(
+            outcome.executed_txs < n,
+            "abort should cut execution short: executed {} of {n}",
+            outcome.executed_txs
+        );
         pipeline.shutdown();
     }
 
@@ -822,6 +1063,7 @@ mod tests {
         assert_eq!(proposal.block.tx_count(), 0);
         let outcome = pipeline.validate_block(proposal.block);
         assert!(outcome.is_valid(), "{:?}", outcome.result);
+        assert_eq!(outcome.executed_txs, 0);
         pipeline.shutdown();
     }
 

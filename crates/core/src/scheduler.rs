@@ -149,34 +149,82 @@ impl Scheduler {
     }
 
     /// Builds the dependency subgraphs and packs them into `lanes` lanes.
+    ///
+    /// Schedules directly off the profile's borrowed key maps — no
+    /// per-transaction [`RwSet`] clones.
     pub fn schedule(&self, profile: &BlockProfile, lanes: usize) -> Schedule {
-        let footprints: Vec<RwSet> = profile.entries.iter().map(|e| e.rw()).collect();
         let gas: Vec<Gas> = profile.entries.iter().map(|e| e.gas_used).collect();
-        self.schedule_footprints(&footprints, &gas, lanes)
+        let subgraphs = self.subgraphs_with_gas(profile, &gas);
+        self.pack(subgraphs, &gas, lanes)
+    }
+
+    /// Builds the policy-ordered dependency subgraphs of a block without
+    /// packing them into lanes — the unit of work for subgraph-granular
+    /// dispatch, where every component becomes its own pool job.
+    pub fn subgraphs(&self, profile: &BlockProfile) -> Vec<Subgraph> {
+        let gas: Vec<Gas> = profile.entries.iter().map(|e| e.gas_used).collect();
+        self.subgraphs_with_gas(profile, &gas)
+    }
+
+    fn subgraphs_with_gas(&self, profile: &BlockProfile, gas: &[Gas]) -> Vec<Subgraph> {
+        let key_count: usize = profile
+            .entries
+            .iter()
+            .map(|e| e.reads.len() + e.writes.len())
+            .sum();
+        self.components(profile.entries.len(), gas, key_count, |i, visit| {
+            let entry = &profile.entries[i];
+            for key in entry.reads.keys() {
+                visit(key, false);
+            }
+            for key in entry.writes.keys() {
+                visit(key, true);
+            }
+        })
     }
 
     /// Like [`Scheduler::schedule`] but from raw footprints (used when no
     /// profile is available and the validator collected its own traces).
     pub fn schedule_footprints(&self, footprints: &[RwSet], gas: &[Gas], lanes: usize) -> Schedule {
-        assert!(lanes > 0, "need at least one lane");
         assert_eq!(footprints.len(), gas.len());
-        let n = footprints.len();
+        let key_count: usize = footprints
+            .iter()
+            .map(|rw| rw.reads.len() + rw.writes.len())
+            .sum();
+        let subgraphs = self.components(footprints.len(), gas, key_count, |i, visit| {
+            for key in footprints[i].reads.keys() {
+                visit(key, false);
+            }
+            for key in footprints[i].writes.keys() {
+                visit(key, true);
+            }
+        });
+        self.pack(subgraphs, gas, lanes)
+    }
+
+    /// Union-find over the conflict graph, visiting each transaction's keys
+    /// through a borrowed-key visitor (`visit(key, is_write)`), then collects
+    /// connected components and sorts them by the configured policy.
+    fn components(
+        &self,
+        n: usize,
+        gas: &[Gas],
+        key_count: usize,
+        for_each_key: impl Fn(usize, &mut dyn FnMut(&AccessKey, bool)),
+    ) -> Vec<Subgraph> {
         let mut uf = UnionFind::new(n);
 
         // Union transactions key by key: every toucher of a key with at
         // least one writer joins that key's component. Read-only keys create
-        // no edges.
-        let mut touchers: HashMap<KeyRepr, (Vec<usize>, bool)> = HashMap::new();
-        for (i, rw) in footprints.iter().enumerate() {
-            for key in rw.reads.keys() {
+        // no edges. Capacity from the profile's total key count bounds the
+        // distinct-key count from above, so the map never rehashes.
+        let mut touchers: HashMap<KeyRepr, (Vec<usize>, bool)> = HashMap::with_capacity(key_count);
+        for i in 0..n {
+            for_each_key(i, &mut |key, is_write| {
                 let entry = touchers.entry(self.repr(key)).or_default();
                 entry.0.push(i);
-            }
-            for key in rw.writes.keys() {
-                let entry = touchers.entry(self.repr(key)).or_default();
-                entry.0.push(i);
-                entry.1 = true;
-            }
+                entry.1 |= is_write;
+            });
         }
         for (txs, has_writer) in touchers.into_values() {
             if !has_writer {
@@ -209,7 +257,12 @@ impl Scheduler {
                 .sort_by(|a, b| b.txs.len().cmp(&a.txs.len()).then(a.txs[0].cmp(&b.txs[0]))),
             AssignPolicy::RoundRobin => subgraphs.sort_by_key(|s| s.txs[0]),
         }
+        subgraphs
+    }
 
+    /// LPT-packs policy-ordered subgraphs onto `lanes` lanes.
+    fn pack(&self, subgraphs: Vec<Subgraph>, gas: &[Gas], lanes: usize) -> Schedule {
+        assert!(lanes > 0, "need at least one lane");
         let mut lane_txs: Vec<Vec<usize>> = vec![Vec::new(); lanes];
         let mut lane_load: Vec<Gas> = vec![0; lanes];
         let mut lane_count: Vec<usize> = vec![0; lanes];

@@ -186,6 +186,7 @@ fn pipeline_config(config: &NetConfig) -> PipelineConfig {
     PipelineConfig {
         workers: config.workers_per_node,
         granularity: ConflictGranularity::Account,
+        ..Default::default()
     }
 }
 

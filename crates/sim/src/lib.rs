@@ -14,7 +14,9 @@
 //!   explicit overhead model (Figures 7(a), 7(b), 8);
 //! * [`pipeline`] — list-scheduled multi-block execution over a shared
 //!   worker pool with a serialized applier and context-switch costs
-//!   (Figure 9).
+//!   (Figure 9), plus a configurable model of the restructured pipeline
+//!   (subgraph-granular dispatch, overlapped verification, applier *pool*)
+//!   for the `validator_baseline` A/B series.
 //!
 //! All three are exact, repeatable functions of their inputs.
 
@@ -24,7 +26,10 @@ pub mod pipeline;
 pub mod proposer;
 pub mod validator;
 
-pub use pipeline::{simulate_multiblock, MultiBlockSimResult};
+pub use pipeline::{
+    simulate_multiblock, simulate_validator_pipeline, MultiBlockSimResult, PipelineSimConfig,
+    PipelineSimResult,
+};
 pub use proposer::{
     simulate_proposer, simulate_proposer_configured, simulate_proposer_with_rule,
     ProposerSimResult, ValidationRule,
@@ -73,9 +78,20 @@ pub struct CostModel {
     /// Validator preparation cost per transaction (dependency graph + lane
     /// assignment).
     pub prepare_per_tx: Gas,
-    /// Applier cost per transaction (footprint check against the block
-    /// profile + in-order apply).
+    /// Applier cost per transaction (in-order apply of the profiled
+    /// writes). Under non-overlapped verification the applier additionally
+    /// pays [`CostModel::match_per_tx`] per transaction.
     pub applier_per_tx: Gas,
+    /// Per-transaction footprint comparison against the block profile
+    /// (Algorithm 2's read/write-set equality check). With overlapped
+    /// verification this cost rides on the *worker's* clock right after the
+    /// execution; on the baseline path it serializes through the applier.
+    pub match_per_tx: Gas,
+    /// Fixed per-block cost of block validation: CoW snapshot of the parent
+    /// state, incremental MPT root recomputation over the dirty set, and
+    /// header commitment checks. This is the term that makes a single
+    /// applier bind once several same-height blocks are in flight.
+    pub applier_block: Gas,
     /// Penalty a worker pays when switching to a lane of a *different* block
     /// in the multi-block pipeline (context/state switch, §5.6).
     pub block_switch: Gas,
@@ -96,6 +112,8 @@ impl Default for CostModel {
             state_contention_permille: 115,
             prepare_per_tx: 300,
             applier_per_tx: 1_600,
+            match_per_tx: 400,
+            applier_block: 120_000,
             block_switch: 30_000,
             applier_switch: 2_300,
         }

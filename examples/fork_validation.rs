@@ -21,6 +21,7 @@ fn main() {
         PipelineConfig {
             workers: 4,
             granularity: ConflictGranularity::Account,
+            ..Default::default()
         },
         genesis,
     );

@@ -23,6 +23,7 @@ fn main() {
         PipelineConfig {
             workers: 4,
             granularity: ConflictGranularity::Account,
+            ..Default::default()
         },
         genesis.clone(),
     );

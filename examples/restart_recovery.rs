@@ -27,6 +27,7 @@ fn config() -> PipelineConfig {
     PipelineConfig {
         workers: 2,
         granularity: ConflictGranularity::Account,
+        ..Default::default()
     }
 }
 

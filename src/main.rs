@@ -58,6 +58,7 @@ fn chain(args: &[String]) {
         PipelineConfig {
             workers,
             granularity: ConflictGranularity::Account,
+            ..Default::default()
         },
         genesis.clone(),
     );

@@ -38,6 +38,7 @@ fn deployment_flows_through_proposer_and_validator() {
         PipelineConfig {
             workers: 2,
             granularity: ConflictGranularity::Account,
+            ..Default::default()
         },
         genesis.clone(),
     );

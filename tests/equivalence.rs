@@ -128,6 +128,7 @@ fn pipeline_validation_equals_serial_on_random_workloads() {
         let pipeline = ValidatorPipeline::new(PipelineConfig {
             workers: 4,
             granularity: ConflictGranularity::Account,
+            ..Default::default()
         });
         pipeline.register_state(parent, Arc::clone(&base));
         let outcome = pipeline.validate_block(proposal.block.clone());
@@ -171,6 +172,7 @@ fn slot_granularity_schedules_also_validate() {
     let pipeline = ValidatorPipeline::new(PipelineConfig {
         workers: 4,
         granularity: ConflictGranularity::Slot,
+        ..Default::default()
     });
     pipeline.register_state(parent, Arc::clone(&base));
     let outcome = pipeline.validate_block(proposal.block.clone());

@@ -53,6 +53,7 @@ fn four_same_height_blocks_validate_concurrently() {
     let pipeline = ValidatorPipeline::new(PipelineConfig {
         workers: 4,
         granularity: ConflictGranularity::Account,
+        ..Default::default()
     });
     pipeline.register_state(parent, Arc::clone(&base));
 
@@ -96,6 +97,7 @@ fn forked_tree_validates_across_heights() {
     let pipeline = ValidatorPipeline::new(PipelineConfig {
         workers: 3,
         granularity: ConflictGranularity::Account,
+        ..Default::default()
     });
     pipeline.register_state(parent, Arc::clone(&base));
 
@@ -129,6 +131,7 @@ fn pipeline_throughput_scales_with_submission_batching() {
     let pipeline = ValidatorPipeline::new(PipelineConfig {
         workers: 4,
         granularity: ConflictGranularity::Account,
+        ..Default::default()
     });
     pipeline.register_state(parent, Arc::clone(&base));
 

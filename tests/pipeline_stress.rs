@@ -1,0 +1,195 @@
+//! 16-worker pipeline stress: the per-transaction result path is built on
+//! lock-free single-writer slots, so a pool twice as wide as the block's
+//! parallelism hammering several in-flight blocks must still deliver
+//! exactly the serial outcome for every block — and a tampered block's
+//! early abort must cut its execution short without poisoning the valid
+//! siblings sharing the pool.
+
+use std::sync::Arc;
+
+use blockpilot::core::{
+    ConflictGranularity, DispatchPolicy, OccWsiConfig, OccWsiProposer, PipelineConfig, Proposal,
+    ValidationError, ValidatorPipeline,
+};
+use blockpilot::txpool::TxPool;
+use blockpilot::types::BlockHash;
+use blockpilot::workload::{WorkloadConfig, WorkloadGen};
+
+fn propose(
+    gen: &mut WorkloadGen,
+    base: &Arc<blockpilot::state::WorldState>,
+    parent: BlockHash,
+    height: u64,
+    seed: u64,
+) -> Proposal {
+    let txs = gen.next_block_txs();
+    let pool = TxPool::new();
+    for tx in txs {
+        pool.add(tx);
+    }
+    let engine = OccWsiProposer::new(OccWsiConfig {
+        threads: 2,
+        env: blockpilot::evm::BlockEnv {
+            number: seed,
+            ..gen.block_env(height)
+        },
+        ..OccWsiConfig::default()
+    });
+    engine.propose(&pool, Arc::clone(base), parent, height)
+}
+
+fn workload() -> WorkloadGen {
+    WorkloadGen::new(WorkloadConfig {
+        accounts: 150,
+        tokens: 3,
+        amm_pairs: 1,
+        txs_per_block: 30,
+        tx_jitter: 0,
+        ..WorkloadConfig::default()
+    })
+}
+
+fn wide_pipeline(appliers: usize) -> ValidatorPipeline {
+    ValidatorPipeline::new(PipelineConfig {
+        workers: 16,
+        granularity: ConflictGranularity::Account,
+        dispatch: DispatchPolicy::Subgraph,
+        appliers,
+    })
+}
+
+#[test]
+fn sixteen_workers_replay_bursts_of_sibling_blocks() {
+    // Three rounds of four same-height siblings, all submitted before any
+    // verdict is read: 16 workers race over every block's subgraph jobs and
+    // every result goes through the lock-free slots. Each block must end on
+    // its proposer's exact state root with all transactions executed.
+    let mut gen = workload();
+    let base = Arc::new(gen.genesis_state());
+    let pipeline = wide_pipeline(2);
+    for round in 0u64..3 {
+        let parent = BlockHash::from_low_u64(round + 1);
+        pipeline.register_state(parent, Arc::clone(&base));
+        let proposals: Vec<Proposal> = (0..4)
+            .map(|i| propose(&mut gen, &base, parent, 1, 1000 * (round + 1) + i))
+            .collect();
+        let handles: Vec<_> = proposals
+            .iter()
+            .map(|p| pipeline.submit(p.block.clone()))
+            .collect();
+        for (handle, proposal) in handles.into_iter().zip(&proposals) {
+            let outcome = handle.wait();
+            assert!(outcome.is_valid(), "{:?}", outcome.result);
+            assert_eq!(outcome.executed_txs, proposal.block.transactions.len());
+            assert!(!outcome.aborted_early);
+            assert_eq!(
+                outcome.post_state.expect("valid").state_root(),
+                proposal.post_state.state_root()
+            );
+        }
+    }
+    pipeline.shutdown();
+}
+
+#[test]
+fn sixteen_workers_abort_tampered_sibling_without_poisoning_the_rest() {
+    // One sibling carries a lying profile entry; its replay must trip the
+    // per-block cancellation (ProfileMismatch, aborted_early) while the
+    // valid siblings sharing the same 16-worker pool validate untouched.
+    let mut gen = workload();
+    let base = Arc::new(gen.genesis_state());
+    let parent = BlockHash::from_low_u64(9);
+    let pipeline = wide_pipeline(2);
+    pipeline.register_state(parent, Arc::clone(&base));
+
+    let honest: Vec<Proposal> = (0..3)
+        .map(|i| propose(&mut gen, &base, parent, 1, 2000 + i))
+        .collect();
+    let mut tampered = propose(&mut gen, &base, parent, 1, 2999).block;
+    let victim = tampered.profile.len() / 2;
+    let entry = &mut tampered.profile.entries[victim];
+    let (key, value) = entry
+        .writes
+        .iter()
+        .map(|(k, v)| (*k, *v))
+        .next()
+        .expect("transfer writes");
+    entry
+        .writes
+        .insert(key, value + blockpilot::types::U256::ONE);
+
+    let bad = pipeline.submit(tampered.clone());
+    let handles: Vec<_> = honest
+        .iter()
+        .map(|p| pipeline.submit(p.block.clone()))
+        .collect();
+
+    let outcome = bad.wait();
+    assert!(
+        matches!(outcome.result, Err(ValidationError::ProfileMismatch { index }) if index == victim),
+        "{:?}",
+        outcome.result
+    );
+    assert!(outcome.aborted_early);
+    assert!(outcome.executed_txs <= tampered.transactions.len());
+    for (handle, proposal) in handles.into_iter().zip(&honest) {
+        let outcome = handle.wait();
+        assert!(outcome.is_valid(), "{:?}", outcome.result);
+        assert_eq!(
+            outcome.post_state.expect("valid").state_root(),
+            proposal.post_state.state_root()
+        );
+    }
+    pipeline.shutdown();
+}
+
+#[test]
+fn sixteen_workers_reject_tampered_tx_root_with_zero_execution() {
+    // A reordered transaction list breaks the header's tx_root commitment:
+    // the preparation-phase check must reject the block before any of the
+    // 16 workers executes a single transaction.
+    let mut gen = workload();
+    let base = Arc::new(gen.genesis_state());
+    let parent = BlockHash::from_low_u64(4);
+    let pipeline = wide_pipeline(1);
+    pipeline.register_state(parent, Arc::clone(&base));
+
+    let mut block = propose(&mut gen, &base, parent, 1, 3000).block;
+    block.transactions.swap(0, 1);
+
+    let outcome = pipeline.validate_block(block);
+    assert_eq!(outcome.result, Err(ValidationError::TxRootMismatch));
+    assert_eq!(outcome.executed_txs, 0, "no transaction may execute");
+    assert!(!outcome.aborted_early);
+    pipeline.shutdown();
+}
+
+#[test]
+fn single_applier_still_drains_sibling_burst_at_sixteen_workers() {
+    // The applier pool degenerates to the old serialized stage at size 1;
+    // correctness (exact outcomes, ordered drain of the slots) must not
+    // depend on the pool width.
+    let mut gen = workload();
+    let base = Arc::new(gen.genesis_state());
+    let parent = BlockHash::from_low_u64(6);
+    let pipeline = wide_pipeline(1);
+    pipeline.register_state(parent, Arc::clone(&base));
+
+    let proposals: Vec<Proposal> = (0..5)
+        .map(|i| propose(&mut gen, &base, parent, 1, 4000 + i))
+        .collect();
+    let handles: Vec<_> = proposals
+        .iter()
+        .map(|p| pipeline.submit(p.block.clone()))
+        .collect();
+    for (handle, proposal) in handles.into_iter().zip(&proposals) {
+        let outcome = handle.wait();
+        assert!(outcome.is_valid(), "{:?}", outcome.result);
+        assert_eq!(outcome.executed_txs, proposal.block.transactions.len());
+        assert_eq!(
+            outcome.post_state.expect("valid").state_root(),
+            proposal.post_state.state_root()
+        );
+    }
+    pipeline.shutdown();
+}
