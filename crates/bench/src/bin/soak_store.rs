@@ -1,0 +1,208 @@
+//! Soak test: drive a few thousand blocks through a windowed `Store` (trie
+//! retention + snapshot flattening both on) and assert the disk footprint
+//! plateaus — node count, retained roots, and flat-base file length must
+//! all stay bounded as the chain grows without bound.
+//!
+//! Usage: `cargo run -p bp-bench --release --bin soak_store`
+//!
+//! * `BP_SOAK_BLOCKS` — chain length to drive (default 3000);
+//! * `BP_SOAK_WINDOW` — retention window in blocks (default 8);
+//! * `BP_SOAK_DIR` — store directory (default: fresh temp dir, removed on
+//!   success).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bp_block::{genesis_header, Block, BlockProfile};
+use bp_snap::SnapTree;
+use bp_state::{StateReader, WorldState};
+use bp_store::{Store, StoreConfig, StoreError};
+use bp_types::{AccessKey, Address, H256, U256};
+
+const ACCOUNTS: u64 = 1_000;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn genesis_world() -> WorldState {
+    let mut w = WorldState::new();
+    for i in 0..ACCOUNTS {
+        let a = Address::from_index(i);
+        w.set_balance(a, U256::from(1_000_000u64));
+        w.set_storage(a, H256::from_low_u64(i % 4), U256::from(i + 1));
+    }
+    w
+}
+
+/// One block's writes over a *fixed* account universe, so live state stays
+/// constant and any footprint growth is leaked garbage by definition.
+fn mutate(world: &mut WorldState, seq: u64) -> Vec<AccessKey> {
+    let mut keys = Vec::new();
+    for t in 0..10u64 {
+        let addr = Address::from_index((seq * 31 + t * 97) % ACCOUNTS);
+        world.set_balance(addr, U256::from(seq * 13 + t + 1));
+        keys.push(AccessKey::Balance(addr));
+        if t % 3 == 0 {
+            let slot = H256::from_low_u64((seq + t) % 4);
+            world.set_storage(addr, slot, U256::from(seq + t));
+            keys.push(AccessKey::Storage(addr, slot));
+        }
+    }
+    keys
+}
+
+fn child_block(parent: &Block, state_root: H256, seq: u64) -> Block {
+    let mut header = genesis_header(state_root);
+    header.parent_hash = parent.hash();
+    header.height = parent.height() + 1;
+    header.proposer_seed = seq;
+    Block {
+        header,
+        transactions: vec![],
+        profile: BlockProfile::new(),
+    }
+}
+
+fn main() -> Result<(), StoreError> {
+    let blocks = env_u64("BP_SOAK_BLOCKS", 3_000);
+    let window = env_u64("BP_SOAK_WINDOW", 8) as usize;
+    let (dir, ephemeral): (PathBuf, bool) = match std::env::var("BP_SOAK_DIR") {
+        Ok(d) => (PathBuf::from(d), false),
+        Err(_) => (
+            std::env::temp_dir().join(format!("bp-soak-{}", std::process::id())),
+            true,
+        ),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut world = genesis_world();
+    let genesis_root = world.state_root();
+    let gblock = Block {
+        header: genesis_header(genesis_root),
+        transactions: vec![],
+        profile: BlockProfile::new(),
+    };
+    let mut store = Store::open_with(
+        &dir,
+        StoreConfig {
+            retention_window: Some(window),
+            snapshots: true,
+        },
+    )?;
+    store.initialize(&world, &gblock)?;
+    let snaps: SnapTree = store.snapshots().expect("snapshots enabled").clone();
+    // Run the chain through a base-backed world, like a long-lived node.
+    world.rebase(Arc::new(
+        snaps.reader(genesis_root).expect("genesis reader"),
+    ));
+
+    let mut parent = gblock;
+    let mut parent_root = genesis_root;
+    let warmup = (window as u64 * 2).min(blocks / 2);
+    let half = blocks / 2;
+    let (mut max_nodes_1, mut max_nodes_2) = (0usize, 0usize);
+    let (mut max_flat_1, mut max_flat_2) = (0u64, 0u64);
+
+    for seq in 1..=blocks {
+        let keys = mutate(&mut world, seq);
+        let root = world.state_root();
+        let block = child_block(&parent, root, seq);
+        store.put_block(&block)?;
+        let (committed, nodes) = world.commit_tries();
+        debug_assert_eq!(committed, root);
+        store.commit_root(root, &nodes)?;
+        let delta = world.delta_for_keys(keys.iter());
+        store.snap_add_layer(root, parent_root, seq, delta)?;
+        store.commit(block.hash())?;
+        world.rebase(Arc::new(snaps.reader(root).expect("head reader")));
+
+        assert!(
+            store.roots().len() <= window,
+            "block {seq}: {} roots retained, window {window}",
+            store.roots().len()
+        );
+        assert!(
+            snaps.layer_count() <= window,
+            "block {seq}: {} diff layers, window {window}",
+            snaps.layer_count()
+        );
+        if seq > warmup {
+            let (nodes_now, flat_now) = (store.node_count(), snaps.flat_len());
+            if seq <= half {
+                max_nodes_1 = max_nodes_1.max(nodes_now);
+                max_flat_1 = max_flat_1.max(flat_now);
+            } else {
+                max_nodes_2 = max_nodes_2.max(nodes_now);
+                max_flat_2 = max_flat_2.max(flat_now);
+            }
+        }
+        parent = block;
+        parent_root = root;
+    }
+
+    println!(
+        "soak: {blocks} blocks, window {window} | roots {} | nodes max {}/{} | \
+         flat max {}/{} bytes | base height {}",
+        store.roots().len(),
+        max_nodes_1,
+        max_nodes_2,
+        max_flat_1,
+        max_flat_2,
+        snaps.base_height(),
+    );
+
+    // Plateau assertions: a leak grows roughly linearly, which would make
+    // the second-half maxima ~2x the first-half ones. Bounded footprints
+    // sawtooth around a constant.
+    assert!(
+        max_nodes_2 as f64 <= max_nodes_1 as f64 * 1.5,
+        "node count still growing: {max_nodes_1} -> {max_nodes_2}"
+    );
+    assert!(
+        max_flat_2 as f64 <= max_flat_1 as f64 * 1.5,
+        "flat base still growing: {max_flat_1} -> {max_flat_2}"
+    );
+    // The flattened base has advanced with the chain.
+    assert!(
+        snaps.base_height() >= blocks - window as u64,
+        "snapshot base lags: height {} after {blocks} blocks",
+        snaps.base_height()
+    );
+
+    // Reads at the head resolve correctly through the layered stack.
+    let reader = snaps.reader(parent_root).expect("head reader");
+    for i in (0..ACCOUNTS).step_by(111) {
+        let a = Address::from_index(i);
+        assert_eq!(
+            reader.base_account(&a).map(|acct| acct.balance),
+            Some(world.balance(&a)),
+            "balance mismatch at {a:?}"
+        );
+    }
+
+    // And a cold reopen recovers the same head with the same bounds.
+    drop(store);
+    let reopened = Store::open_with(
+        &dir,
+        StoreConfig {
+            retention_window: Some(window),
+            snapshots: true,
+        },
+    )?;
+    assert_eq!(reopened.head(), Some(parent.hash()));
+    assert!(reopened.roots().len() <= window);
+    assert!(reopened
+        .snapshots()
+        .expect("snapshots enabled")
+        .has_root(parent_root));
+
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!("soak OK");
+    Ok(())
+}

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 use bp_block::{receipts_root, tx_root, Block};
 use bp_concurrent::ResultSlots;
 use bp_evm::{execute_transaction, BlockEnv, Receipt, StateView, Transaction, TxError};
-use bp_state::WorldState;
+use bp_state::{StateDelta, WorldState};
 use bp_types::{AccessKey, Address, BlockHash, Gas, U256};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -263,6 +263,9 @@ enum ApplierMsg {
 
 struct StateIndex {
     states: HashMap<BlockHash, Arc<WorldState>>,
+    /// Each validated block's net effect on its parent state — the diff
+    /// layer the persistence layer stacks into the snapshot tree.
+    deltas: HashMap<BlockHash, Arc<StateDelta>>,
     waiting: HashMap<BlockHash, Vec<(Block, Sender<ValidationOutcome>)>>,
     invalid: std::collections::HashSet<BlockHash>,
 }
@@ -295,6 +298,7 @@ impl ValidatorPipeline {
         let (applier_tx, applier_rx) = unbounded::<ApplierMsg>();
         let index = Arc::new(Mutex::new(StateIndex {
             states: HashMap::new(),
+            deltas: HashMap::new(),
             waiting: HashMap::new(),
             invalid: std::collections::HashSet::new(),
         }));
@@ -410,6 +414,13 @@ impl ValidatorPipeline {
     /// validated (or was registered as a trusted base state).
     pub fn state_of(&self, hash: &BlockHash) -> Option<Arc<WorldState>> {
         self.starter.index.lock().states.get(hash).cloned()
+    }
+
+    /// The validated block's net effect on its parent state (the diff layer
+    /// for the snapshot tree). `None` for trusted base states registered via
+    /// [`ValidatorPipeline::register_state`], which have no parent delta.
+    pub fn delta_of(&self, hash: &BlockHash) -> Option<Arc<StateDelta>> {
+        self.starter.index.lock().deltas.get(hash).cloned()
     }
 
     /// The configured worker count.
@@ -676,18 +687,21 @@ fn apply_block(task: Arc<BlockTask>, exec: Duration, starter: &Starter) {
         execute: exec,
         validate,
     };
-    let (verdict_result, post_state, receipts) = match result {
-        Ok((state, receipts)) => (Ok(()), Some(Arc::new(state)), receipts),
-        Err(e) => (Err(e), None, vec![]),
+    let (verdict_result, post_state, receipts, delta) = match result {
+        Ok((state, receipts, delta)) => (Ok(()), Some(Arc::new(state)), receipts, Some(delta)),
+        Err(e) => (Err(e), None, vec![], None),
     };
 
-    // Commitment phase: index the post-state and release parked children —
-    // or mark the subtree invalid.
+    // Commitment phase: index the post-state (and its diff layer) and
+    // release parked children — or mark the subtree invalid.
     let ready = {
         let mut idx = starter.index.lock();
         match &post_state {
             Some(state) => {
                 idx.states.insert(hash, Arc::clone(state));
+                if let Some(delta) = delta {
+                    idx.deltas.insert(hash, Arc::new(delta));
+                }
             }
             None => {
                 idx.invalid.insert(hash);
@@ -722,8 +736,12 @@ fn apply_block(task: Arc<BlockTask>, exec: Duration, starter: &Starter) {
 /// Block validation: drain the execution results in block order, apply
 /// writes, and check the block-level commitments. Per-transaction footprint
 /// checks (Algorithm 2) already ran inside the workers; a recorded abort
-/// short-circuits here.
-fn validate_and_apply(task: &BlockTask) -> Result<(WorldState, Vec<Receipt>), ValidationError> {
+/// short-circuits here. On success, the block's written keys are distilled
+/// into a [`StateDelta`] — the diff layer the snapshot tree stacks over the
+/// parent state.
+fn validate_and_apply(
+    task: &BlockTask,
+) -> Result<(WorldState, Vec<Receipt>, StateDelta), ValidationError> {
     let block = &task.block;
     if let Some(err) = &task.header_error {
         return Err(err.clone());
@@ -737,14 +755,17 @@ fn validate_and_apply(task: &BlockTask) -> Result<(WorldState, Vec<Receipt>), Va
     let mut gas_total: Gas = 0;
     let mut fees = U256::ZERO;
     let mut receipts = Vec::with_capacity(block.transactions.len());
+    let mut written: std::collections::HashSet<AccessKey> = std::collections::HashSet::new();
     for i in 0..block.transactions.len() {
         let outcome = task
             .results
             .take(i)
             .expect("uncancelled block executed every transaction");
         world.apply_writes(&outcome.rw.writes);
+        written.extend(outcome.rw.writes.keys().copied());
         for (addr, code) in &outcome.deployed {
             world.set_code(*addr, (**code).clone());
+            written.insert(AccessKey::Code(*addr));
         }
         gas_total += outcome.receipt.gas_used;
         fees += outcome.receipt.fee;
@@ -762,11 +783,13 @@ fn validate_and_apply(task: &BlockTask) -> Result<(WorldState, Vec<Receipt>), Va
     if !fees.is_zero() {
         let cb = world.balance(&block.header.coinbase);
         world.set_balance(block.header.coinbase, cb + fees);
+        written.insert(AccessKey::Balance(block.header.coinbase));
     }
     if world.state_root() != block.header.state_root {
         return Err(ValidationError::StateRootMismatch);
     }
-    Ok((world, receipts))
+    let delta = world.delta_for_keys(written.iter());
+    Ok((world, receipts, delta))
 }
 
 #[cfg(test)]

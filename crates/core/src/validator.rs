@@ -2,11 +2,12 @@
 //! optionally backed by a persistent [`bp_store::Store`].
 
 use std::collections::{HashSet, VecDeque};
+use std::path::Path;
 use std::sync::Arc;
 
 use bp_block::{genesis_header, Block, BlockProfile, ChainStore};
 use bp_state::WorldState;
-use bp_store::{Store, StoreError};
+use bp_store::{Store, StoreConfig, StoreError};
 use bp_types::{BlockHash, Height, H256};
 use parking_lot::Mutex;
 
@@ -47,6 +48,26 @@ impl Validator {
     pub fn new(config: PipelineConfig, genesis_state: WorldState) -> Self {
         let (validator, _) = Self::build(config, genesis_state);
         validator
+    }
+
+    /// Opens (or creates) a store at `dir` with the validator's standard
+    /// persistence profile — a [`ROOT_RETENTION`]-deep retention window and
+    /// the layered flat-state snapshot tree — and boots on it. Retention and
+    /// flattening then run inside [`Store::commit`]; see
+    /// [`Validator::with_store`] for the recovery semantics.
+    pub fn with_store_at(
+        config: PipelineConfig,
+        genesis_state: WorldState,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, StoreError> {
+        let store = Store::open_with(
+            dir,
+            StoreConfig {
+                retention_window: Some(ROOT_RETENTION),
+                snapshots: true,
+            },
+        )?;
+        Self::with_store(config, genesis_state, store)
     }
 
     /// Boots a validator bound to a persistent store.
@@ -120,6 +141,36 @@ impl Validator {
                 return Err(StoreError::Corrupt(format!(
                     "stored block {hash:?} at height {height} does not extend the canonical chain"
                 )));
+            }
+        }
+
+        // Layered flat-state catch-up: if the snapshot tree cannot resolve
+        // the recovered head (snapshots were just enabled on an older store,
+        // or the snap files were lost), rebuild it wholesale from the
+        // replayed head state. Replayed flattens must move forward in
+        // height, which a fresh base guarantees.
+        let (head_hash, head_height) = validator.head().expect("canonical head exists");
+        let head_root = validator
+            .head_state_root()
+            .expect("canonical head has a state root");
+        {
+            let mut ctx = validator
+                .store
+                .as_ref()
+                .expect("store attached above")
+                .lock();
+            let needs_reset = ctx
+                .store
+                .snapshots()
+                .map(|snaps| !snaps.has_root(head_root))
+                .unwrap_or(false);
+            if needs_reset {
+                let state = validator
+                    .pipeline
+                    .state_of(&head_hash)
+                    .expect("recovered head has a validated state");
+                ctx.store
+                    .reset_snapshots(&state.full_delta(), head_root, head_height)?;
             }
         }
         Ok(validator)
@@ -229,9 +280,10 @@ impl Validator {
     }
 
     /// Durably records a newly canonical block: block bytes, its post-state
-    /// trie nodes, a retention-window prune, then the manifest swap. A
-    /// storage failure here is unrecoverable by design (the durable view
-    /// would silently diverge), so it panics like fsync-gated databases do.
+    /// trie nodes, its snapshot diff layer, a retention-window prune, then
+    /// the manifest swap. A storage failure here is unrecoverable by design
+    /// (the durable view would silently diverge), so it panics like
+    /// fsync-gated databases do.
     fn persist(&self, hash: BlockHash) {
         let Some(ctx) = &self.store else {
             return;
@@ -240,12 +292,17 @@ impl Validator {
         if ctx.persisted.contains(&hash) {
             return;
         }
-        let block = self
-            .chain
-            .lock()
-            .get(&hash)
-            .cloned()
-            .expect("canonical block is in the chain store");
+        let (block, parent_root) = {
+            let chain = self.chain.lock();
+            let block = chain
+                .get(&hash)
+                .cloned()
+                .expect("canonical block is in the chain store");
+            let parent_root = chain
+                .get(&block.header.parent_hash)
+                .map(|p| p.header.state_root);
+            (block, parent_root)
+        };
         let state = self
             .pipeline
             .state_of(&hash)
@@ -256,10 +313,28 @@ impl Validator {
         let result: Result<(), StoreError> = (|| {
             ctx.store.put_block(&block)?;
             ctx.store.commit_root(root, &nodes)?;
-            ctx.recent_roots.push_back((height, root));
-            while ctx.recent_roots.len() > ROOT_RETENTION {
-                let (_, old) = ctx.recent_roots.pop_front().expect("len checked");
-                ctx.store.prune(old)?;
+            if ctx.store.snapshots().is_some() {
+                // Stack the block's diff layer on its parent's root. The
+                // delta was distilled during validation; an empty block
+                // (root == parent root) no-ops inside the tree.
+                let parent_root =
+                    parent_root.expect("persisted non-genesis block has a stored parent");
+                let delta = self
+                    .pipeline
+                    .delta_of(&hash)
+                    .map(|d| (*d).clone())
+                    .unwrap_or_default();
+                ctx.store.snap_add_layer(root, parent_root, height, delta)?;
+            }
+            if ctx.store.config().retention_window.is_none() {
+                // Legacy path for stores opened without a window: the
+                // validator prunes manually. Configured stores prune (and
+                // flatten snapshots) inside `commit` instead.
+                ctx.recent_roots.push_back((height, root));
+                while ctx.recent_roots.len() > ROOT_RETENTION {
+                    let (_, old) = ctx.recent_roots.pop_front().expect("len checked");
+                    ctx.store.prune(old)?;
+                }
             }
             ctx.store.commit(hash)
         })();
@@ -273,6 +348,7 @@ mod tests {
     use super::*;
     use crate::occ_wsi::{OccWsiConfig, OccWsiProposer};
     use bp_evm::{BlockEnv, Transaction};
+    use bp_state::StateReader;
     use bp_store::store::test_dir;
     use bp_txpool::TxPool;
     use bp_types::{Address, U256};
@@ -370,6 +446,55 @@ mod tests {
                 Err(e) => e,
             };
         assert!(matches!(err, StoreError::Corrupt(_)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_store_tracks_head_and_recovers() {
+        let dir = test_dir("validator-snap");
+        let world = genesis_world(60);
+        let (head_root, height) = {
+            let validator = Validator::with_store_at(config(), world.clone(), &dir).unwrap();
+            grow_chain(&validator, ROOT_RETENTION as u64 + 3, 0);
+            let (head, height) = validator.head().unwrap();
+            let root = validator.head_state_root().unwrap();
+            let head_state = validator.pipeline().state_of(&head).unwrap();
+            validator
+                .with_store_ref(|s| {
+                    // Windowed retention bounds the trie roots; the snapshot
+                    // tree follows the head, flattening old diff layers into
+                    // its base as blocks leave the window.
+                    assert!(s.roots().len() <= ROOT_RETENTION);
+                    let snaps = s.snapshots().expect("snapshots enabled");
+                    assert!(snaps.has_root(root));
+                    assert!(snaps.layer_count() <= ROOT_RETENTION);
+                    assert!(snaps.base_height() >= height - ROOT_RETENTION as u64);
+                    let reader = snaps.reader(root).unwrap();
+                    for i in [1u64, 6, 51, 56] {
+                        let snap_balance = reader
+                            .base_account(&addr(i))
+                            .map(|a| a.balance)
+                            .unwrap_or(U256::ZERO);
+                        assert_eq!(snap_balance, head_state.balance(&addr(i)));
+                    }
+                })
+                .unwrap();
+            (root, height)
+        };
+        // Reopen: replay restores the pipeline and the snapshot tree resumes
+        // at the durable head it journalled before the manifest swap.
+        let recovered = Validator::with_store_at(config(), world, &dir).unwrap();
+        assert_eq!(recovered.head_state_root(), Some(head_root));
+        recovered
+            .with_store_ref(|s| {
+                assert!(s
+                    .snapshots()
+                    .expect("snapshots enabled")
+                    .has_root(head_root));
+            })
+            .unwrap();
+        grow_chain(&recovered, 1, ROOT_RETENTION as u64 + 3);
+        assert_eq!(recovered.head().unwrap().1, height + 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

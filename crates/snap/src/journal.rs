@@ -1,0 +1,275 @@
+//! The diff-layer journal: retained (not yet flattened) layers, persisted
+//! so a restart reopens the snapshot tree exactly where it left off.
+//!
+//! `layers.<layer_gen>.log` holds one framed record per layer:
+//!
+//! ```text
+//! [payload_len u32 BE][payload][keccak256(payload) 32B]
+//! payload = root(32) | parent(32) | height(8)
+//!         | n_accounts(4) | { addr(20) | 0x00                                    — delete
+//!                           | addr(20) | 0x01 nonce(8) balance(32) code_len(4) code }*
+//!         | n_storage(4)  | { addr(20) | n_slots(4)
+//!                             { slot(32) | 0x00 — delete | 0x01 value(32) }* }*
+//! ```
+//!
+//! The journal is appended on every accepted layer; flattening rewrites the
+//! retained set (small — bounded by the retention window) into a fresh
+//! generation so the older meta's view of the previous file stays intact
+//! until the new meta is durable. Only the byte length recorded in the meta
+//! is trusted: a crash mid-append leaves a torn tail past that length,
+//! truncated on open. The per-record checksum guards the decode itself.
+
+use bp_crypto::keccak256;
+use bp_state::{BaseAccount, StateDelta};
+use bp_types::{Address, H256, U256};
+use std::sync::Arc;
+
+use crate::SnapError;
+
+/// One decoded journal record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerRecord {
+    /// Post-state root of the layer's block.
+    pub root: H256,
+    /// Parent root the layer stacks on.
+    pub parent: H256,
+    /// Block height of `root`.
+    pub height: u64,
+    /// The block's net effect on its parent.
+    pub delta: StateDelta,
+}
+
+/// Encodes one layer as a framed journal record.
+pub fn encode_record(record: &LayerRecord) -> Vec<u8> {
+    let mut p: Vec<u8> = Vec::new();
+    p.extend_from_slice(record.root.as_bytes());
+    p.extend_from_slice(record.parent.as_bytes());
+    p.extend_from_slice(&record.height.to_be_bytes());
+    p.extend_from_slice(&(record.delta.accounts.len() as u32).to_be_bytes());
+    for (addr, acct) in &record.delta.accounts {
+        p.extend_from_slice(addr.as_bytes());
+        match acct {
+            None => p.push(0x00),
+            Some(a) => {
+                p.push(0x01);
+                p.extend_from_slice(&a.nonce.to_be_bytes());
+                p.extend_from_slice(&a.balance.to_be_bytes());
+                p.extend_from_slice(&(a.code.len() as u32).to_be_bytes());
+                p.extend_from_slice(&a.code);
+            }
+        }
+    }
+    p.extend_from_slice(&(record.delta.storage.len() as u32).to_be_bytes());
+    for (addr, slots) in &record.delta.storage {
+        p.extend_from_slice(addr.as_bytes());
+        p.extend_from_slice(&(slots.len() as u32).to_be_bytes());
+        for (slot, value) in slots {
+            p.extend_from_slice(slot.as_bytes());
+            match value {
+                None => p.push(0x00),
+                Some(v) => {
+                    p.push(0x01);
+                    p.extend_from_slice(&v.to_be_bytes());
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(4 + p.len() + 32);
+    out.extend_from_slice(&(p.len() as u32).to_be_bytes());
+    let checksum = keccak256(&p);
+    out.extend_from_slice(&p);
+    out.extend_from_slice(&checksum.0);
+    out
+}
+
+/// A cursor-style reader over one payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(SnapError::Corrupt(
+                "layer record payload truncated".to_string(),
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn h256(&mut self) -> Result<H256, SnapError> {
+        let mut h = [0u8; 32];
+        h.copy_from_slice(self.take(32)?);
+        Ok(H256(h))
+    }
+    fn u256(&mut self) -> Result<U256, SnapError> {
+        let mut b = [0u8; 32];
+        b.copy_from_slice(self.take(32)?);
+        Ok(U256::from_be_bytes(b))
+    }
+    fn addr(&mut self) -> Result<Address, SnapError> {
+        let mut a = [0u8; 20];
+        a.copy_from_slice(self.take(20)?);
+        Ok(Address(a))
+    }
+}
+
+/// Decodes one checksum-verified payload.
+fn decode_payload(payload: &[u8]) -> Result<LayerRecord, SnapError> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let root = c.h256()?;
+    let parent = c.h256()?;
+    let height = c.u64()?;
+    let mut delta = StateDelta::default();
+    let n_accounts = c.u32()?;
+    for _ in 0..n_accounts {
+        let addr = c.addr()?;
+        let entry = match c.u8()? {
+            0x00 => None,
+            0x01 => {
+                let nonce = c.u64()?;
+                let balance = c.u256()?;
+                let code_len = c.u32()? as usize;
+                let code = c.take(code_len)?.to_vec();
+                Some(BaseAccount {
+                    nonce,
+                    balance,
+                    code: Arc::new(code),
+                })
+            }
+            other => {
+                return Err(SnapError::Corrupt(format!(
+                    "bad account flag {other:#x} in layer record"
+                )))
+            }
+        };
+        delta.accounts.insert(addr, entry);
+    }
+    let n_storage = c.u32()?;
+    for _ in 0..n_storage {
+        let addr = c.addr()?;
+        let n_slots = c.u32()?;
+        let slots = delta.storage.entry(addr).or_default();
+        for _ in 0..n_slots {
+            let slot = c.h256()?;
+            let entry = match c.u8()? {
+                0x00 => None,
+                0x01 => Some(c.u256()?),
+                other => {
+                    return Err(SnapError::Corrupt(format!(
+                        "bad slot flag {other:#x} in layer record"
+                    )))
+                }
+            };
+            slots.insert(slot, entry);
+        }
+    }
+    if c.pos != payload.len() {
+        return Err(SnapError::Corrupt(
+            "trailing bytes in layer record".to_string(),
+        ));
+    }
+    Ok(LayerRecord {
+        root,
+        parent,
+        height,
+        delta,
+    })
+}
+
+/// Decodes a journal of exactly `bytes` durable bytes into its records.
+pub fn decode_journal(bytes: &[u8]) -> Result<Vec<LayerRecord>, SnapError> {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        if off + 4 > bytes.len() {
+            return Err(SnapError::Corrupt(
+                "layer journal frame header overruns durable length".to_string(),
+            ));
+        }
+        let payload_len = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let end = off + 4 + payload_len + 32;
+        if end > bytes.len() {
+            return Err(SnapError::Corrupt(
+                "layer journal record overruns durable length".to_string(),
+            ));
+        }
+        let payload = &bytes[off + 4..off + 4 + payload_len];
+        let checksum = &bytes[off + 4 + payload_len..end];
+        if keccak256(payload).0 != checksum {
+            return Err(SnapError::Corrupt(
+                "layer journal record checksum mismatch".to_string(),
+            ));
+        }
+        records.push(decode_payload(payload)?);
+        off = end;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn sample(i: u64) -> LayerRecord {
+        let mut delta = StateDelta::default();
+        delta.accounts.insert(
+            Address::from_index(i),
+            Some(BaseAccount {
+                nonce: i,
+                balance: U256::from(1000 + i),
+                code: Arc::new(vec![0xFE; i as usize % 5]),
+            }),
+        );
+        delta.accounts.insert(Address::from_index(i + 100), None);
+        let mut slots = HashMap::new();
+        slots.insert(H256::from_low_u64(i), Some(U256::from(i + 1)));
+        slots.insert(H256::from_low_u64(i + 1), None);
+        delta.storage.insert(Address::from_index(i), slots);
+        LayerRecord {
+            root: H256::from_low_u64(i + 1),
+            parent: H256::from_low_u64(i),
+            height: i,
+            delta,
+        }
+    }
+
+    #[test]
+    fn roundtrip_multiple_records() {
+        let records: Vec<LayerRecord> = (1..5).map(sample).collect();
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        assert_eq!(decode_journal(&bytes).unwrap(), records);
+        assert_eq!(decode_journal(&[]).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let mut bytes = encode_record(&sample(1));
+        bytes[10] ^= 0xFF;
+        assert!(decode_journal(&bytes).is_err());
+    }
+
+    #[test]
+    fn overrunning_record_is_rejected() {
+        let bytes = encode_record(&sample(1));
+        assert!(decode_journal(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

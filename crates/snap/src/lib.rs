@@ -1,0 +1,75 @@
+//! # bp-snap — layered flat state for BlockPilot
+//!
+//! A snapshot **diff-layer tree** over a **disk-backed flat base**, in the
+//! spirit of geth's snapshot acceleration structure:
+//!
+//! - [`FlatBase`] (`base.rs`) — an append-only log of key→value account and
+//!   storage records plus an in-memory offset index. Values are read
+//!   positionally on demand, so resident memory is O(keys), not O(bytes of
+//!   state), and the log self-compacts when dead bytes dominate.
+//! - [`DiffLayer`]s (`tree.rs`) — one cheap in-memory [`StateDelta`] per
+//!   pending/committed block, stacked over the base. Same-height siblings
+//!   (proposer vs validator forks) each get their own layer sharing the
+//!   same parent, mirroring `WorldState::snapshot()`'s CoW forks.
+//! - [`SnapTree`] — owns both; resolves a root hash to a read view
+//!   ([`SnapReader`], a [`bp_state::StateReader`]) that probes O(depth)
+//!   layers before falling through to the base, and **flattens** layers
+//!   beyond a retention window into the base as blocks finalize.
+//! - `meta.rs` / `journal.rs` — dual-slot checksummed metadata and a framed
+//!   layer journal make the whole structure crash-safe: a crash at any byte
+//!   rolls back to the last durable flatten, never a corrupt read.
+//!
+//! [`StateDelta`]: bp_state::StateDelta
+
+use std::fmt;
+
+pub mod base;
+pub mod journal;
+pub mod meta;
+pub mod tree;
+
+pub use base::FlatBase;
+pub use journal::{decode_journal, encode_record, LayerRecord};
+pub use meta::SnapMeta;
+pub use tree::{DiffLayer, SnapReader, SnapTree};
+
+/// Errors from the snapshot subsystem.
+#[derive(Debug)]
+pub enum SnapError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// Persisted bytes failed validation (checksum, framing, flags).
+    Corrupt(String),
+    /// A root was referenced that neither the base nor any layer covers.
+    UnknownRoot(bp_types::H256),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapError::Corrupt(msg) => write!(f, "snapshot corruption: {msg}"),
+            SnapError::UnknownRoot(root) => {
+                write!(f, "unknown snapshot root {root:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl From<std::io::Error> for SnapError {
+    fn from(e: std::io::Error) -> Self {
+        SnapError::Io(e)
+    }
+}
+
+/// Creates a unique scratch directory for tests and benches.
+pub fn test_dir(label: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("bp-snap-{label}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}

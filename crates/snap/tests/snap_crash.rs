@@ -1,0 +1,338 @@
+//! Crash-injection tests for the snapshot subsystem: kill the process at
+//! any byte boundary of the flat-base file or the layer journal and assert
+//! `SnapTree::open` rolls back to the last durable flatten — never a torn
+//! record, never a read that disagrees with the pre-crash durable state.
+//!
+//! The crash points mirror the write protocol:
+//!
+//! * `add_layer`: journal append + fsync, then meta swap — a torn journal
+//!   tail must roll back exactly one layer;
+//! * `retain`: flat-file fold append + fsync, journal rewrite into a fresh
+//!   generation, meta swap, stale-file deletion — a crash before the meta
+//!   swap must recover the *pre-retain* tree (base untouched, all layers
+//!   intact), and a crash after the swap but before the deletions must
+//!   ignore the stale files.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+use bp_snap::{test_dir, SnapTree};
+use bp_state::{BaseAccount, MapReader, StateDelta, StateReader};
+use bp_types::{Address, H256, U256};
+
+fn root(n: u64) -> H256 {
+    H256::from_low_u64(0xC4A5_0000 + n)
+}
+
+fn delta_set(addr: u64, nonce: u64, slot: u64, value: u64) -> StateDelta {
+    let mut d = StateDelta::default();
+    d.accounts.insert(
+        Address::from_index(addr),
+        Some(BaseAccount {
+            nonce,
+            balance: U256::from(1000 + nonce),
+            code: Arc::new(Vec::new()),
+        }),
+    );
+    d.storage
+        .entry(Address::from_index(addr))
+        .or_default()
+        .insert(H256::from_low_u64(slot), Some(U256::from(value)));
+    d
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+fn truncate(path: &Path, len: u64) {
+    OpenOptions::new()
+        .write(true)
+        .open(path)
+        .unwrap()
+        .set_len(len)
+        .unwrap();
+}
+
+fn append(path: &Path, bytes: &[u8]) {
+    let mut f = OpenOptions::new().append(true).open(path).unwrap();
+    f.write_all(bytes).unwrap();
+}
+
+/// Asserts `reader` answers exactly like the `MapReader` oracle for every
+/// address either side knows about.
+fn assert_matches_oracle(reader: &dyn StateReader, oracle: &MapReader, ctx: &str) {
+    let mut addrs: Vec<Address> = reader.base_accounts();
+    addrs.extend(oracle.accounts.keys().copied());
+    addrs.extend(oracle.storage.keys().copied());
+    addrs.sort();
+    addrs.dedup();
+    for addr in addrs {
+        assert_eq!(
+            reader.base_account(&addr),
+            oracle.base_account(&addr),
+            "{ctx}: account {addr:?}"
+        );
+        let mut entries = reader.base_storage_entries(&addr);
+        entries.sort();
+        let mut expect = oracle.base_storage_entries(&addr);
+        expect.sort();
+        assert_eq!(entries, expect, "{ctx}: storage of {addr:?}");
+        for (slot, value) in expect {
+            assert_eq!(
+                reader.base_storage(&addr, &slot),
+                Some(value),
+                "{ctx}: slot {slot:?} of {addr:?}"
+            );
+        }
+    }
+}
+
+/// The deltas for genesis plus four chained layers, alongside the oracle
+/// state after each prefix. `oracles[i]` = genesis + layers 1..=i.
+fn fixture() -> (Vec<StateDelta>, Vec<MapReader>) {
+    let genesis = {
+        let mut d = delta_set(1, 1, 1, 11);
+        d.fold(&delta_set(2, 1, 2, 22));
+        d
+    };
+    let layers = vec![
+        delta_set(1, 2, 1, 100),
+        delta_set(3, 1, 3, 33),
+        // Deletes account 2's body and clears a slot back to zero.
+        {
+            let mut d = StateDelta::default();
+            d.accounts.insert(Address::from_index(2), None);
+            d.storage
+                .entry(Address::from_index(1))
+                .or_default()
+                .insert(H256::from_low_u64(1), None);
+            d
+        },
+        delta_set(2, 9, 2, 99),
+    ];
+    let mut oracles = Vec::new();
+    let mut m = MapReader::new();
+    m.apply(&genesis);
+    oracles.push(m.clone());
+    let mut all = vec![genesis];
+    for d in layers {
+        m.apply(&d);
+        oracles.push(m.clone());
+        all.push(d);
+    }
+    (all, oracles)
+}
+
+/// Seeds `dir` with the fixture genesis and stacks its four layers,
+/// recording the journal length after each. Returns the lengths.
+fn build_chain(dir: &Path, deltas: &[StateDelta]) -> Vec<u64> {
+    let tree = SnapTree::open(dir).unwrap();
+    tree.seed(&deltas[0], root(0), 0).unwrap();
+    let journal = journal_file(dir);
+    let mut lens = vec![std::fs::metadata(&journal).unwrap().len()];
+    for (i, d) in deltas[1..].iter().enumerate() {
+        let h = i as u64 + 1;
+        tree.add_layer(root(h), root(h - 1), h, d.clone()).unwrap();
+        lens.push(std::fs::metadata(&journal).unwrap().len());
+    }
+    lens
+}
+
+/// The single `layers.<gen>.log` currently present under `dir`.
+fn journal_file(dir: &Path) -> std::path::PathBuf {
+    snap_file(dir, "layers.")
+}
+
+/// The single `flat.<gen>.log` currently present under `dir`.
+fn flat_file(dir: &Path) -> std::path::PathBuf {
+    snap_file(dir, "flat.")
+}
+
+fn snap_file(dir: &Path, prefix: &str) -> std::path::PathBuf {
+    let mut found: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(prefix) && n.ends_with(".log"))
+        })
+        .collect();
+    assert_eq!(found.len(), 1, "expected exactly one {prefix}*.log");
+    found.pop().unwrap()
+}
+
+/// A torn tail in the layer journal — the crash landed mid-append inside
+/// `add_layer` — must surface as a rollback of exactly that layer: the
+/// newest meta no longer fits the file, the previous generation wins.
+#[test]
+fn torn_journal_tail_rolls_back_one_layer() {
+    let dir = test_dir("crash-journal");
+    let (deltas, oracles) = fixture();
+    let lens = build_chain(&dir, &deltas);
+    let (before_l4, after_l4) = (lens[3], lens[4]);
+    assert!(after_l4 > before_l4, "layer 4 appended journal bytes");
+
+    for cut in before_l4..after_l4 {
+        let scratch = test_dir("crash-journal-cut");
+        copy_dir(&dir, &scratch);
+        truncate(&journal_file(&scratch), cut);
+        let tree = SnapTree::open(&scratch)
+            .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        assert!(!tree.has_root(root(4)), "torn layer visible at cut {cut}");
+        assert!(tree.has_root(root(3)), "durable layer lost at cut {cut}");
+        assert_eq!(tree.layer_count(), 3, "cut {cut}");
+        let reader = tree.reader(root(3)).unwrap();
+        assert_matches_oracle(&reader, &oracles[3], &format!("cut {cut}"));
+        std::fs::remove_dir_all(&scratch).unwrap();
+    }
+
+    // The untruncated directory still opens at the full chain.
+    let full = SnapTree::open(&dir).unwrap();
+    assert!(full.has_root(root(4)));
+    assert_matches_oracle(&full.reader(root(4)).unwrap(), &oracles[4], "full");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crash mid-fold inside `retain` leaves a torn tail on the flat-base
+/// file but no new meta: every byte prefix of the fold's append must
+/// recover the complete *pre-retain* tree, reads included.
+#[test]
+fn torn_flat_fold_recovers_pre_retain_state() {
+    let dir = test_dir("crash-flat");
+    let (deltas, oracles) = fixture();
+    build_chain(&dir, &deltas);
+
+    // Freeze the pre-retain directory, then run the retain for real to
+    // learn exactly which bytes the fold appends to the flat file.
+    let pre = test_dir("crash-flat-pre");
+    copy_dir(&dir, &pre);
+    let flat_before = std::fs::read(flat_file(&dir)).unwrap();
+    {
+        let tree = SnapTree::open(&dir).unwrap();
+        let folded = tree.retain(root(4), 1).unwrap();
+        assert_eq!(folded, 3);
+    }
+    let flat_after = std::fs::read(flat_file(&dir)).unwrap();
+    assert_eq!(
+        &flat_after[..flat_before.len()],
+        &flat_before[..],
+        "fold must append, not rewrite"
+    );
+    let suffix = &flat_after[flat_before.len()..];
+    assert!(!suffix.is_empty(), "fold appended flat records");
+
+    for cut in 0..=suffix.len() {
+        let scratch = test_dir("crash-flat-cut");
+        copy_dir(&pre, &scratch);
+        append(&flat_file(&scratch), &suffix[..cut]);
+        let tree = SnapTree::open(&scratch)
+            .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        // No meta swap happened: the whole retain must be invisible.
+        assert_eq!(tree.base_root(), root(0), "cut {cut}");
+        assert_eq!(tree.layer_count(), 4, "cut {cut}");
+        for h in 1..=4u64 {
+            assert!(tree.has_root(root(h)), "layer {h} lost at cut {cut}");
+            let reader = tree.reader(root(h)).unwrap();
+            assert_matches_oracle(
+                &reader,
+                &oracles[h as usize],
+                &format!("cut {cut} layer {h}"),
+            );
+        }
+        std::fs::remove_dir_all(&scratch).unwrap();
+    }
+    std::fs::remove_dir_all(&pre).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crash between the journal rewrite and the meta swap: the fold bytes
+/// and a complete (or partial) next-generation journal are on disk, but the
+/// authoritative meta still points at the old generation pair — the
+/// pre-retain tree must come back and the phantom files must not confuse
+/// recovery.
+#[test]
+fn unswapped_journal_generation_is_invisible() {
+    let dir = test_dir("crash-gen");
+    let (deltas, oracles) = fixture();
+    build_chain(&dir, &deltas);
+    let pre = test_dir("crash-gen-pre");
+    copy_dir(&dir, &pre);
+    let flat_before_len = std::fs::metadata(flat_file(&dir)).unwrap().len();
+    let old_journal_name = journal_file(&dir).file_name().unwrap().to_os_string();
+    {
+        let tree = SnapTree::open(&dir).unwrap();
+        tree.retain(root(4), 1).unwrap();
+    }
+    let flat_after = std::fs::read(flat_file(&dir)).unwrap();
+    let new_journal = journal_file(&dir);
+    assert_ne!(
+        new_journal.file_name().unwrap(),
+        old_journal_name.as_os_str()
+    );
+    let new_journal_bytes = std::fs::read(&new_journal).unwrap();
+
+    // Crash points: the rewritten journal exists at 0%, 50%, and 100% of
+    // its bytes (its own torn tail is covered byte-granularly above for
+    // appends; the rewrite is only ever read once a meta references it).
+    for frac in [0usize, new_journal_bytes.len() / 2, new_journal_bytes.len()] {
+        let scratch = test_dir("crash-gen-cut");
+        copy_dir(&pre, &scratch);
+        append(
+            &flat_file(&scratch),
+            &flat_after[flat_before_len as usize..],
+        );
+        std::fs::write(
+            scratch.join(new_journal.file_name().unwrap()),
+            &new_journal_bytes[..frac],
+        )
+        .unwrap();
+        let tree = SnapTree::open(&scratch)
+            .unwrap_or_else(|e| panic!("recovery failed at frac {frac}: {e}"));
+        assert_eq!(tree.base_root(), root(0), "frac {frac}");
+        assert_eq!(tree.layer_count(), 4, "frac {frac}");
+        let reader = tree.reader(root(4)).unwrap();
+        assert_matches_oracle(&reader, &oracles[4], &format!("frac {frac}"));
+        std::fs::remove_dir_all(&scratch).unwrap();
+    }
+    std::fs::remove_dir_all(&pre).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crash after the meta swap but before the stale old-generation files
+/// are deleted: recovery must land on the *post-retain* state and sweep
+/// (or at least ignore) the leftovers.
+#[test]
+fn stale_files_after_meta_swap_are_ignored() {
+    let dir = test_dir("crash-stale");
+    let (deltas, oracles) = fixture();
+    build_chain(&dir, &deltas);
+    let old_journal = journal_file(&dir);
+    let old_journal_bytes = std::fs::read(&old_journal).unwrap();
+    let old_journal_name = old_journal.file_name().unwrap().to_os_string();
+    {
+        let tree = SnapTree::open(&dir).unwrap();
+        tree.retain(root(4), 1).unwrap();
+    }
+    // Resurrect the stale journal the crash would have left behind.
+    std::fs::write(dir.join(&old_journal_name), &old_journal_bytes).unwrap();
+
+    let tree = SnapTree::open(&dir).unwrap();
+    assert_eq!(tree.base_root(), root(3), "retain folded through layer 3");
+    assert_eq!(tree.layer_count(), 1);
+    assert!(tree.has_root(root(4)));
+    assert_matches_oracle(&tree.reader(root(4)).unwrap(), &oracles[4], "post-swap");
+    // Reopen swept the stale generation.
+    assert!(
+        !dir.join(&old_journal_name).exists(),
+        "stale journal survived recovery"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

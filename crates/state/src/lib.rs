@@ -4,6 +4,9 @@
 //! * [`account`] — the 4-field RLP account body;
 //! * [`world`] — the flat mutable [`world::WorldState`] plus MPT commitment
 //!   ([`world::WorldState::state_root`]);
+//! * [`reader`] — the [`reader::StateReader`] base-state seam (implemented
+//!   by `bp-snap`'s layered flat state) and the [`reader::StateDelta`]
+//!   block-effect records diff layers are made of;
 //! * [`mvstate`] — the multi-version overlay serving OCC-WSI snapshots.
 
 #![warn(missing_docs)]
@@ -11,12 +14,14 @@
 pub mod account;
 pub mod mvstate;
 pub mod nibbles;
+pub mod reader;
 pub mod trie;
 pub mod world;
 
 pub use account::Account;
 pub use mvstate::MultiVersionState;
+pub use reader::{BaseAccount, MapReader, StateDelta, StateReader};
 pub use trie::{
     empty_root, summarize_node, verify_proof, NodeResolver, NodeSummary, Trie, TrieLoadError,
 };
-pub use world::{AccountState, WorldState};
+pub use world::{storage_root, AccountState, WorldState};

@@ -1,0 +1,273 @@
+//! Base-state read abstraction: the seam between [`crate::WorldState`] and a
+//! layered flat-state backend (`bp-snap`).
+//!
+//! A [`StateReader`] answers point lookups against some *base* state — the
+//! state as of a particular committed root — without requiring that state to
+//! be resident in memory. `WorldState` can be stacked on top of one
+//! ([`crate::WorldState::layered`] / [`crate::WorldState::rebase`]): reads
+//! miss through the in-memory overlay into the base, writes materialize the
+//! touched account in the overlay, and commitment merges overlay over base.
+//!
+//! A [`StateDelta`] is the inverse direction: the net effect of a block on
+//! the base — exactly what a snapshot diff layer stores and what flattening
+//! folds into the disk-backed flat base. `None` values mean *deleted* (an
+//! account emptied per EIP-161, a storage slot zeroed).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use bp_types::{Address, H256, U256};
+
+/// One account's base-state body (storage is looked up separately, slot by
+/// slot, so a huge contract does not have to be materialized to read one
+/// word of it).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BaseAccount {
+    /// Transaction/creation counter.
+    pub nonce: u64,
+    /// Balance in wei.
+    pub balance: U256,
+    /// Contract code (empty for EOAs). `Arc` so layers share one blob.
+    pub code: Arc<Vec<u8>>,
+}
+
+impl BaseAccount {
+    /// True iff the body alone is empty (EIP-161, ignoring storage).
+    pub fn is_empty(&self) -> bool {
+        self.nonce == 0 && self.balance.is_zero() && self.code.is_empty()
+    }
+}
+
+/// Point-lookup access to a base state. Implementations must answer as of
+/// one fixed root: a `WorldState` stacked on top owns all mutability.
+pub trait StateReader: Send + Sync + fmt::Debug {
+    /// The account body at `addr`, or `None` if the account does not exist
+    /// in the base.
+    fn base_account(&self, addr: &Address) -> Option<BaseAccount>;
+
+    /// Storage slot `slot` of `addr`: `None` if unset in the base. (Callers
+    /// treat `None` as zero; the distinction only matters for deltas.)
+    fn base_storage(&self, addr: &Address, slot: &H256) -> Option<U256>;
+
+    /// Every live (non-zero) storage entry of `addr` in the base. Used when
+    /// an account's storage trie must be rebuilt from scratch.
+    fn base_storage_entries(&self, addr: &Address) -> Vec<(H256, U256)>;
+
+    /// Every address live in the base — accounts with a body *or* storage.
+    /// Only used by from-scratch oracles ([`crate::WorldState::rebuild_root`])
+    /// and first-commit fallbacks; point reads never enumerate.
+    fn base_accounts(&self) -> Vec<Address>;
+}
+
+/// The net effect of one block (or a fold of several) on a base state.
+///
+/// `None` deletes: an account entry of `None` removes the account body, a
+/// storage entry of `None` clears the slot. Account bodies and storage are
+/// tracked independently — an account can have a dead body but live storage
+/// and vice versa, mirroring how the flat base stores them as separate
+/// records.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StateDelta {
+    /// Account body upserts/deletes.
+    pub accounts: HashMap<Address, Option<BaseAccount>>,
+    /// Storage upserts/deletes, per account.
+    pub storage: HashMap<Address, HashMap<H256, Option<U256>>>,
+}
+
+impl StateDelta {
+    /// True iff the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty() && self.storage.values().all(|s| s.is_empty())
+    }
+
+    /// Total number of entries (account bodies + storage slots).
+    pub fn len(&self) -> usize {
+        self.accounts.len() + self.storage.values().map(|s| s.len()).sum::<usize>()
+    }
+
+    /// Folds `later` over `self`: where both touch a key, `later` wins.
+    /// Folding block deltas oldest-to-newest onto a base reproduces the
+    /// newest state.
+    pub fn fold(&mut self, later: &StateDelta) {
+        for (addr, acct) in &later.accounts {
+            self.accounts.insert(*addr, acct.clone());
+        }
+        for (addr, slots) in &later.storage {
+            let mine = self.storage.entry(*addr).or_default();
+            for (slot, value) in slots {
+                mine.insert(*slot, *value);
+            }
+        }
+    }
+}
+
+/// An in-memory [`StateReader`]: a pair of flat maps. The reference
+/// implementation used by tests and oracles; `bp-snap`'s disk-backed base
+/// must be observationally identical to a `MapReader` fed the same deltas.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MapReader {
+    /// Account bodies by address.
+    pub accounts: HashMap<Address, BaseAccount>,
+    /// Live (non-zero) storage by address and slot.
+    pub storage: HashMap<Address, HashMap<H256, U256>>,
+}
+
+impl MapReader {
+    /// An empty base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a delta in place (`None` entries delete).
+    pub fn apply(&mut self, delta: &StateDelta) {
+        for (addr, acct) in &delta.accounts {
+            match acct {
+                Some(a) => {
+                    self.accounts.insert(*addr, a.clone());
+                }
+                None => {
+                    self.accounts.remove(addr);
+                }
+            }
+        }
+        for (addr, slots) in &delta.storage {
+            let mine = self.storage.entry(*addr).or_default();
+            for (slot, value) in slots {
+                match value {
+                    Some(v) if !v.is_zero() => {
+                        mine.insert(*slot, *v);
+                    }
+                    _ => {
+                        mine.remove(slot);
+                    }
+                }
+            }
+            if mine.is_empty() {
+                self.storage.remove(addr);
+            }
+        }
+    }
+}
+
+impl StateReader for MapReader {
+    fn base_account(&self, addr: &Address) -> Option<BaseAccount> {
+        self.accounts.get(addr).cloned()
+    }
+
+    fn base_storage(&self, addr: &Address, slot: &H256) -> Option<U256> {
+        self.storage.get(addr).and_then(|s| s.get(slot)).copied()
+    }
+
+    fn base_storage_entries(&self, addr: &Address) -> Vec<(H256, U256)> {
+        self.storage
+            .get(addr)
+            .map(|s| s.iter().map(|(k, v)| (*k, *v)).collect())
+            .unwrap_or_default()
+    }
+
+    fn base_accounts(&self) -> Vec<Address> {
+        let mut addrs: Vec<Address> = self.accounts.keys().copied().collect();
+        for addr in self.storage.keys() {
+            if !self.accounts.contains_key(addr) {
+                addrs.push(*addr);
+            }
+        }
+        addrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    #[test]
+    fn fold_later_wins() {
+        let mut d1 = StateDelta::default();
+        d1.accounts.insert(
+            addr(1),
+            Some(BaseAccount {
+                balance: U256::from(10u64),
+                ..Default::default()
+            }),
+        );
+        d1.storage
+            .entry(addr(1))
+            .or_default()
+            .insert(H256::from_low_u64(1), Some(U256::ONE));
+        let mut d2 = StateDelta::default();
+        d2.accounts.insert(addr(1), None);
+        d2.storage
+            .entry(addr(1))
+            .or_default()
+            .insert(H256::from_low_u64(1), None);
+        d2.storage
+            .entry(addr(2))
+            .or_default()
+            .insert(H256::from_low_u64(2), Some(U256::from(5u64)));
+        d1.fold(&d2);
+        assert_eq!(d1.accounts.get(&addr(1)), Some(&None));
+        assert_eq!(d1.storage[&addr(1)][&H256::from_low_u64(1)], None);
+        assert_eq!(
+            d1.storage[&addr(2)][&H256::from_low_u64(2)],
+            Some(U256::from(5u64))
+        );
+    }
+
+    #[test]
+    fn map_reader_apply_and_read() {
+        let mut base = MapReader::new();
+        let mut delta = StateDelta::default();
+        delta.accounts.insert(
+            addr(1),
+            Some(BaseAccount {
+                nonce: 2,
+                balance: U256::from(100u64),
+                code: Arc::new(vec![0x60]),
+            }),
+        );
+        delta
+            .storage
+            .entry(addr(1))
+            .or_default()
+            .insert(H256::from_low_u64(7), Some(U256::from(9u64)));
+        base.apply(&delta);
+        assert_eq!(base.base_account(&addr(1)).unwrap().nonce, 2);
+        assert_eq!(
+            base.base_storage(&addr(1), &H256::from_low_u64(7)),
+            Some(U256::from(9u64))
+        );
+        assert_eq!(base.base_accounts(), vec![addr(1)]);
+
+        // Deletions drop the records and empty storage maps entirely.
+        let mut undo = StateDelta::default();
+        undo.accounts.insert(addr(1), None);
+        undo.storage
+            .entry(addr(1))
+            .or_default()
+            .insert(H256::from_low_u64(7), None);
+        base.apply(&undo);
+        assert_eq!(base.base_account(&addr(1)), None);
+        assert_eq!(base.base_storage(&addr(1), &H256::from_low_u64(7)), None);
+        assert!(base.base_accounts().is_empty());
+        assert!(base.storage.is_empty());
+    }
+
+    #[test]
+    fn storage_only_address_is_enumerated() {
+        let mut base = MapReader::new();
+        let mut delta = StateDelta::default();
+        delta
+            .storage
+            .entry(addr(3))
+            .or_default()
+            .insert(H256::from_low_u64(1), Some(U256::ONE));
+        base.apply(&delta);
+        assert_eq!(base.base_account(&addr(3)), None);
+        assert_eq!(base.base_accounts(), vec![addr(3)]);
+    }
+}

@@ -18,6 +18,16 @@
 //! cloning a `WorldState` ([`WorldState::snapshot`]) is O(accounts) pointer
 //! bumps and subsequent writes copy only the touched accounts — the
 //! validator pipeline takes one such snapshot per block.
+//!
+//! A world can also be **layered** over a [`StateReader`] base
+//! ([`WorldState::layered`] / [`WorldState::rebase`]): the account map then
+//! holds only the *overlay* — accounts touched since the base — and reads
+//! that miss it fall through to the base. Writes materialize the account
+//! body in the overlay; storage writes record zero values as explicit
+//! tombstones so a cleared slot shadows the base instead of re-exposing it.
+//! Commitment merges overlay over base per dirty account, so the
+//! incremental-root machinery works identically whether state is resident
+//! or base-backed.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -26,6 +36,7 @@ use bp_crypto::keccak256;
 use bp_types::{AccessKey, Address, WriteSet, H256, U256};
 
 use crate::account::{empty_code_hash, Account};
+use crate::reader::{BaseAccount, StateDelta, StateReader};
 use crate::trie::{self, Trie};
 
 /// One account's in-memory state.
@@ -96,18 +107,24 @@ struct CommitTracker {
 /// The mutable world state of the chain.
 #[derive(Debug, Default)]
 pub struct WorldState {
+    /// Resident accounts. For a base-backed world this is the overlay:
+    /// only accounts touched since [`WorldState::layered`] /
+    /// [`WorldState::rebase`] appear here.
     accounts: HashMap<Address, Arc<AccountState>>,
+    /// Base state that reads fall through to when `accounts` misses.
+    base: Option<Arc<dyn StateReader>>,
     tracker: Mutex<CommitTracker>,
 }
 
 impl Clone for WorldState {
-    /// Copy-on-write: O(accounts) refcount bumps. Account bodies, storage
-    /// maps, code blobs, and the retained commit tries are all shared until
-    /// either side writes.
+    /// Copy-on-write: O(overlay accounts) refcount bumps. Account bodies,
+    /// storage maps, code blobs, the base handle, and the retained commit
+    /// tries are all shared until either side writes.
     fn clone(&self) -> Self {
         let tracker = self.tracker.lock().unwrap_or_else(PoisonError::into_inner);
         WorldState {
             accounts: self.accounts.clone(),
+            base: self.base.clone(),
             tracker: Mutex::new(CommitTracker {
                 dirty: tracker.dirty.clone(),
                 commit: tracker.commit.clone(),
@@ -117,7 +134,8 @@ impl Clone for WorldState {
 }
 
 impl PartialEq for WorldState {
-    /// Equality is by account contents only — commit memos are derived data.
+    /// Equality is by resident account contents only — commit memos are
+    /// derived data, and base-backed worlds compare by overlay.
     fn eq(&self, other: &Self) -> bool {
         self.accounts == other.accounts
     }
@@ -129,6 +147,57 @@ impl WorldState {
         Self::default()
     }
 
+    /// An empty overlay stacked on `base`, whose committed account trie is
+    /// `account_trie` (the trie whose root the base answers reads for).
+    ///
+    /// The trie seeds the incremental-commit memo so the first recommit
+    /// patches it instead of rebuilding from the (possibly huge) base.
+    /// Storage tries are not seeded: the first account whose storage is
+    /// touched rebuilds its trie from the base's flat entries, after which
+    /// it is retained and patched like any other.
+    pub fn layered(base: Arc<dyn StateReader>, account_trie: Trie) -> Self {
+        WorldState {
+            accounts: HashMap::new(),
+            base: Some(base),
+            tracker: Mutex::new(CommitTracker {
+                dirty: HashMap::new(),
+                commit: Some(Arc::new(WorldCommit {
+                    root: account_trie.root_hash(),
+                    account_trie,
+                    storage_tries: HashMap::new(),
+                })),
+            }),
+        }
+    }
+
+    /// Converts a resident world into a base-backed one: commits (so the
+    /// memo is primed), then drops every resident account in favor of reads
+    /// through `base` — which must answer exactly this world's committed
+    /// state (e.g. a flat base seeded with [`WorldState::full_delta`]).
+    ///
+    /// The commit memo — account trie *and* storage tries — is retained in
+    /// full: [`WorldState::commit_tries`] must keep emitting the complete
+    /// per-reference node list (reference-counting stores prune by the
+    /// mirror walk), and untouched accounts' storage tries can only come
+    /// from the memo once their flat values live behind the base. Only the
+    /// resident account bodies and storage values are shed.
+    pub fn rebase(&mut self, base: Arc<dyn StateReader>) {
+        let commit = self.refresh();
+        self.accounts = HashMap::new();
+        self.base = Some(base);
+        let tracker = self
+            .tracker
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        tracker.dirty.clear();
+        tracker.commit = Some(commit);
+    }
+
+    /// The base this world reads through, if any.
+    pub fn base(&self) -> Option<&Arc<dyn StateReader>> {
+        self.base.as_ref()
+    }
+
     /// A copy-on-write snapshot: the validator pipeline's per-block base.
     /// Alias of `clone()`, named for intent — the copy is O(accounts)
     /// pointer bumps, and writes to either side copy only touched accounts.
@@ -136,12 +205,15 @@ impl WorldState {
         self.clone()
     }
 
-    /// Read access to an account, if it exists.
+    /// Read access to a *resident* (overlay) account, if present. For
+    /// base-backed worlds this does not consult the base — use the typed
+    /// getters for semantic reads.
     pub fn account(&self, addr: &Address) -> Option<&AccountState> {
         self.accounts.get(addr).map(|a| &**a)
     }
 
-    /// Mutable access, creating the account if needed.
+    /// Mutable access, creating (and, for base-backed worlds,
+    /// materializing) the account if needed.
     ///
     /// This hands out the raw account — including its storage map — so the
     /// account is conservatively marked fully dirty and its storage trie is
@@ -153,7 +225,7 @@ impl WorldState {
             .unwrap_or_else(PoisonError::into_inner)
             .dirty
             .insert(addr, DirtyAccount::Full);
-        Arc::make_mut(self.accounts.entry(addr).or_default())
+        materialize(&mut self.accounts, self.base.as_deref(), addr)
     }
 
     /// Marks the account body (balance/nonce/code) dirty without touching
@@ -165,37 +237,53 @@ impl WorldState {
             .dirty
             .entry(addr)
             .or_insert_with(|| DirtyAccount::Slots(HashSet::new()));
-        Arc::make_mut(self.accounts.entry(addr).or_default())
+        materialize(&mut self.accounts, self.base.as_deref(), addr)
     }
 
     /// The balance of `addr` (zero if absent).
     pub fn balance(&self, addr: &Address) -> U256 {
-        self.accounts
-            .get(addr)
-            .map(|a| a.balance)
-            .unwrap_or(U256::ZERO)
+        match self.accounts.get(addr) {
+            Some(a) => a.balance,
+            None => self
+                .base_account(addr)
+                .map(|a| a.balance)
+                .unwrap_or(U256::ZERO),
+        }
     }
 
     /// The nonce of `addr` (zero if absent).
     pub fn nonce(&self, addr: &Address) -> u64 {
-        self.accounts.get(addr).map(|a| a.nonce).unwrap_or(0)
+        match self.accounts.get(addr) {
+            Some(a) => a.nonce,
+            None => self.base_account(addr).map(|a| a.nonce).unwrap_or(0),
+        }
     }
 
-    /// The storage slot `key` of `addr` (zero if absent).
+    /// The storage slot `key` of `addr` (zero if absent). An overlay entry
+    /// — including a zero tombstone — shadows the base.
     pub fn storage(&self, addr: &Address, key: &H256) -> U256 {
-        self.accounts
-            .get(addr)
-            .and_then(|a| a.storage.get(key))
-            .copied()
-            .unwrap_or(U256::ZERO)
+        if let Some(acct) = self.accounts.get(addr) {
+            if let Some(value) = acct.storage.get(key) {
+                return *value;
+            }
+        }
+        match &self.base {
+            Some(base) => base.base_storage(addr, key).unwrap_or(U256::ZERO),
+            None => U256::ZERO,
+        }
     }
 
     /// The code of `addr` (empty if absent).
     pub fn code(&self, addr: &Address) -> Arc<Vec<u8>> {
-        self.accounts
-            .get(addr)
-            .map(|a| Arc::clone(&a.code))
-            .unwrap_or_default()
+        match self.accounts.get(addr) {
+            Some(a) => Arc::clone(&a.code),
+            None => self.base_account(addr).map(|a| a.code).unwrap_or_default(),
+        }
+    }
+
+    /// Base body lookup (absent without a base).
+    fn base_account(&self, addr: &Address) -> Option<BaseAccount> {
+        self.base.as_ref().and_then(|b| b.base_account(addr))
     }
 
     /// Sets a balance, creating the account if needed.
@@ -208,7 +296,9 @@ impl WorldState {
         self.body_mut(addr).nonce = nonce;
     }
 
-    /// Sets a storage slot. Writing zero deletes the slot, as in Ethereum.
+    /// Sets a storage slot. Writing zero deletes the slot, as in Ethereum —
+    /// except over a base, where the zero is kept as an explicit tombstone
+    /// so the overlay shadows the base's value instead of re-exposing it.
     pub fn set_storage(&mut self, addr: Address, key: H256, value: U256) {
         let tracker = self
             .tracker
@@ -224,8 +314,8 @@ impl WorldState {
             }
             DirtyAccount::Full => {}
         }
-        let acct = Arc::make_mut(self.accounts.entry(addr).or_default());
-        if value.is_zero() {
+        let acct = materialize(&mut self.accounts, self.base.as_deref(), addr);
+        if value.is_zero() && self.base.is_none() {
             acct.storage.remove(&key);
         } else {
             acct.storage.insert(key, value);
@@ -321,20 +411,125 @@ impl WorldState {
 
     /// Recomputes the state root from scratch, ignoring and not touching the
     /// incremental memo. The oracle the incremental path is checked against
-    /// (automatically so in debug builds).
+    /// (automatically so in debug builds). For base-backed worlds this
+    /// enumerates the entire base — debug/test use only.
     pub fn rebuild_root(&self) -> H256 {
         let mut account_trie = Trie::new();
-        for (addr, acct) in &self.accounts {
-            if acct.is_empty() {
+        let mut addrs: HashSet<Address> = self.accounts.keys().copied().collect();
+        if let Some(base) = &self.base {
+            addrs.extend(base.base_accounts());
+        }
+        for addr in addrs {
+            let (acct, merged) = self.effective_account(&addr);
+            if acct.nonce == 0
+                && acct.balance.is_zero()
+                && acct.code.is_empty()
+                && merged.is_empty()
+            {
                 continue;
             }
-            let root = storage_root(&acct.storage);
+            let root = storage_root(&merged);
             account_trie.insert(
                 keccak256(addr.as_bytes()).as_bytes(),
-                account_body(acct, root),
+                account_body(&acct, root),
             );
         }
         account_trie.root_hash()
+    }
+
+    /// The effective body and merged (base ∪ overlay, zeros dropped) storage
+    /// of `addr`. From-scratch oracle helper — not a fast path.
+    fn effective_account(&self, addr: &Address) -> (AccountState, HashMap<H256, U256>) {
+        let mut merged: HashMap<H256, U256> = match &self.base {
+            Some(base) => base.base_storage_entries(addr).into_iter().collect(),
+            None => HashMap::new(),
+        };
+        let body = match self.accounts.get(addr) {
+            Some(acct) => {
+                for (slot, value) in &acct.storage {
+                    if value.is_zero() {
+                        merged.remove(slot);
+                    } else {
+                        merged.insert(*slot, *value);
+                    }
+                }
+                (**acct).clone()
+            }
+            None => match self.base_account(addr) {
+                Some(b) => AccountState {
+                    nonce: b.nonce,
+                    balance: b.balance,
+                    storage: HashMap::new(),
+                    code: b.code,
+                },
+                None => AccountState::default(),
+            },
+        };
+        (body, merged)
+    }
+
+    /// The net effect of this world on its base, restricted to the given
+    /// touched keys — what a snapshot diff layer stores for the block that
+    /// produced this state. Values are read post-state: a zeroed slot or an
+    /// emptied account body becomes a `None` (delete) entry.
+    ///
+    /// Any body key (balance/nonce/code) captures the whole body, so the
+    /// delta is insensitive to which body field the write set named.
+    pub fn delta_for_keys<'a, I>(&self, keys: I) -> StateDelta
+    where
+        I: IntoIterator<Item = &'a AccessKey>,
+    {
+        let mut delta = StateDelta::default();
+        for key in keys {
+            match key {
+                AccessKey::Storage(addr, slot) => {
+                    let value = self.storage(addr, slot);
+                    delta
+                        .storage
+                        .entry(*addr)
+                        .or_default()
+                        .insert(*slot, (!value.is_zero()).then_some(value));
+                }
+                _ => {
+                    let addr = key.address();
+                    let body = BaseAccount {
+                        nonce: self.nonce(&addr),
+                        balance: self.balance(&addr),
+                        code: self.code(&addr),
+                    };
+                    delta
+                        .accounts
+                        .insert(addr, (!body.is_empty()).then_some(body));
+                }
+            }
+        }
+        delta
+    }
+
+    /// The whole resident world as a delta over an empty base — used to
+    /// seed a flat base from a genesis world.
+    pub fn full_delta(&self) -> StateDelta {
+        let mut delta = StateDelta::default();
+        for (addr, acct) in &self.accounts {
+            let body = BaseAccount {
+                nonce: acct.nonce,
+                balance: acct.balance,
+                code: Arc::clone(&acct.code),
+            };
+            if !body.is_empty() {
+                delta.accounts.insert(*addr, Some(body));
+            }
+            let slots: HashMap<H256, Option<U256>> = acct
+                .storage
+                .iter()
+                .filter(|(_, v)| !v.is_zero())
+                .map(|(s, v)| (*s, Some(*v)))
+                .collect();
+            if !slots.is_empty() {
+                delta.storage.insert(*addr, slots);
+            }
+        }
+        delta
     }
 
     /// Brings the retained commit up to date with all dirty accounts and
@@ -358,16 +553,26 @@ impl WorldState {
             }
             None => {
                 tracker.dirty.clear();
-                let dirty = self
+                let mut all: HashMap<Address, DirtyAccount> = self
                     .accounts
                     .keys()
                     .map(|addr| (*addr, DirtyAccount::Full))
                     .collect();
-                (WorldCommit::default(), dirty)
+                if let Some(base) = &self.base {
+                    for addr in base.base_accounts() {
+                        all.entry(addr).or_insert(DirtyAccount::Full);
+                    }
+                }
+                (WorldCommit::default(), all.into_iter().collect())
             }
         };
 
-        let updates = compute_updates(&dirty, &self.accounts, &commit.storage_tries);
+        let updates = compute_updates(
+            &dirty,
+            &self.accounts,
+            &commit.storage_tries,
+            self.base.as_deref(),
+        );
         for update in updates {
             match update {
                 AccountUpdate::Remove(addr) => {
@@ -400,6 +605,29 @@ impl WorldState {
     }
 }
 
+/// Overlay entry for `addr`, creating it if needed — seeded from the base's
+/// body when one exists, so the overlay body is authoritative from the first
+/// write on. Storage is *not* copied: overlay maps hold touched slots only.
+fn materialize<'a>(
+    accounts: &'a mut HashMap<Address, Arc<AccountState>>,
+    base: Option<&dyn StateReader>,
+    addr: Address,
+) -> &'a mut AccountState {
+    let entry = accounts.entry(addr).or_insert_with(|| {
+        let seeded = base
+            .and_then(|b| b.base_account(&addr))
+            .map(|b| AccountState {
+                nonce: b.nonce,
+                balance: b.balance,
+                storage: HashMap::new(),
+                code: b.code,
+            })
+            .unwrap_or_default();
+        Arc::new(seeded)
+    });
+    Arc::make_mut(entry)
+}
+
 /// The effect of one dirty account on the account trie.
 enum AccountUpdate {
     /// Account is empty or absent: drop it (EIP-161).
@@ -415,6 +643,7 @@ fn compute_updates(
     dirty: &[(Address, DirtyAccount)],
     accounts: &HashMap<Address, Arc<AccountState>>,
     prev_tries: &HashMap<Address, Trie>,
+    base: Option<&dyn StateReader>,
 ) -> Vec<AccountUpdate> {
     /// Below this many dirty accounts, thread spawn overhead outweighs the
     /// hashing it would parallelize.
@@ -426,7 +655,7 @@ fn compute_updates(
     if dirty.len() < PARALLEL_THRESHOLD || workers < 2 {
         return dirty
             .iter()
-            .map(|(addr, dirt)| compute_update(*addr, dirt, accounts, prev_tries))
+            .map(|(addr, dirt)| compute_update(*addr, dirt, accounts, prev_tries, base))
             .collect();
     }
     let chunk = dirty.len().div_ceil(workers);
@@ -436,7 +665,7 @@ fn compute_updates(
             .map(|part| {
                 scope.spawn(move || {
                     part.iter()
-                        .map(|(addr, dirt)| compute_update(*addr, dirt, accounts, prev_tries))
+                        .map(|(addr, dirt)| compute_update(*addr, dirt, accounts, prev_tries, base))
                         .collect::<Vec<_>>()
                 })
             })
@@ -450,52 +679,88 @@ fn compute_updates(
 
 /// Computes one dirty account's update: patch (or rebuild) its storage trie,
 /// hash it, and re-encode the account body.
+///
+/// With a base, the overlay account's body is authoritative (materialized on
+/// first write), while its storage map holds only the touched slots: the
+/// patch path falls through to the base per dirty slot, and the rebuild path
+/// merges overlay entries over the base's flat entries. An account is
+/// dropped (EIP-161) iff its body is empty *and* its merged storage trie is.
 fn compute_update(
     addr: Address,
     dirt: &DirtyAccount,
     accounts: &HashMap<Address, Arc<AccountState>>,
     prev_tries: &HashMap<Address, Trie>,
+    base: Option<&dyn StateReader>,
 ) -> AccountUpdate {
-    let acct = match accounts.get(&addr) {
-        Some(acct) if !acct.is_empty() => acct,
-        _ => return AccountUpdate::Remove(addr),
-    };
-    let storage_trie = match (dirt, prev_tries.get(&addr)) {
+    let overlay = accounts.get(&addr);
+    if base.is_none() {
+        match overlay {
+            Some(acct) if !acct.is_empty() => {}
+            _ => return AccountUpdate::Remove(addr),
+        }
+    }
+    let storage_trie = match (dirt, prev_tries.get(&addr), overlay) {
         // Precise slot tracking with a retained trie: patch only the dirty
-        // slots. A slot now zero/absent is deleted from the trie.
-        (DirtyAccount::Slots(slots), Some(prev)) => {
+        // slots. A slot now zero/absent is deleted from the trie; a dirty
+        // slot missing from the overlay falls through to the base.
+        (DirtyAccount::Slots(slots), Some(prev), Some(acct)) => {
             let mut trie = prev.clone();
             for slot in slots {
                 let key = keccak256(slot.as_bytes());
-                match acct.storage.get(slot) {
-                    Some(value) if !value.is_zero() => {
-                        trie.insert(key.as_bytes(), storage_leaf(value));
-                    }
-                    _ => {
-                        trie.remove(key.as_bytes());
-                    }
+                let value = acct
+                    .storage
+                    .get(slot)
+                    .copied()
+                    .or_else(|| base.and_then(|b| b.base_storage(&addr, slot)))
+                    .unwrap_or(U256::ZERO);
+                if value.is_zero() {
+                    trie.remove(key.as_bytes());
+                } else {
+                    trie.insert(key.as_bytes(), storage_leaf(&value));
                 }
             }
             trie
         }
-        // Fully dirty, or no retained trie (storage was empty at the last
-        // commit): rebuild. With slot tracking and no retained trie every
-        // non-zero slot is itself dirty, so this does no extra work.
+        // Fully dirty, or no retained trie (first touch since the base, or
+        // storage was empty at the last commit): rebuild from the base's
+        // flat entries with the overlay's merged on top.
         _ => {
-            let mut trie = Trie::new();
-            for (slot, value) in &acct.storage {
-                if value.is_zero() {
-                    continue;
+            let mut merged: HashMap<H256, U256> = match base {
+                Some(b) => b.base_storage_entries(&addr).into_iter().collect(),
+                None => HashMap::new(),
+            };
+            if let Some(acct) = overlay {
+                for (slot, value) in &acct.storage {
+                    if value.is_zero() {
+                        merged.remove(slot);
+                    } else {
+                        merged.insert(*slot, *value);
+                    }
                 }
+            }
+            let mut trie = Trie::new();
+            for (slot, value) in &merged {
                 trie.insert(keccak256(slot.as_bytes()).as_bytes(), storage_leaf(value));
             }
             trie
         }
     };
+    // Resolve the effective body: the overlay's if materialized, else the
+    // base's (reachable when a first commit enumerates base accounts).
+    let (nonce, balance, code) = match overlay {
+        Some(acct) => (acct.nonce, acct.balance, Arc::clone(&acct.code)),
+        None => match base.and_then(|b| b.base_account(&addr)) {
+            Some(b) => (b.nonce, b.balance, b.code),
+            None => (0, U256::ZERO, Arc::new(Vec::new())),
+        },
+    };
+    if nonce == 0 && balance.is_zero() && code.is_empty() && storage_trie.is_empty() {
+        return AccountUpdate::Remove(addr);
+    }
     // Hash here, inside the parallel region — the memo makes the later
     // account-trie pass O(1) per storage root.
     let root = storage_trie.root_hash();
-    let body = account_body(acct, root);
+    let body = account_body_parts(nonce, balance, &code, root);
     AccountUpdate::Upsert(addr, storage_trie, body)
 }
 
@@ -506,14 +771,19 @@ fn storage_leaf(value: &U256) -> Vec<u8> {
 
 /// RLP account body with the given storage root.
 fn account_body(acct: &AccountState, storage_root: H256) -> Vec<u8> {
-    let code_hash = if acct.code.is_empty() {
+    account_body_parts(acct.nonce, acct.balance, &acct.code, storage_root)
+}
+
+/// RLP account body from its parts.
+fn account_body_parts(nonce: u64, balance: U256, code: &[u8], storage_root: H256) -> Vec<u8> {
+    let code_hash = if code.is_empty() {
         empty_code_hash()
     } else {
-        keccak256(&acct.code)
+        keccak256(code)
     };
     Account {
-        nonce: acct.nonce,
-        balance: acct.balance,
+        nonce,
+        balance,
         storage_root,
         code_hash,
     }
@@ -807,6 +1077,174 @@ mod tests {
         nodes_inc.sort();
         nodes_fresh.sort();
         assert_eq!(nodes_inc, nodes_fresh);
+    }
+
+    // ---- base-backed (layered) world coverage ----
+
+    use crate::reader::MapReader;
+
+    /// A resident fixture world plus a MapReader base answering its
+    /// committed state and a layered world stacked on that base.
+    fn layered_fixture(n: u64) -> (WorldState, WorldState) {
+        let mut resident = WorldState::new();
+        for i in 0..n {
+            resident.set_balance(addr(i), U256::from(100 + i));
+            resident.set_nonce(addr(i), i % 3);
+            if i % 2 == 0 {
+                resident.set_storage(addr(i), H256::from_low_u64(i), U256::from(i + 1));
+                resident.set_storage(addr(i), H256::from_low_u64(i + 7), U256::from(2 * i + 1));
+            }
+            if i % 5 == 0 {
+                resident.set_code(addr(i), vec![0x60, i as u8]);
+            }
+        }
+        let mut base = MapReader::new();
+        base.apply(&resident.full_delta());
+        let commit = resident.refresh();
+        let layered = WorldState::layered(Arc::new(base), commit.account_trie.clone());
+        (resident, layered)
+    }
+
+    #[test]
+    fn layered_reads_fall_through_to_base() {
+        let (resident, layered) = layered_fixture(12);
+        for i in 0..12u64 {
+            assert_eq!(layered.balance(&addr(i)), resident.balance(&addr(i)));
+            assert_eq!(layered.nonce(&addr(i)), resident.nonce(&addr(i)));
+            assert_eq!(layered.code(&addr(i)), resident.code(&addr(i)));
+            let slot = H256::from_low_u64(i);
+            assert_eq!(
+                layered.storage(&addr(i), &slot),
+                resident.storage(&addr(i), &slot)
+            );
+        }
+        // Absent everywhere reads zero.
+        assert_eq!(layered.balance(&addr(99)), U256::ZERO);
+        assert_eq!(layered.storage(&addr(99), &H256::ZERO), U256::ZERO);
+        // Nothing was materialized by reads.
+        assert_eq!(layered.account_count(), 0);
+    }
+
+    #[test]
+    fn layered_root_matches_resident_after_same_mutations() {
+        let (mut resident, mut layered) = layered_fixture(20);
+        assert_eq!(layered.state_root(), resident.state_root());
+        let mutate = |w: &mut WorldState| {
+            w.set_balance(addr(3), U256::from(777u64));
+            w.set_storage(addr(2), H256::from_low_u64(2), U256::from(999u64));
+            w.set_storage(addr(4), H256::from_low_u64(4), U256::ZERO); // clear a base slot
+            w.set_storage(addr(21), H256::from_low_u64(1), U256::ONE); // fresh account
+            w.set_nonce(addr(21), 1);
+            w.set_balance(addr(5), U256::ZERO); // body emptied, storage may live on
+        };
+        mutate(&mut resident);
+        mutate(&mut layered);
+        assert_eq!(layered.state_root(), resident.state_root());
+        assert_eq!(layered.state_root(), layered.rebuild_root());
+        // Only the touched accounts were materialized.
+        assert!(layered.account_count() <= 5);
+        // Second round over the already-primed tries.
+        let again = |w: &mut WorldState| {
+            w.set_storage(addr(2), H256::from_low_u64(2), U256::ZERO);
+            w.set_storage(addr(2), H256::from_low_u64(77), U256::from(5u64));
+            w.set_balance(addr(0), U256::from(1u64));
+        };
+        again(&mut resident);
+        again(&mut layered);
+        assert_eq!(layered.state_root(), resident.state_root());
+    }
+
+    #[test]
+    fn layered_zero_write_shadows_base() {
+        let (_, mut layered) = layered_fixture(6);
+        let slot = H256::from_low_u64(0);
+        assert_eq!(layered.storage(&addr(0), &slot), U256::ONE);
+        layered.set_storage(addr(0), slot, U256::ZERO);
+        assert_eq!(layered.storage(&addr(0), &slot), U256::ZERO);
+        // The other base slot of addr(0) is untouched.
+        assert_eq!(layered.storage(&addr(0), &H256::from_low_u64(7)), U256::ONE);
+    }
+
+    #[test]
+    fn rebase_preserves_root_and_sheds_accounts() {
+        let (resident, _) = layered_fixture(15);
+        let root = resident.state_root();
+        let mut base = MapReader::new();
+        base.apply(&resident.full_delta());
+        let mut world = resident.clone();
+        world.rebase(Arc::new(base));
+        assert_eq!(world.account_count(), 0);
+        assert_eq!(world.state_root(), root);
+        // Mutations keep committing correctly after the rebase.
+        world.set_balance(addr(1), U256::from(123456u64));
+        assert_eq!(world.state_root(), world.rebuild_root());
+    }
+
+    #[test]
+    fn layered_snapshot_forks_diverge_like_resident_ones() {
+        let (resident, layered) = layered_fixture(10);
+        let mut fork_a = layered.snapshot();
+        let mut fork_b = layered.snapshot();
+        fork_a.set_balance(addr(1), U256::from(111u64));
+        fork_b.set_balance(addr(1), U256::from(222u64));
+        let mut oracle_a = resident.clone();
+        oracle_a.set_balance(addr(1), U256::from(111u64));
+        let mut oracle_b = resident.clone();
+        oracle_b.set_balance(addr(1), U256::from(222u64));
+        assert_eq!(fork_a.state_root(), oracle_a.state_root());
+        assert_eq!(fork_b.state_root(), oracle_b.state_root());
+        // The shared parent overlay is untouched by either fork.
+        assert_eq!(layered.balance(&addr(1)), U256::from(101u64));
+    }
+
+    #[test]
+    fn delta_for_keys_roundtrips_through_map_reader() {
+        let (resident, mut layered) = layered_fixture(8);
+        layered.set_balance(addr(2), U256::from(5000u64));
+        layered.set_nonce(addr(2), 9);
+        layered.set_storage(addr(0), H256::from_low_u64(0), U256::ZERO);
+        layered.set_storage(addr(3), H256::from_low_u64(40), U256::from(4u64));
+        layered.set_balance(addr(1), U256::ZERO); // EIP-161 empties addr(1)?
+        layered.set_nonce(addr(1), 0);
+        let keys = [
+            AccessKey::Balance(addr(2)),
+            AccessKey::Nonce(addr(2)),
+            AccessKey::Storage(addr(0), H256::from_low_u64(0)),
+            AccessKey::Storage(addr(3), H256::from_low_u64(40)),
+            AccessKey::Balance(addr(1)),
+        ];
+        let delta = layered.delta_for_keys(keys.iter());
+        // Fold the delta into a copy of the base: reads must match the
+        // layered world's post-state.
+        let mut folded = MapReader::new();
+        folded.apply(&resident.full_delta());
+        folded.apply(&delta);
+        let reread = WorldState::layered(Arc::new(folded), {
+            let commit = layered.refresh();
+            commit.account_trie.clone()
+        });
+        assert_eq!(reread.state_root(), layered.state_root());
+        assert_eq!(reread.balance(&addr(2)), U256::from(5000u64));
+        assert_eq!(reread.nonce(&addr(2)), 9);
+        assert_eq!(reread.storage(&addr(0), &H256::from_low_u64(0)), U256::ZERO);
+        assert_eq!(
+            reread.storage(&addr(3), &H256::from_low_u64(40)),
+            U256::from(4u64)
+        );
+    }
+
+    #[test]
+    fn layered_first_commit_without_memo_enumerates_base() {
+        // A layered world whose commit memo was never seeded must still
+        // produce the right root by enumerating the base (slow fallback).
+        let (resident, _) = layered_fixture(9);
+        let mut base = MapReader::new();
+        base.apply(&resident.full_delta());
+        let mut world = WorldState::new();
+        world.base = Some(Arc::new(base));
+        assert_eq!(world.state_root(), resident.state_root());
+        world.set_balance(addr(30), U256::from(3u64));
+        assert_eq!(world.state_root(), world.rebuild_root());
     }
 
     #[test]

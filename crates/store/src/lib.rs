@@ -48,7 +48,7 @@ pub use blocklog::BlockLog;
 pub use manifest::ManifestData;
 pub use nodestore::NodeStore;
 pub use snapshot::{decode_world, encode_world};
-pub use store::Store;
+pub use store::{Store, StoreConfig};
 
 use bp_types::H256;
 
@@ -92,5 +92,15 @@ impl std::error::Error for StoreError {
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+impl From<bp_snap::SnapError> for StoreError {
+    fn from(e: bp_snap::SnapError) -> Self {
+        match e {
+            bp_snap::SnapError::Io(io) => StoreError::Io(io),
+            bp_snap::SnapError::Corrupt(msg) => StoreError::Corrupt(format!("snapshot: {msg}")),
+            bp_snap::SnapError::UnknownRoot(root) => StoreError::UnknownRoot(root),
+        }
     }
 }

@@ -87,7 +87,9 @@ impl<B: NodeBackend> NodeStore<B> {
         // Collect the full per-reference list *before* mutating, so the walk
         // reads a consistent backend.
         let refs = self.walk_refs(root)?;
-        self.roots.swap_remove(pos);
+        // Order-preserving removal: `roots` stays in commit (chronological)
+        // order so retention windows can prune oldest-first.
+        self.roots.remove(pos);
         for h in refs {
             match self.refcounts.get_mut(&h) {
                 Some(rc) if *rc > 1 => *rc -= 1,

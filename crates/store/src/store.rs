@@ -17,7 +17,8 @@
 use std::path::{Path, PathBuf};
 
 use bp_block::Block;
-use bp_state::{Trie, WorldState};
+use bp_snap::SnapTree;
+use bp_state::{StateDelta, Trie, WorldState};
 use bp_types::{BlockHash, H256};
 
 use crate::backend::FileBackend;
@@ -30,6 +31,21 @@ use crate::StoreError;
 const BLOCKS_FILE: &str = "blocks.log";
 const NODES_FILE: &str = "nodes.log";
 const GENESIS_FILE: &str = "genesis.bin";
+const SNAP_DIR: &str = "snap";
+
+/// Tunables for a [`Store`].
+#[derive(Clone, Debug, Default)]
+pub struct StoreConfig {
+    /// Keep only the newest `K` retained state roots: each
+    /// [`Store::commit`] prunes trie roots (and flattens snapshot diff
+    /// layers) past the window, oldest first. `None` (the default) keeps
+    /// everything.
+    pub retention_window: Option<usize>,
+    /// Maintain a persistent [`SnapTree`] (layered flat state) under
+    /// `<dir>/snap`, giving execution a disk-backed read path that does not
+    /// require the whole state resident in memory.
+    pub snapshots: bool,
+}
 
 /// A node's persistent block/state store.
 #[derive(Debug)]
@@ -41,13 +57,22 @@ pub struct Store {
     genesis_state: Option<WorldState>,
     next_slot: usize,
     next_generation: u64,
+    config: StoreConfig,
+    snaps: Option<SnapTree>,
 }
 
 impl Store {
+    /// Opens the store in `dir` with default configuration (no retention
+    /// window, no snapshot tree). See [`Store::open_with`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Store, StoreError> {
+        Store::open_with(dir, StoreConfig::default())
+    }
+
     /// Opens the store in `dir` (created if absent), replaying the manifest:
     /// data logs are truncated to their committed lengths and node refcounts
-    /// rebuilt by walking every retained root.
-    pub fn open(dir: impl AsRef<Path>) -> Result<Store, StoreError> {
+    /// rebuilt by walking every retained root. With `config.snapshots` the
+    /// layered flat state under `<dir>/snap` is recovered alongside.
+    pub fn open_with(dir: impl AsRef<Path>, config: StoreConfig) -> Result<Store, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let blocks_path = dir.join(BLOCKS_FILE);
@@ -78,6 +103,11 @@ impl Store {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
             Err(e) => return Err(e.into()),
         };
+        let snaps = if config.snapshots {
+            Some(SnapTree::open(&dir.join(SNAP_DIR))?)
+        } else {
+            None
+        };
         Ok(Store {
             dir,
             blocks,
@@ -86,6 +116,8 @@ impl Store {
             genesis_state,
             next_slot,
             next_generation,
+            config,
+            snaps,
         })
     }
 
@@ -114,6 +146,9 @@ impl Store {
         let (root, nodes) = genesis_state.commit_tries();
         debug_assert_eq!(root, genesis_block.header.state_root);
         self.commit_root(root, &nodes)?;
+        if let Some(snaps) = &self.snaps {
+            snaps.seed(&genesis_state.full_delta(), root, 0)?;
+        }
         self.commit(genesis_block.hash())
     }
 
@@ -164,9 +199,32 @@ impl Store {
     /// The crash-safe commit: fsync both logs, then atomically swap in a
     /// manifest recording `head`, the durable lengths, and the retained
     /// roots. On return the state up to `head` survives any crash.
+    ///
+    /// With a [`StoreConfig::retention_window`] set, roots older than the
+    /// newest `K` are pruned first (trie nodes released, snapshot diff
+    /// layers flattened into the flat base), so the manifest that lands
+    /// already reflects the bounded retained set.
     pub fn commit(&mut self, head: BlockHash) -> Result<(), StoreError> {
         if !self.blocks.contains(&head) {
             return Err(StoreError::MissingBlock(head));
+        }
+        if let Some(window) = self.config.retention_window {
+            let window = window.max(1);
+            while self.nodes.roots().len() > window {
+                let oldest = self.nodes.roots()[0];
+                self.nodes.prune(oldest)?;
+            }
+            if let Some(snaps) = &self.snaps {
+                let head_root = self
+                    .blocks
+                    .get(&head)?
+                    .ok_or(StoreError::MissingBlock(head))?
+                    .header
+                    .state_root;
+                if snaps.has_root(head_root) {
+                    snaps.retain(head_root, window)?;
+                }
+            }
         }
         let blocks_len = self.blocks.sync()?;
         let nodes_len = self.nodes.sync()?;
@@ -242,6 +300,50 @@ impl Store {
     /// [`bp_state::NodeResolver`]).
     pub fn node_store(&self) -> &NodeStore<FileBackend> {
         &self.nodes
+    }
+
+    /// The configuration this store was opened with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The layered flat-state tree, when [`StoreConfig::snapshots`] is on.
+    /// The handle is cheap to clone and internally synchronized.
+    pub fn snapshots(&self) -> Option<&SnapTree> {
+        self.snaps.as_ref()
+    }
+
+    /// Registers one block's diff layer in the snapshot tree: `root` is the
+    /// block's post-state root stacked on `parent` (the previous block's
+    /// root). No-op `Ok(false)` when snapshots are off or the root is
+    /// already covered (replays, empty blocks).
+    pub fn snap_add_layer(
+        &mut self,
+        root: H256,
+        parent: H256,
+        height: u64,
+        delta: StateDelta,
+    ) -> Result<bool, StoreError> {
+        match &self.snaps {
+            Some(snaps) => Ok(snaps.add_layer(root, parent, height, delta)?),
+            None => Ok(false),
+        }
+    }
+
+    /// Rebuilds the snapshot tree from scratch: `delta` must be the full
+    /// state at `root` (height 0 for genesis). Recovery calls this before
+    /// replaying the chain, since replayed flattens must move forward in
+    /// height from a fresh base.
+    pub fn reset_snapshots(
+        &mut self,
+        delta: &StateDelta,
+        root: H256,
+        height: u64,
+    ) -> Result<(), StoreError> {
+        if let Some(snaps) = &self.snaps {
+            snaps.reset(delta, root, height)?;
+        }
+        Ok(())
     }
 }
 
@@ -413,6 +515,72 @@ mod tests {
             store.open_trie(world.state_root()).unwrap().root_hash(),
             world.state_root()
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_window_bounds_roots_and_snap_layers() {
+        use bp_state::{BaseAccount, StateReader};
+        use std::sync::Arc;
+        let dir = test_dir("store-retention");
+        let mut world = genesis_world(6);
+        let gblock = genesis_block(&world);
+        let config = StoreConfig {
+            retention_window: Some(3),
+            snapshots: true,
+        };
+        let head;
+        let head_root;
+        {
+            let mut store = Store::open_with(&dir, config.clone()).unwrap();
+            store.initialize(&world, &gblock).unwrap();
+            assert_eq!(store.snapshots().unwrap().base_root(), world.state_root());
+            let mut parent = gblock.clone();
+            let mut parent_root = world.state_root();
+            for seq in 1..=8u64 {
+                let b = child_block(&parent, &mut world, seq);
+                let root = world.state_root();
+                // The block's net effect: one fresh balance write.
+                let mut delta = StateDelta::default();
+                delta.accounts.insert(
+                    Address::from_index(900 + seq),
+                    Some(BaseAccount {
+                        nonce: 0,
+                        balance: U256::from(seq + 1),
+                        code: Arc::new(Vec::new()),
+                    }),
+                );
+                store.put_block(&b).unwrap();
+                let (_, nodes) = world.commit_tries();
+                store.commit_root(root, &nodes).unwrap();
+                store.snap_add_layer(root, parent_root, seq, delta).unwrap();
+                store.commit(b.hash()).unwrap();
+                assert!(store.roots().len() <= 3);
+                assert!(store.snapshots().unwrap().layer_count() <= 3);
+                parent = b;
+                parent_root = root;
+            }
+            head = parent.hash();
+            head_root = parent_root;
+            // The snap base advanced past genesis as layers flattened.
+            assert!(store.snapshots().unwrap().base_height() >= 5);
+        }
+        let store = Store::open_with(&dir, config).unwrap();
+        assert_eq!(store.head(), Some(head));
+        assert_eq!(store.roots().len(), 3);
+        assert!(store.contains_root(&head_root));
+        let snaps = store.snapshots().unwrap();
+        assert!(snaps.has_root(head_root));
+        let reader = snaps.reader(head_root).unwrap();
+        for seq in 1..=8u64 {
+            assert_eq!(
+                reader
+                    .base_account(&Address::from_index(900 + seq))
+                    .unwrap()
+                    .balance,
+                U256::from(seq + 1)
+            );
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
