@@ -64,7 +64,7 @@ pub fn occ_two_phase(
     let n = txs.len();
 
     // Phase 1: speculate everyone against the pre-block snapshot.
-    let view = WorldView(base);
+    let view = WorldView::new(base);
     let mut speculative = Vec::with_capacity(n);
     for tx in txs.iter() {
         // A speculation failure (e.g. nonce chain within the block) just
@@ -140,7 +140,7 @@ pub fn occ_two_phase(
     }
     for &i in &serial {
         let result = {
-            let view = WorldView(&world);
+            let view = WorldView::new(&world);
             execute_transaction(&view, env, &txs[i]).map_err(|e| (i, e))?
         };
         world.apply_writes(&result.rw.writes);

@@ -35,7 +35,7 @@ pub fn execute_block_serially(
     let mut fees = U256::ZERO;
     for (i, tx) in txs.iter().enumerate() {
         let result = {
-            let view = WorldView(&world);
+            let view = WorldView::new(&world);
             execute_transaction(&view, env, tx).map_err(|e| (i, e))?
         };
         world.apply_writes(&result.rw.writes);

@@ -97,7 +97,7 @@ fn bench_evm(c: &mut Criterion) {
 
     let transfer = Transaction::transfer(sender, Address::from_index(2), U256::ONE, 0, 1);
     g.bench_function("plain_transfer", |b| {
-        let view = WorldView(&world);
+        let view = WorldView::new(&world);
         b.iter(|| execute_transaction(&view, &env, &transfer).unwrap())
     });
 
@@ -111,7 +111,7 @@ fn bench_evm(c: &mut Criterion) {
         data: contracts::token_transfer_calldata(&Address::from_index(2), U256::ONE),
     };
     g.bench_function("token_transfer", |b| {
-        let view = WorldView(&world);
+        let view = WorldView::new(&world);
         b.iter(|| execute_transaction(&view, &env, &token_tx).unwrap())
     });
     g.finish();

@@ -1,0 +1,364 @@
+//! EVM hot-loop A/B: analyzed jump-table interpreter vs the pre-optimization
+//! reference engine.
+//!
+//! Records `BENCH_evm.json` with serial execution rates (gas/µs) for the
+//! optimized transaction path ([`bp_evm::execute_transaction_in`] — cached
+//! code analysis, block-level gas precharge + stack pre-validation, flat
+//! jump-table dispatch, fused superinstructions, journaled host) against
+//! [`bp_evm::reference::execute_transaction_reference_raw`], which pins the
+//! seed interpreter byte-for-byte: per-frame jumpdest recomputation,
+//! per-opcode gas metering, checked stack, monolithic `match` dispatch,
+//! `BTreeMap` footprints, clone-based checkpoints and hash-on-read code
+//! identity, driven through the seed's memo-less state view
+//! ([`bp_evm::reference::RefView`]). The differential suite proves the two
+//! engines agree on receipts, footprints and logs, so the rates are
+//! directly comparable.
+//!
+//! Methodology:
+//!
+//! * Only the execute calls are timed — snapshotting the pre-state and
+//!   applying write sets between transactions happen off the clock, since
+//!   both engines share that infrastructure.
+//! * Transactions are timed with raw TSC reads (calibrated once against the
+//!   monotonic clock; plain `Instant` off x86_64): two `clock_gettime`
+//!   calls per ~1µs transaction add equal constant overhead to both engines
+//!   and bias the measured ratio toward 1.
+//! * Each series keeps its best (minimum) time *per block* across trials:
+//!   on a shared host scheduler noise only ever adds time, and per-block
+//!   minima converge much faster than whole-pass minima.
+//! * The optimized warm series shares one [`AnalysisCache`] across all
+//!   blocks (the steady state of a proposer or validator); the cold series
+//!   re-creates the cache per block to expose the analysis amortization.
+//!
+//! Usage: `cargo run -p bp-bench --release --bin evm_baseline [out.json]`
+//! (`BP_BLOCKS=N` overrides the sample size).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bp_bench::{block_count, generate_fixtures, BlockFixture};
+use bp_evm::reference::{execute_transaction_reference_raw, RefView};
+use bp_evm::{execute_transaction_in, AnalysisCache, WorldView};
+use bp_workload::{TxMix, WorkloadConfig};
+
+const TRIALS: usize = 13;
+
+/// Raw cycle counter: ~5ns per read against ~25ns for a vDSO
+/// `clock_gettime`, and the per-transaction timing overhead lands equally
+/// on both engines, diluting the measured ratio toward 1.
+#[cfg(target_arch = "x86_64")]
+fn ticks() -> u64 {
+    // Unserialized TSC reads can slip a few instructions; at the ~1µs
+    // granularity of a transaction that skew is noise we already tolerate.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn ticks() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Nanoseconds per tick, calibrated once against the monotonic clock over a
+/// busy window (sleeping would let the governor shift the TSC ratio).
+fn ns_per_tick() -> f64 {
+    let started = Instant::now();
+    let t0 = ticks();
+    while started.elapsed() < Duration::from_millis(50) {
+        std::hint::black_box(0u64);
+    }
+    let dt = ticks() - t0;
+    started.elapsed().as_secs_f64() * 1e9 / dt as f64
+}
+
+/// One engine's per-block best-of-trials timings on one workload.
+struct Series {
+    gas: u64,
+    txs: usize,
+    /// Minimum observed ticks for each block across all trials so far.
+    best_ticks: Vec<u64>,
+}
+
+impl Series {
+    fn new(blocks: usize) -> Series {
+        Series {
+            gas: 0,
+            txs: 0,
+            best_ticks: vec![u64::MAX; blocks],
+        }
+    }
+
+    /// Folds one trial's per-block tick counts into the per-block minima.
+    fn fold(&mut self, gas: u64, txs: usize, block_ticks: &[u64]) {
+        // Gas and tx counts are workload constants — identical every trial.
+        self.gas = gas;
+        self.txs = txs;
+        for (best, &t) in self.best_ticks.iter_mut().zip(block_ticks) {
+            *best = (*best).min(t);
+        }
+    }
+
+    fn rate(&self, ns_per_tick: f64) -> Rate {
+        let us = self.best_ticks.iter().sum::<u64>() as f64 * ns_per_tick / 1e3;
+        Rate {
+            gas_per_us: self.gas as f64 / us,
+            us_per_tx: us / self.txs as f64,
+        }
+    }
+}
+
+/// An engine's aggregate serial rate on one workload.
+#[derive(Clone, Copy)]
+struct Rate {
+    gas_per_us: f64,
+    us_per_tx: f64,
+}
+
+/// Runs the pinned pre-optimization engine over all fixtures once,
+/// returning (total gas, total txs, per-block ticks).
+fn ref_trial(fixtures: &[BlockFixture]) -> (u64, usize, Vec<u64>) {
+    let mut gas = 0u64;
+    let mut txs = 0usize;
+    let mut block_ticks = Vec::with_capacity(fixtures.len());
+    for f in fixtures {
+        let mut world = f.pre_state.snapshot();
+        let mut timed = 0u64;
+        for tx in &f.txs {
+            let result = {
+                // The seed's plain pass-through view: the reference series
+                // must not ride the post-change WorldView account memo.
+                let view = RefView::new(&world);
+                let started = ticks();
+                let r = execute_transaction_reference_raw(&view, &f.env, tx)
+                    .expect("fixture txs are includable");
+                timed += ticks() - started;
+                r
+            };
+            gas += result.receipt.gas_used;
+            txs += 1;
+            let rw = result.rw.into_rw_set();
+            world.apply_writes(&rw.writes);
+            for (addr, code) in &result.deployed {
+                world.set_code(*addr, (**code).clone());
+            }
+        }
+        block_ticks.push(timed);
+        std::hint::black_box(&world);
+    }
+    (gas, txs, block_ticks)
+}
+
+/// Runs the optimized engine over all fixtures once against `cache`,
+/// returning (total gas, total txs, per-block ticks).
+fn opt_trial(fixtures: &[BlockFixture], cache: &Arc<AnalysisCache>) -> (u64, usize, Vec<u64>) {
+    let mut gas = 0u64;
+    let mut txs = 0usize;
+    let mut block_ticks = Vec::with_capacity(fixtures.len());
+    for f in fixtures {
+        let mut world = f.pre_state.snapshot();
+        let mut timed = 0u64;
+        for tx in &f.txs {
+            let result = {
+                let view = WorldView::new(&world);
+                let started = ticks();
+                let r = execute_transaction_in(cache, &view, &f.env, tx)
+                    .expect("fixture txs are includable");
+                timed += ticks() - started;
+                r
+            };
+            gas += result.receipt.gas_used;
+            txs += 1;
+            world.apply_writes(&result.rw.writes);
+            for (addr, code) in &result.deployed {
+                world.set_code(*addr, (**code).clone());
+            }
+        }
+        block_ticks.push(timed);
+        std::hint::black_box(&world);
+    }
+    (gas, txs, block_ticks)
+}
+
+/// Both engines must retire the exact same gas on a workload — anything else
+/// means the A/B compared different work.
+fn assert_equivalent(fixtures: &[BlockFixture]) {
+    let cache = AnalysisCache::with_capacity(4096);
+    let cache = Arc::new(cache);
+    for f in fixtures {
+        let mut ref_world = f.pre_state.snapshot();
+        let mut opt_world = f.pre_state.snapshot();
+        for tx in &f.txs {
+            let r = {
+                let view = RefView::new(&ref_world);
+                execute_transaction_reference_raw(&view, &f.env, tx).expect("includable")
+            };
+            let o = {
+                let view = WorldView::new(&opt_world);
+                execute_transaction_in(&cache, &view, &f.env, tx).expect("includable")
+            };
+            assert_eq!(
+                r.receipt, o.receipt,
+                "engines disagree on a fixture receipt"
+            );
+            let rw = r.rw.into_rw_set();
+            ref_world.apply_writes(&rw.writes);
+            opt_world.apply_writes(&o.rw.writes);
+            for (addr, code) in &r.deployed {
+                ref_world.set_code(*addr, (**code).clone());
+            }
+            for (addr, code) in &o.deployed {
+                opt_world.set_code(*addr, (**code).clone());
+            }
+        }
+    }
+}
+
+struct Row {
+    workload: &'static str,
+    reference: Rate,
+    optimized: Rate,
+    cold: Rate,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.optimized.gas_per_us / self.reference.gas_per_us
+    }
+}
+
+fn bench_workload(name: &'static str, mix: TxMix, blocks: usize, ns_per_tick: f64) -> Row {
+    let config = WorkloadConfig {
+        mix,
+        ..WorkloadConfig::default()
+    };
+    let fixtures = generate_fixtures(config, blocks);
+    assert_equivalent(&fixtures);
+
+    let mut reference = Series::new(blocks);
+    let mut optimized = Series::new(blocks);
+    let mut cold = Series::new(blocks);
+    let cache = Arc::new(AnalysisCache::with_capacity(4096));
+    // Interleave engines within each trial so slow-noise epochs (cron, GC of
+    // the host) hit both rather than biasing one series.
+    for _ in 0..TRIALS {
+        let (gas, txs, t) = ref_trial(&fixtures);
+        reference.fold(gas, txs, &t);
+        let (gas, txs, t) = opt_trial(&fixtures, &cache);
+        optimized.fold(gas, txs, &t);
+        let mut cold_gas = 0u64;
+        let mut cold_txs = 0usize;
+        let mut cold_ticks = Vec::with_capacity(blocks);
+        for f in &fixtures {
+            let fresh = Arc::new(AnalysisCache::with_capacity(4096));
+            let (g, n, t) = opt_trial(std::slice::from_ref(f), &fresh);
+            cold_gas += g;
+            cold_txs += n;
+            cold_ticks.extend(t);
+        }
+        cold.fold(cold_gas, cold_txs, &cold_ticks);
+    }
+    let stats = cache.stats();
+    Row {
+        workload: name,
+        reference: reference.rate(ns_per_tick),
+        optimized: optimized.rate(ns_per_tick),
+        cold: cold.rate(ns_per_tick),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_evm.json".to_string());
+    let blocks = block_count(8);
+    println!("=== EVM hot loop A/B: analyzed jump-table vs reference interpreter ===");
+    println!("workload: {blocks} mainnet-like 132-tx blocks per mix (seeded)\n");
+    let ns_per_tick = ns_per_tick();
+
+    let mix = |transfer, token, amm, blind| TxMix {
+        transfer,
+        token,
+        amm,
+        blind,
+    };
+    let rows = [
+        bench_workload("token", mix(0.0, 1.0, 0.0, 0.0), blocks, ns_per_tick),
+        bench_workload("amm", mix(0.0, 0.0, 1.0, 0.0), blocks, ns_per_tick),
+        bench_workload("blind", mix(0.0, 0.0, 0.0, 1.0), blocks, ns_per_tick),
+        bench_workload("transfer", mix(1.0, 0.0, 0.0, 0.0), blocks, ns_per_tick),
+        bench_workload(
+            "contract_mix",
+            mix(0.0, 0.70, 0.20, 0.10),
+            blocks,
+            ns_per_tick,
+        ),
+    ];
+
+    println!(
+        "{:>14} {:>12} {:>12} {:>9} {:>12} {:>10} {:>10}",
+        "workload", "ref gas/µs", "opt gas/µs", "speedup", "cold gas/µs", "opt µs/tx", "hit rate"
+    );
+    for r in &rows {
+        let lookups = r.cache_hits + r.cache_misses;
+        println!(
+            "{:>14} {:>12.1} {:>12.1} {:>8.2}x {:>12.1} {:>10.2} {:>9.1}%",
+            r.workload,
+            r.reference.gas_per_us,
+            r.optimized.gas_per_us,
+            r.speedup(),
+            r.cold.gas_per_us,
+            r.optimized.us_per_tx,
+            100.0 * r.cache_hits as f64 / lookups.max(1) as f64,
+        );
+    }
+
+    let mix_row = rows
+        .iter()
+        .find(|r| r.workload == "contract_mix")
+        .expect("mix row exists");
+    println!(
+        "\ncontract-mix speedup (token .70 / amm .20 / blind .10): {:.2}x",
+        mix_row.speedup()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"evm_hot_loop\",\n");
+    json.push_str("  \"workload\": \"132-tx mainnet-like blocks (seeded)\",\n");
+    json.push_str(&format!("  \"blocks\": {blocks},\n"));
+    json.push_str(&format!("  \"trials\": {TRIALS},\n"));
+    json.push_str(&format!(
+        "  \"contract_mix_speedup\": {:.3},\n",
+        mix_row.speedup()
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let lookups = r.cache_hits + r.cache_misses;
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"ref_gas_per_us\": {:.1}, \
+             \"opt_gas_per_us\": {:.1}, \"speedup\": {:.3}, \
+             \"cold_gas_per_us\": {:.1}, \"ref_us_per_tx\": {:.3}, \
+             \"opt_us_per_tx\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_hit_rate\": {:.4}}}{}\n",
+            r.workload,
+            r.reference.gas_per_us,
+            r.optimized.gas_per_us,
+            r.speedup(),
+            r.cold.gas_per_us,
+            r.reference.us_per_tx,
+            r.optimized.us_per_tx,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_hits as f64 / lookups.max(1) as f64,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write baseline json");
+    println!("wrote {out_path}");
+}

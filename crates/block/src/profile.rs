@@ -79,9 +79,12 @@ impl BlockProfile {
         let Some(entry) = self.entries.get(index) else {
             return false;
         };
+        // Key-set comparison must not assume an iteration order: the
+        // profiled entry may have been rebuilt from the (sorted) wire form
+        // while the replayed footprint is in execution insertion order.
         entry.writes == rw.writes
             && entry.reads.len() == rw.reads.len()
-            && entry.reads.keys().zip(rw.reads.keys()).all(|(a, b)| a == b)
+            && rw.reads.keys().all(|k| entry.reads.contains_key(k))
     }
 }
 

@@ -184,11 +184,15 @@ fn decode_access_key(item: &Item) -> Result<AccessKey, DecodeError> {
 
 fn append_profile_entry(s: &mut RlpStream, entry: &TxProfile) {
     s.begin_list(3);
+    // Footprints are hash maps; sort so the wire bytes (and therefore the
+    // block hash) are deterministic regardless of insertion or bucket order.
     s.begin_list(entry.reads.len().max(1));
     if entry.reads.is_empty() {
         s.append_bytes(&[]);
     } else {
-        for (key, version) in &entry.reads {
+        let mut reads: Vec<_> = entry.reads.iter().collect();
+        reads.sort_by_key(|(key, _)| **key);
+        for (key, version) in reads {
             s.begin_list(2);
             append_access_key(s, key);
             s.append_u64(*version);
@@ -198,7 +202,9 @@ fn append_profile_entry(s: &mut RlpStream, entry: &TxProfile) {
     if entry.writes.is_empty() {
         s.append_bytes(&[]);
     } else {
-        for (key, value) in &entry.writes {
+        let mut writes: Vec<_> = entry.writes.iter().collect();
+        writes.sort_by_key(|(key, _)| **key);
+        for (key, value) in writes {
             s.begin_list(2);
             append_access_key(s, key);
             s.append_u256(value);

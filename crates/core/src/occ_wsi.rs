@@ -49,7 +49,9 @@ use std::time::Instant;
 
 use bp_block::{receipts_root, tx_root, Block, BlockHeader, BlockProfile, TxProfile};
 use bp_concurrent::{ReserveTable, VersionAllocator, VersionGate};
-use bp_evm::{execute_transaction, gas, BlockEnv, MvSnapshot, Receipt, Transaction, TxError};
+use bp_evm::{
+    execute_transaction_in, gas, AnalysisCache, BlockEnv, MvSnapshot, Receipt, Transaction, TxError,
+};
 use bp_state::{MultiVersionState, WorldState};
 use bp_txpool::TxPool;
 use bp_types::{BlockHash, Gas, Height, U256};
@@ -138,6 +140,10 @@ pub struct ProposerStats {
     pub executions: u64,
     /// Wall time of the parallel packing phase, in microseconds.
     pub wall_micros: u64,
+    /// Code-analysis cache hits across all workers during this run.
+    pub analysis_hits: u64,
+    /// Code-analysis cache misses (fresh analyses) during this run.
+    pub analysis_misses: u64,
     /// Per-worker commit/abort/retry breakdown, indexed by worker.
     pub workers: Vec<WorkerStats>,
 }
@@ -197,18 +203,33 @@ struct Shared<'a> {
 /// The OCC-WSI proposer.
 pub struct OccWsiProposer {
     config: OccWsiConfig,
+    /// Code-analysis cache shared by every worker across every block this
+    /// proposer packs; contract bytecode is analyzed once, ever.
+    cache: Arc<AnalysisCache>,
 }
 
 impl OccWsiProposer {
-    /// A proposer with the given configuration.
+    /// A proposer with the given configuration, sharing the process-wide
+    /// analysis cache.
     pub fn new(config: OccWsiConfig) -> Self {
+        Self::with_cache(config, AnalysisCache::global())
+    }
+
+    /// A proposer with a dedicated analysis cache (isolated benchmarks and
+    /// tests that want cold-cache behaviour).
+    pub fn with_cache(config: OccWsiConfig, cache: Arc<AnalysisCache>) -> Self {
         assert!(config.threads > 0, "need at least one worker");
-        OccWsiProposer { config }
+        OccWsiProposer { config, cache }
     }
 
     /// The configuration.
     pub fn config(&self) -> &OccWsiConfig {
         &self.config
+    }
+
+    /// The code-analysis cache this proposer's workers execute against.
+    pub fn analysis_cache(&self) -> &Arc<AnalysisCache> {
+        &self.cache
     }
 
     /// Runs Algorithm 1: executes transactions from `pool` in parallel over
@@ -259,6 +280,7 @@ impl OccWsiProposer {
         };
 
         let started = Instant::now();
+        let cache_base = self.cache.stats();
         let (mut records, worker_stats) = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.config.threads)
                 .map(|_| {
@@ -280,6 +302,7 @@ impl OccWsiProposer {
             (records, stats)
         });
         let wall_micros = started.elapsed().as_micros() as u64;
+        let cache_delta = self.cache.stats().since(&cache_base);
         let gas_used = cur_gas.load(Ordering::Acquire);
 
         // Merge the per-worker segments into the block body, in version
@@ -340,6 +363,8 @@ impl OccWsiProposer {
                 discarded: discarded.load(Ordering::Acquire),
                 executions: executions.load(Ordering::Acquire),
                 wall_micros,
+                analysis_hits: cache_delta.hits,
+                analysis_misses: cache_delta.misses,
                 workers: worker_stats,
             },
         }
@@ -408,7 +433,7 @@ impl OccWsiProposer {
             let snapshot_version = s.versions.current();
             let snapshot = MvSnapshot::new(s.mv, snapshot_version);
             s.executions.fetch_add(1, Ordering::Relaxed);
-            let exec = execute_transaction(&snapshot, &self.config.env, &tx);
+            let exec = execute_transaction_in(&self.cache, &snapshot, &self.config.env, &tx);
 
             let result = match exec {
                 Err(TxError::BadNonce { expected, got }) if got > expected => {
@@ -547,7 +572,7 @@ impl OccWsiProposer {
             let snapshot_version = s.versions.current();
             let snapshot = MvSnapshot::new(s.mv, snapshot_version);
             s.executions.fetch_add(1, Ordering::Relaxed);
-            let exec = execute_transaction(&snapshot, &self.config.env, &tx);
+            let exec = execute_transaction_in(&self.cache, &snapshot, &self.config.env, &tx);
 
             match exec {
                 Err(TxError::BadNonce { expected, got }) if got > expected => {
@@ -679,8 +704,8 @@ mod tests {
         let mut world = base.clone();
         let mut fees = U256::ZERO;
         for tx in &block.transactions {
-            let view = bp_evm::WorldView(&world);
-            let result = execute_transaction(&view, env, tx).expect("replay must accept");
+            let view = bp_evm::WorldView::new(&world);
+            let result = bp_evm::execute_transaction(&view, env, tx).expect("replay must accept");
             world.apply_writes(&result.rw.writes);
             for (a, code) in &result.deployed {
                 world.set_code(*a, (**code).clone());

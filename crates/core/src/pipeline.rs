@@ -34,7 +34,10 @@ use std::time::{Duration, Instant};
 
 use bp_block::{receipts_root, tx_root, Block};
 use bp_concurrent::ResultSlots;
-use bp_evm::{execute_transaction, BlockEnv, Receipt, StateView, Transaction, TxError};
+use bp_evm::{
+    execute_transaction_in, AnalysisCache, BlockEnv, CacheStats, Receipt, StateView, Transaction,
+    TxError,
+};
 use bp_state::{StateDelta, WorldState};
 use bp_types::{AccessKey, Address, BlockHash, Gas, U256};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -167,6 +170,13 @@ pub struct ValidationOutcome {
     /// True iff the per-block cancellation flag tripped and remaining
     /// execution jobs were cut short.
     pub aborted_early: bool,
+    /// Code-analysis cache hits observed over this block's validation
+    /// window. The cache is shared pipeline-wide, so when blocks overlap in
+    /// flight the attribution is approximate — the sum over all outcomes is
+    /// exact.
+    pub analysis_hits: u64,
+    /// Code-analysis cache misses (fresh analyses) over the same window.
+    pub analysis_misses: u64,
 }
 
 impl ValidationOutcome {
@@ -224,6 +234,10 @@ struct BlockTask {
     prepare: Duration,
     submitted: Instant,
     exec_start: OnceLock<Instant>,
+    /// The pipeline-wide analysis cache plus its counter snapshot at
+    /// preparation time (for the outcome's hit/miss delta).
+    cache: Arc<AnalysisCache>,
+    cache_base: CacheStats,
 }
 
 impl BlockTask {
@@ -279,6 +293,8 @@ struct Starter {
     job_tx: Sender<ExecJob>,
     applier_tx: Sender<ApplierMsg>,
     index: Arc<Mutex<StateIndex>>,
+    /// Code-analysis cache shared by every exec worker across every block.
+    cache: Arc<AnalysisCache>,
 }
 
 /// The four-stage validator pipeline.
@@ -309,6 +325,7 @@ impl ValidatorPipeline {
             job_tx,
             applier_tx,
             index,
+            cache: AnalysisCache::global(),
         });
 
         let mut workers = Vec::with_capacity(config.workers);
@@ -456,6 +473,7 @@ impl ValidatorPipeline {
             job_tx: dead_job,
             applier_tx: dead_applier,
             index: Arc::clone(&self.starter.index),
+            cache: Arc::clone(&self.starter.cache),
         });
         for _ in 0..self.appliers.len() {
             let _ = applier_tx.send(ApplierMsg::Shutdown);
@@ -490,6 +508,8 @@ fn rejection_outcome(
         timings: StageTimings::default(),
         executed_txs: 0,
         aborted_early: false,
+        analysis_hits: 0,
+        analysis_misses: 0,
     }
 }
 
@@ -539,7 +559,7 @@ fn run_job(job: &ExecJob) {
             return;
         }
         let tx: &Transaction = &task.block.transactions[i];
-        match execute_transaction(&view, &task.env, tx) {
+        match execute_transaction_in(&task.cache, &view, &task.env, tx) {
             Ok(result) => {
                 task.executed.fetch_add(1, Ordering::Relaxed);
                 // Overlapped verification (Algorithm 2, moved out of the
@@ -650,6 +670,8 @@ impl Starter {
             prepare,
             submitted: Instant::now(),
             exec_start: OnceLock::new(),
+            cache_base: self.cache.stats(),
+            cache: Arc::clone(&self.cache),
         });
         if rejected || jobs.is_empty() {
             // Header rejections and empty blocks go straight to the applier
@@ -687,6 +709,7 @@ fn apply_block(task: Arc<BlockTask>, exec: Duration, starter: &Starter) {
         execute: exec,
         validate,
     };
+    let cache_delta = task.cache.stats().since(&task.cache_base);
     let (verdict_result, post_state, receipts, delta) = match result {
         Ok((state, receipts, delta)) => (Ok(()), Some(Arc::new(state)), receipts, Some(delta)),
         Err(e) => (Err(e), None, vec![], None),
@@ -730,6 +753,8 @@ fn apply_block(task: Arc<BlockTask>, exec: Duration, starter: &Starter) {
         timings,
         executed_txs: task.executed.load(Ordering::Relaxed),
         aborted_early: task.cancelled.load(Ordering::Relaxed),
+        analysis_hits: cache_delta.hits,
+        analysis_misses: cache_delta.misses,
     });
 }
 

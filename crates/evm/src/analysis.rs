@@ -1,0 +1,936 @@
+//! Per-contract code analysis and the shared analysis cache.
+//!
+//! The interpreter used to recompute the valid-jumpdest set on every frame
+//! and charge gas one opcode at a time. This module computes everything that
+//! is a pure function of the bytecode **once** per code blob:
+//!
+//! * the instruction stream, pre-decoded into fixed-size [`Inst`] records
+//!   (PUSH immediates resolved, including end-of-code truncation);
+//! * basic-block boundaries with, per block, the summed **static gas** and
+//!   the stack-height preconditions (`need`, `max_growth`) that let the hot
+//!   loop precharge gas and pre-validate the stack once per block instead of
+//!   once per opcode;
+//! * the valid-jumpdest map (`pc → block index`), with PUSH immediates —
+//!   including a PUSH whose immediate is truncated by the end of code —
+//!   never contributing phantom destinations;
+//! * fused superinstructions for the hottest opcode pairs
+//!   (`PUSH+JUMP`/`PUSH+JUMPI` with the target resolved at analysis time,
+//!   `PUSH+PUSH`, `DUP+MSTORE`).
+//!
+//! Block boundaries are chosen so the rewrite is *observationally identical*
+//! to per-opcode metering for every completed frame: a block ends not only
+//! at control flow (`JUMP`, `JUMPI`, `JUMPDEST`, halts) but also right after
+//! `GAS` and right before the gas-forwarding instructions (`CALL` family,
+//! `CREATE` — which terminate their block), so every instruction that
+//! *observes* `gas_left` sees exactly the per-opcode value. Within a block
+//! execution is straight-line: it either runs to the end or faults, so
+//! precharging the whole block never overcharges a successful path. The only
+//! permitted divergence is the *error kind* inside an already-doomed frame
+//! (e.g. out-of-gas reported where the old loop would first hit a stack
+//! underflow); receipts, gas accounting, state deltas and logs are
+//! unaffected because every `VmError` consumes the frame's full gas.
+//!
+//! [`AnalysisCache`] shares the artifacts across proposer workers and the
+//! validator pipeline: a bounded, sharded, code-hash-keyed map with a
+//! pointer-keyed fast path (the world state hands out the same `Arc` per
+//! contract, so the common case never rehashes the code).
+
+use std::collections::VecDeque;
+
+// Shard maps are keyed by code hash / code pointer — fixed-size,
+// non-attacker-growable keys, so the fast Fx hash applies.
+use bp_types::FxHashMap as HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use bp_crypto::keccak256;
+use bp_types::{Gas, H256, U256};
+
+use crate::gas;
+use crate::opcode::{Op, DUP1, DUP16, PUSH1, PUSH32, SWAP1, SWAP16};
+
+/// Sentinel block index for "not a valid jump destination".
+pub const INVALID_BLOCK: u32 = u32::MAX;
+
+/// Decoded instruction kinds: one per opcode family the interpreter
+/// dispatches on, plus the fused superinstructions. The discriminants index
+/// the interpreter's handler table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Kind {
+    Stop = 0,
+    Add,
+    Mul,
+    Sub,
+    Div,
+    SDiv,
+    Mod,
+    SMod,
+    AddMod,
+    MulMod,
+    Exp,
+    SignExtend,
+    Lt,
+    Gt,
+    Slt,
+    Sgt,
+    Eq,
+    IsZero,
+    And,
+    Or,
+    Xor,
+    Not,
+    Byte,
+    Shl,
+    Shr,
+    Sar,
+    Sha3,
+    Address,
+    Balance,
+    Origin,
+    Caller,
+    CallValue,
+    CallDataLoad,
+    CallDataSize,
+    CallDataCopy,
+    CodeSize,
+    CodeCopy,
+    GasPrice,
+    ExtCodeSize,
+    ExtCodeCopy,
+    ReturnDataSize,
+    ReturnDataCopy,
+    Coinbase,
+    Timestamp,
+    Number,
+    GasLimit,
+    SelfBalance,
+    Pop,
+    MLoad,
+    MStore,
+    MStore8,
+    SLoad,
+    SStore,
+    Jump,
+    JumpI,
+    Pc,
+    MSize,
+    Gas,
+    JumpDest,
+    Log,
+    Create,
+    Call,
+    DelegateCall,
+    StaticCall,
+    Return,
+    Revert,
+    /// Undefined or explicitly invalid opcode; `a` carries the byte.
+    Abort,
+    /// PUSH1..32 with the immediate pre-resolved; `a` indexes [`CodeAnalysis`]'s
+    /// immediate pool.
+    Push,
+    /// Fused PUSH+PUSH; `a` and `b` index the immediate pool.
+    Push2,
+    /// DUPn; `a` = n.
+    Dup,
+    /// SWAPn; `a` = n.
+    Swap,
+    /// Fused PUSH+JUMP; `a` = target block index or [`INVALID_BLOCK`].
+    JumpImm,
+    /// Fused PUSH+JUMPI; `a` = target block index or [`INVALID_BLOCK`].
+    JumpIImm,
+    /// Fused DUPn+MSTORE; `a` = n.
+    DupMStore,
+}
+
+/// Number of instruction kinds (the handler-table length).
+pub const KIND_COUNT: usize = Kind::DupMStore as usize + 1;
+
+/// One pre-decoded instruction: 16 bytes, immediates out-of-line.
+#[derive(Clone, Copy, Debug)]
+pub struct Inst {
+    /// Dispatch kind.
+    pub kind: Kind,
+    /// Kind-specific operand (immediate-pool index, DUP/SWAP depth, LOG
+    /// topic count, abort byte, fused-jump target block).
+    pub a: u32,
+    /// Second operand ([`Kind::Push2`]'s second immediate-pool index).
+    pub b: u32,
+    /// Bytecode offset of the (first) source opcode, for `PC`.
+    pub pc: u32,
+}
+
+/// One basic block: a straight-line run of instructions with precomputed
+/// entry preconditions.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockInfo {
+    /// First instruction index.
+    pub first: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Sum of the static gas of every source opcode in the block, charged
+    /// once at block entry.
+    pub static_gas: Gas,
+    /// Minimum stack depth at entry (computed from the *unfused* opcode
+    /// sequence, so fused pairs keep per-opcode underflow behavior).
+    pub need: u32,
+    /// Maximum stack growth over the block relative to entry (again from the
+    /// unfused sequence, preserving per-opcode overflow behavior).
+    pub max_growth: u32,
+}
+
+/// Everything the interpreter needs to run one code blob, computed once.
+pub struct CodeAnalysis {
+    /// The analyzed code (pinned so pointer-keyed cache entries stay valid).
+    code: Arc<Vec<u8>>,
+    /// The decoded (and fused) instruction stream.
+    pub(crate) insts: Vec<Inst>,
+    /// Basic blocks over `insts`; the last block is a synthetic `STOP` so a
+    /// fall-through off the end of any block is always well-defined.
+    pub(crate) blocks: Vec<BlockInfo>,
+    /// PUSH immediate pool.
+    pub(crate) imms: Vec<U256>,
+    /// `pc → block index` for valid JUMPDESTs, [`INVALID_BLOCK`] elsewhere.
+    pub(crate) pc_block: Vec<u32>,
+}
+
+/// Raw per-opcode decode record, before fusion.
+struct RawInst {
+    pc: u32,
+    kind: Kind,
+    a: u32,
+    pops: u16,
+    pushes: u16,
+    static_gas: Gas,
+    term: bool,
+}
+
+impl CodeAnalysis {
+    /// Analyzes `code`: decode, block partition, stack/gas summaries, fusion.
+    pub fn analyze(code: Arc<Vec<u8>>) -> CodeAnalysis {
+        let bytes: &[u8] = &code;
+        let mut imms: Vec<U256> = Vec::new();
+        let mut raws: Vec<RawInst> = Vec::with_capacity(bytes.len());
+
+        // Pass 1: linear decode, skipping PUSH immediates. A PUSH whose
+        // immediate runs past the end of code consumes exactly the bytes
+        // that exist (zero-padding the value on the right, per spec) and
+        // never lets trailing 0x5B bytes inside the immediate window become
+        // jump destinations — the walk simply ends.
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if (PUSH1..=PUSH32).contains(&b) {
+                let n = (b - PUSH1) as usize + 1;
+                let end = (i + 1 + n).min(bytes.len());
+                let v = U256::from_be_slice(&bytes[i + 1..end]);
+                let missing = (i + 1 + n - end) as u32;
+                imms.push(v << (8 * missing));
+                raws.push(RawInst {
+                    pc: i as u32,
+                    kind: Kind::Push,
+                    a: (imms.len() - 1) as u32,
+                    pops: 0,
+                    pushes: 1,
+                    static_gas: gas::VERYLOW,
+                    term: false,
+                });
+                i += 1 + n;
+                continue;
+            }
+            if (DUP1..=DUP16).contains(&b) {
+                let n = (b - DUP1) as u16 + 1;
+                raws.push(RawInst {
+                    pc: i as u32,
+                    kind: Kind::Dup,
+                    a: n as u32,
+                    // Modeled as "needs n, nets +1" for the block summary.
+                    pops: n,
+                    pushes: n + 1,
+                    static_gas: gas::VERYLOW,
+                    term: false,
+                });
+                i += 1;
+                continue;
+            }
+            if (SWAP1..=SWAP16).contains(&b) {
+                let n = (b - SWAP1) as u16 + 1;
+                raws.push(RawInst {
+                    pc: i as u32,
+                    kind: Kind::Swap,
+                    a: n as u32,
+                    pops: n + 1,
+                    pushes: n + 1,
+                    static_gas: gas::VERYLOW,
+                    term: false,
+                });
+                i += 1;
+                continue;
+            }
+            raws.push(decode_simple(i as u32, b));
+            i += 1;
+        }
+
+        // Pass 2: block partition. A block starts at instruction 0, at every
+        // JUMPDEST (always a valid destination here: immediates were skipped
+        // above) and after every terminator (control flow, halts, GAS and
+        // the gas-forwarding CALL/CREATE family).
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        for j in 0..raws.len() {
+            if j > start && (raws[j].kind == Kind::JumpDest || raws[j - 1].term) {
+                ranges.push((start, j));
+                start = j;
+            }
+        }
+        if start < raws.len() {
+            ranges.push((start, raws.len()));
+        }
+
+        let mut pc_block = vec![INVALID_BLOCK; bytes.len()];
+        for (bi, &(s, _)) in ranges.iter().enumerate() {
+            if raws[s].kind == Kind::JumpDest {
+                pc_block[raws[s].pc as usize] = bi as u32;
+            }
+        }
+
+        // Pass 3: per-block summaries (from the raw sequence) and fusion
+        // (into the final stream).
+        let mut insts: Vec<Inst> = Vec::with_capacity(raws.len() + 1);
+        let mut blocks: Vec<BlockInfo> = Vec::with_capacity(ranges.len() + 1);
+        for &(s, e) in &ranges {
+            let mut static_gas: Gas = 0;
+            let mut h: i64 = 0;
+            let mut need: i64 = 0;
+            let mut maxh: i64 = 0;
+            for r in &raws[s..e] {
+                static_gas += r.static_gas;
+                let deficit = r.pops as i64 - h;
+                if deficit > need {
+                    need = deficit;
+                }
+                h = h - r.pops as i64 + r.pushes as i64;
+                if h > maxh {
+                    maxh = h;
+                }
+            }
+
+            let first = insts.len() as u32;
+            let mut j = s;
+            while j < e {
+                let r = &raws[j];
+                let next = raws.get(j + 1).filter(|_| j + 1 < e);
+                let fused = match (r.kind, next.map(|n| n.kind)) {
+                    (Kind::Push, Some(Kind::Jump)) => Some(Inst {
+                        kind: Kind::JumpImm,
+                        a: resolve_dest(imms[r.a as usize], &pc_block),
+                        b: 0,
+                        pc: r.pc,
+                    }),
+                    (Kind::Push, Some(Kind::JumpI)) => Some(Inst {
+                        kind: Kind::JumpIImm,
+                        a: resolve_dest(imms[r.a as usize], &pc_block),
+                        b: 0,
+                        pc: r.pc,
+                    }),
+                    (Kind::Push, Some(Kind::Push)) => {
+                        // Leave the second push free to fuse with a
+                        // following JUMP/JUMPI — that pair is worth more.
+                        let after = raws.get(j + 2).filter(|_| j + 2 < e).map(|n| n.kind);
+                        if matches!(after, Some(Kind::Jump) | Some(Kind::JumpI)) {
+                            None
+                        } else {
+                            Some(Inst {
+                                kind: Kind::Push2,
+                                a: r.a,
+                                b: next.unwrap().a,
+                                pc: r.pc,
+                            })
+                        }
+                    }
+                    (Kind::Dup, Some(Kind::MStore)) => Some(Inst {
+                        kind: Kind::DupMStore,
+                        a: r.a,
+                        b: 0,
+                        pc: r.pc,
+                    }),
+                    _ => None,
+                };
+                match fused {
+                    Some(inst) => {
+                        insts.push(inst);
+                        j += 2;
+                    }
+                    None => {
+                        insts.push(Inst {
+                            kind: r.kind,
+                            a: r.a,
+                            b: 0,
+                            pc: r.pc,
+                        });
+                        j += 1;
+                    }
+                }
+            }
+            blocks.push(BlockInfo {
+                first,
+                end: insts.len() as u32,
+                static_gas,
+                need: need as u32,
+                max_growth: maxh as u32,
+            });
+        }
+
+        // Synthetic halt: running off the end of code (or of any
+        // falls-through block at the end of the stream) is an implicit STOP.
+        let first = insts.len() as u32;
+        insts.push(Inst {
+            kind: Kind::Stop,
+            a: 0,
+            b: 0,
+            pc: bytes.len() as u32,
+        });
+        blocks.push(BlockInfo {
+            first,
+            end: first + 1,
+            static_gas: 0,
+            need: 0,
+            max_growth: 0,
+        });
+
+        CodeAnalysis {
+            code,
+            insts,
+            blocks,
+            imms,
+            pc_block,
+        }
+    }
+
+    /// The analyzed code.
+    pub fn code(&self) -> &Arc<Vec<u8>> {
+        &self.code
+    }
+
+    /// True when `pc` is a valid jump destination.
+    pub fn is_jumpdest(&self, pc: usize) -> bool {
+        self.pc_block.get(pc).is_some_and(|&b| b != INVALID_BLOCK)
+    }
+
+    /// Number of basic blocks (including the synthetic trailing STOP).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of decoded (post-fusion) instructions.
+    pub fn inst_count(&self) -> usize {
+        self.insts.len()
+    }
+}
+
+/// Decodes a non-PUSH/DUP/SWAP byte into its raw record.
+fn decode_simple(pc: u32, b: u8) -> RawInst {
+    use Kind as K;
+    let (kind, a, pops, pushes, static_gas, term) = match Op::from_byte(b) {
+        Some(Op::Stop) => (K::Stop, 0, 0, 0, 0, true),
+        Some(Op::Add) => (K::Add, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Mul) => (K::Mul, 0, 2, 1, gas::LOW, false),
+        Some(Op::Sub) => (K::Sub, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Div) => (K::Div, 0, 2, 1, gas::LOW, false),
+        Some(Op::SDiv) => (K::SDiv, 0, 2, 1, gas::LOW, false),
+        Some(Op::Mod) => (K::Mod, 0, 2, 1, gas::LOW, false),
+        Some(Op::SMod) => (K::SMod, 0, 2, 1, gas::LOW, false),
+        Some(Op::AddMod) => (K::AddMod, 0, 3, 1, gas::MID, false),
+        Some(Op::MulMod) => (K::MulMod, 0, 3, 1, gas::MID, false),
+        Some(Op::Exp) => (K::Exp, 0, 2, 1, gas::EXP, false),
+        Some(Op::SignExtend) => (K::SignExtend, 0, 2, 1, gas::LOW, false),
+        Some(Op::Lt) => (K::Lt, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Gt) => (K::Gt, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Slt) => (K::Slt, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Sgt) => (K::Sgt, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Eq) => (K::Eq, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::IsZero) => (K::IsZero, 0, 1, 1, gas::VERYLOW, false),
+        Some(Op::And) => (K::And, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Or) => (K::Or, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Xor) => (K::Xor, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Not) => (K::Not, 0, 1, 1, gas::VERYLOW, false),
+        Some(Op::Byte) => (K::Byte, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Shl) => (K::Shl, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Shr) => (K::Shr, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Sar) => (K::Sar, 0, 2, 1, gas::VERYLOW, false),
+        Some(Op::Sha3) => (K::Sha3, 0, 2, 1, gas::SHA3, false),
+        Some(Op::Address) => (K::Address, 0, 0, 1, gas::BASE, false),
+        Some(Op::Balance) => (K::Balance, 0, 1, 1, gas::BALANCE, false),
+        Some(Op::Origin) => (K::Origin, 0, 0, 1, gas::BASE, false),
+        Some(Op::Caller) => (K::Caller, 0, 0, 1, gas::BASE, false),
+        Some(Op::CallValue) => (K::CallValue, 0, 0, 1, gas::BASE, false),
+        Some(Op::CallDataLoad) => (K::CallDataLoad, 0, 1, 1, gas::VERYLOW, false),
+        Some(Op::CallDataSize) => (K::CallDataSize, 0, 0, 1, gas::BASE, false),
+        Some(Op::CallDataCopy) => (K::CallDataCopy, 0, 3, 0, gas::VERYLOW, false),
+        Some(Op::CodeSize) => (K::CodeSize, 0, 0, 1, gas::BASE, false),
+        Some(Op::CodeCopy) => (K::CodeCopy, 0, 3, 0, gas::VERYLOW, false),
+        Some(Op::GasPrice) => (K::GasPrice, 0, 0, 1, gas::BASE, false),
+        Some(Op::ExtCodeSize) => (K::ExtCodeSize, 0, 1, 1, gas::BALANCE, false),
+        Some(Op::ExtCodeCopy) => (K::ExtCodeCopy, 0, 4, 0, gas::BALANCE, false),
+        Some(Op::ReturnDataSize) => (K::ReturnDataSize, 0, 0, 1, gas::BASE, false),
+        Some(Op::ReturnDataCopy) => (K::ReturnDataCopy, 0, 3, 0, gas::VERYLOW, false),
+        Some(Op::Coinbase) => (K::Coinbase, 0, 0, 1, gas::BASE, false),
+        Some(Op::Timestamp) => (K::Timestamp, 0, 0, 1, gas::BASE, false),
+        Some(Op::Number) => (K::Number, 0, 0, 1, gas::BASE, false),
+        Some(Op::GasLimit) => (K::GasLimit, 0, 0, 1, gas::BASE, false),
+        Some(Op::SelfBalance) => (K::SelfBalance, 0, 0, 1, gas::SELFBALANCE, false),
+        Some(Op::Pop) => (K::Pop, 0, 1, 0, gas::BASE, false),
+        Some(Op::MLoad) => (K::MLoad, 0, 1, 1, gas::VERYLOW, false),
+        Some(Op::MStore) => (K::MStore, 0, 2, 0, gas::VERYLOW, false),
+        Some(Op::MStore8) => (K::MStore8, 0, 2, 0, gas::VERYLOW, false),
+        Some(Op::SLoad) => (K::SLoad, 0, 1, 1, gas::SLOAD, false),
+        // SSTORE's cost is entirely value-dependent (set vs reset): nothing
+        // static to precharge.
+        Some(Op::SStore) => (K::SStore, 0, 2, 0, 0, false),
+        Some(Op::Jump) => (K::Jump, 0, 1, 0, gas::MID, true),
+        Some(Op::JumpI) => (K::JumpI, 0, 2, 0, gas::HIGH, true),
+        Some(Op::Pc) => (K::Pc, 0, 0, 1, gas::BASE, false),
+        Some(Op::MSize) => (K::MSize, 0, 0, 1, gas::BASE, false),
+        // GAS observes gas_left, so it must be the last instruction of its
+        // block: everything up to and including its own BASE cost is then
+        // precharged, and nothing after it is.
+        Some(Op::Gas) => (K::Gas, 0, 0, 1, gas::BASE, true),
+        Some(Op::JumpDest) => (K::JumpDest, 0, 0, 0, gas::JUMPDEST, false),
+        Some(Op::Log0) => (K::Log, 0, 2, 0, gas::LOG, false),
+        Some(op @ (Op::Log1 | Op::Log2 | Op::Log3 | Op::Log4)) => {
+            let t = (op as u8 - Op::Log0 as u8) as u32;
+            (
+                K::Log,
+                t,
+                2 + t as u16,
+                0,
+                gas::LOG + gas::LOG_TOPIC * t as u64,
+                false,
+            )
+        }
+        // The gas-forwarding family terminates its block so the 63/64 cap
+        // observes exactly the per-opcode gas_left; their static base is
+        // part of the block precharge, dynamic parts are charged inline.
+        Some(Op::Create) => (K::Create, 0, 3, 1, gas::CREATE, true),
+        Some(Op::Call) => (K::Call, 0, 7, 1, gas::CALL, true),
+        Some(Op::DelegateCall) => (K::DelegateCall, 0, 6, 1, gas::CALL, true),
+        Some(Op::StaticCall) => (K::StaticCall, 0, 6, 1, gas::CALL, true),
+        Some(Op::Return) => (K::Return, 0, 2, 0, 0, true),
+        Some(Op::Revert) => (K::Revert, 0, 2, 0, 0, true),
+        Some(Op::Invalid) | None => (K::Abort, b as u32, 0, 0, 0, true),
+    };
+    RawInst {
+        pc,
+        kind,
+        a,
+        pops,
+        pushes,
+        static_gas,
+        term,
+    }
+}
+
+/// Maps a fused jump immediate to its target block, or [`INVALID_BLOCK`].
+fn resolve_dest(dest: U256, pc_block: &[u32]) -> u32 {
+    match dest.to_usize() {
+        Some(d) if d < pc_block.len() => pc_block[d],
+        _ => INVALID_BLOCK,
+    }
+}
+
+/// Point-in-time cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache (pointer or hash level).
+    pub hits: u64,
+    /// Lookups that had to run the analysis.
+    pub misses: u64,
+    /// Entries dropped by the bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Counter-wise difference since `earlier` (for per-run reporting
+    /// against a long-lived cache).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+/// Default total entry bound of the global cache.
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// Hash-keyed (authoritative) shard.
+#[derive(Default)]
+struct HashShard {
+    map: HashMap<H256, Arc<CodeAnalysis>>,
+    order: VecDeque<H256>,
+}
+
+/// Pointer-keyed fast-path entry. Holding the looked-up `Arc` pins the
+/// allocation, so the pointer can never be reused for different bytes while
+/// the entry lives — the mapping stays correct for the entry's lifetime.
+struct PtrEntry {
+    _pin: Arc<Vec<u8>>,
+    analysis: Arc<CodeAnalysis>,
+}
+
+#[derive(Default)]
+struct PtrShard {
+    map: HashMap<usize, PtrEntry>,
+    order: VecDeque<usize>,
+}
+
+/// A bounded, concurrent, code-hash-keyed cache of [`CodeAnalysis`]
+/// artifacts, shared by every executor (proposer workers, validator lanes,
+/// serial baselines).
+///
+/// Two levels: a pointer-keyed fast path (no hashing of the code at all —
+/// the state layer hands out one `Arc` per contract) over a keccak-keyed
+/// authoritative map (so equal bytes behind different `Arc`s still share one
+/// analysis). Both levels are sharded, mutex-protected and FIFO-bounded.
+pub struct AnalysisCache {
+    hash_shards: Vec<Mutex<HashShard>>,
+    ptr_shards: Vec<Mutex<PtrShard>>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl AnalysisCache {
+    /// A cache bounded to at most `capacity` entries (per level).
+    pub fn with_capacity(capacity: usize) -> AnalysisCache {
+        AnalysisCache {
+            hash_shards: (0..SHARDS)
+                .map(|_| Mutex::new(HashShard::default()))
+                .collect(),
+            ptr_shards: (0..SHARDS)
+                .map(|_| Mutex::new(PtrShard::default()))
+                .collect(),
+            per_shard_cap: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide default cache (what [`crate::execute_transaction`]
+    /// uses when no explicit cache is threaded in).
+    pub fn global() -> Arc<AnalysisCache> {
+        static GLOBAL: OnceLock<Arc<AnalysisCache>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Arc::new(AnalysisCache::with_capacity(DEFAULT_CAPACITY)))
+            .clone()
+    }
+
+    /// The analysis for `code`, computed at most once per distinct blob.
+    pub fn get(&self, code: &Arc<Vec<u8>>) -> Arc<CodeAnalysis> {
+        let ptr = Arc::as_ptr(code) as *const u8 as usize;
+        let pshard = &self.ptr_shards[mix(ptr) % SHARDS];
+        if let Some(e) = pshard.lock().map.get(&ptr) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&e.analysis);
+        }
+
+        // Pointer miss: fall back to the content hash.
+        let hash = keccak256(code);
+        let hshard = &self.hash_shards[hash.0[0] as usize % SHARDS];
+        let (analysis, fresh) = {
+            let guard = hshard.lock();
+            match guard.map.get(&hash) {
+                Some(a) => (Arc::clone(a), false),
+                None => {
+                    // Analyze outside the lock; a racing duplicate analysis
+                    // is possible and harmless (first insert wins).
+                    drop(guard);
+                    (Arc::new(CodeAnalysis::analyze(Arc::clone(code))), true)
+                }
+            }
+        };
+        if fresh {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let mut guard = hshard.lock();
+            if let Some(existing) = guard.map.get(&hash) {
+                // Lost the race: adopt the winner so both levels agree.
+                let existing = Arc::clone(existing);
+                drop(guard);
+                self.insert_ptr(pshard, ptr, code, &existing);
+                return existing;
+            }
+            guard.map.insert(hash, Arc::clone(&analysis));
+            guard.order.push_back(hash);
+            while guard.map.len() > self.per_shard_cap {
+                if let Some(old) = guard.order.pop_front() {
+                    guard.map.remove(&old);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    break;
+                }
+            }
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.insert_ptr(pshard, ptr, code, &analysis);
+        analysis
+    }
+
+    fn insert_ptr(
+        &self,
+        shard: &Mutex<PtrShard>,
+        ptr: usize,
+        code: &Arc<Vec<u8>>,
+        analysis: &Arc<CodeAnalysis>,
+    ) {
+        let mut guard = shard.lock();
+        if guard
+            .map
+            .insert(
+                ptr,
+                PtrEntry {
+                    _pin: Arc::clone(code),
+                    analysis: Arc::clone(analysis),
+                },
+            )
+            .is_none()
+        {
+            guard.order.push_back(ptr);
+        }
+        while guard.map.len() > self.per_shard_cap {
+            if let Some(old) = guard.order.pop_front() {
+                guard.map.remove(&old);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total live entries in the authoritative (hash) level.
+    pub fn len(&self) -> usize {
+        self.hash_shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when the authoritative level holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Cheap pointer-to-shard mixer (Fibonacci hashing on the high bits).
+fn mix(ptr: usize) -> usize {
+    ptr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn analyze(code: Vec<u8>) -> CodeAnalysis {
+        CodeAnalysis::analyze(Arc::new(code))
+    }
+
+    #[test]
+    fn truncated_push_marks_no_phantom_jumpdests() {
+        // PUSH32 with only two immediate bytes present, both 0x5B: the walk
+        // must not treat the truncated immediate as code.
+        let an = analyze(vec![0x7F, 0x5B, 0x5B]);
+        assert!(!an.is_jumpdest(0));
+        assert!(!an.is_jumpdest(1));
+        assert!(!an.is_jumpdest(2));
+        // Same with PUSH2 exactly at the boundary.
+        let an = analyze(vec![0x61, 0x5B]);
+        assert!(!an.is_jumpdest(1));
+    }
+
+    #[test]
+    fn jumpdest_in_push_immediate_is_invalid_but_real_one_is_valid() {
+        // PUSH2 0x005B | JUMPDEST
+        let an = analyze(vec![0x61, 0x00, 0x5B, 0x5B]);
+        assert!(!an.is_jumpdest(2));
+        assert!(an.is_jumpdest(3));
+    }
+
+    #[test]
+    fn blocks_split_at_control_flow_and_gas_observers() {
+        // PUSH1 0 | GAS | PUSH1 1 | JUMPDEST — GAS ends a block, JUMPDEST
+        // starts one, plus the synthetic trailing STOP.
+        let code = Asm::new()
+            .push_u64(0)
+            .op(Op::Gas)
+            .push_u64(1)
+            .label("x")
+            .build();
+        let an = analyze(code);
+        // [PUSH GAS] [PUSH] [JUMPDEST] [synthetic STOP]
+        assert_eq!(an.block_count(), 4);
+        let b0 = an.blocks[0];
+        assert_eq!(b0.static_gas, gas::VERYLOW + gas::BASE);
+        assert_eq!(b0.need, 0);
+        assert_eq!(b0.max_growth, 2);
+    }
+
+    #[test]
+    fn block_stack_summary_matches_per_op_simulation() {
+        // ADD needs two, nets -1; then PUSH grows by one.
+        let code = Asm::new().op(Op::Add).push_u64(1).op(Op::Stop).build();
+        let an = analyze(code);
+        let b0 = an.blocks[0];
+        assert_eq!(b0.need, 2);
+        // After ADD: -1; after PUSH: 0 → growth never exceeds 0.
+        assert_eq!(b0.max_growth, 0);
+    }
+
+    #[test]
+    fn fusion_produces_superinstructions() {
+        let code = Asm::new()
+            .push_u64(1)
+            .push_u64(2)
+            .op(Op::Add)
+            .label("loop")
+            .push_label("loop")
+            .op(Op::Jump)
+            .build();
+        let an = analyze(code);
+        let kinds: Vec<Kind> = an.insts.iter().map(|i| i.kind).collect();
+        assert!(kinds.contains(&Kind::Push2), "{kinds:?}");
+        assert!(kinds.contains(&Kind::JumpImm), "{kinds:?}");
+        // The fused jump resolved its target block.
+        let ji = an.insts.iter().find(|i| i.kind == Kind::JumpImm).unwrap();
+        assert_ne!(ji.a, INVALID_BLOCK);
+        assert_eq!(an.blocks[ji.a as usize].first, {
+            // Target block starts at the JUMPDEST instruction.
+            let jd = an
+                .insts
+                .iter()
+                .position(|i| i.kind == Kind::JumpDest)
+                .unwrap();
+            jd as u32
+        });
+    }
+
+    #[test]
+    fn fused_jump_to_invalid_target_is_marked() {
+        let code = Asm::new().push_u64(1).op(Op::Jump).build();
+        let an = analyze(code);
+        let ji = an.insts.iter().find(|i| i.kind == Kind::JumpImm).unwrap();
+        assert_eq!(ji.a, INVALID_BLOCK);
+    }
+
+    #[test]
+    fn push_before_jump_is_not_stolen_by_push2() {
+        // PUSH PUSH JUMP: the first push stays single so PUSH+JUMP fuses.
+        let code = Asm::new()
+            .push_u64(7)
+            .push_u64(0)
+            .op(Op::Jump)
+            .label("x")
+            .build();
+        let an = analyze(code);
+        let kinds: Vec<Kind> = an.insts.iter().map(|i| i.kind).collect();
+        assert!(!kinds.contains(&Kind::Push2), "{kinds:?}");
+        assert!(kinds.contains(&Kind::JumpImm), "{kinds:?}");
+    }
+
+    #[test]
+    fn dup_mstore_fuses() {
+        let code = Asm::new()
+            .push_u64(64)
+            .push_u64(5)
+            .dup(2)
+            .op(Op::MStore)
+            .op(Op::Stop)
+            .build();
+        let an = analyze(code);
+        assert!(an.insts.iter().any(|i| i.kind == Kind::DupMStore));
+    }
+
+    #[test]
+    fn empty_code_is_single_synthetic_stop() {
+        let an = analyze(Vec::new());
+        assert_eq!(an.block_count(), 1);
+        assert_eq!(an.insts[0].kind, Kind::Stop);
+    }
+
+    #[test]
+    fn cache_hits_by_pointer_and_by_content() {
+        let cache = AnalysisCache::with_capacity(64);
+        let code = Arc::new(Asm::new().push_u64(1).op(Op::Stop).build());
+        let a1 = cache.get(&code);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        // Same Arc: pointer hit.
+        let a2 = cache.get(&code);
+        assert!(Arc::ptr_eq(&a1, &a2));
+        // Different Arc, same bytes: content hit, no re-analysis.
+        let copy = Arc::new((*code).clone());
+        let a3 = cache.get(&copy);
+        assert!(Arc::ptr_eq(&a1, &a3));
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn cache_bound_evicts_fifo() {
+        let cache = AnalysisCache::with_capacity(16); // 1 entry per shard
+        let blobs: Vec<Arc<Vec<u8>>> = (0..200u64)
+            .map(|i| Arc::new(Asm::new().push_u64(i).op(Op::Stop).build()))
+            .collect();
+        for b in &blobs {
+            cache.get(b);
+        }
+        assert!(cache.len() <= 16);
+        assert!(cache.stats().evictions > 0);
+        // Still correct after eviction: re-fetch recomputes.
+        let again = cache.get(&blobs[0]);
+        assert_eq!(again.inst_count(), 3); // PUSH, STOP, synthetic STOP
+    }
+
+    #[test]
+    fn cache_is_shared_across_threads() {
+        let cache = Arc::new(AnalysisCache::with_capacity(256));
+        let code = Arc::new(crate::contracts::token());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let code = Arc::clone(&code);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let an = cache.get(&code);
+                    assert!(an.block_count() > 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        // Every thread resolved the same blob; at most a few racing misses.
+        assert!(s.hits >= 8 * 50 - 8, "{s:?}");
+    }
+}

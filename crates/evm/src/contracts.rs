@@ -201,7 +201,7 @@ mod tests {
         let mut w = base_world();
         let c = addr(100);
         w.set_code(c, counter());
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), c, vec![], 0))
             .unwrap();
         assert!(res.receipt.success);
@@ -211,7 +211,7 @@ mod tests {
         );
         // Apply and increment again.
         w.apply_writes(&res.rw.writes);
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let res2 =
             execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(2), c, vec![], 0))
                 .unwrap();
@@ -227,7 +227,7 @@ mod tests {
         let t = addr(100);
         w.set_code(t, token());
         w.set_storage(t, token_balance_slot(&addr(1)), U256::from(1000u64));
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let data = token_transfer_calldata(&addr(2), U256::from(300u64));
         let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), t, data, 0))
             .unwrap();
@@ -248,7 +248,7 @@ mod tests {
         let t = addr(100);
         w.set_code(t, token());
         w.set_storage(t, token_balance_slot(&addr(1)), U256::from(10u64));
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let data = token_transfer_calldata(&addr(2), U256::from(300u64));
         let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), t, data, 0))
             .unwrap();
@@ -268,7 +268,7 @@ mod tests {
         w.set_code(t, token());
         w.set_storage(t, token_balance_slot(&addr(1)), U256::from(1000u64));
         w.set_storage(t, token_balance_slot(&addr(2)), U256::from(1000u64));
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let tx_a = call_tx(addr(1), t, token_transfer_calldata(&addr(3), U256::ONE), 0);
         let tx_b = call_tx(addr(2), t, token_transfer_calldata(&addr(4), U256::ONE), 0);
         let ra = execute_transaction(&view, &BlockEnv::default(), &tx_a).unwrap();
@@ -287,7 +287,7 @@ mod tests {
         w.set_code(p, amm_pair());
         w.set_storage(p, amm_reserve_slot(0), U256::from(1_000_000u64));
         w.set_storage(p, amm_reserve_slot(1), U256::from(1_000_000u64));
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let data = amm_swap_calldata(0, U256::from(10_000u64));
         let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), p, data, 0))
             .unwrap();
@@ -308,7 +308,7 @@ mod tests {
         w.set_code(p, amm_pair());
         w.set_storage(p, amm_reserve_slot(0), U256::from(1_000_000u64));
         w.set_storage(p, amm_reserve_slot(1), U256::from(1_000_000u64));
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let ra = execute_transaction(
             &view,
             &BlockEnv::default(),
@@ -329,7 +329,7 @@ mod tests {
         let mut w = base_world();
         let r = addr(100);
         w.set_code(r, registry());
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let tx = call_tx(addr(1), r, registry_calldata(U256::from(77u64)), 0);
         let res = execute_transaction(&view, &BlockEnv::default(), &tx).unwrap();
         assert!(res.receipt.success);
@@ -347,7 +347,7 @@ mod tests {
         let mut w = base_world();
         let r = addr(100);
         w.set_code(r, registry());
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let a = execute_transaction(
             &view,
             &BlockEnv::default(),
@@ -372,7 +372,7 @@ mod tests {
         let mut w = base_world();
         let c = addr(100);
         w.set_code(c, counter());
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let res = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), c, vec![], 0))
             .unwrap();
         // 21000 intrinsic + SLOAD + SSTORE_SET dominate.

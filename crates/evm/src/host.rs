@@ -7,13 +7,22 @@
 //! [`BufferedHost`]'s private buffer. When the transaction finishes, the
 //! buffer *is* its write set and the recorded reads *are* its read set — the
 //! `rs`/`ws` of Algorithm 1 — with zero extra instrumentation cost.
+//!
+//! The buffers are [`FxHashMap`]s (SipHash was the single largest per-tx
+//! cost) and nested-call checkpoints are *journaled*: every buffered write
+//! pushes an undo entry, so a [`Checkpoint`] is three integers and a revert
+//! pops the journal tail instead of cloning whole maps. Keys here are
+//! transaction-local and bounded by the gas limit, so the non-DoS-resistant
+//! hash is safe.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use bp_state::{MultiVersionState, WorldState};
-use bp_types::{AccessKey, Address, RwSet, H256, U256};
+use bp_types::FxBuildHasher;
+use bp_types::{AccessKey, Address, FxHashMap, RwSet, H256, U256};
 use serde::{Deserialize, Serialize};
+
+use crate::analysis::{AnalysisCache, CodeAnalysis};
 
 /// A read-only, versioned view of some state.
 pub trait StateView {
@@ -26,15 +35,48 @@ pub trait StateView {
 
 /// Direct view of a flat world (serial execution; validators' lane
 /// executors). Everything reads at version 0.
-pub struct WorldView<'a>(pub &'a WorldState);
+///
+/// Carries a one-account memo (see [`WorldState::read_key_memo`]): a
+/// transaction's reads cluster on a couple of accounts, and skipping the
+/// repeat account-map probes is a measurable share of per-transaction time
+/// on mainnet-sized states. The memo borrows from the world, so a live view
+/// keeps the world immutable — create one per transaction, drop it before
+/// applying writes.
+pub struct WorldView<'a> {
+    world: &'a WorldState,
+    memo: std::cell::Cell<Option<(Address, &'a bp_state::AccountState)>>,
+}
+
+impl<'a> WorldView<'a> {
+    /// A fresh view of `world` with an empty memo.
+    pub fn new(world: &'a WorldState) -> Self {
+        WorldView {
+            world,
+            memo: std::cell::Cell::new(None),
+        }
+    }
+
+    /// The world this view reads.
+    pub fn world(&self) -> &'a WorldState {
+        self.world
+    }
+}
 
 impl StateView for WorldView<'_> {
     fn read_key(&self, key: &AccessKey) -> (U256, u64) {
-        (self.0.read_key(key), 0)
+        let mut memo = self.memo.take();
+        let value = self.world.read_key_memo(key, &mut memo);
+        self.memo.set(memo);
+        (value, 0)
     }
 
     fn code(&self, addr: &Address) -> Arc<Vec<u8>> {
-        self.0.code(addr)
+        if let Some((cached, acct)) = self.memo.get() {
+            if cached == *addr {
+                return Arc::clone(&acct.code);
+            }
+        }
+        self.world.code(addr)
     }
 }
 
@@ -83,48 +125,110 @@ pub struct Log {
     pub data: Vec<u8>,
 }
 
-/// A checkpoint for nested-frame revert.
+/// One buffer undo-log entry: the key and its previous value (`None` =
+/// absent before the write).
+type JournalEntry = (AccessKey, Option<U256>);
+
+/// A checkpoint for nested-frame revert: journal watermarks, not clones.
+#[derive(Clone, Copy, Debug)]
 pub struct Checkpoint {
-    buffer: HashMap<AccessKey, U256>,
-    code_buffer: HashMap<Address, Arc<Vec<u8>>>,
+    journal_len: usize,
+    code_journal_len: usize,
     log_len: usize,
 }
 
 /// Buffered, footprint-recording state access for one transaction.
 pub struct BufferedHost<'a, V: StateView> {
     view: &'a V,
+    cache: Arc<AnalysisCache>,
     rw: RwSet,
-    buffer: HashMap<AccessKey, U256>,
-    code_buffer: HashMap<Address, Arc<Vec<u8>>>,
+    buffer: FxHashMap<AccessKey, U256>,
+    code_buffer: FxHashMap<Address, Arc<Vec<u8>>>,
+    /// Undo log for `buffer`: the key and its previous value (`None` =
+    /// absent). Reverting pops entries above a checkpoint's watermark in
+    /// reverse, which restores the exact pre-checkpoint buffer.
+    journal: Vec<JournalEntry>,
+    /// Undo log for `code_buffer`.
+    code_journal: Vec<(Address, Option<Arc<Vec<u8>>>)>,
     logs: Vec<Log>,
+    /// The most recent `read` result, cleared by any write or revert. A hit
+    /// implies no intervening write, so the full path would return the same
+    /// value and the footprint already holds the key — the whole
+    /// buffer-probe/record/view-read sequence can be skipped. This pays off
+    /// on the ubiquitous `SLOAD slot … SSTORE slot` pattern, where the
+    /// store's current-value read (for the set-vs-reset gas split) repeats
+    /// the load that computed the new value.
+    last_read: Option<(AccessKey, U256)>,
 }
 
 impl<'a, V: StateView> BufferedHost<'a, V> {
-    /// A fresh host over `view`.
+    /// A fresh host over `view`, using the process-wide analysis cache.
     pub fn new(view: &'a V) -> Self {
+        Self::with_cache(view, AnalysisCache::global())
+    }
+
+    /// A fresh host over `view` with an explicit analysis cache (proposer
+    /// workers and validator lanes thread a shared per-node cache here so
+    /// hit rates are observable per run).
+    pub fn with_cache(view: &'a V, cache: Arc<AnalysisCache>) -> Self {
+        // Pre-size for a typical transaction footprint (a handful of
+        // balance/nonce/storage keys) so the hot path never reallocates.
+        let mut rw = RwSet::new();
+        rw.reads.reserve(8);
+        // The journal never escapes the host (unlike the buffer and read
+        // set, which move into the result), so its backing allocation is
+        // recycled per-thread across transactions.
+        let journal = JOURNAL_POOL
+            .with(|p| p.borrow_mut().pop())
+            .unwrap_or_else(|| Vec::with_capacity(32));
         BufferedHost {
             view,
-            rw: RwSet::new(),
-            buffer: HashMap::new(),
-            code_buffer: HashMap::new(),
+            cache,
+            rw,
+            buffer: FxHashMap::with_capacity_and_hasher(8, FxBuildHasher::default()),
+            code_buffer: FxHashMap::default(),
+            journal,
+            code_journal: Vec::new(),
             logs: Vec::new(),
+            last_read: None,
         }
+    }
+
+    /// The cached [`CodeAnalysis`] for `code` (computed on first sight).
+    pub fn analysis(&self, code: &Arc<Vec<u8>>) -> Arc<CodeAnalysis> {
+        self.cache.get(code)
+    }
+
+    /// The analysis cache this host resolves code through.
+    pub fn analysis_cache(&self) -> &Arc<AnalysisCache> {
+        &self.cache
     }
 
     /// Reads `key`: the transaction's own pending write if any, otherwise the
     /// underlying view (recording the read and its version).
     pub fn read(&mut self, key: AccessKey) -> U256 {
-        if let Some(v) = self.buffer.get(&key) {
-            return *v;
+        if let Some((k, v)) = self.last_read {
+            if k == key {
+                return v;
+            }
         }
-        let (value, version) = self.view.read_key(&key);
-        self.rw.record_read(key, version);
+        let value = if let Some(v) = self.buffer.get(&key) {
+            *v
+        } else {
+            let (value, version) = self.view.read_key(&key);
+            self.rw.record_read(key, version);
+            value
+        };
+        self.last_read = Some((key, value));
         value
     }
 
-    /// Buffers a write to `key`.
+    /// Buffers a write to `key`, journaling the displaced value so nested
+    /// frames can revert without cloning the buffer.
     pub fn write(&mut self, key: AccessKey, value: U256) {
-        self.buffer.insert(key, value);
+        self.last_read = None;
+        let old = self.buffer.insert(key, value);
+        self.journal.push((key, old));
     }
 
     /// The code of `addr`, respecting in-transaction deployments.
@@ -142,8 +246,9 @@ impl<'a, V: StateView> BufferedHost<'a, V> {
     /// Deploys code at `addr` within this transaction.
     pub fn set_code(&mut self, addr: Address, code: Vec<u8>) {
         let hash = bp_crypto::keccak256(&code).to_u256();
-        self.code_buffer.insert(addr, Arc::new(code));
-        self.buffer.insert(AccessKey::Code(addr), hash);
+        let old = self.code_buffer.insert(addr, Arc::new(code));
+        self.code_journal.push((addr, old));
+        self.write(AccessKey::Code(addr), hash);
     }
 
     /// Convenience balance read.
@@ -179,32 +284,61 @@ impl<'a, V: StateView> BufferedHost<'a, V> {
         self.logs.push(log);
     }
 
-    /// Snapshot for nested-call revert.
+    /// Snapshot for nested-call revert: O(1), just journal watermarks.
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
-            buffer: self.buffer.clone(),
-            code_buffer: self.code_buffer.clone(),
+            journal_len: self.journal.len(),
+            code_journal_len: self.code_journal.len(),
             log_len: self.logs.len(),
         }
     }
 
-    /// Rolls writes, deployments and logs back to `cp`. Reads stay recorded:
-    /// a reverted frame still *observed* those keys, and OCC validation must
-    /// cover them.
+    /// Rolls writes, deployments and logs back to `cp` by unwinding the
+    /// journals in reverse. Reads stay recorded: a reverted frame still
+    /// *observed* those keys, and OCC validation must cover them.
     pub fn revert_to(&mut self, cp: Checkpoint) {
-        self.buffer = cp.buffer;
-        self.code_buffer = cp.code_buffer;
+        self.last_read = None;
+        while self.journal.len() > cp.journal_len {
+            let (key, old) = self.journal.pop().expect("len checked");
+            match old {
+                Some(v) => self.buffer.insert(key, v),
+                None => self.buffer.remove(&key),
+            };
+        }
+        while self.code_journal.len() > cp.code_journal_len {
+            let (addr, old) = self.code_journal.pop().expect("len checked");
+            match old {
+                Some(c) => self.code_buffer.insert(addr, c),
+                None => self.code_buffer.remove(&addr),
+            };
+        }
         self.logs.truncate(cp.log_len);
     }
 
     /// Finishes the transaction: the recorded footprint (reads as observed,
-    /// writes = final buffer), logs, and deployed code.
-    pub fn finish(mut self) -> (RwSet, Vec<Log>, HashMap<Address, Arc<Vec<u8>>>) {
-        for (key, value) in &self.buffer {
-            self.rw.record_write(*key, *value);
-        }
+    /// writes = final buffer), logs, and deployed code. The buffer *is* the
+    /// write set (same map type), so this is a move, not a conversion.
+    pub fn finish(mut self) -> (RwSet, Vec<Log>, FxHashMap<Address, Arc<Vec<u8>>>) {
+        debug_assert!(self.rw.writes.is_empty());
+        self.rw.writes = self.buffer;
+        let mut journal = std::mem::take(&mut self.journal);
+        journal.clear();
+        JOURNAL_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < 8 {
+                pool.push(journal);
+            }
+        });
         (self.rw, self.logs, self.code_buffer)
     }
+}
+
+thread_local! {
+    /// Recycled undo-log buffers (see [`BufferedHost::with_cache`]). Hosts
+    /// abandoned on admission errors simply drop their journal; only the
+    /// `finish` path returns one, so the pool stays tiny.
+    static JOURNAL_POOL: std::cell::RefCell<Vec<Vec<JournalEntry>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 #[cfg(test)]
@@ -226,7 +360,7 @@ mod tests {
     #[test]
     fn reads_recorded_with_version() {
         let w = world();
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let mut h = BufferedHost::new(&view);
         assert_eq!(h.read(AccessKey::Balance(addr(1))), U256::from(100u64));
         let (rw, _, _) = h.finish();
@@ -237,7 +371,7 @@ mod tests {
     #[test]
     fn own_writes_visible_and_not_recorded_as_reads() {
         let w = world();
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let mut h = BufferedHost::new(&view);
         h.write(AccessKey::Balance(addr(9)), U256::from(5u64));
         assert_eq!(h.read(AccessKey::Balance(addr(9))), U256::from(5u64));
@@ -249,7 +383,7 @@ mod tests {
     #[test]
     fn transfer_moves_value() {
         let w = world();
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let mut h = BufferedHost::new(&view);
         assert!(h.transfer(addr(1), addr(3), U256::from(30u64)));
         assert_eq!(h.balance(&addr(1)), U256::from(70u64));
@@ -262,7 +396,7 @@ mod tests {
     #[test]
     fn zero_transfer_always_succeeds_without_reads() {
         let w = world();
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let mut h = BufferedHost::new(&view);
         assert!(h.transfer(addr(5), addr(6), U256::ZERO));
         let (rw, _, _) = h.finish();
@@ -272,7 +406,7 @@ mod tests {
     #[test]
     fn checkpoint_revert_rolls_back_writes_keeps_reads() {
         let w = world();
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let mut h = BufferedHost::new(&view);
         h.write(AccessKey::Balance(addr(1)), U256::from(1u64));
         let cp = h.checkpoint();
@@ -297,7 +431,7 @@ mod tests {
     #[test]
     fn set_code_visible_in_tx() {
         let w = world();
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let mut h = BufferedHost::new(&view);
         h.set_code(addr(7), vec![0xAA, 0xBB]);
         assert_eq!(*h.code(&addr(7)), vec![0xAA, 0xBB]);

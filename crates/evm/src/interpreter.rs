@@ -12,9 +12,9 @@ use std::sync::Arc;
 use bp_crypto::{keccak256, RlpStream};
 use bp_types::{AccessKey, Address, Gas, H256, U256};
 
+use crate::analysis::{BlockInfo, CodeAnalysis, Inst, Kind, INVALID_BLOCK, KIND_COUNT};
 use crate::gas;
 use crate::host::{BufferedHost, Log, StateView};
-use crate::opcode::{Op, DUP1, DUP16, PUSH1, PUSH32, SWAP1, SWAP16};
 
 /// Block-level execution context.
 #[derive(Clone, Copy, Debug)]
@@ -114,25 +114,132 @@ impl std::error::Error for VmError {}
 const STACK_LIMIT: usize = 1024;
 const MAX_CALL_DEPTH: usize = 64;
 
-struct Machine {
-    stack: Vec<U256>,
-    memory: Vec<u8>,
-    gas_left: Gas,
-    pc: usize,
-    return_data: Vec<u8>,
+/// The operand stack.
+///
+/// Capacity for the full 1024-slot limit is reserved up front, and every
+/// access is unchecked in release builds: the block-entry pre-validation in
+/// [`run_analyzed`] proves (from the analysis's per-block `need` and
+/// `max_growth`, computed over the *unfused* opcode sequence) that no
+/// instruction in the block can underflow or overflow, so per-slot checks in
+/// the hot loop would be pure waste. Debug builds keep assertions.
+struct Stack {
+    data: Vec<U256>,
 }
 
-impl Machine {
-    fn new(gas: Gas) -> Self {
-        Machine {
-            stack: Vec::with_capacity(64),
-            memory: Vec::new(),
-            gas_left: gas,
-            pc: 0,
-            return_data: Vec::new(),
+thread_local! {
+    /// Reusable operand-stack buffers, one per live frame depth.
+    ///
+    /// A full-capacity stack is 32 KiB; allocating and freeing one per frame
+    /// measurably dominates cheap frames (a fresh 32 KiB heap block per call
+    /// costs several hundred nanoseconds in a busy allocator). Frames on one
+    /// thread are strictly nested, so a small per-thread free list — take on
+    /// frame entry, return cleared on frame exit — removes the allocation
+    /// from every frame after the first `MAX_CALL_DEPTH` on each thread.
+    static STACK_POOL: std::cell::RefCell<Vec<Vec<U256>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl Stack {
+    fn new() -> Self {
+        let data = STACK_POOL
+            .with(|p| p.borrow_mut().pop())
+            .unwrap_or_else(|| Vec::with_capacity(STACK_LIMIT));
+        debug_assert!(data.is_empty() && data.capacity() >= STACK_LIMIT);
+        Stack { data }
+    }
+
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline(always)]
+    fn push(&mut self, v: U256) {
+        debug_assert!(self.data.len() < STACK_LIMIT);
+        // SAFETY: block pre-validation guarantees len + max_growth ≤ 1024
+        // and capacity is 1024, so the slot exists and no reallocation can
+        // occur.
+        unsafe {
+            let n = self.data.len();
+            std::ptr::write(self.data.as_mut_ptr().add(n), v);
+            self.data.set_len(n + 1);
         }
     }
 
+    #[inline(always)]
+    fn pop(&mut self) -> U256 {
+        debug_assert!(!self.data.is_empty());
+        // SAFETY: block pre-validation guarantees the stack is deep enough
+        // for every pop in the block.
+        unsafe {
+            let n = self.data.len() - 1;
+            self.data.set_len(n);
+            std::ptr::read(self.data.as_ptr().add(n))
+        }
+    }
+
+    /// The `depth`-th word from the top (0 = top).
+    #[inline(always)]
+    fn peek(&self, depth: usize) -> U256 {
+        debug_assert!(depth < self.data.len());
+        // SAFETY: as for `pop` — DUP/SWAP depths are covered by `need`.
+        unsafe { *self.data.get_unchecked(self.data.len() - 1 - depth) }
+    }
+
+    /// Swaps the top with the `n`-th word below it.
+    #[inline(always)]
+    fn swap(&mut self, n: usize) {
+        debug_assert!(n < self.data.len());
+        // SAFETY: as for `peek`.
+        unsafe {
+            let top = self.data.len() - 1;
+            let p = self.data.as_mut_ptr();
+            std::ptr::swap(p.add(top), p.add(top - n));
+        }
+    }
+}
+
+impl Drop for Stack {
+    fn drop(&mut self) {
+        // `U256` is `Copy`, so clearing is a length reset, not element drops.
+        let mut data = std::mem::take(&mut self.data);
+        data.clear();
+        STACK_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_CALL_DEPTH {
+                pool.push(data);
+            }
+        });
+    }
+}
+
+/// What a handler tells the dispatch loop to do next.
+enum Ctl {
+    /// Fall through to the next instruction.
+    Next,
+    /// Transfer control to this block index.
+    Jump(u32),
+    /// Frame finished; `output`/`reverted` are set on the [`Exec`].
+    Halt,
+}
+
+/// Mutable execution state for one frame, shared by every handler.
+struct Exec<'e, 'h, V: StateView> {
+    host: &'e mut BufferedHost<'h, V>,
+    env: &'e BlockEnv,
+    frame: &'e Frame,
+    an: &'e CodeAnalysis,
+    depth: usize,
+    stack: Stack,
+    memory: Vec<u8>,
+    gas_left: Gas,
+    return_data: Vec<u8>,
+    output: Vec<u8>,
+    reverted: bool,
+}
+
+impl<V: StateView> Exec<'_, '_, V> {
+    /// Charges dynamic (non-precharged) gas.
     #[inline]
     fn charge(&mut self, cost: Gas) -> Result<(), VmError> {
         if self.gas_left < cost {
@@ -140,20 +247,6 @@ impl Machine {
             return Err(VmError::OutOfGas);
         }
         self.gas_left -= cost;
-        Ok(())
-    }
-
-    #[inline]
-    fn pop(&mut self) -> Result<U256, VmError> {
-        self.stack.pop().ok_or(VmError::StackUnderflow)
-    }
-
-    #[inline]
-    fn push(&mut self, v: U256) -> Result<(), VmError> {
-        if self.stack.len() >= STACK_LIMIT {
-            return Err(VmError::StackOverflow);
-        }
-        self.stack.push(v);
         Ok(())
     }
 
@@ -179,522 +272,861 @@ impl Machine {
     }
 }
 
-/// Precomputed set of valid jump destinations (JUMPDEST bytes outside PUSH
-/// immediates).
-fn jumpdests(code: &[u8]) -> Vec<bool> {
-    let mut valid = vec![false; code.len()];
-    let mut i = 0;
-    while i < code.len() {
-        let b = code[i];
-        if b == Op::JumpDest as u8 {
-            valid[i] = true;
-        }
-        if (PUSH1..=PUSH32).contains(&b) {
-            i += (b - PUSH1) as usize + 1;
-        }
-        i += 1;
-    }
-    valid
+type Handler<V> = for<'e, 'h> fn(&mut Exec<'e, 'h, V>, Inst) -> Result<Ctl, VmError>;
+
+/// Carrier for the per-`V` handler table (generics forbid a plain `static`;
+/// an associated `const` on a generic struct monomorphizes per view type).
+struct Table<V: StateView>(std::marker::PhantomData<V>);
+
+impl<V: StateView> Table<V> {
+    /// Flat jump table indexed by [`Kind`]. Replaces the old monolithic
+    /// `match` dispatch.
+    const TABLE: [Handler<V>; KIND_COUNT] = {
+        let mut t: [Handler<V>; KIND_COUNT] = [op_abort::<V> as Handler<V>; KIND_COUNT];
+        t[Kind::Stop as usize] = op_stop::<V>;
+        t[Kind::Add as usize] = op_add::<V>;
+        t[Kind::Mul as usize] = op_mul::<V>;
+        t[Kind::Sub as usize] = op_sub::<V>;
+        t[Kind::Div as usize] = op_div::<V>;
+        t[Kind::SDiv as usize] = op_sdiv::<V>;
+        t[Kind::Mod as usize] = op_mod::<V>;
+        t[Kind::SMod as usize] = op_smod::<V>;
+        t[Kind::AddMod as usize] = op_addmod::<V>;
+        t[Kind::MulMod as usize] = op_mulmod::<V>;
+        t[Kind::Exp as usize] = op_exp::<V>;
+        t[Kind::SignExtend as usize] = op_signextend::<V>;
+        t[Kind::Lt as usize] = op_lt::<V>;
+        t[Kind::Gt as usize] = op_gt::<V>;
+        t[Kind::Slt as usize] = op_slt::<V>;
+        t[Kind::Sgt as usize] = op_sgt::<V>;
+        t[Kind::Eq as usize] = op_eq::<V>;
+        t[Kind::IsZero as usize] = op_iszero::<V>;
+        t[Kind::And as usize] = op_and::<V>;
+        t[Kind::Or as usize] = op_or::<V>;
+        t[Kind::Xor as usize] = op_xor::<V>;
+        t[Kind::Not as usize] = op_not::<V>;
+        t[Kind::Byte as usize] = op_byte::<V>;
+        t[Kind::Shl as usize] = op_shl::<V>;
+        t[Kind::Shr as usize] = op_shr::<V>;
+        t[Kind::Sar as usize] = op_sar::<V>;
+        t[Kind::Sha3 as usize] = op_sha3::<V>;
+        t[Kind::Address as usize] = op_address::<V>;
+        t[Kind::Balance as usize] = op_balance::<V>;
+        t[Kind::Origin as usize] = op_origin::<V>;
+        t[Kind::Caller as usize] = op_caller::<V>;
+        t[Kind::CallValue as usize] = op_callvalue::<V>;
+        t[Kind::CallDataLoad as usize] = op_calldataload::<V>;
+        t[Kind::CallDataSize as usize] = op_calldatasize::<V>;
+        t[Kind::CallDataCopy as usize] = op_calldatacopy::<V>;
+        t[Kind::CodeSize as usize] = op_codesize::<V>;
+        t[Kind::CodeCopy as usize] = op_codecopy::<V>;
+        t[Kind::GasPrice as usize] = op_gasprice::<V>;
+        t[Kind::ExtCodeSize as usize] = op_extcodesize::<V>;
+        t[Kind::ExtCodeCopy as usize] = op_extcodecopy::<V>;
+        t[Kind::ReturnDataSize as usize] = op_returndatasize::<V>;
+        t[Kind::ReturnDataCopy as usize] = op_returndatacopy::<V>;
+        t[Kind::Coinbase as usize] = op_coinbase::<V>;
+        t[Kind::Timestamp as usize] = op_timestamp::<V>;
+        t[Kind::Number as usize] = op_number::<V>;
+        t[Kind::GasLimit as usize] = op_gaslimit::<V>;
+        t[Kind::SelfBalance as usize] = op_selfbalance::<V>;
+        t[Kind::Pop as usize] = op_pop::<V>;
+        t[Kind::MLoad as usize] = op_mload::<V>;
+        t[Kind::MStore as usize] = op_mstore::<V>;
+        t[Kind::MStore8 as usize] = op_mstore8::<V>;
+        t[Kind::SLoad as usize] = op_sload::<V>;
+        t[Kind::SStore as usize] = op_sstore::<V>;
+        t[Kind::Jump as usize] = op_jump::<V>;
+        t[Kind::JumpI as usize] = op_jumpi::<V>;
+        t[Kind::Pc as usize] = op_pc::<V>;
+        t[Kind::MSize as usize] = op_msize::<V>;
+        t[Kind::Gas as usize] = op_gas::<V>;
+        t[Kind::JumpDest as usize] = op_jumpdest::<V>;
+        t[Kind::Log as usize] = op_log::<V>;
+        t[Kind::Create as usize] = op_create::<V>;
+        t[Kind::Call as usize] = op_call::<V>;
+        t[Kind::DelegateCall as usize] = op_delegatecall::<V>;
+        t[Kind::StaticCall as usize] = op_staticcall::<V>;
+        t[Kind::Return as usize] = op_return::<V>;
+        t[Kind::Revert as usize] = op_revert::<V>;
+        t[Kind::Abort as usize] = op_abort::<V>;
+        t[Kind::Push as usize] = op_push::<V>;
+        t[Kind::Push2 as usize] = op_push2::<V>;
+        t[Kind::Dup as usize] = op_dup::<V>;
+        t[Kind::Swap as usize] = op_swap::<V>;
+        t[Kind::JumpImm as usize] = op_jump_imm::<V>;
+        t[Kind::JumpIImm as usize] = op_jumpi_imm::<V>;
+        t[Kind::DupMStore as usize] = op_dup_mstore::<V>;
+        t
+    };
 }
 
 /// Runs one frame to completion.
+///
+/// Code analysis comes from the host's [`AnalysisCache`], so repeated frames
+/// against the same contract skip decoding, jumpdest discovery and block
+/// summarization entirely.
 pub fn run_frame<V: StateView>(
     host: &mut BufferedHost<'_, V>,
     env: &BlockEnv,
     frame: Frame,
     depth: usize,
 ) -> Result<FrameResult, VmError> {
+    run_frame_at(host, env, frame, depth, true)
+}
+
+/// `run_frame` with cache policy: CREATE init code is one-shot and would
+/// only churn the shared cache, so deployment frames analyze fresh.
+fn run_frame_at<V: StateView>(
+    host: &mut BufferedHost<'_, V>,
+    env: &BlockEnv,
+    frame: Frame,
+    depth: usize,
+    use_cache: bool,
+) -> Result<FrameResult, VmError> {
     if depth > MAX_CALL_DEPTH {
         return Err(VmError::CallDepth);
     }
-    let code = Arc::clone(&frame.code);
-    let valid_jumps = jumpdests(&code);
-    let mut m = Machine::new(frame.gas);
+    if frame.code.is_empty() {
+        return Ok(FrameResult {
+            output: Vec::new(),
+            gas_left: frame.gas,
+            reverted: false,
+        });
+    }
+    let cached;
+    let owned;
+    let an: &CodeAnalysis = if use_cache {
+        cached = host.analysis(&frame.code);
+        &cached
+    } else {
+        owned = CodeAnalysis::analyze(Arc::clone(&frame.code));
+        &owned
+    };
+    run_analyzed(host, env, &frame, an, depth)
+}
 
+/// The hot loop: per-block gas precharge + stack pre-validation, then
+/// jump-table dispatch over the pre-decoded instruction stream.
+fn run_analyzed<V: StateView>(
+    host: &mut BufferedHost<'_, V>,
+    env: &BlockEnv,
+    frame: &Frame,
+    an: &CodeAnalysis,
+    depth: usize,
+) -> Result<FrameResult, VmError> {
+    let gas = frame.gas;
+    let mut e = Exec {
+        host,
+        env,
+        frame,
+        an,
+        depth,
+        stack: Stack::new(),
+        memory: Vec::new(),
+        gas_left: gas,
+        return_data: Vec::new(),
+        output: Vec::new(),
+        reverted: false,
+    };
+    let blocks: &[BlockInfo] = &an.blocks;
+    let insts: &[Inst] = &an.insts;
+    let table = &Table::<V>::TABLE;
+
+    let mut bi = 0usize;
     loop {
-        let byte = match code.get(m.pc) {
-            Some(&b) => b,
-            // Running off the end of code is an implicit STOP.
-            None => {
-                return Ok(FrameResult {
-                    output: Vec::new(),
-                    gas_left: m.gas_left,
-                    reverted: false,
-                })
-            }
-        };
-        m.pc += 1;
+        // `bi` is always in bounds: jump targets come from `pc_block` (which
+        // only holds real block indices) and fall-through targets exist
+        // because the analysis appends a synthetic STOP block at the end.
+        debug_assert!(bi < blocks.len());
+        let blk = unsafe { *blocks.get_unchecked(bi) };
 
-        // PUSH / DUP / SWAP ranges first.
-        if (PUSH1..=PUSH32).contains(&byte) {
-            m.charge(gas::VERYLOW)?;
-            let n = (byte - PUSH1) as usize + 1;
-            let end = (m.pc + n).min(code.len());
-            let v = U256::from_be_slice(&code[m.pc..end]);
-            // Truncated push at end of code zero-pads on the right per spec;
-            // from_be_slice pads left, so shift for the missing bytes.
-            let missing = (m.pc + n - end) as u32;
-            m.push(v << (8 * missing))?;
-            m.pc += n;
-            continue;
+        // Precharge the whole block's static gas. Within a block execution
+        // is straight-line, so a successful path through it pays exactly
+        // this much; a faulting path consumes the frame's full gas either
+        // way (every VmError is a full-gas exceptional halt).
+        if e.gas_left < blk.static_gas {
+            e.gas_left = 0;
+            return Err(VmError::OutOfGas);
         }
-        if (DUP1..=DUP16).contains(&byte) {
-            m.charge(gas::VERYLOW)?;
-            let n = (byte - DUP1) as usize + 1;
-            if m.stack.len() < n {
-                return Err(VmError::StackUnderflow);
-            }
-            let v = m.stack[m.stack.len() - n];
-            m.push(v)?;
-            continue;
+        e.gas_left -= blk.static_gas;
+
+        // Pre-validate stack bounds once; handlers then use unchecked
+        // access.
+        let len = e.stack.len() as u64;
+        if len < blk.need as u64 {
+            return Err(VmError::StackUnderflow);
         }
-        if (SWAP1..=SWAP16).contains(&byte) {
-            m.charge(gas::VERYLOW)?;
-            let n = (byte - SWAP1) as usize + 1;
-            if m.stack.len() < n + 1 {
-                return Err(VmError::StackUnderflow);
-            }
-            let top = m.stack.len() - 1;
-            m.stack.swap(top, top - n);
-            continue;
+        if len + blk.max_growth as u64 > STACK_LIMIT as u64 {
+            return Err(VmError::StackOverflow);
         }
 
-        let op = Op::from_byte(byte).ok_or(VmError::InvalidOpcode(byte))?;
-        match op {
-            Op::Stop => {
-                return Ok(FrameResult {
-                    output: Vec::new(),
-                    gas_left: m.gas_left,
-                    reverted: false,
-                })
-            }
-            Op::Add => binary(&mut m, gas::VERYLOW, |a, b| a + b)?,
-            Op::Mul => binary(&mut m, gas::LOW, |a, b| a * b)?,
-            Op::Sub => binary(&mut m, gas::VERYLOW, |a, b| a - b)?,
-            Op::Div => binary(&mut m, gas::LOW, |a, b| a / b)?,
-            Op::Mod => binary(&mut m, gas::LOW, |a, b| a % b)?,
-            Op::SDiv => binary(&mut m, gas::LOW, |a, b| a.sdiv(b))?,
-            Op::SMod => binary(&mut m, gas::LOW, |a, b| a.smod(b))?,
-            Op::SignExtend => binary(&mut m, gas::LOW, |k, v| v.sign_extend(k))?,
-            Op::AddMod => ternary(&mut m, gas::MID, |a, b, n| a.add_mod(b, n))?,
-            Op::MulMod => ternary(&mut m, gas::MID, |a, b, n| a.mul_mod(b, n))?,
-            Op::Exp => {
-                let base = m.pop()?;
-                let exp = m.pop()?;
-                let exp_bytes = (exp.bits() as u64).div_ceil(8);
-                m.charge(gas::EXP + gas::EXP_BYTE * exp_bytes)?;
-                m.push(base.pow(exp))?;
-            }
-            Op::Lt => binary(&mut m, gas::VERYLOW, |a, b| bool_word(a < b))?,
-            Op::Gt => binary(&mut m, gas::VERYLOW, |a, b| bool_word(a > b))?,
-            Op::Slt => binary(&mut m, gas::VERYLOW, |a, b| bool_word(a.slt(&b)))?,
-            Op::Sgt => binary(&mut m, gas::VERYLOW, |a, b| bool_word(b.slt(&a)))?,
-            Op::Eq => binary(&mut m, gas::VERYLOW, |a, b| bool_word(a == b))?,
-            Op::IsZero => {
-                m.charge(gas::VERYLOW)?;
-                let a = m.pop()?;
-                m.push(bool_word(a.is_zero()))?;
-            }
-            Op::And => binary(&mut m, gas::VERYLOW, |a, b| a & b)?,
-            Op::Or => binary(&mut m, gas::VERYLOW, |a, b| a | b)?,
-            Op::Xor => binary(&mut m, gas::VERYLOW, |a, b| a ^ b)?,
-            Op::Not => {
-                m.charge(gas::VERYLOW)?;
-                let a = m.pop()?;
-                m.push(!a)?;
-            }
-            Op::Byte => binary(&mut m, gas::VERYLOW, |i, x| {
-                U256::from(x.byte_be(i.to_usize().unwrap_or(32)))
-            })?,
-            Op::Shl => binary(&mut m, gas::VERYLOW, |s, v| {
-                v << s.to_u64().map(|x| x.min(256) as u32).unwrap_or(256)
-            })?,
-            Op::Shr => binary(&mut m, gas::VERYLOW, |s, v| {
-                v >> s.to_u64().map(|x| x.min(256) as u32).unwrap_or(256)
-            })?,
-            Op::Sar => binary(&mut m, gas::VERYLOW, |s, v| {
-                v.sar(s.to_u64().map(|x| x.min(256) as u32).unwrap_or(256))
-            })?,
-            Op::Sha3 => {
-                let offset = m.pop()?;
-                let len = m.pop()?;
-                let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
-                m.charge(gas::SHA3 + gas::SHA3_WORD * words)?;
-                let off = m.expand_memory(offset, len)?;
-                let hash = keccak256(m.mem_slice(off, len.to_usize().unwrap_or(0)));
-                m.push(hash.to_u256())?;
-            }
-            Op::Address => {
-                m.charge(gas::BASE)?;
-                m.push(address_word(&frame.address))?;
-            }
-            Op::Balance => {
-                m.charge(gas::BALANCE)?;
-                let a = m.pop()?;
-                let addr = word_address(a);
-                let bal = host.balance(&addr);
-                m.push(bal)?;
-            }
-            Op::SelfBalance => {
-                m.charge(gas::SELFBALANCE)?;
-                let bal = host.balance(&frame.address);
-                m.push(bal)?;
-            }
-            Op::Origin => {
-                m.charge(gas::BASE)?;
-                m.push(address_word(&frame.origin))?;
-            }
-            Op::Caller => {
-                m.charge(gas::BASE)?;
-                m.push(address_word(&frame.caller))?;
-            }
-            Op::CallValue => {
-                m.charge(gas::BASE)?;
-                m.push(frame.value)?;
-            }
-            Op::CallDataLoad => {
-                m.charge(gas::VERYLOW)?;
-                let i = m.pop()?;
-                let mut word = [0u8; 32];
-                if let Some(start) = i.to_usize() {
-                    for (j, byte) in word.iter_mut().enumerate() {
-                        *byte = frame.input.get(start + j).copied().unwrap_or(0);
-                    }
+        let mut ii = blk.first as usize;
+        let end = blk.end as usize;
+        let mut next = bi + 1;
+        while ii < end {
+            debug_assert!(ii < insts.len());
+            let inst = unsafe { *insts.get_unchecked(ii) };
+            ii += 1;
+            // SAFETY: `Kind` discriminants are contiguous in
+            // [0, KIND_COUNT).
+            let handler = unsafe { *table.get_unchecked(inst.kind as usize) };
+            match handler(&mut e, inst)? {
+                Ctl::Next => {}
+                Ctl::Jump(b) => {
+                    next = b as usize;
+                    break;
                 }
-                m.push(U256::from_be_bytes(word))?;
-            }
-            Op::CallDataSize => {
-                m.charge(gas::BASE)?;
-                m.push(U256::from(frame.input.len()))?;
-            }
-            Op::CallDataCopy => {
-                let dst = m.pop()?;
-                let src = m.pop()?;
-                let len = m.pop()?;
-                let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
-                m.charge(gas::VERYLOW + gas::COPY_WORD * words)?;
-                let dst_off = m.expand_memory(dst, len)?;
-                let n = len.to_usize().unwrap_or(0);
-                let s = src.to_usize().unwrap_or(usize::MAX);
-                for j in 0..n {
-                    m.memory[dst_off + j] = s
-                        .checked_add(j)
-                        .and_then(|i| frame.input.get(i))
-                        .copied()
-                        .unwrap_or(0);
+                Ctl::Halt => {
+                    return Ok(FrameResult {
+                        output: e.output,
+                        gas_left: e.gas_left,
+                        reverted: e.reverted,
+                    });
                 }
             }
-            Op::CodeSize => {
-                m.charge(gas::BASE)?;
-                m.push(U256::from(code.len()))?;
-            }
-            Op::CodeCopy => {
-                let dst = m.pop()?;
-                let src = m.pop()?;
-                let len = m.pop()?;
-                let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
-                m.charge(gas::VERYLOW + gas::COPY_WORD * words)?;
-                let dst_off = m.expand_memory(dst, len)?;
-                let n = len.to_usize().unwrap_or(0);
-                let s = src.to_usize().unwrap_or(usize::MAX);
-                for j in 0..n {
-                    m.memory[dst_off + j] = s
-                        .checked_add(j)
-                        .and_then(|i| code.get(i))
-                        .copied()
-                        .unwrap_or(0);
-                }
-            }
-            Op::ReturnDataSize => {
-                m.charge(gas::BASE)?;
-                m.push(U256::from(m.return_data.len()))?;
-            }
-            Op::ReturnDataCopy => {
-                let dst = m.pop()?;
-                let src = m.pop()?;
-                let len = m.pop()?;
-                let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
-                m.charge(gas::VERYLOW + gas::COPY_WORD * words)?;
-                let n = len.to_usize().unwrap_or(usize::MAX);
-                let s = src.to_usize().unwrap_or(usize::MAX);
-                // Unlike CALLDATACOPY, out-of-range RETURNDATACOPY is an
-                // exceptional halt per EIP-211.
-                let end = s.checked_add(n).ok_or(VmError::ReturnDataOutOfBounds)?;
-                if end > m.return_data.len() {
-                    return Err(VmError::ReturnDataOutOfBounds);
-                }
-                let dst_off = m.expand_memory(dst, len)?;
-                let data = m.return_data[s..end].to_vec();
-                m.memory[dst_off..dst_off + n].copy_from_slice(&data);
-            }
-            Op::ExtCodeSize => {
-                m.charge(gas::BALANCE)?;
-                let a = m.pop()?;
-                let sz = host.code(&word_address(a)).len();
-                m.push(U256::from(sz))?;
-            }
-            Op::ExtCodeCopy => {
-                let a = m.pop()?;
-                let dst = m.pop()?;
-                let src = m.pop()?;
-                let len = m.pop()?;
-                let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
-                m.charge(gas::BALANCE + gas::COPY_WORD * words)?;
-                let ext = host.code(&word_address(a));
-                let dst_off = m.expand_memory(dst, len)?;
-                let n = len.to_usize().unwrap_or(0);
-                let s = src.to_usize().unwrap_or(usize::MAX);
-                for j in 0..n {
-                    m.memory[dst_off + j] = s
-                        .checked_add(j)
-                        .and_then(|i| ext.get(i))
-                        .copied()
-                        .unwrap_or(0);
-                }
-            }
-            Op::GasPrice => {
-                m.charge(gas::BASE)?;
-                m.push(U256::from(frame.gas_price))?;
-            }
-            Op::Coinbase => {
-                m.charge(gas::BASE)?;
-                m.push(address_word(&env.coinbase))?;
-            }
-            Op::Timestamp => {
-                m.charge(gas::BASE)?;
-                m.push(U256::from(env.timestamp))?;
-            }
-            Op::Number => {
-                m.charge(gas::BASE)?;
-                m.push(U256::from(env.number))?;
-            }
-            Op::GasLimit => {
-                m.charge(gas::BASE)?;
-                m.push(U256::from(env.gas_limit))?;
-            }
-            Op::Pop => {
-                m.charge(gas::BASE)?;
-                m.pop()?;
-            }
-            Op::MLoad => {
-                m.charge(gas::VERYLOW)?;
-                let offset = m.pop()?;
-                let off = m.expand_memory(offset, U256::from(32u64))?;
-                let mut word = [0u8; 32];
-                word.copy_from_slice(m.mem_slice(off, 32));
-                m.push(U256::from_be_bytes(word))?;
-            }
-            Op::MStore => {
-                m.charge(gas::VERYLOW)?;
-                let offset = m.pop()?;
-                let value = m.pop()?;
-                let off = m.expand_memory(offset, U256::from(32u64))?;
-                m.memory[off..off + 32].copy_from_slice(&value.to_be_bytes());
-            }
-            Op::MStore8 => {
-                m.charge(gas::VERYLOW)?;
-                let offset = m.pop()?;
-                let value = m.pop()?;
-                let off = m.expand_memory(offset, U256::ONE)?;
-                m.memory[off] = value.low_u64() as u8;
-            }
-            Op::SLoad => {
-                m.charge(gas::SLOAD)?;
-                let slot = m.pop()?;
-                let v = host.read(AccessKey::Storage(frame.address, H256::from_u256(slot)));
-                m.push(v)?;
-            }
-            Op::SStore => {
-                if frame.is_static {
-                    return Err(VmError::StaticViolation);
-                }
-                let slot = m.pop()?;
-                let value = m.pop()?;
-                let key = AccessKey::Storage(frame.address, H256::from_u256(slot));
-                let current = host.read(key);
-                let cost = if current.is_zero() && !value.is_zero() {
-                    gas::SSTORE_SET
-                } else {
-                    gas::SSTORE_RESET
-                };
-                m.charge(cost)?;
-                host.write(key, value);
-            }
-            Op::Jump => {
-                m.charge(gas::MID)?;
-                let dest = m.pop()?;
-                jump_to(&mut m, dest, &valid_jumps)?;
-            }
-            Op::JumpI => {
-                m.charge(gas::HIGH)?;
-                let dest = m.pop()?;
-                let cond = m.pop()?;
-                if !cond.is_zero() {
-                    jump_to(&mut m, dest, &valid_jumps)?;
-                }
-            }
-            Op::Pc => {
-                m.charge(gas::BASE)?;
-                m.push(U256::from(m.pc - 1))?;
-            }
-            Op::MSize => {
-                m.charge(gas::BASE)?;
-                m.push(U256::from(m.memory.len()))?;
-            }
-            Op::Gas => {
-                m.charge(gas::BASE)?;
-                m.push(U256::from(m.gas_left))?;
-            }
-            Op::JumpDest => m.charge(gas::JUMPDEST)?,
-            Op::Log0 | Op::Log1 | Op::Log2 | Op::Log3 | Op::Log4 => {
-                if frame.is_static {
-                    return Err(VmError::StaticViolation);
-                }
-                let topic_count = (op as u8 - Op::Log0 as u8) as usize;
-                let offset = m.pop()?;
-                let len = m.pop()?;
-                let mut topics = Vec::with_capacity(topic_count);
-                for _ in 0..topic_count {
-                    topics.push(H256::from_u256(m.pop()?));
-                }
-                let data_len = len.to_u64().ok_or(VmError::OutOfGas)?;
-                m.charge(
-                    gas::LOG + gas::LOG_TOPIC * topic_count as u64 + gas::LOG_DATA * data_len,
-                )?;
-                let off = m.expand_memory(offset, len)?;
-                let data = m.mem_slice(off, data_len as usize).to_vec();
-                host.log(Log {
-                    address: frame.address,
-                    topics,
-                    data,
-                });
-            }
-            Op::Create => {
-                if frame.is_static {
-                    return Err(VmError::StaticViolation);
-                }
-                m.charge(gas::CREATE)?;
-                let value = m.pop()?;
-                let offset = m.pop()?;
-                let len = m.pop()?;
-                let off = m.expand_memory(offset, len)?;
-                let init = m.mem_slice(off, len.to_usize().unwrap_or(0)).to_vec();
-                let forwarded = m.gas_left - m.gas_left / 64;
-                m.charge(forwarded)?;
-                let (created, gas_returned) =
-                    do_create(host, env, &frame, value, init, forwarded, depth);
-                m.gas_left += gas_returned;
-                m.return_data.clear();
-                match created {
-                    Some(addr) => m.push(address_word(&addr))?,
-                    None => m.push(U256::ZERO)?,
-                }
-            }
-            Op::Call | Op::DelegateCall | Op::StaticCall => {
-                let gas_req = m.pop()?;
-                let to = word_address(m.pop()?);
-                // CALL carries an explicit value; DELEGATECALL inherits the
-                // parent's; STATICCALL transfers nothing.
-                let value = match op {
-                    Op::Call => m.pop()?,
-                    Op::DelegateCall => frame.value,
-                    _ => U256::ZERO,
-                };
-                let in_off = m.pop()?;
-                let in_len = m.pop()?;
-                let out_off = m.pop()?;
-                let out_len = m.pop()?;
-
-                let transfers_value = op == Op::Call && !value.is_zero();
-                if transfers_value && frame.is_static {
-                    return Err(VmError::StaticViolation);
-                }
-                let mut base = gas::CALL;
-                if transfers_value {
-                    base += gas::CALL_VALUE;
-                }
-                m.charge(base)?;
-                let i_off = m.expand_memory(in_off, in_len)?;
-                let input = m.mem_slice(i_off, in_len.to_usize().unwrap_or(0)).to_vec();
-                let o_off = m.expand_memory(out_off, out_len)?;
-
-                let cap = m.gas_left - m.gas_left / 64;
-                let forwarded = gas_req.to_u64().unwrap_or(u64::MAX).min(cap);
-                m.charge(forwarded)?;
-                let stipend = if transfers_value {
-                    gas::CALL_STIPEND
-                } else {
-                    0
-                };
-
-                let kind = match op {
-                    Op::Call => CallKind::Call,
-                    Op::DelegateCall => CallKind::Delegate,
-                    _ => CallKind::Static,
-                };
-                let (ok, output, gas_returned) = do_call(
-                    host,
-                    env,
-                    &frame,
-                    to,
-                    value,
-                    input,
-                    forwarded + stipend,
-                    depth,
-                    kind,
-                );
-                // The stipend was free to the caller; only un-spent
-                // *forwarded* gas comes back.
-                m.gas_left += gas_returned.min(forwarded);
-                let n = out_len.to_usize().unwrap_or(0).min(output.len());
-                m.memory[o_off..o_off + n].copy_from_slice(&output[..n]);
-                m.return_data = output;
-                m.push(bool_word(ok))?;
-            }
-            Op::Return | Op::Revert => {
-                let offset = m.pop()?;
-                let len = m.pop()?;
-                let off = m.expand_memory(offset, len)?;
-                let output = m.mem_slice(off, len.to_usize().unwrap_or(0)).to_vec();
-                return Ok(FrameResult {
-                    output,
-                    gas_left: m.gas_left,
-                    reverted: op == Op::Revert,
-                });
-            }
-            Op::Invalid => return Err(VmError::InvalidOpcode(0xFE)),
         }
+        bi = next;
     }
 }
 
-fn jump_to(m: &mut Machine, dest: U256, valid: &[bool]) -> Result<(), VmError> {
+/// Maps a dynamic jump destination to its target block.
+#[inline]
+fn resolve_jump(an: &CodeAnalysis, dest: U256) -> Result<u32, VmError> {
     let d = dest.to_usize().ok_or(VmError::InvalidJump)?;
-    if d >= valid.len() || !valid[d] {
+    match an.pc_block.get(d) {
+        Some(&b) if b != INVALID_BLOCK => Ok(b),
+        _ => Err(VmError::InvalidJump),
+    }
+}
+
+#[inline(always)]
+fn binop<V: StateView>(
+    e: &mut Exec<'_, '_, V>,
+    f: impl FnOnce(U256, U256) -> U256,
+) -> Result<Ctl, VmError> {
+    let a = e.stack.pop();
+    let b = e.stack.pop();
+    e.stack.push(f(a, b));
+    Ok(Ctl::Next)
+}
+
+fn op_stop<V: StateView>(_e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    Ok(Ctl::Halt)
+}
+
+fn op_add<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| a + b)
+}
+
+fn op_mul<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| a * b)
+}
+
+fn op_sub<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| a - b)
+}
+
+fn op_div<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| a / b)
+}
+
+fn op_sdiv<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| a.sdiv(b))
+}
+
+fn op_mod<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| a % b)
+}
+
+fn op_smod<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| a.smod(b))
+}
+
+fn op_addmod<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let a = e.stack.pop();
+    let b = e.stack.pop();
+    let n = e.stack.pop();
+    e.stack.push(a.add_mod(b, n));
+    Ok(Ctl::Next)
+}
+
+fn op_mulmod<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let a = e.stack.pop();
+    let b = e.stack.pop();
+    let n = e.stack.pop();
+    e.stack.push(a.mul_mod(b, n));
+    Ok(Ctl::Next)
+}
+
+fn op_exp<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let base = e.stack.pop();
+    let exp = e.stack.pop();
+    let exp_bytes = (exp.bits() as u64).div_ceil(8);
+    e.charge(gas::EXP_BYTE * exp_bytes)?;
+    e.stack.push(base.pow(exp));
+    Ok(Ctl::Next)
+}
+
+fn op_signextend<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |k, v| v.sign_extend(k))
+}
+
+fn op_lt<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| bool_word(a < b))
+}
+
+fn op_gt<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| bool_word(a > b))
+}
+
+fn op_slt<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| bool_word(a.slt(&b)))
+}
+
+fn op_sgt<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| bool_word(b.slt(&a)))
+}
+
+fn op_eq<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| bool_word(a == b))
+}
+
+fn op_iszero<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let a = e.stack.pop();
+    e.stack.push(bool_word(a.is_zero()));
+    Ok(Ctl::Next)
+}
+
+fn op_and<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| a & b)
+}
+
+fn op_or<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| a | b)
+}
+
+fn op_xor<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |a, b| a ^ b)
+}
+
+fn op_not<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let a = e.stack.pop();
+    e.stack.push(!a);
+    Ok(Ctl::Next)
+}
+
+fn op_byte<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |i, x| U256::from(x.byte_be(i.to_usize().unwrap_or(32))))
+}
+
+fn op_shl<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |s, v| {
+        v << s.to_u64().map(|x| x.min(256) as u32).unwrap_or(256)
+    })
+}
+
+fn op_shr<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |s, v| {
+        v >> s.to_u64().map(|x| x.min(256) as u32).unwrap_or(256)
+    })
+}
+
+fn op_sar<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    binop(e, |s, v| {
+        v.sar(s.to_u64().map(|x| x.min(256) as u32).unwrap_or(256))
+    })
+}
+
+fn op_sha3<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let offset = e.stack.pop();
+    let len = e.stack.pop();
+    let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
+    e.charge(gas::SHA3_WORD * words)?;
+    let off = e.expand_memory(offset, len)?;
+    let hash = keccak256(e.mem_slice(off, len.to_usize().unwrap_or(0)));
+    e.stack.push(hash.to_u256());
+    Ok(Ctl::Next)
+}
+
+fn op_address<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let w = address_word(&e.frame.address);
+    e.stack.push(w);
+    Ok(Ctl::Next)
+}
+
+fn op_balance<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let a = e.stack.pop();
+    let addr = word_address(a);
+    let bal = e.host.balance(&addr);
+    e.stack.push(bal);
+    Ok(Ctl::Next)
+}
+
+fn op_selfbalance<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let bal = e.host.balance(&e.frame.address);
+    e.stack.push(bal);
+    Ok(Ctl::Next)
+}
+
+fn op_origin<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let w = address_word(&e.frame.origin);
+    e.stack.push(w);
+    Ok(Ctl::Next)
+}
+
+fn op_caller<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let w = address_word(&e.frame.caller);
+    e.stack.push(w);
+    Ok(Ctl::Next)
+}
+
+fn op_callvalue<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let v = e.frame.value;
+    e.stack.push(v);
+    Ok(Ctl::Next)
+}
+
+fn op_calldataload<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let i = e.stack.pop();
+    let mut word = [0u8; 32];
+    if let Some(start) = i.to_usize() {
+        for (j, byte) in word.iter_mut().enumerate() {
+            *byte = e.frame.input.get(start + j).copied().unwrap_or(0);
+        }
+    }
+    e.stack.push(U256::from_be_bytes(word));
+    Ok(Ctl::Next)
+}
+
+fn op_calldatasize<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let n = e.frame.input.len();
+    e.stack.push(U256::from(n));
+    Ok(Ctl::Next)
+}
+
+fn op_calldatacopy<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let dst = e.stack.pop();
+    let src = e.stack.pop();
+    let len = e.stack.pop();
+    let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
+    e.charge(gas::COPY_WORD * words)?;
+    let dst_off = e.expand_memory(dst, len)?;
+    let n = len.to_usize().unwrap_or(0);
+    let s = src.to_usize().unwrap_or(usize::MAX);
+    for j in 0..n {
+        e.memory[dst_off + j] = s
+            .checked_add(j)
+            .and_then(|i| e.frame.input.get(i))
+            .copied()
+            .unwrap_or(0);
+    }
+    Ok(Ctl::Next)
+}
+
+fn op_codesize<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let n = e.frame.code.len();
+    e.stack.push(U256::from(n));
+    Ok(Ctl::Next)
+}
+
+fn op_codecopy<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let dst = e.stack.pop();
+    let src = e.stack.pop();
+    let len = e.stack.pop();
+    let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
+    e.charge(gas::COPY_WORD * words)?;
+    let dst_off = e.expand_memory(dst, len)?;
+    let n = len.to_usize().unwrap_or(0);
+    let s = src.to_usize().unwrap_or(usize::MAX);
+    for j in 0..n {
+        e.memory[dst_off + j] = s
+            .checked_add(j)
+            .and_then(|i| e.frame.code.get(i))
+            .copied()
+            .unwrap_or(0);
+    }
+    Ok(Ctl::Next)
+}
+
+fn op_gasprice<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let p = e.frame.gas_price;
+    e.stack.push(U256::from(p));
+    Ok(Ctl::Next)
+}
+
+fn op_extcodesize<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let a = e.stack.pop();
+    let sz = e.host.code(&word_address(a)).len();
+    e.stack.push(U256::from(sz));
+    Ok(Ctl::Next)
+}
+
+fn op_extcodecopy<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let a = e.stack.pop();
+    let dst = e.stack.pop();
+    let src = e.stack.pop();
+    let len = e.stack.pop();
+    let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
+    e.charge(gas::COPY_WORD * words)?;
+    let ext = e.host.code(&word_address(a));
+    let dst_off = e.expand_memory(dst, len)?;
+    let n = len.to_usize().unwrap_or(0);
+    let s = src.to_usize().unwrap_or(usize::MAX);
+    for j in 0..n {
+        e.memory[dst_off + j] = s
+            .checked_add(j)
+            .and_then(|i| ext.get(i))
+            .copied()
+            .unwrap_or(0);
+    }
+    Ok(Ctl::Next)
+}
+
+fn op_returndatasize<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let n = e.return_data.len();
+    e.stack.push(U256::from(n));
+    Ok(Ctl::Next)
+}
+
+fn op_returndatacopy<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let dst = e.stack.pop();
+    let src = e.stack.pop();
+    let len = e.stack.pop();
+    let words = len.to_u64().ok_or(VmError::OutOfGas)?.div_ceil(32);
+    e.charge(gas::COPY_WORD * words)?;
+    let n = len.to_usize().unwrap_or(usize::MAX);
+    let s = src.to_usize().unwrap_or(usize::MAX);
+    // Unlike CALLDATACOPY, out-of-range RETURNDATACOPY is an exceptional
+    // halt per EIP-211.
+    let end = s.checked_add(n).ok_or(VmError::ReturnDataOutOfBounds)?;
+    if end > e.return_data.len() {
+        return Err(VmError::ReturnDataOutOfBounds);
+    }
+    let dst_off = e.expand_memory(dst, len)?;
+    let data = e.return_data[s..end].to_vec();
+    e.memory[dst_off..dst_off + n].copy_from_slice(&data);
+    Ok(Ctl::Next)
+}
+
+fn op_coinbase<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let w = address_word(&e.env.coinbase);
+    e.stack.push(w);
+    Ok(Ctl::Next)
+}
+
+fn op_timestamp<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let t = e.env.timestamp;
+    e.stack.push(U256::from(t));
+    Ok(Ctl::Next)
+}
+
+fn op_number<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let n = e.env.number;
+    e.stack.push(U256::from(n));
+    Ok(Ctl::Next)
+}
+
+fn op_gaslimit<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let l = e.env.gas_limit;
+    e.stack.push(U256::from(l));
+    Ok(Ctl::Next)
+}
+
+fn op_pop<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    e.stack.pop();
+    Ok(Ctl::Next)
+}
+
+fn op_mload<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let offset = e.stack.pop();
+    let off = e.expand_memory(offset, U256::from(32u64))?;
+    let mut word = [0u8; 32];
+    word.copy_from_slice(e.mem_slice(off, 32));
+    e.stack.push(U256::from_be_bytes(word));
+    Ok(Ctl::Next)
+}
+
+fn op_mstore<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let offset = e.stack.pop();
+    let value = e.stack.pop();
+    let off = e.expand_memory(offset, U256::from(32u64))?;
+    e.memory[off..off + 32].copy_from_slice(&value.to_be_bytes());
+    Ok(Ctl::Next)
+}
+
+fn op_mstore8<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let offset = e.stack.pop();
+    let value = e.stack.pop();
+    let off = e.expand_memory(offset, U256::ONE)?;
+    e.memory[off] = value.low_u64() as u8;
+    Ok(Ctl::Next)
+}
+
+fn op_sload<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let slot = e.stack.pop();
+    let v = e
+        .host
+        .read(AccessKey::Storage(e.frame.address, H256::from_u256(slot)));
+    e.stack.push(v);
+    Ok(Ctl::Next)
+}
+
+fn op_sstore<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    if e.frame.is_static {
+        return Err(VmError::StaticViolation);
+    }
+    let slot = e.stack.pop();
+    let value = e.stack.pop();
+    let key = AccessKey::Storage(e.frame.address, H256::from_u256(slot));
+    let current = e.host.read(key);
+    let cost = if current.is_zero() && !value.is_zero() {
+        gas::SSTORE_SET
+    } else {
+        gas::SSTORE_RESET
+    };
+    e.charge(cost)?;
+    e.host.write(key, value);
+    Ok(Ctl::Next)
+}
+
+fn op_jump<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let dest = e.stack.pop();
+    Ok(Ctl::Jump(resolve_jump(e.an, dest)?))
+}
+
+fn op_jumpi<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let dest = e.stack.pop();
+    let cond = e.stack.pop();
+    if cond.is_zero() {
+        Ok(Ctl::Next)
+    } else {
+        Ok(Ctl::Jump(resolve_jump(e.an, dest)?))
+    }
+}
+
+fn op_pc<V: StateView>(e: &mut Exec<'_, '_, V>, i: Inst) -> Result<Ctl, VmError> {
+    e.stack.push(U256::from(i.pc as u64));
+    Ok(Ctl::Next)
+}
+
+fn op_msize<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let n = e.memory.len();
+    e.stack.push(U256::from(n));
+    Ok(Ctl::Next)
+}
+
+fn op_gas<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    // GAS is always block-final and its BASE cost is part of the precharge,
+    // so `gas_left` here equals the per-opcode value exactly.
+    let g = e.gas_left;
+    e.stack.push(U256::from(g));
+    Ok(Ctl::Next)
+}
+
+fn op_jumpdest<V: StateView>(_e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    Ok(Ctl::Next)
+}
+
+fn op_log<V: StateView>(e: &mut Exec<'_, '_, V>, i: Inst) -> Result<Ctl, VmError> {
+    if e.frame.is_static {
+        return Err(VmError::StaticViolation);
+    }
+    let topic_count = i.a as usize;
+    let offset = e.stack.pop();
+    let len = e.stack.pop();
+    let mut topics = Vec::with_capacity(topic_count);
+    for _ in 0..topic_count {
+        topics.push(H256::from_u256(e.stack.pop()));
+    }
+    let data_len = len.to_u64().ok_or(VmError::OutOfGas)?;
+    e.charge(gas::LOG_DATA * data_len)?;
+    let off = e.expand_memory(offset, len)?;
+    let data = e.mem_slice(off, data_len as usize).to_vec();
+    let address = e.frame.address;
+    e.host.log(Log {
+        address,
+        topics,
+        data,
+    });
+    Ok(Ctl::Next)
+}
+
+fn op_create<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    if e.frame.is_static {
+        return Err(VmError::StaticViolation);
+    }
+    let value = e.stack.pop();
+    let offset = e.stack.pop();
+    let len = e.stack.pop();
+    let off = e.expand_memory(offset, len)?;
+    let init = e.mem_slice(off, len.to_usize().unwrap_or(0)).to_vec();
+    // CREATE is block-final with its static base in the precharge, so
+    // `gas_left` at the 63/64 computation matches per-opcode metering.
+    let forwarded = e.gas_left - e.gas_left / 64;
+    e.charge(forwarded)?;
+    let (created, gas_returned) =
+        do_create(e.host, e.env, e.frame, value, init, forwarded, e.depth);
+    e.gas_left += gas_returned;
+    e.return_data.clear();
+    match created {
+        Some(addr) => e.stack.push(address_word(&addr)),
+        None => e.stack.push(U256::ZERO),
+    }
+    Ok(Ctl::Next)
+}
+
+fn op_call<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    call_common(e, CallKind::Call)
+}
+
+fn op_delegatecall<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    call_common(e, CallKind::Delegate)
+}
+
+fn op_staticcall<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    call_common(e, CallKind::Static)
+}
+
+fn call_common<V: StateView>(e: &mut Exec<'_, '_, V>, kind: CallKind) -> Result<Ctl, VmError> {
+    let gas_req = e.stack.pop();
+    let to = word_address(e.stack.pop());
+    // CALL carries an explicit value; DELEGATECALL inherits the parent's;
+    // STATICCALL transfers nothing.
+    let value = match kind {
+        CallKind::Call => e.stack.pop(),
+        CallKind::Delegate => e.frame.value,
+        CallKind::Static => U256::ZERO,
+    };
+    let in_off = e.stack.pop();
+    let in_len = e.stack.pop();
+    let out_off = e.stack.pop();
+    let out_len = e.stack.pop();
+
+    let transfers_value = kind == CallKind::Call && !value.is_zero();
+    if transfers_value && e.frame.is_static {
+        return Err(VmError::StaticViolation);
+    }
+    // The flat CALL base is in the block precharge (the call terminates its
+    // block); only the conditional value surcharge is dynamic.
+    if transfers_value {
+        e.charge(gas::CALL_VALUE)?;
+    }
+    let i_off = e.expand_memory(in_off, in_len)?;
+    let input = e.mem_slice(i_off, in_len.to_usize().unwrap_or(0)).to_vec();
+    let o_off = e.expand_memory(out_off, out_len)?;
+
+    let cap = e.gas_left - e.gas_left / 64;
+    let forwarded = gas_req.to_u64().unwrap_or(u64::MAX).min(cap);
+    e.charge(forwarded)?;
+    let stipend = if transfers_value {
+        gas::CALL_STIPEND
+    } else {
+        0
+    };
+
+    let (ok, output, gas_returned) = do_call(
+        e.host,
+        e.env,
+        e.frame,
+        to,
+        value,
+        input,
+        forwarded + stipend,
+        e.depth,
+        kind,
+    );
+    // The stipend was free to the caller; only un-spent *forwarded* gas
+    // comes back.
+    e.gas_left += gas_returned.min(forwarded);
+    let n = out_len.to_usize().unwrap_or(0).min(output.len());
+    e.memory[o_off..o_off + n].copy_from_slice(&output[..n]);
+    e.return_data = output;
+    e.stack.push(bool_word(ok));
+    Ok(Ctl::Next)
+}
+
+fn op_return<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let offset = e.stack.pop();
+    let len = e.stack.pop();
+    let off = e.expand_memory(offset, len)?;
+    e.output = e.mem_slice(off, len.to_usize().unwrap_or(0)).to_vec();
+    Ok(Ctl::Halt)
+}
+
+fn op_revert<V: StateView>(e: &mut Exec<'_, '_, V>, _i: Inst) -> Result<Ctl, VmError> {
+    let offset = e.stack.pop();
+    let len = e.stack.pop();
+    let off = e.expand_memory(offset, len)?;
+    e.output = e.mem_slice(off, len.to_usize().unwrap_or(0)).to_vec();
+    e.reverted = true;
+    Ok(Ctl::Halt)
+}
+
+fn op_abort<V: StateView>(_e: &mut Exec<'_, '_, V>, i: Inst) -> Result<Ctl, VmError> {
+    Err(VmError::InvalidOpcode(i.a as u8))
+}
+
+fn op_push<V: StateView>(e: &mut Exec<'_, '_, V>, i: Inst) -> Result<Ctl, VmError> {
+    debug_assert!((i.a as usize) < e.an.imms.len());
+    // SAFETY: immediate-pool indices are produced by the analysis.
+    let v = unsafe { *e.an.imms.get_unchecked(i.a as usize) };
+    e.stack.push(v);
+    Ok(Ctl::Next)
+}
+
+fn op_push2<V: StateView>(e: &mut Exec<'_, '_, V>, i: Inst) -> Result<Ctl, VmError> {
+    debug_assert!((i.a as usize) < e.an.imms.len() && (i.b as usize) < e.an.imms.len());
+    // SAFETY: immediate-pool indices are produced by the analysis.
+    let (a, b) = unsafe {
+        (
+            *e.an.imms.get_unchecked(i.a as usize),
+            *e.an.imms.get_unchecked(i.b as usize),
+        )
+    };
+    e.stack.push(a);
+    e.stack.push(b);
+    Ok(Ctl::Next)
+}
+
+fn op_dup<V: StateView>(e: &mut Exec<'_, '_, V>, i: Inst) -> Result<Ctl, VmError> {
+    let v = e.stack.peek(i.a as usize - 1);
+    e.stack.push(v);
+    Ok(Ctl::Next)
+}
+
+fn op_swap<V: StateView>(e: &mut Exec<'_, '_, V>, i: Inst) -> Result<Ctl, VmError> {
+    e.stack.swap(i.a as usize);
+    Ok(Ctl::Next)
+}
+
+fn op_jump_imm<V: StateView>(_e: &mut Exec<'_, '_, V>, i: Inst) -> Result<Ctl, VmError> {
+    if i.a == INVALID_BLOCK {
         return Err(VmError::InvalidJump);
     }
-    m.pc = d;
-    Ok(())
+    Ok(Ctl::Jump(i.a))
 }
 
-#[inline]
-fn binary(m: &mut Machine, cost: Gas, f: impl FnOnce(U256, U256) -> U256) -> Result<(), VmError> {
-    m.charge(cost)?;
-    let a = m.pop()?;
-    let b = m.pop()?;
-    m.push(f(a, b))
+fn op_jumpi_imm<V: StateView>(e: &mut Exec<'_, '_, V>, i: Inst) -> Result<Ctl, VmError> {
+    let cond = e.stack.pop();
+    if cond.is_zero() {
+        Ok(Ctl::Next)
+    } else if i.a == INVALID_BLOCK {
+        Err(VmError::InvalidJump)
+    } else {
+        Ok(Ctl::Jump(i.a))
+    }
 }
 
-#[inline]
-fn ternary(
-    m: &mut Machine,
-    cost: Gas,
-    f: impl FnOnce(U256, U256, U256) -> U256,
-) -> Result<(), VmError> {
-    m.charge(cost)?;
-    let a = m.pop()?;
-    let b = m.pop()?;
-    let c = m.pop()?;
-    m.push(f(a, b, c))
+fn op_dup_mstore<V: StateView>(e: &mut Exec<'_, '_, V>, i: Inst) -> Result<Ctl, VmError> {
+    // DUPn duplicated the n-th word as the store offset; MSTORE then popped
+    // that copy and the previous top as the value. Fused: read the offset in
+    // place, pop only the value.
+    let offset = e.stack.peek(i.a as usize - 1);
+    let value = e.stack.pop();
+    let off = e.expand_memory(offset, U256::from(32u64))?;
+    e.memory[off..off + 32].copy_from_slice(&value.to_be_bytes());
+    Ok(Ctl::Next)
 }
 
 #[inline]
@@ -833,7 +1265,7 @@ fn do_create<V: StateView>(
         gas_price: parent.gas_price,
         is_static: false,
     };
-    match run_frame(host, env, frame, depth + 1) {
+    match run_frame_at(host, env, frame, depth + 1, false) {
         Ok(res) if !res.reverted => {
             let deposit = gas::CODE_DEPOSIT * res.output.len() as u64;
             if res.gas_left < deposit {
@@ -859,6 +1291,7 @@ mod tests {
     use super::*;
     use crate::asm::Asm;
     use crate::host::WorldView;
+    use crate::opcode::Op;
     use bp_state::WorldState;
 
     fn addr(i: u64) -> Address {
@@ -870,7 +1303,7 @@ mod tests {
         input: Vec<u8>,
         world: &WorldState,
     ) -> (Result<FrameResult, VmError>, bp_types::RwSet) {
-        let view = WorldView(world);
+        let view = WorldView::new(world);
         let mut host = BufferedHost::new(&view);
         let frame = Frame {
             address: addr(100),
@@ -1077,7 +1510,7 @@ mod tests {
     #[test]
     fn out_of_gas_on_tight_budget() {
         let view_world = WorldState::new();
-        let view = WorldView(&view_world);
+        let view = WorldView::new(&view_world);
         let mut host = BufferedHost::new(&view);
         let frame = Frame {
             address: addr(100),
@@ -1164,7 +1597,7 @@ mod tests {
             .op(Op::Stop)
             .build();
         let w = WorldState::new();
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let mut host = BufferedHost::new(&view);
         let frame = Frame {
             address: addr(100),

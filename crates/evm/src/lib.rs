@@ -15,14 +15,20 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod asm;
 pub mod contracts;
 pub mod gas;
 pub mod host;
 pub mod interpreter;
 pub mod opcode;
+pub mod reference;
 pub mod tx;
 
+pub use analysis::{AnalysisCache, CacheStats, CodeAnalysis};
 pub use host::{BufferedHost, Log, MvSnapshot, StateView, WorldView};
 pub use interpreter::{create_address, BlockEnv, Frame, FrameResult, VmError};
-pub use tx::{execute_transaction, ExecutionResult, Receipt, Transaction, TxError};
+pub use tx::{
+    execute_transaction, execute_transaction_in, execute_transaction_reference, ExecutionResult,
+    Receipt, Transaction, TxError,
+};

@@ -7,13 +7,13 @@
 //! Like the geth-based prototype, fee credit is a commutative counter
 //! aggregated when the block is sealed; each [`Receipt`] carries its fee.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use bp_crypto::{keccak256, RlpStream};
-use bp_types::{AccessKey, Address, Gas, RwSet, TxHash, U256};
+use bp_types::{AccessKey, Address, FxHashMap, Gas, RwSet, TxHash, U256};
 use serde::{Deserialize, Serialize};
 
+use crate::analysis::AnalysisCache;
 use crate::gas;
 use crate::host::{BufferedHost, Log, StateView};
 use crate::interpreter::{create_address, run_frame, BlockEnv, Frame};
@@ -95,7 +95,7 @@ pub struct ExecutionResult {
     /// Read/write footprint (Algorithm 1's `rs`/`ws`).
     pub rw: RwSet,
     /// Code deployed by this transaction (address → bytecode).
-    pub deployed: HashMap<Address, Arc<Vec<u8>>>,
+    pub deployed: FxHashMap<Address, Arc<Vec<u8>>>,
 }
 
 /// Reasons a transaction cannot be included at all (distinct from on-chain
@@ -139,8 +139,39 @@ pub fn execute_transaction<V: StateView>(
     env: &BlockEnv,
     tx: &Transaction,
 ) -> Result<ExecutionResult, TxError> {
-    let mut host = BufferedHost::new(view);
+    execute_with(BufferedHost::new(view), env, tx)
+}
 
+/// [`execute_transaction`] resolving code analyses through an explicit
+/// cache instead of the process-wide one (so callers can bound, share and
+/// observe cache behavior per proposer/validator run).
+pub fn execute_transaction_in<V: StateView>(
+    cache: &Arc<AnalysisCache>,
+    view: &V,
+    env: &BlockEnv,
+    tx: &Transaction,
+) -> Result<ExecutionResult, TxError> {
+    execute_with(BufferedHost::with_cache(view, Arc::clone(cache)), env, tx)
+}
+
+/// [`execute_transaction`] on the pre-optimization baseline: the retained
+/// reference interpreter *and* the retained pre-optimization host and
+/// transaction driver (`crate::reference`), so the "before" side of the
+/// differential tests and the `evm_baseline` bench is the whole old
+/// execution path, not just the old opcode loop.
+pub fn execute_transaction_reference<V: StateView>(
+    view: &V,
+    env: &BlockEnv,
+    tx: &Transaction,
+) -> Result<ExecutionResult, TxError> {
+    crate::reference::execute_transaction_reference(view, env, tx)
+}
+
+fn execute_with<V: StateView>(
+    mut host: BufferedHost<'_, V>,
+    env: &BlockEnv,
+    tx: &Transaction,
+) -> Result<ExecutionResult, TxError> {
     let state_nonce = host.read(AccessKey::Nonce(tx.sender)).low_u64();
     if state_nonce != tx.nonce {
         return Err(TxError::BadNonce {
@@ -154,7 +185,8 @@ pub fn execute_transaction<V: StateView>(
         return Err(TxError::IntrinsicGas);
     }
 
-    let gas_cost = U256::from(tx.gas_limit) * U256::from(tx.gas_price);
+    // u64 × u64 fits u128 exactly; skip the 4×4-limb schoolbook multiply.
+    let gas_cost = U256::from(tx.gas_limit as u128 * tx.gas_price as u128);
     let balance = host.balance(&tx.sender);
     let needed = gas_cost
         .checked_add(tx.value)
@@ -255,7 +287,7 @@ pub fn execute_transaction<V: StateView>(
 
     // Refund unused gas.
     let sender_balance = host.balance(&tx.sender);
-    let refund = U256::from(gas_left) * U256::from(tx.gas_price);
+    let refund = U256::from(gas_left as u128 * tx.gas_price as u128);
     host.set_balance(tx.sender, sender_balance + refund);
 
     let gas_used = tx.gas_limit - gas_left;
@@ -266,7 +298,7 @@ pub fn execute_transaction<V: StateView>(
             gas_used,
             output,
             logs,
-            fee: U256::from(gas_used) * U256::from(tx.gas_price),
+            fee: U256::from(gas_used as u128 * tx.gas_price as u128),
             created,
         },
         rw,
@@ -296,7 +328,7 @@ mod tests {
     #[test]
     fn plain_transfer() {
         let w = funded_world();
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let tx = Transaction::transfer(addr(1), addr(2), U256::from(500u64), 0, 1);
         let res = execute_transaction(&view, &BlockEnv::default(), &tx).unwrap();
         assert!(res.receipt.success);
@@ -316,7 +348,7 @@ mod tests {
     #[test]
     fn bad_nonce_rejected() {
         let w = funded_world();
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let tx = Transaction::transfer(addr(1), addr(2), U256::ONE, 5, 1);
         assert_eq!(
             execute_transaction(&view, &BlockEnv::default(), &tx).unwrap_err(),
@@ -331,7 +363,7 @@ mod tests {
     fn insufficient_funds_rejected() {
         let mut w = WorldState::new();
         w.set_balance(addr(1), U256::from(21_000u64)); // can pay gas but not value
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let tx = Transaction::transfer(addr(1), addr(2), U256::ONE, 0, 1);
         assert_eq!(
             execute_transaction(&view, &BlockEnv::default(), &tx).unwrap_err(),
@@ -342,7 +374,7 @@ mod tests {
     #[test]
     fn gas_limit_below_intrinsic_rejected() {
         let w = funded_world();
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let mut tx = Transaction::transfer(addr(1), addr(2), U256::ONE, 0, 1);
         tx.gas_limit = 20_000;
         assert_eq!(
@@ -364,7 +396,7 @@ mod tests {
             .op(Op::Revert)
             .build();
         w.set_code(addr(50), code);
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let tx = Transaction {
             sender: addr(1),
             to: Some(addr(50)),
@@ -392,7 +424,7 @@ mod tests {
     #[test]
     fn deployment_creates_contract() {
         let w = funded_world();
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         // Init code returning empty runtime code.
         let init = Asm::new().push_u64(0).push_u64(0).op(Op::Return).build();
         let tx = Transaction {
@@ -421,7 +453,7 @@ mod tests {
             .op(Op::Jump)
             .build();
         w.set_code(addr(60), code);
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let tx = Transaction {
             sender: addr(1),
             to: Some(addr(60)),
@@ -450,7 +482,7 @@ mod tests {
     #[test]
     fn same_sender_txs_conflict_via_nonce() {
         let w = funded_world();
-        let view = WorldView(&w);
+        let view = WorldView::new(&w);
         let tx = Transaction::transfer(addr(1), addr(2), U256::ONE, 0, 1);
         let res = execute_transaction(&view, &BlockEnv::default(), &tx).unwrap();
         // Footprint contains the nonce read and write — the scheduler relies

@@ -89,7 +89,7 @@ fn compile(e: &Expr, asm: Asm) -> Asm {
 
 fn run(code: Vec<u8>) -> U256 {
     let world = WorldState::new();
-    let view = WorldView(&world);
+    let view = WorldView::new(&world);
     let mut host = BufferedHost::new(&view);
     let frame = Frame {
         address: Address::from_index(1),

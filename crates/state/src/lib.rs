@@ -24,4 +24,4 @@ pub use reader::{BaseAccount, MapReader, StateDelta, StateReader};
 pub use trie::{
     empty_root, summarize_node, verify_proof, NodeResolver, NodeSummary, Trie, TrieLoadError,
 };
-pub use world::{storage_root, AccountState, WorldState};
+pub use world::{code_read_word, storage_root, AccountState, WorldState};

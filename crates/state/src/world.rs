@@ -29,7 +29,12 @@
 //! incremental-root machinery works identically whether state is resident
 //! or base-backed.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+
+// Hot maps (accounts, per-account storage, dirty tracking) are Fx-hashed:
+// keys are fixed-size hashes/addresses, and SipHash showed up as the top
+// per-transaction cost in the EVM bench.
+use bp_types::FxHashMap as HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use bp_crypto::keccak256;
@@ -50,12 +55,39 @@ pub struct AccountState {
     pub storage: HashMap<H256, U256>,
     /// Contract code (empty for EOAs). `Arc` so snapshots share it.
     pub code: Arc<Vec<u8>>,
+    /// `keccak256(code)` as a word, `U256::ZERO` for empty code — the value
+    /// an [`AccessKey::Code`] read resolves to. Derived data, kept eagerly in
+    /// sync with `code` so the per-transaction code-identity read in the EVM
+    /// host does not recompute a keccak per call frame (~½ µs, formerly the
+    /// single largest fixed cost of a contract call). Maintained by
+    /// [`AccountState::install_code`]; anything that assigns `code` directly
+    /// must update it the same way.
+    pub code_hash: U256,
+}
+
+/// The word an [`AccessKey::Code`] read resolves to for the given bytecode.
+///
+/// Empty code reads as `U256::ZERO` (distinct from the *trie* encoding,
+/// which uses `keccak256("")` — see [`crate::account::empty_code_hash`]).
+pub fn code_read_word(code: &[u8]) -> U256 {
+    if code.is_empty() {
+        U256::ZERO
+    } else {
+        keccak256(code).to_u256()
+    }
 }
 
 impl AccountState {
     /// True iff this account would not be persisted (EIP-161 emptiness).
     pub fn is_empty(&self) -> bool {
         self.nonce == 0 && self.balance.is_zero() && self.code.is_empty() && self.storage.is_empty()
+    }
+
+    /// Installs `code`, keeping the cached [`AccountState::code_hash`] in
+    /// sync.
+    pub fn install_code(&mut self, code: Arc<Vec<u8>>) {
+        self.code_hash = code_read_word(&code);
+        self.code = code;
     }
 }
 
@@ -86,7 +118,7 @@ impl Default for WorldCommit {
         WorldCommit {
             root: trie::empty_root(),
             account_trie: Trie::new(),
-            storage_tries: HashMap::new(),
+            storage_tries: HashMap::default(),
         }
     }
 }
@@ -157,14 +189,14 @@ impl WorldState {
     /// it is retained and patched like any other.
     pub fn layered(base: Arc<dyn StateReader>, account_trie: Trie) -> Self {
         WorldState {
-            accounts: HashMap::new(),
+            accounts: HashMap::default(),
             base: Some(base),
             tracker: Mutex::new(CommitTracker {
-                dirty: HashMap::new(),
+                dirty: HashMap::default(),
                 commit: Some(Arc::new(WorldCommit {
                     root: account_trie.root_hash(),
                     account_trie,
-                    storage_tries: HashMap::new(),
+                    storage_tries: HashMap::default(),
                 })),
             }),
         }
@@ -183,7 +215,7 @@ impl WorldState {
     /// resident account bodies and storage values are shed.
     pub fn rebase(&mut self, base: Arc<dyn StateReader>) {
         let commit = self.refresh();
-        self.accounts = HashMap::new();
+        self.accounts = HashMap::default();
         self.base = Some(base);
         let tracker = self
             .tracker
@@ -324,7 +356,7 @@ impl WorldState {
 
     /// Installs contract code.
     pub fn set_code(&mut self, addr: Address, code: Vec<u8>) {
-        self.body_mut(addr).code = Arc::new(code);
+        self.body_mut(addr).install_code(Arc::new(code));
     }
 
     /// Reads the value behind an [`AccessKey`] as a 256-bit word (code reads
@@ -334,14 +366,63 @@ impl WorldState {
             AccessKey::Balance(a) => self.balance(a),
             AccessKey::Nonce(a) => U256::from(self.nonce(a)),
             AccessKey::Storage(a, slot) => self.storage(a, slot),
-            AccessKey::Code(a) => {
-                let code = self.code(a);
-                if code.is_empty() {
-                    U256::ZERO
-                } else {
-                    keccak256(&code).to_u256()
+            // Resident accounts answer from the cached hash; only the
+            // base fall-through (cold read of an untouched account) still
+            // hashes the blob.
+            AccessKey::Code(a) => match self.accounts.get(a) {
+                Some(acct) => acct.code_hash,
+                None => match self.base_account(a) {
+                    Some(b) => code_read_word(&b.code),
+                    None => U256::ZERO,
+                },
+            },
+        }
+    }
+
+    /// [`WorldState::read_key`] with a caller-held one-account memo.
+    ///
+    /// A transaction's reads cluster on two or three accounts (sender,
+    /// callee, coinbase), and the account-map probe — a hash plus two
+    /// dependent cache misses on a mainnet-sized map — repeats for every
+    /// balance, nonce, storage and code-identity read. The memo pins the
+    /// last resident account touched so consecutive reads of the same
+    /// account skip the probe. The `&Self` borrow held by the memo entry
+    /// keeps the world immutable for the memo's whole lifetime, so entries
+    /// can never go stale.
+    pub fn read_key_memo<'a>(
+        &'a self,
+        key: &AccessKey,
+        memo: &mut Option<(Address, &'a AccountState)>,
+    ) -> U256 {
+        let addr = key.address();
+        let acct: Option<&'a AccountState> = match memo {
+            Some((cached, acct)) if *cached == addr => Some(*acct),
+            _ => {
+                let found = self.accounts.get(&addr).map(|arc| &**arc);
+                if let Some(acct) = found {
+                    *memo = Some((addr, acct));
                 }
+                found
             }
+        };
+        let Some(acct) = acct else {
+            // Not resident: the base fall-through path, identical to
+            // `read_key` (which also handles the no-base zero default).
+            return self.read_key(key);
+        };
+        match key {
+            AccessKey::Balance(_) => acct.balance,
+            AccessKey::Nonce(_) => U256::from(acct.nonce),
+            // An overlay entry — including a zero tombstone — shadows the
+            // base, exactly as in `storage`.
+            AccessKey::Storage(_, slot) => match acct.storage.get(slot) {
+                Some(value) => *value,
+                None => match &self.base {
+                    Some(base) => base.base_storage(&addr, slot).unwrap_or(U256::ZERO),
+                    None => U256::ZERO,
+                },
+            },
+            AccessKey::Code(_) => acct.code_hash,
         }
     }
 
@@ -442,7 +523,7 @@ impl WorldState {
     fn effective_account(&self, addr: &Address) -> (AccountState, HashMap<H256, U256>) {
         let mut merged: HashMap<H256, U256> = match &self.base {
             Some(base) => base.base_storage_entries(addr).into_iter().collect(),
-            None => HashMap::new(),
+            None => HashMap::default(),
         };
         let body = match self.accounts.get(addr) {
             Some(acct) => {
@@ -459,7 +540,8 @@ impl WorldState {
                 Some(b) => AccountState {
                     nonce: b.nonce,
                     balance: b.balance,
-                    storage: HashMap::new(),
+                    storage: HashMap::default(),
+                    code_hash: code_read_word(&b.code),
                     code: b.code,
                 },
                 None => AccountState::default(),
@@ -519,7 +601,7 @@ impl WorldState {
             if !body.is_empty() {
                 delta.accounts.insert(*addr, Some(body));
             }
-            let slots: HashMap<H256, Option<U256>> = acct
+            let slots: std::collections::HashMap<H256, Option<U256>> = acct
                 .storage
                 .iter()
                 .filter(|(_, v)| !v.is_zero())
@@ -619,7 +701,8 @@ fn materialize<'a>(
             .map(|b| AccountState {
                 nonce: b.nonce,
                 balance: b.balance,
-                storage: HashMap::new(),
+                storage: HashMap::default(),
+                code_hash: code_read_word(&b.code),
                 code: b.code,
             })
             .unwrap_or_default();
@@ -727,7 +810,7 @@ fn compute_update(
         _ => {
             let mut merged: HashMap<H256, U256> = match base {
                 Some(b) => b.base_storage_entries(&addr).into_iter().collect(),
-                None => HashMap::new(),
+                None => HashMap::default(),
             };
             if let Some(acct) = overlay {
                 for (slot, value) in &acct.storage {

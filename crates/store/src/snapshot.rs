@@ -72,7 +72,7 @@ pub fn decode_world(bytes: &[u8]) -> Result<WorldState, StoreError> {
         acct.balance = fields[2].as_u256().map_err(|_| corrupt("balance"))?;
         let code = fields[3].as_bytes().map_err(|_| corrupt("code"))?;
         if !code.is_empty() {
-            acct.code = std::sync::Arc::new(code.to_vec());
+            acct.install_code(std::sync::Arc::new(code.to_vec()));
         }
         for slot_entry in fields[4].as_list().map_err(|_| corrupt("storage"))? {
             let kv = slot_entry.as_list().map_err(|_| corrupt("storage entry"))?;

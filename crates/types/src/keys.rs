@@ -15,9 +15,8 @@
 //! key, so both granularities are available to the scheduler.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
-use crate::{Address, H256, U256};
+use crate::{Address, FxHashMap, H256, U256};
 
 /// One addressable state location.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
@@ -66,10 +65,17 @@ impl AccessKey {
 /// Versions are the OCC-WSI snapshot versions from Algorithm 1: version 0 is
 /// the pre-block state, and each committed transaction bumps the version of
 /// every key it writes.
-pub type ReadSet = BTreeMap<AccessKey, u64>;
+///
+/// Backed by an [`FxHashMap`]: footprints are recorded on the per-opcode hot
+/// path (every `SLOAD` inserts here), and their size is bounded by the gas
+/// limit, so the fast non-DoS-resistant hash applies. Anything that needs a
+/// deterministic order over a footprint (wire encoding, display) must sort
+/// explicitly.
+pub type ReadSet = FxHashMap<AccessKey, u64>;
 
-/// A write set: key → the value written.
-pub type WriteSet = BTreeMap<AccessKey, U256>;
+/// A write set: key → the value written. See [`ReadSet`] for why this is
+/// hash- rather than tree-backed.
+pub type WriteSet = FxHashMap<AccessKey, U256>;
 
 /// The read/write footprint of one executed transaction.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]

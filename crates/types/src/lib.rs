@@ -21,10 +21,12 @@
 
 #![warn(missing_docs)]
 
+pub mod fxhash;
 pub mod keys;
 pub mod primitives;
 pub mod u256;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use keys::{AccessKey, ReadSet, RwSet, WriteSet};
 pub use primitives::{Address, BlockHash, Gas, Height, Nonce, TxHash, H256};
 pub use u256::U256;

@@ -398,7 +398,7 @@ mod tests {
             let mut ok = 0;
             for tx in txs {
                 let result = {
-                    let view = WorldView(&world);
+                    let view = WorldView::new(&world);
                     execute_transaction(&view, env, tx).expect("includable")
                 };
                 world.apply_writes(&result.rw.writes);
