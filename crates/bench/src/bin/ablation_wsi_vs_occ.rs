@@ -26,6 +26,7 @@ fn main() {
                 token: 0.28,
                 amm: 0.04,
                 blind: 0.18,
+                mint: 0.0,
             },
             ..WorkloadConfig::default()
         },

@@ -285,6 +285,7 @@ fn main() {
         token,
         amm,
         blind,
+        mint: 0.0,
     };
     let rows = [
         bench_workload("token", mix(0.0, 1.0, 0.0, 0.0), blocks, ns_per_tick),

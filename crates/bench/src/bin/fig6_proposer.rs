@@ -68,15 +68,19 @@ fn main() {
     // per-worker commit/abort/retry breakdown from ProposerStats. On a
     // single-core host this measures overhead, not scaling — the gas-time
     // series above carries the scaling claim.
+    // The first/retry split separates the cost of optimism (a transaction's
+    // *first* execution raced a conflicting commit) from pathological
+    // thrash (the same transaction aborting again on its retries).
     println!("\nreal proposer (two-phase commit, wall clock):");
     println!(
-        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>24}",
-        "threads", "wall µs/blk", "tx/s", "aborts", "retries", "per-worker commits"
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>10} {:>24}",
+        "threads", "wall µs/blk", "tx/s", "1st-abort", "re-abort", "retries", "per-worker commits"
     );
     for threads in [2usize, 4, 8] {
         let mut wall = Vec::with_capacity(fixtures.len());
         let mut tx_s = Vec::with_capacity(fixtures.len());
-        let mut aborts = 0u64;
+        let mut first_aborts = 0u64;
+        let mut retry_aborts = 0u64;
         let mut retries = 0u64;
         let mut last_workers = String::new();
         for f in &fixtures {
@@ -93,7 +97,8 @@ fn main() {
             assert_eq!(proposal.stats.committed, f.txs.len() as u64);
             wall.push(proposal.stats.wall_micros as f64);
             tx_s.push(proposal.stats.committed_per_sec());
-            aborts += proposal.stats.aborts;
+            first_aborts += proposal.stats.first_aborts;
+            retry_aborts += proposal.stats.retry_aborts;
             retries += proposal
                 .stats
                 .workers
@@ -109,7 +114,7 @@ fn main() {
                 .join("/");
         }
         println!(
-            "{threads:>8} {:>12.0} {:>12.0} {aborts:>10} {retries:>10} {last_workers:>24}",
+            "{threads:>8} {:>12.0} {:>12.0} {first_aborts:>10} {retry_aborts:>10} {retries:>10} {last_workers:>24}",
             mean(&wall),
             mean(&tx_s),
         );

@@ -1,25 +1,33 @@
-//! Proposer commit-path A/B: two-phase vs coarse-lock.
+//! Proposer A/B harness: commit paths and execution engines.
 //!
-//! Records `BENCH_proposer.json` with committed-tx/s and abort rate at
-//! 1/2/4/8/16 threads for both [`CommitPath`]s on the standard 132-tx
-//! workload, in two series:
+//! Records `BENCH_proposer.json` with committed-tx/s and abort rates at
+//! 1/2/4/8/16 threads for
+//!
+//! * the two [`CommitPath`]s of the OCC-WSI engine (two-phase vs coarse
+//!   lock) on the standard 132-tx workload, and
+//! * the two [`ProposerAlgo`] engines (OCC-WSI two-phase vs Block-STM)
+//!   across three contention levels: `uniform` (no skew), `zipf` (the
+//!   mainnet-like default) and `hot_key` (the NFT-mint storm, every
+//!   transaction reading and writing one supply counter).
+//!
+//! Series:
 //!
 //! * **gas-time, implementation-calibrated** (primary): the deterministic
-//!   bp-sim proposer with *every* overhead measured on this machine — the
+//!   bp-sim proposers with *every* overhead measured on this machine — the
 //!   serial EVM execution rate fixes the gas↔time exchange rate, and the
 //!   real dispatch and commit-section operations (validation, multi-version
 //!   and reserve publication, body pushes) are micro-timed to place
-//!   `per_tx_dispatch`, `commit_sync` and `commit_admit` on the same scale.
-//!   This is how thread counts beyond the machine's cores are evaluated
-//!   (see EXPERIMENTS.md: the evaluation container has a single CPU).
-//! * **gas-time, paper model** (sensitivity): the same A/B under the fig6
-//!   harness's geth-calibrated dispatch and state-contention coefficients.
-//!   Those model a *global*-StateDB node, where execution inflation drowns
-//!   the commit lock — the advantage shrinks accordingly; reported so both
-//!   readings are on the record.
-//! * **wall-clock** (secondary): the real [`OccWsiProposer`] on real
-//!   threads. Honest but flat on a single-core machine — reported for
-//!   completeness, not for scaling claims.
+//!   `per_tx_dispatch`, `commit_sync`, `commit_admit` and `stm_validate` on
+//!   the same scale. This is how thread counts beyond the machine's cores
+//!   are evaluated (see EXPERIMENTS.md: the evaluation container has a
+//!   single CPU).
+//! * **gas-time, paper model** (sensitivity): the commit-path A/B under the
+//!   fig6 harness's geth-calibrated dispatch and state-contention
+//!   coefficients.
+//! * **wall-clock** (secondary): the real engines on real threads, with a
+//!   per-block receipt-equivalence gate against the serial oracle. Honest
+//!   but flat on a single-core machine — reported for completeness, not for
+//!   scaling claims.
 //!
 //! Usage: `cargo run -p bp-bench --release --bin proposer_baseline
 //! [out.json]` (`BP_BLOCKS=N` overrides the sample size).
@@ -27,12 +35,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use blockpilot_core::{CommitPath, OccWsiConfig, OccWsiProposer};
+use blockpilot_core::{CommitPath, OccWsiConfig, OccWsiProposer, Proposer, ProposerAlgo};
 use bp_baseline::execute_block_serially;
 use bp_bench::{block_count, generate_fixtures, mean, BlockFixture};
 use bp_concurrent::{ReserveTable, VersionAllocator, VersionGate};
 use bp_evm::MvSnapshot;
-use bp_sim::{simulate_proposer_configured, CostModel, ValidationRule};
+use bp_sim::{
+    simulate_proposer_block_stm, simulate_proposer_configured, CostModel, ValidationRule,
+};
 use bp_state::MultiVersionState;
 use bp_txpool::TxPool;
 use bp_types::BlockHash;
@@ -40,12 +50,37 @@ use bp_workload::WorkloadConfig;
 
 const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
 const PATHS: [CommitPath; 2] = [CommitPath::TwoPhase, CommitPath::CoarseLock];
+const ENGINES: [ProposerAlgo; 2] = [ProposerAlgo::OccWsi, ProposerAlgo::BlockStm];
 
 fn path_name(path: CommitPath) -> &'static str {
     match path {
         CommitPath::TwoPhase => "two_phase",
         CommitPath::CoarseLock => "coarse_lock",
     }
+}
+
+fn engine_name(algo: ProposerAlgo) -> &'static str {
+    match algo {
+        ProposerAlgo::OccWsi => "two_phase",
+        ProposerAlgo::BlockStm => "block_stm",
+    }
+}
+
+/// The three contention regimes of the engine A/B, from no skew to a fully
+/// serialized hot key.
+fn contention_levels() -> [(&'static str, WorkloadConfig); 3] {
+    [
+        (
+            "uniform",
+            WorkloadConfig {
+                zipf_accounts: 0.0,
+                zipf_contracts: 0.0,
+                ..WorkloadConfig::default()
+            },
+        ),
+        ("zipf", WorkloadConfig::default()),
+        ("hot_key", WorkloadConfig::nft_mint_storm()),
+    ]
 }
 
 /// Machine-specific constants tying gas-time to this host's wall clock.
@@ -75,6 +110,15 @@ impl Calibration {
         (self.dispatch_us * self.gas_per_us).round().max(1.0) as u64
     }
 
+    /// Block-STM's per-transaction read-set validation: the same work as
+    /// the WSI admit-slice validation (walk the read set, compare
+    /// versions), but on the validating worker's own clock rather than
+    /// under a lock — so the admit-slice micro-timing is the right length
+    /// for it.
+    fn stm_validate_gas(&self) -> u64 {
+        self.commit_admit_gas()
+    }
+
     /// The A/B model: every overhead in it is measured on this host. No
     /// cross-worker state-contention coefficient — the structures both
     /// commit paths share (multi-version state, reserve table) are
@@ -87,6 +131,7 @@ impl Calibration {
             per_tx_dispatch: self.dispatch_gas(),
             commit_sync: self.commit_sync_gas(),
             commit_admit: self.commit_admit_gas(),
+            stm_validate: self.stm_validate_gas(),
             state_contention_permille: 0,
             ..CostModel::default()
         }
@@ -98,6 +143,7 @@ impl Calibration {
         CostModel {
             commit_sync: self.commit_sync_gas(),
             commit_admit: self.commit_admit_gas(),
+            stm_validate: self.stm_validate_gas(),
             ..CostModel::default()
         }
     }
@@ -225,7 +271,8 @@ fn calibrate(fixtures: &[BlockFixture]) -> Calibration {
 
 struct Row {
     series: &'static str,
-    path: CommitPath,
+    path: &'static str,
+    contention: &'static str,
     threads: usize,
     committed_tx_s: f64,
     abort_rate: f64,
@@ -261,12 +308,146 @@ fn gas_time_rows(
             }
             rows.push(Row {
                 series,
-                path,
+                path: path_name(path),
+                contention: "zipf",
                 threads,
                 committed_tx_s: mean(&tx_s),
                 abort_rate: aborts as f64 / (aborts + committed) as f64,
             });
         }
+    }
+    rows
+}
+
+/// Engine A/B in gas-time: the OCC-WSI simulator (two-phase path) against
+/// the Block-STM simulator on the same fixtures, per contention level.
+fn engine_gas_time_rows(
+    contention: &'static str,
+    fixtures: &[BlockFixture],
+    cal: &Calibration,
+    model: &CostModel,
+) -> Vec<Row> {
+    let gas_per_sec = cal.gas_per_us * 1e6;
+    let mut rows = Vec::new();
+    for algo in ENGINES {
+        for threads in THREADS {
+            let mut tx_s = Vec::with_capacity(fixtures.len());
+            let mut aborts = 0u64;
+            let mut committed = 0u64;
+            for f in fixtures {
+                let r = match algo {
+                    ProposerAlgo::OccWsi => simulate_proposer_configured(
+                        &f.pre_state,
+                        &f.env,
+                        &f.txs,
+                        threads,
+                        model,
+                        ValidationRule::Wsi,
+                        CommitPath::TwoPhase,
+                    ),
+                    ProposerAlgo::BlockStm => {
+                        simulate_proposer_block_stm(&f.pre_state, &f.env, &f.txs, threads, model)
+                    }
+                };
+                assert_eq!(r.committed, f.txs.len(), "all txs must commit");
+                tx_s.push(r.committed as f64 * gas_per_sec / r.makespan as f64);
+                aborts += r.aborts;
+                committed += r.committed as u64;
+            }
+            rows.push(Row {
+                series: "engine_gas_time",
+                path: engine_name(algo),
+                contention,
+                threads,
+                committed_tx_s: mean(&tx_s),
+                abort_rate: aborts as f64 / (aborts + committed) as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Per-engine wall-clock stats accumulated across a contention level.
+#[derive(Default)]
+struct EngineWallStats {
+    executions: u64,
+    committed: u64,
+    validation_failures: u64,
+    wait_on_estimate: u64,
+}
+
+/// Engine A/B on real threads with a receipt-equivalence gate: every
+/// proposed block's receipts must be bit-identical to the serial oracle's
+/// replay of the block body. Block-STM drains nonce chains across several
+/// blocks (the pool releases one transaction per sender per block), so the
+/// harness proposes until the pool is empty and scores total throughput.
+fn engine_wall_clock_rows(
+    contention: &'static str,
+    fixtures: &[BlockFixture],
+    stats_out: &mut Vec<(&'static str, &'static str, EngineWallStats)>,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for algo in ENGINES {
+        let mut level = EngineWallStats::default();
+        for threads in THREADS {
+            let mut tx_s = Vec::with_capacity(fixtures.len());
+            let mut aborts = 0u64;
+            let mut executions = 0u64;
+            for f in fixtures {
+                let proposer = Proposer::new(OccWsiConfig {
+                    threads,
+                    env: f.env,
+                    algo,
+                    ..OccWsiConfig::default()
+                });
+                proposer.submit_transactions(f.txs.iter().cloned());
+                let mut state = Arc::new(f.pre_state.snapshot());
+                let mut committed = 0u64;
+                let mut wall = 0u64;
+                let mut height = 1u64;
+                while !proposer.pool().is_empty() {
+                    let proposal =
+                        proposer.propose_block(Arc::clone(&state), BlockHash::ZERO, height);
+                    assert!(
+                        proposal.block.tx_count() > 0,
+                        "pool stuck with {} pending",
+                        proposer.pool().len()
+                    );
+                    // Receipt-equivalence gate: the sealed body must replay
+                    // serially to the exact same receipts.
+                    let serial =
+                        execute_block_serially(&state, &f.env, &proposal.block.transactions)
+                            .expect("sealed blocks replay");
+                    assert_eq!(
+                        serial.receipts,
+                        proposal.receipts,
+                        "{} receipts diverge from serial replay",
+                        engine_name(algo)
+                    );
+                    committed += proposal.stats.committed;
+                    wall += proposal.stats.wall_micros;
+                    aborts += proposal.stats.aborts;
+                    executions += proposal.stats.executions;
+                    level.executions += proposal.stats.executions;
+                    level.committed += proposal.stats.committed;
+                    level.validation_failures += proposal.stats.validation_failures;
+                    level.wait_on_estimate += proposal.stats.wait_on_estimate;
+                    state = Arc::new(proposal.post_state);
+                    height += 1;
+                }
+                assert_eq!(committed, f.txs.len() as u64, "every tx must commit");
+                tx_s.push(committed as f64 * 1e6 / wall.max(1) as f64);
+            }
+            rows.push(Row {
+                series: "engine_wall_clock",
+                path: engine_name(algo),
+                contention,
+                threads,
+                committed_tx_s: mean(&tx_s),
+                abort_rate: aborts as f64 / executions.max(1) as f64,
+            });
+        }
+        stats_out.push((contention, engine_name(algo), level));
     }
     rows
 }
@@ -302,7 +483,8 @@ fn wall_clock_rows(fixtures: &[BlockFixture]) -> Vec<Row> {
             }
             rows.push(Row {
                 series: "wall_clock",
-                path,
+                path: path_name(path),
+                contention: "zipf",
                 threads,
                 committed_tx_s: mean(&tx_s),
                 abort_rate: aborts as f64 / executions.max(1) as f64,
@@ -312,26 +494,41 @@ fn wall_clock_rows(fixtures: &[BlockFixture]) -> Vec<Row> {
     rows
 }
 
-fn print_series(rows: &[Row], series: &'static str) {
+fn print_series(rows: &[Row], series: &'static str, contention: &'static str) {
+    let (a, b) = if series.starts_with("engine") {
+        ("two_phase", "block_stm")
+    } else {
+        ("two_phase", "coarse_lock")
+    };
     println!(
         "{:>8} {:>16} {:>16} {:>10} | abort% {:>8} {:>8}",
-        "threads", "two_phase tx/s", "coarse tx/s", "ratio", "2p", "coarse"
+        "threads",
+        format!("{a} tx/s"),
+        format!("{b} tx/s"),
+        "ratio",
+        "occ",
+        "alt"
     );
     for threads in THREADS {
-        let find = |path: CommitPath| {
+        let find = |path: &'static str| {
             rows.iter()
-                .find(|r| r.series == series && r.path == path && r.threads == threads)
+                .find(|r| {
+                    r.series == series
+                        && r.path == path
+                        && r.threads == threads
+                        && r.contention == contention
+                })
                 .expect("row exists")
         };
-        let tp = find(CommitPath::TwoPhase);
-        let cl = find(CommitPath::CoarseLock);
+        let tp = find(a);
+        let alt = find(b);
         println!(
             "{threads:>8} {:>16.0} {:>16.0} {:>9.2}x | {:>14.2} {:>8.2}",
             tp.committed_tx_s,
-            cl.committed_tx_s,
-            tp.committed_tx_s / cl.committed_tx_s,
+            alt.committed_tx_s,
+            alt.committed_tx_s / tp.committed_tx_s,
             100.0 * tp.abort_rate,
-            100.0 * cl.abort_rate,
+            100.0 * alt.abort_rate,
         );
     }
 }
@@ -341,8 +538,8 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_proposer.json".to_string());
     let blocks = block_count(12);
-    println!("=== proposer commit-path A/B: two-phase vs coarse lock ===");
-    println!("workload: {blocks} mainnet-like 132-tx blocks (seeded)\n");
+    println!("=== proposer A/B: commit paths and execution engines ===");
+    println!("workload: {blocks} 132-tx blocks per contention level (seeded)\n");
 
     let fixtures = generate_fixtures(WorkloadConfig::default(), blocks);
     let cal = calibrate(&fixtures);
@@ -372,29 +569,84 @@ fn main() {
     ));
     rows.extend(wall_clock_rows(&fixtures));
 
-    println!("gas-time, implementation-calibrated model (all overheads measured):");
-    print_series(&rows, "gas_time_calibrated");
-    println!("\ngas-time, fig6 paper model (geth-calibrated dispatch+contention), sensitivity:");
-    print_series(&rows, "gas_time_paper_model");
+    println!("commit-path A/B — gas-time, implementation-calibrated model:");
+    print_series(&rows, "gas_time_calibrated", "zipf");
+    println!("\ncommit-path A/B — gas-time, fig6 paper model (sensitivity):");
+    print_series(&rows, "gas_time_paper_model", "zipf");
     println!(
-        "\nwall-clock, {} real thread(s) available on this host:",
+        "\ncommit-path A/B — wall-clock, {} real thread(s) on this host:",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
-    print_series(&rows, "wall_clock");
+    print_series(&rows, "wall_clock", "zipf");
 
-    let at8 = |path: CommitPath| {
+    // Engine A/B across contention levels. The mint-storm fixtures reuse
+    // the calibrated model: the exchange rate is a property of the host's
+    // EVM, not of the workload.
+    let model = cal.implementation_model();
+    let mut engine_stats: Vec<(&'static str, &'static str, EngineWallStats)> = Vec::new();
+    for (contention, config) in contention_levels() {
+        let level_fixtures = generate_fixtures(config, blocks);
+        rows.extend(engine_gas_time_rows(
+            contention,
+            &level_fixtures,
+            &cal,
+            &model,
+        ));
+        rows.extend(engine_wall_clock_rows(
+            contention,
+            &level_fixtures,
+            &mut engine_stats,
+        ));
+        println!("\nengine A/B — {contention} contention, gas-time calibrated:");
+        print_series(&rows, "engine_gas_time", contention);
+        println!("\nengine A/B — {contention} contention, wall-clock (receipt-gated):");
+        print_series(&rows, "engine_wall_clock", contention);
+    }
+
+    println!("\nper-engine execution statistics (wall-clock sweeps, all thread counts):");
+    println!(
+        "{:>10} {:>10} {:>14} {:>16} {:>16}",
+        "contention", "engine", "execs/commit", "validation-fail", "wait-on-ESTIMATE"
+    );
+    for (contention, engine, s) in &engine_stats {
+        println!(
+            "{contention:>10} {engine:>10} {:>14.3} {:>16} {:>16}",
+            s.executions as f64 / s.committed.max(1) as f64,
+            s.validation_failures,
+            s.wait_on_estimate
+        );
+    }
+
+    let engine_at = |contention: &str, path: &str, threads: usize| {
+        rows.iter()
+            .find(|r| {
+                r.series == "engine_gas_time"
+                    && r.contention == contention
+                    && r.path == path
+                    && r.threads == threads
+            })
+            .expect("row exists")
+            .committed_tx_s
+    };
+    let stm_hot8 = engine_at("hot_key", "block_stm", 8) / engine_at("hot_key", "two_phase", 8);
+    let stm_hot16 = engine_at("hot_key", "block_stm", 16) / engine_at("hot_key", "two_phase", 16);
+    println!(
+        "\nblock-stm vs two-phase on hot_key: {stm_hot8:.2}x at 8 threads, {stm_hot16:.2}x at 16"
+    );
+
+    let at8 = |path: &str| {
         rows.iter()
             .find(|r| r.series == "gas_time_calibrated" && r.path == path && r.threads == 8)
             .expect("row exists")
             .committed_tx_s
     };
-    let ratio8 = at8(CommitPath::TwoPhase) / at8(CommitPath::CoarseLock);
-    println!("\ntwo-phase vs coarse at 8 threads (calibrated): {ratio8:.2}x");
+    let ratio8 = at8("two_phase") / at8("coarse_lock");
+    println!("two-phase vs coarse at 8 threads (calibrated): {ratio8:.2}x");
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"proposer_commit\",\n");
-    json.push_str("  \"workload\": \"132-tx mainnet-like blocks (seeded)\",\n");
+    json.push_str("  \"workload\": \"132-tx blocks (seeded), per-contention fixtures\",\n");
     json.push_str(&format!("  \"blocks\": {blocks},\n"));
     json.push_str(&format!(
         "  \"host_threads\": {},\n",
@@ -403,25 +655,33 @@ fn main() {
     json.push_str(&format!(
         "  \"calibration\": {{\"gas_per_us\": {:.2}, \"dispatch_us\": {:.3}, \
          \"coarse_section_us\": {:.3}, \"admit_slice_us\": {:.3}, \"dispatch_gas\": {}, \
-         \"commit_sync_gas\": {}, \"commit_admit_gas\": {}}},\n",
+         \"commit_sync_gas\": {}, \"commit_admit_gas\": {}, \"stm_validate_gas\": {}}},\n",
         cal.gas_per_us,
         cal.dispatch_us,
         cal.commit_us,
         cal.admit_us,
         cal.dispatch_gas(),
         cal.commit_sync_gas(),
-        cal.commit_admit_gas()
+        cal.commit_admit_gas(),
+        cal.stm_validate_gas()
     ));
     json.push_str(&format!(
         "  \"two_phase_vs_coarse_at_8_threads\": {ratio8:.3},\n"
     ));
+    json.push_str(&format!(
+        "  \"block_stm_vs_two_phase_hot_key_at_8_threads\": {stm_hot8:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"block_stm_vs_two_phase_hot_key_at_16_threads\": {stm_hot16:.3},\n"
+    ));
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"series\": \"{}\", \"path\": \"{}\", \"threads\": {}, \
-             \"committed_tx_s\": {:.1}, \"abort_rate\": {:.4}}}{}\n",
+            "    {{\"series\": \"{}\", \"path\": \"{}\", \"contention\": \"{}\", \
+             \"threads\": {}, \"committed_tx_s\": {:.1}, \"abort_rate\": {:.4}}}{}\n",
             r.series,
-            path_name(r.path),
+            r.path,
+            r.contention,
             r.threads,
             r.committed_tx_s,
             r.abort_rate,

@@ -126,6 +126,7 @@ impl Calibration {
             commit_sync: 0,
             commit_admit: 0,
             state_contention_permille: 0,
+            stm_validate: 0,
             block_switch: 0,
             applier_switch: 0,
         }

@@ -17,10 +17,12 @@ pub mod latch;
 pub mod reserve;
 pub mod sharded;
 pub mod slots;
+pub mod stm_scheduler;
 pub mod version;
 
 pub use latch::{CountdownLatch, VersionGate};
 pub use reserve::ReserveTable;
 pub use sharded::ShardedMap;
 pub use slots::ResultSlots;
+pub use stm_scheduler::{StmScheduler, StmTask};
 pub use version::VersionAllocator;

@@ -48,7 +48,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bp_block::{receipts_root, tx_root, Block, BlockHeader, BlockProfile, TxProfile};
-use bp_concurrent::{ReserveTable, VersionAllocator, VersionGate};
+use bp_concurrent::{ReserveTable, ShardedMap, VersionAllocator, VersionGate};
 use bp_evm::{
     execute_transaction_in, gas, AnalysisCache, BlockEnv, MvSnapshot, Receipt, Transaction, TxError,
 };
@@ -97,6 +97,10 @@ pub struct OccWsiConfig {
     pub max_txs: usize,
     /// Commit protocol (two-phase by default; coarse lock for A/B).
     pub commit_path: CommitPath,
+    /// Which execution engine a [`crate::Proposer`] built from this config
+    /// runs (OCC-WSI by default; Block-STM for the A/B). Ignored by a
+    /// directly-constructed [`OccWsiProposer`].
+    pub algo: crate::block_stm::ProposerAlgo,
 }
 
 impl Default for OccWsiConfig {
@@ -110,6 +114,7 @@ impl Default for OccWsiConfig {
             env: BlockEnv::default(),
             max_txs: 0,
             commit_path: CommitPath::default(),
+            algo: crate::block_stm::ProposerAlgo::default(),
         }
     }
 }
@@ -134,6 +139,20 @@ pub struct ProposerStats {
     pub committed: u64,
     /// Optimistic executions that failed WSI validation and were re-queued.
     pub aborts: u64,
+    /// Aborts hit on a transaction's *first* execution attempt (the
+    /// first-vs-retry split attributes wasted work in the engine A/B: a
+    /// first abort is the unavoidable discovery of a conflict, a retry
+    /// abort is the same transaction thrashing).
+    pub first_aborts: u64,
+    /// Aborts hit on second and later attempts of the same transaction.
+    pub retry_aborts: u64,
+    /// Read-set validation failures (OCC-WSI: stale-read aborts; Block-STM:
+    /// validation-task aborts). Excludes future-nonce retries.
+    pub validation_failures: u64,
+    /// Block-STM only: executions and validations that landed on an
+    /// ESTIMATE marker and deferred to the blocking writer (0 for OCC-WSI,
+    /// which has no dependency estimation).
+    pub wait_on_estimate: u64,
     /// Transactions discarded as permanently invalid (bad nonce, no funds).
     pub discarded: u64,
     /// Total executions (committed + aborted + discarded attempts).
@@ -198,6 +217,28 @@ struct Shared<'a> {
     aborts: &'a AtomicU64,
     discarded: &'a AtomicU64,
     executions: &'a AtomicU64,
+    first_aborts: &'a AtomicU64,
+    retry_aborts: &'a AtomicU64,
+    validation_failures: &'a AtomicU64,
+    /// Per-transaction abort tally backing the first-vs-retry split.
+    abort_counts: &'a ShardedMap<bp_types::TxHash, u32>,
+}
+
+impl Shared<'_> {
+    /// Tallies one abort of `hash` into the first-vs-retry split.
+    fn note_abort(&self, hash: bp_types::TxHash) {
+        let prior = self.abort_counts.update(hash, |slot| {
+            let count = slot.get_or_insert(0);
+            let prior = *count;
+            *count += 1;
+            prior
+        });
+        if prior == 0 {
+            self.first_aborts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.retry_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// The OCC-WSI proposer.
@@ -264,6 +305,10 @@ impl OccWsiProposer {
         let aborts = AtomicU64::new(0);
         let discarded = AtomicU64::new(0);
         let executions = AtomicU64::new(0);
+        let first_aborts = AtomicU64::new(0);
+        let retry_aborts = AtomicU64::new(0);
+        let validation_failures = AtomicU64::new(0);
+        let abort_counts = ShardedMap::for_threads(self.config.threads);
 
         let shared = Shared {
             pool,
@@ -277,6 +322,10 @@ impl OccWsiProposer {
             aborts: &aborts,
             discarded: &discarded,
             executions: &executions,
+            first_aborts: &first_aborts,
+            retry_aborts: &retry_aborts,
+            validation_failures: &validation_failures,
+            abort_counts: &abort_counts,
         };
 
         let started = Instant::now();
@@ -360,6 +409,10 @@ impl OccWsiProposer {
             stats: ProposerStats {
                 committed: built.profile_len as u64,
                 aborts: aborts.load(Ordering::Acquire),
+                first_aborts: first_aborts.load(Ordering::Acquire),
+                retry_aborts: retry_aborts.load(Ordering::Acquire),
+                validation_failures: validation_failures.load(Ordering::Acquire),
+                wait_on_estimate: 0,
                 discarded: discarded.load(Ordering::Acquire),
                 executions: executions.load(Ordering::Acquire),
                 wall_micros,
@@ -453,6 +506,7 @@ impl OccWsiProposer {
                         s.pool.discard(&tx);
                     } else {
                         s.aborts.fetch_add(1, Ordering::Relaxed);
+                        s.note_abort(tx.hash());
                         stats.retries += 1;
                         s.pool.push_back(&tx);
                         std::thread::yield_now();
@@ -485,6 +539,8 @@ impl OccWsiProposer {
                 if stale {
                     drop(_seq);
                     s.aborts.fetch_add(1, Ordering::Relaxed);
+                    s.validation_failures.fetch_add(1, Ordering::Relaxed);
+                    s.note_abort(tx.hash());
                     stats.aborts += 1;
                     s.pool.push_back(&tx);
                     continue;
@@ -588,6 +644,7 @@ impl OccWsiProposer {
                         s.pool.discard(&tx);
                     } else {
                         s.aborts.fetch_add(1, Ordering::Relaxed);
+                        s.note_abort(tx.hash());
                         stats.retries += 1;
                         s.pool.push_back(&tx);
                         std::thread::yield_now();
@@ -615,6 +672,8 @@ impl OccWsiProposer {
                     if stale {
                         drop(b);
                         s.aborts.fetch_add(1, Ordering::Relaxed);
+                        s.validation_failures.fetch_add(1, Ordering::Relaxed);
+                        s.note_abort(tx.hash());
                         stats.aborts += 1;
                         s.pool.push_back(&tx);
                         continue;
@@ -815,6 +874,18 @@ mod tests {
         assert_eq!(
             proposal.stats.executions - proposal.stats.committed,
             proposal.stats.aborts
+        );
+        // Every abort is attributed to exactly one side of the
+        // first-vs-retry split.
+        assert_eq!(
+            proposal.stats.aborts,
+            proposal.stats.first_aborts + proposal.stats.retry_aborts
+        );
+        // WSI validation failures are the aborts that are not nonce retries.
+        let worker_retries: u64 = proposal.stats.workers.iter().map(|w| w.retries).sum();
+        assert_eq!(
+            proposal.stats.validation_failures,
+            proposal.stats.aborts - worker_retries
         );
         // Per-worker counters must reconcile with the totals.
         let worker_committed: u64 = proposal.stats.workers.iter().map(|w| w.committed).sum();

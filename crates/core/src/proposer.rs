@@ -1,4 +1,5 @@
-//! High-level proposer node: a pending pool plus the OCC-WSI engine.
+//! High-level proposer node: a pending pool plus the selected execution
+//! engine ([`ProposerAlgo`]).
 
 use std::sync::Arc;
 
@@ -7,19 +8,32 @@ use bp_state::WorldState;
 use bp_txpool::TxPool;
 use bp_types::{BlockHash, Height};
 
+use crate::block_stm::{BlockStmProposer, ProposerAlgo};
 use crate::occ_wsi::{OccWsiConfig, OccWsiProposer, Proposal};
 
-/// A proposer node: clients submit transactions, the node packs blocks.
+/// The engine behind a [`Proposer`], chosen by [`OccWsiConfig::algo`].
+enum Engine {
+    Occ(OccWsiProposer),
+    Stm(BlockStmProposer),
+}
+
+/// A proposer node: clients submit transactions, the node packs blocks
+/// through the configured engine (OCC-WSI or Block-STM).
 pub struct Proposer {
-    engine: OccWsiProposer,
+    engine: Engine,
     pool: Arc<TxPool>,
 }
 
 impl Proposer {
-    /// A proposer with a fresh pending pool.
+    /// A proposer with a fresh pending pool, running the engine named by
+    /// `config.algo`.
     pub fn new(config: OccWsiConfig) -> Self {
+        let engine = match config.algo {
+            ProposerAlgo::OccWsi => Engine::Occ(OccWsiProposer::new(config)),
+            ProposerAlgo::BlockStm => Engine::Stm(BlockStmProposer::new(config)),
+        };
         Proposer {
-            engine: OccWsiProposer::new(config),
+            engine,
             pool: Arc::new(TxPool::new()),
         }
     }
@@ -27,6 +41,22 @@ impl Proposer {
     /// The pending pool (e.g. for mempool inspection).
     pub fn pool(&self) -> &TxPool {
         &self.pool
+    }
+
+    /// The configuration the engine runs with.
+    pub fn config(&self) -> &OccWsiConfig {
+        match &self.engine {
+            Engine::Occ(e) => e.config(),
+            Engine::Stm(e) => e.config(),
+        }
+    }
+
+    /// Which engine this proposer packs blocks with.
+    pub fn algo(&self) -> ProposerAlgo {
+        match &self.engine {
+            Engine::Occ(_) => ProposerAlgo::OccWsi,
+            Engine::Stm(_) => ProposerAlgo::BlockStm,
+        }
     }
 
     /// Accepts a client transaction into the pending pool.
@@ -41,20 +71,26 @@ impl Proposer {
         }
     }
 
-    /// Packs and seals the next block on top of `parent` (Algorithm 1).
+    /// Packs and seals the next block on top of `parent`.
     pub fn propose_block(
         &self,
         parent_state: Arc<WorldState>,
         parent: BlockHash,
         height: Height,
     ) -> Proposal {
-        self.engine
-            .propose(&self.pool, parent_state, parent, height)
+        match &self.engine {
+            Engine::Occ(e) => e.propose(&self.pool, parent_state, parent, height),
+            Engine::Stm(e) => e.propose(&self.pool, parent_state, parent, height),
+        }
     }
 
-    /// The underlying OCC-WSI engine (for custom pools).
-    pub fn engine(&self) -> &OccWsiProposer {
-        &self.engine
+    /// The underlying OCC-WSI engine, when that is the configured algorithm
+    /// (for custom pools; `None` under Block-STM).
+    pub fn engine(&self) -> Option<&OccWsiProposer> {
+        match &self.engine {
+            Engine::Occ(e) => Some(e),
+            Engine::Stm(_) => None,
+        }
     }
 }
 
@@ -65,27 +101,64 @@ mod tests {
 
     #[test]
     fn proposer_drains_pool_into_blocks() {
+        for algo in [ProposerAlgo::OccWsi, ProposerAlgo::BlockStm] {
+            let mut world = WorldState::new();
+            for i in 1..=10u64 {
+                world.set_balance(Address::from_index(i), U256::from(1_000_000u64));
+            }
+            let world = Arc::new(world);
+            let proposer = Proposer::new(OccWsiConfig {
+                threads: 2,
+                algo,
+                ..Default::default()
+            });
+            assert_eq!(proposer.algo(), algo);
+            proposer.submit_transactions((1..=10u64).map(|i| {
+                Transaction::transfer(
+                    Address::from_index(i),
+                    Address::from_index(99),
+                    U256::ONE,
+                    0,
+                    i,
+                )
+            }));
+            assert_eq!(proposer.pool().len(), 10);
+            let proposal = proposer.propose_block(world, BlockHash::ZERO, 1);
+            assert_eq!(proposal.block.tx_count(), 10);
+            assert!(proposer.pool().is_empty());
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_the_state_root_for_the_same_pool() {
         let mut world = WorldState::new();
-        for i in 1..=10u64 {
+        for i in 1..=16u64 {
             world.set_balance(Address::from_index(i), U256::from(1_000_000u64));
         }
         let world = Arc::new(world);
-        let proposer = Proposer::new(OccWsiConfig {
-            threads: 2,
-            ..Default::default()
-        });
-        proposer.submit_transactions((1..=10u64).map(|i| {
-            Transaction::transfer(
-                Address::from_index(i),
-                Address::from_index(99),
-                U256::ONE,
-                0,
-                i,
-            )
-        }));
-        assert_eq!(proposer.pool().len(), 10);
-        let proposal = proposer.propose_block(world, BlockHash::ZERO, 1);
-        assert_eq!(proposal.block.tx_count(), 10);
-        assert!(proposer.pool().is_empty());
+        let mut roots = Vec::new();
+        for algo in [ProposerAlgo::OccWsi, ProposerAlgo::BlockStm] {
+            let proposer = Proposer::new(OccWsiConfig {
+                threads: 4,
+                algo,
+                ..Default::default()
+            });
+            // Distinct gas prices pin a deterministic priority order, and
+            // disjoint transfers make every serializable schedule converge
+            // to the same state.
+            proposer.submit_transactions((1..=16u64).map(|i| {
+                Transaction::transfer(
+                    Address::from_index(i),
+                    Address::from_index(100 + i),
+                    U256::ONE,
+                    0,
+                    i,
+                )
+            }));
+            let proposal = proposer.propose_block(Arc::clone(&world), BlockHash::ZERO, 1);
+            assert_eq!(proposal.block.tx_count(), 16);
+            roots.push(proposal.post_state.state_root());
+        }
+        assert_eq!(roots[0], roots[1]);
     }
 }

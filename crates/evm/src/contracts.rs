@@ -124,6 +124,44 @@ pub fn amm_pair() -> Vec<u8> {
         .build()
 }
 
+/// An NFT mint contract: slot 0 is the *supply counter* (the next token
+/// id), and minting assigns the caller as owner of the next id. Every mint
+/// reads **and** writes slot 0 — a mint storm is therefore the worst-case
+/// single-hot-key regime (stronger than [`counter`], which only carries one
+/// write per transaction: here the freshly-assigned owner slot rides along,
+/// so aborted mints waste more work).
+///
+/// Storage layout: slot 0 = next id; slot `2*id + 1` = owner of `id` (odd
+/// slots so owners never collide with the counter). Calldata: none.
+pub fn nft() -> Vec<u8> {
+    Asm::new()
+        .push_u64(0)
+        .op(Op::SLoad) // id
+        .op(Op::Caller) // id caller
+        .dup(2)
+        .push_u64(2)
+        .op(Op::Mul)
+        .push_u64(1)
+        .op(Op::Add) // id caller slot
+        .op(Op::SStore) // id          (owner[id] = caller)
+        .push_u64(1)
+        .op(Op::Add)
+        .push_u64(0)
+        .op(Op::SStore) // (supply = id+1)
+        .op(Op::Stop)
+        .build()
+}
+
+/// The supply-counter slot of [`nft`] (the single hot key).
+pub fn nft_supply_slot() -> H256 {
+    H256::from_low_u64(0)
+}
+
+/// The owner slot of token `id` in [`nft`].
+pub fn nft_owner_slot(id: u64) -> H256 {
+    H256::from_low_u64(2 * id + 1)
+}
+
 /// A registry contract that writes its slot 0 with the first calldata word
 /// and never *semantically* reads it — the closest an EVM contract can get
 /// to a blind write.
@@ -322,6 +360,48 @@ mod tests {
         )
         .unwrap();
         assert!(ra.rw.conflicts_with(&rb.rw), "AMM swaps must conflict");
+    }
+
+    #[test]
+    fn nft_mint_assigns_sequential_ids() {
+        let mut w = base_world();
+        let n = addr(100);
+        w.set_code(n, nft());
+        for (i, minter) in [addr(1), addr(2)].into_iter().enumerate() {
+            let view = WorldView::new(&w);
+            let res =
+                execute_transaction(&view, &BlockEnv::default(), &call_tx(minter, n, vec![], 0))
+                    .unwrap();
+            assert!(res.receipt.success);
+            let id = i as u64;
+            assert_eq!(
+                res.rw.writes[&AccessKey::Storage(n, nft_owner_slot(id))],
+                address_word(&minter)
+            );
+            assert_eq!(
+                res.rw.writes[&AccessKey::Storage(n, nft_supply_slot())],
+                U256::from(id + 1)
+            );
+            // Every mint reads the supply counter: two mints always conflict.
+            assert!(res
+                .rw
+                .reads
+                .contains_key(&AccessKey::Storage(n, nft_supply_slot())));
+            w.apply_writes(&res.rw.writes);
+        }
+    }
+
+    #[test]
+    fn concurrent_mints_conflict_on_the_supply_counter() {
+        let mut w = base_world();
+        let n = addr(100);
+        w.set_code(n, nft());
+        let view = WorldView::new(&w);
+        let a = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(1), n, vec![], 0))
+            .unwrap();
+        let b = execute_transaction(&view, &BlockEnv::default(), &call_tx(addr(2), n, vec![], 0))
+            .unwrap();
+        assert!(a.rw.conflicts_with(&b.rw), "mints must conflict");
     }
 
     #[test]

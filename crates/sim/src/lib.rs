@@ -24,6 +24,7 @@
 
 pub mod pipeline;
 pub mod proposer;
+pub mod stm;
 pub mod validator;
 
 pub use pipeline::{
@@ -34,6 +35,7 @@ pub use proposer::{
     simulate_proposer, simulate_proposer_configured, simulate_proposer_with_rule,
     ProposerSimResult, ValidationRule,
 };
+pub use stm::simulate_proposer_block_stm;
 pub use validator::{simulate_validator, ValidatorSimResult};
 
 use bp_types::Gas;
@@ -92,6 +94,12 @@ pub struct CostModel {
     /// header commitment checks. This is the term that makes a single
     /// applier bind once several same-height blocks are in flight.
     pub applier_block: Gas,
+    /// Per-transaction read-set validation cost in the Block-STM proposer
+    /// (compare every read's observed version against the multi-version
+    /// store). Rides on the validating worker's own clock — Block-STM has no
+    /// commit-section lock to serialize through; the preset order plus the
+    /// commit watermark replace it.
+    pub stm_validate: Gas,
     /// Penalty a worker pays when switching to a lane of a *different* block
     /// in the multi-block pipeline (context/state switch, §5.6).
     pub block_switch: Gas,
@@ -114,6 +122,7 @@ impl Default for CostModel {
             applier_per_tx: 1_600,
             match_per_tx: 400,
             applier_block: 120_000,
+            stm_validate: 400,
             block_switch: 30_000,
             applier_switch: 2_300,
         }

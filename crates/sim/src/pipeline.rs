@@ -427,6 +427,7 @@ mod tests {
         let blocks: Vec<_> = (0..4).map(|_| (sched(&p, 8), &p)).collect();
         let model = CostModel {
             applier_block: 400_000,
+            stm_validate: 0,
             ..CostModel::default()
         };
         let single = simulate_validator_pipeline(
@@ -498,6 +499,7 @@ mod tests {
         let blocks: Vec<_> = (0..4).map(|_| (sched(&p, 8), &p)).collect();
         let model = CostModel {
             applier_block: 600_000,
+            stm_validate: 0,
             applier_per_tx: 2_000,
             match_per_tx: 500,
             ..CostModel::default()

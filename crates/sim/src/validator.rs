@@ -87,6 +87,7 @@ mod tests {
             applier_per_tx: 0,
             match_per_tx: 0,
             applier_block: 0,
+            stm_validate: 0,
             block_switch: 0,
             applier_switch: 0,
         }
@@ -145,6 +146,7 @@ mod tests {
             state_contention_permille: 0,
             match_per_tx: 0,
             applier_block: 0,
+            stm_validate: 0,
             block_switch: 0,
             applier_switch: 0,
         };

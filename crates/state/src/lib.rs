@@ -7,11 +7,14 @@
 //! * [`reader`] — the [`reader::StateReader`] base-state seam (implemented
 //!   by `bp-snap`'s layered flat state) and the [`reader::StateDelta`]
 //!   block-effect records diff layers are made of;
-//! * [`mvstate`] — the multi-version overlay serving OCC-WSI snapshots.
+//! * [`mvstate`] — the multi-version overlay serving OCC-WSI snapshots;
+//! * [`mvmemory`] — the Block-STM multi-version memory: per-location version
+//!   lists keyed by preset transaction index, with ESTIMATE markers.
 
 #![warn(missing_docs)]
 
 pub mod account;
+pub mod mvmemory;
 pub mod mvstate;
 pub mod nibbles;
 pub mod reader;
@@ -19,6 +22,7 @@ pub mod trie;
 pub mod world;
 
 pub use account::Account;
+pub use mvmemory::{MvMemory, MvRead, ReadOrigin, ReadValidation};
 pub use mvstate::MultiVersionState;
 pub use reader::{BaseAccount, MapReader, StateDelta, StateReader};
 pub use trie::{

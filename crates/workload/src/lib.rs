@@ -40,6 +40,10 @@ pub struct TxMix {
     /// Blind registry writes (pure WAW conflicts; zero in the default mix,
     /// used by the WSI-vs-OCC ablation).
     pub blind: f64,
+    /// NFT mints against a single collection (every mint reads *and*
+    /// writes the global supply counter: the worst-case single-hot-key
+    /// regime; zero in the default mix, used by the mint-storm sweep).
+    pub mint: f64,
 }
 
 impl Default for TxMix {
@@ -51,6 +55,7 @@ impl Default for TxMix {
             token: 0.36,
             amm: 0.04,
             blind: 0.0,
+            mint: 0.0,
         }
     }
 }
@@ -90,6 +95,29 @@ impl Default for WorkloadConfig {
             mix: TxMix::default(),
             zipf_accounts: 0.50,
             zipf_contracts: 1.05,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// The NFT-mint-storm preset: every transaction mints from the single
+    /// collection, so every transaction reads and writes the same supply
+    /// counter. This is the extreme end of the contention spectrum — a
+    /// fully serialized dependency chain — used to A/B proposer engines
+    /// under a single hot key.
+    pub fn nft_mint_storm() -> Self {
+        WorkloadConfig {
+            mix: TxMix {
+                transfer: 0.0,
+                token: 0.0,
+                amm: 0.0,
+                blind: 0.0,
+                mint: 1.0,
+            },
+            // Many distinct senders so the pool's per-sender nonce gating
+            // does not cap block size.
+            zipf_accounts: 0.0,
+            ..WorkloadConfig::default()
         }
     }
 }
@@ -155,6 +183,11 @@ impl WorkloadGen {
         Address::from_index(4_000_000)
     }
 
+    /// The NFT collection address (one per world).
+    pub fn nft_address(&self) -> Address {
+        Address::from_index(5_000_000)
+    }
+
     /// Builds the genesis world: funded EOAs, deployed token and AMM
     /// contracts with seeded balances/reserves.
     pub fn genesis_state(&self) -> WorldState {
@@ -188,6 +221,7 @@ impl WorkloadGen {
             );
         }
         w.set_code(self.registry_address(), contracts::registry());
+        w.set_code(self.nft_address(), contracts::nft());
         w
     }
 
@@ -213,10 +247,11 @@ impl WorkloadGen {
         let count = (self.config.txs_per_block as i64 + jitter).max(1) as usize;
         let mut txs = Vec::with_capacity(count);
         let mix = self.config.mix;
-        let total = mix.transfer + mix.token + mix.amm + mix.blind;
+        let total = mix.transfer + mix.token + mix.amm + mix.blind + mix.mint;
         let p_transfer = mix.transfer / total;
         let p_token = mix.token / total;
         let p_amm = mix.amm / total;
+        let p_blind = mix.blind / total;
         for _ in 0..count {
             let roll: f64 = self.rng.gen();
             let tx = if roll < p_transfer {
@@ -225,8 +260,10 @@ impl WorkloadGen {
                 self.gen_token_transfer()
             } else if roll < p_transfer + p_token + p_amm {
                 self.gen_amm_swap()
-            } else {
+            } else if roll < p_transfer + p_token + p_amm + p_blind {
                 self.gen_blind_write()
+            } else {
+                self.gen_mint()
             };
             txs.push(tx);
         }
@@ -285,6 +322,19 @@ impl WorkloadGen {
             gas_limit: 300_000,
             gas_price: self.gas_price(),
             data: contracts::amm_swap_calldata(dir, amount),
+        }
+    }
+
+    fn gen_mint(&mut self) -> Transaction {
+        let (sender, nonce) = self.next_sender();
+        Transaction {
+            sender,
+            to: Some(self.nft_address()),
+            value: U256::ZERO,
+            nonce,
+            gas_limit: 100_000,
+            gas_price: self.gas_price(),
+            data: Vec::new(),
         }
     }
 
@@ -406,6 +456,25 @@ mod tests {
             }
             ok
         }
+    }
+
+    #[test]
+    fn mint_storm_targets_the_single_collection() {
+        let mut gen = WorkloadGen::new(WorkloadConfig {
+            txs_per_block: 30,
+            tx_jitter: 0,
+            ..WorkloadConfig::nft_mint_storm()
+        });
+        let genesis = gen.genesis_state();
+        assert!(!genesis.code(&gen.nft_address()).is_empty());
+        let env = gen.block_env(1);
+        let txs = gen.next_block_txs();
+        for tx in &txs {
+            assert_eq!(tx.to, Some(gen.nft_address()));
+            assert!(tx.data.is_empty());
+        }
+        let ok = bp_baseline_shim::execute(&genesis, &env, &txs);
+        assert_eq!(ok, txs.len());
     }
 
     #[test]

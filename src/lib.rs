@@ -22,6 +22,7 @@ pub use bp_types as types;
 pub use bp_workload as workload;
 
 pub use blockpilot_core::{
+    block_stm::{BlockStmProposer, ProposerAlgo},
     occ_wsi::{CommitPath, OccWsiConfig, OccWsiProposer, ProposerStats},
     pipeline::{PipelineConfig, ValidatorPipeline},
     proposer::Proposer,

@@ -1,0 +1,232 @@
+//! Stress: ESTIMATE-wait chains through the Block-STM machinery.
+//!
+//! Two layers:
+//!
+//! * an end-to-end run of the real engine over a 96-deep dependency chain
+//!   (counter bumps from distinct senders — transaction *i* reads the slot
+//!   transaction *i−1* writes) at 2–16 real threads, gated on bit-identical
+//!   serial replay. On a multi-core host this races the watermark hard; on
+//!   the single-core evaluation container the OS may serialize the workers,
+//!   so conflict counters are reconciled, not required to be non-zero;
+//! * a deterministic, single-threaded drive of the public `MvMemory` +
+//!   `StmScheduler` APIs that *forces* the full abort → ESTIMATE → suspend
+//!   → resume → revalidate chain, so every link of the machinery is
+//!   exercised on any host.
+
+use std::sync::Arc;
+
+use blockpilot::baseline::execute_block_serially;
+use blockpilot::concurrent::{StmScheduler, StmTask};
+use blockpilot::core::{OccWsiConfig, Proposer, ProposerAlgo};
+use blockpilot::evm::{contracts, BlockEnv, Transaction};
+use blockpilot::state::{MvMemory, MvRead, ReadValidation, WorldState};
+use blockpilot::types::{AccessKey, Address, BlockHash, WriteSet, H256, U256};
+
+const SENDERS: u64 = 96;
+
+fn chain_world() -> (Arc<WorldState>, Vec<Transaction>) {
+    let counter = Address::from_index(500);
+    let mut w = WorldState::new();
+    w.set_code(counter, contracts::counter());
+    let mut txs = Vec::new();
+    for i in 1..=SENDERS {
+        let sender = Address::from_index(i);
+        w.set_balance(sender, U256::from(1_000_000_000u64));
+        txs.push(Transaction {
+            sender,
+            to: Some(counter),
+            value: U256::ZERO,
+            nonce: 0,
+            gas_limit: 200_000,
+            // Equal prices keep the preset order index-stable regardless of
+            // pool tie-breaking; distinct senders keep it one block.
+            gas_price: 1,
+            data: vec![],
+        });
+    }
+    (Arc::new(w), txs)
+}
+
+#[test]
+fn estimate_chains_stay_serial_replay_equivalent() {
+    let (base, txs) = chain_world();
+    for threads in [2usize, 4, 8, 16] {
+        let proposer = Proposer::new(OccWsiConfig {
+            threads,
+            algo: ProposerAlgo::BlockStm,
+            ..OccWsiConfig::default()
+        });
+        proposer.submit_transactions(txs.iter().cloned());
+        let proposal = proposer.propose_block(Arc::clone(&base), BlockHash::ZERO, 1);
+        assert_eq!(
+            proposal.block.tx_count(),
+            txs.len(),
+            "distinct senders fit one block"
+        );
+        assert!(proposer.pool().is_empty());
+
+        let replay =
+            execute_block_serially(&base, &BlockEnv::default(), &proposal.block.transactions)
+                .expect("sealed chain replays");
+        assert_eq!(replay.receipts, proposal.receipts, "{threads} threads");
+        assert_eq!(
+            replay.post_state.state_root(),
+            proposal.block.header.state_root
+        );
+
+        // Abort accounting must reconcile however the race went.
+        let s = &proposal.stats;
+        assert_eq!(s.aborts, s.first_aborts + s.retry_aborts);
+        assert!(s.executions >= s.committed);
+
+        // Final counter value proves all bumps landed exactly once.
+        assert_eq!(
+            proposal
+                .post_state
+                .storage(&Address::from_index(500), &H256::from_low_u64(0)),
+            U256::from(SENDERS)
+        );
+    }
+}
+
+/// Forces the abort → ESTIMATE → suspend → resume chain deterministically:
+/// tx1 executes against stale state and soft-finalizes, tx0's writes land
+/// afterwards and reopen the validation watermark, tx1's re-validation
+/// fails, its writes become ESTIMATE markers, tx2 observes the marker and
+/// suspends on the scheduler, and tx1's re-execution resumes it.
+#[test]
+fn forced_estimate_chain_exercises_every_link() {
+    let key = AccessKey::Storage(Address::from_index(500), H256::from_low_u64(0));
+    let base = Arc::new(WorldState::new());
+    let mv = MvMemory::new(Arc::clone(&base), 3, 1);
+    let sched = StmScheduler::new(3);
+
+    // Claim the three first executions (one virtual worker each). The
+    // wasted validation claims inside next_task push the validation
+    // watermark forward, exactly as in a real racing run.
+    for expect in 0..3usize {
+        match sched.next_task() {
+            StmTask::Execute { tx, incarnation } => {
+                assert_eq!((tx, incarnation), (expect, 0));
+            }
+            other => panic!("expected Execute {{{expect}}}, got {other:?}"),
+        }
+    }
+
+    // tx1 runs first: reads the base value, writes its stale result. The
+    // watermark already passed it, so the worker gets the validation back.
+    let origin1 = match mv.read(&key, 1) {
+        MvRead::Value { value, origin } => {
+            assert_eq!(value, U256::ZERO, "base state");
+            origin
+        }
+        MvRead::Estimate { .. } => panic!("no ESTIMATE yet"),
+    };
+    let mut writes1 = WriteSet::default();
+    writes1.insert(key, U256::ONE);
+    mv.record(1, 0, vec![(key, origin1)], &writes1, std::iter::empty());
+    let v1 = sched.finish_execution(1, 0, false);
+    assert_eq!(
+        v1,
+        Some(StmTask::Validate {
+            tx: 1,
+            incarnation: 0
+        })
+    );
+    // Validated now, it would pass — the stale read is undetectable until
+    // tx0 lands. Hold the task and let tx0 finish first.
+
+    // tx0 lands with a grown write set: the suffix must revalidate.
+    let mut writes0 = WriteSet::default();
+    writes0.insert(key, U256::ONE);
+    mv.record(0, 0, Vec::new(), &writes0, std::iter::empty());
+    assert!(sched.finish_execution(0, 0, true).is_none());
+
+    // Now tx1's held validation fails; its writes turn into ESTIMATEs.
+    assert_eq!(mv.validate_reads(1), ReadValidation::Invalid);
+    assert!(sched.try_validation_abort(1, 0));
+    mv.convert_to_estimates(1);
+
+    // tx2 (claim still open) reads the key and hits the marker — the
+    // wait-on-ESTIMATE path — and suspends until tx1 re-executes.
+    match mv.read(&key, 2) {
+        MvRead::Estimate { writer, fallback } => {
+            assert_eq!(writer, 1);
+            assert_eq!(fallback, U256::ONE, "marker falls back to the stale value");
+        }
+        MvRead::Value { .. } => panic!("tx2 must see the ESTIMATE marker"),
+    }
+    assert!(
+        sched.add_dependency(2, 1),
+        "tx1 is aborting: dependency holds"
+    );
+
+    // Completing the abort hands the owner its own re-execution.
+    let retry = sched.finish_validation(1, true);
+    assert_eq!(
+        retry,
+        Some(StmTask::Execute {
+            tx: 1,
+            incarnation: 1
+        })
+    );
+    let origin1 = match mv.read(&key, 1) {
+        MvRead::Value { value, origin } => {
+            assert_eq!(value, U256::ONE, "tx0's committed value");
+            origin
+        }
+        MvRead::Estimate { .. } => panic!("tx0 is final"),
+    };
+    let mut writes1b = WriteSet::default();
+    writes1b.insert(key, U256::from(2u64));
+    mv.record(1, 1, vec![(key, origin1)], &writes1b, std::iter::empty());
+    // incarnation > 0 forces suffix revalidation and resumes tx2.
+    assert!(sched.finish_execution(1, 1, true).is_none());
+
+    // Drain to convergence: tx2's resumed execution must come back, and
+    // every final validation must pass.
+    let mut resumed = false;
+    loop {
+        match sched.next_task() {
+            StmTask::Execute { tx: 2, incarnation } => {
+                resumed = true;
+                let origin2 = match mv.read(&key, 2) {
+                    MvRead::Value { value, origin } => {
+                        assert_eq!(value, U256::from(2u64));
+                        origin
+                    }
+                    MvRead::Estimate { .. } => panic!("tx1 re-executed: no marker"),
+                };
+                mv.record(
+                    2,
+                    incarnation,
+                    vec![(key, origin2)],
+                    &WriteSet::default(),
+                    std::iter::empty(),
+                );
+                assert!(sched.finish_execution(2, incarnation, false).is_none());
+            }
+            StmTask::Execute { tx, incarnation } => {
+                panic!("unexpected re-execution of tx {tx} incarnation {incarnation}");
+            }
+            StmTask::Validate { tx, .. } => {
+                assert_eq!(
+                    mv.validate_reads(tx as u32),
+                    ReadValidation::Valid,
+                    "tx {tx}"
+                );
+                assert!(sched.finish_validation(tx, false).is_none());
+            }
+            StmTask::Done => break,
+        }
+    }
+    assert!(resumed, "tx2 must be resumed after its blocker re-executes");
+    assert!(sched.is_done());
+
+    // The materialized prefix carries the final chain: counter == 2.
+    let world = mv.materialize(3);
+    assert_eq!(
+        world.storage(&Address::from_index(500), &H256::from_low_u64(0)),
+        U256::from(2u64)
+    );
+}

@@ -33,18 +33,21 @@ fn mixes() -> Vec<TxMix> {
             token: 0.0,
             amm: 0.0,
             blind: 0.0,
+            mint: 0.0,
         },
         TxMix {
             transfer: 0.3,
             token: 0.3,
             amm: 0.3,
             blind: 0.1,
+            mint: 0.0,
         },
         TxMix {
             transfer: 0.0,
             token: 0.0,
             amm: 1.0,
             blind: 0.0,
+            mint: 0.0,
         },
     ]
 }
@@ -152,6 +155,7 @@ fn slot_granularity_schedules_also_validate() {
             token: 0.5,
             amm: 0.0,
             blind: 0.0,
+            mint: 0.0,
         },
     ));
     let base = Arc::new(gen.genesis_state());

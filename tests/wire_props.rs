@@ -30,6 +30,7 @@ proptest! {
                 token: token as f64,
                 amm: amm as f64,
                 blind: 0.5,
+                mint: 0.0,
             },
             ..WorkloadConfig::default()
         });
