@@ -1,0 +1,604 @@
+//! Full node-loop A/B: pipelined proposer/validator overlap vs lock-step.
+//!
+//! This is the harness for the paper's Figure-1 claim measured end to end:
+//! a node that packs height `N+1` while height `N` is still being encoded,
+//! shipped, validated and persisted should sustain `1/max(stage)` blocks
+//! per unit time, while the lock-step baseline pays `1/sum(stages)`.
+//! Records `BENCH_node.json` with two artefact families:
+//!
+//! * **gas-time, calibrated** (primary): per-block stage costs are taken
+//!   from the deterministic bp-sim stage models — proposer makespans from
+//!   the OCC-WSI / Block-STM proposer sims, validator makespans from the
+//!   restructured-pipeline sim with every overhead micro-timed on this
+//!   machine, codec costs measured directly on the real wire encoder —
+//!   and fed to [`bp_sim::simulate_node_loop`], the bounded-buffer model
+//!   of `bp-node`'s channel topology. Series over engine × validator
+//!   workers × channel depth × pacing mode; the headline is pipelined vs
+//!   lock-step committed-tx/s with 4 validator workers. This is how the
+//!   overlap is evaluated beyond the single CPU of the evaluation host.
+//! * **wall-clock** (secondary but load-bearing for correctness): the real
+//!   [`bp_node::run_node`] service — real threads, real bounded channels,
+//!   real store-backed validator — in both modes, with the serial-replay
+//!   equivalence gate **asserted**: the run aborts if any validator head
+//!   diverges from serial execution of the committed chain. Injected wire
+//!   latency makes the overlap physically observable even on one core
+//!   (the proposer packs while the wire sleeps).
+//!
+//! Usage: `cargo run -p bp-bench --release --bin node_baseline [out.json]`
+//! (`BP_NODE_BLOCKS=N` overrides the wall-clock block count,
+//! `BP_BLOCKS=N` the calibration window).
+
+use std::time::Instant;
+
+use blockpilot_core::{
+    CommitPath, ConflictGranularity, DispatchPolicy, PipelineConfig, ProposerAlgo, Scheduler,
+};
+use bp_baseline::execute_block_serially;
+use bp_bench::{block_count, generate_fixtures, mean, BlockFixture};
+use bp_block::wire::{encode_block, encode_block_into};
+use bp_node::{run_node, NodeConfig, NodeMode, NodeReport};
+use bp_sim::{
+    simulate_node_loop, simulate_proposer_block_stm, simulate_proposer_configured,
+    simulate_validator_pipeline, CostModel, NodeLoopConfig, PipelineSimConfig, ValidationRule,
+};
+use bp_types::{BlockHash, Gas};
+use bp_workload::WorkloadConfig;
+
+const WORKERS: [usize; 5] = [1, 2, 4, 8, 16];
+const DEPTHS: [usize; 3] = [1, 2, 8];
+const ENGINES: [ProposerAlgo; 2] = [ProposerAlgo::OccWsi, ProposerAlgo::BlockStm];
+/// Proposer threads used for every gas-time propose cost (the node's
+/// default).
+const PROPOSER_THREADS: usize = 2;
+/// The per-block stage-cost window is tiled out to this many blocks so the
+/// loop model reaches steady state instead of measuring fill/drain.
+const SIM_BLOCKS: usize = 256;
+
+fn engine_name(algo: ProposerAlgo) -> &'static str {
+    match algo {
+        ProposerAlgo::OccWsi => "occ_wsi",
+        ProposerAlgo::BlockStm => "block_stm",
+    }
+}
+
+fn mode_name(lock_step: bool) -> &'static str {
+    if lock_step {
+        "lock_step"
+    } else {
+        "pipelined"
+    }
+}
+
+/// Machine constants tying gas-time to this host's wall clock. Validator
+/// overheads are micro-timed here (same sections as `validator_baseline`);
+/// proposer commit-section constants come from the documented DESIGN.md §7
+/// calibration baked into [`CostModel::default`].
+struct Calibration {
+    gas_per_us: f64,
+    prepare_us: f64,
+    dispatch_us: f64,
+    match_us: f64,
+    applier_us: f64,
+    applier_block_us: f64,
+    /// Measured microseconds to wire-encode each calibration block with the
+    /// reused scratch buffer (min over trials), one entry per block.
+    codec_us: Vec<f64>,
+}
+
+const CALIBRATION_TRIALS: usize = 5;
+
+impl Calibration {
+    fn gas(us: f64) -> u64 {
+        us.max(0.0).round().max(1.0) as u64
+    }
+
+    /// Validator-side implementation model: measured per-transaction
+    /// overheads, proposer-only constants zeroed (the validator sim never
+    /// reads them).
+    fn validator_model(&self) -> CostModel {
+        CostModel {
+            per_tx_dispatch: Self::gas(self.dispatch_us * self.gas_per_us),
+            prepare_per_tx: Self::gas(self.prepare_us * self.gas_per_us),
+            applier_per_tx: Self::gas(self.applier_us * self.gas_per_us),
+            match_per_tx: Self::gas(self.match_us * self.gas_per_us),
+            applier_block: Self::gas(self.applier_block_us * self.gas_per_us),
+            commit_sync: 0,
+            commit_admit: 0,
+            state_contention_permille: 0,
+            stm_validate: 0,
+            block_switch: 0,
+            applier_switch: 0,
+        }
+    }
+}
+
+fn calibrate(fixtures: &[BlockFixture]) -> Calibration {
+    let txs: usize = fixtures.iter().map(|f| f.profile.len()).sum();
+
+    let mut gas_per_us = 0.0f64;
+    for _ in 0..CALIBRATION_TRIALS {
+        let started = Instant::now();
+        let mut gas_total = 0u64;
+        for f in fixtures {
+            let out =
+                execute_block_serially(&f.pre_state, &f.env, &f.txs).expect("fixtures replay");
+            std::hint::black_box(&out.post_state);
+            gas_total += out.gas_used;
+        }
+        let exec_us = started.elapsed().as_secs_f64() * 1e6;
+        gas_per_us = gas_per_us.max(gas_total as f64 / exec_us);
+    }
+
+    let scheduler = Scheduler::new(ConflictGranularity::Account);
+    let mut prepare_us = f64::INFINITY;
+    for _ in 0..CALIBRATION_TRIALS {
+        let started = Instant::now();
+        for f in fixtures {
+            std::hint::black_box(scheduler.schedule(&f.profile, 8));
+        }
+        prepare_us = prepare_us.min(started.elapsed().as_secs_f64() * 1e6 / txs as f64);
+    }
+
+    // Dispatch + result hand-off and footprint matching, micro-timed on the
+    // profile structures exactly as `validator_baseline` does.
+    let mut dispatch_us = f64::INFINITY;
+    for _ in 0..CALIBRATION_TRIALS {
+        let started = Instant::now();
+        for f in fixtures {
+            let slots: bp_concurrent::ResultSlots<bp_types::RwSet> =
+                bp_concurrent::ResultSlots::new(f.profile.len());
+            for (i, entry) in f.profile.entries.iter().enumerate() {
+                slots.publish(i, entry.rw());
+            }
+            for i in 0..f.profile.len() {
+                std::hint::black_box(slots.take(i));
+            }
+        }
+        dispatch_us = dispatch_us.min(started.elapsed().as_secs_f64() * 1e6 / txs as f64);
+    }
+
+    let mut match_us = f64::INFINITY;
+    for _ in 0..CALIBRATION_TRIALS {
+        let rws: Vec<Vec<bp_types::RwSet>> = fixtures
+            .iter()
+            .map(|f| f.profile.entries.iter().map(|e| e.rw()).collect())
+            .collect();
+        let started = Instant::now();
+        for (f, block_rws) in fixtures.iter().zip(&rws) {
+            for (i, rw) in block_rws.iter().enumerate() {
+                std::hint::black_box(f.profile.matches(i, rw));
+            }
+        }
+        match_us = match_us.min(started.elapsed().as_secs_f64() * 1e6 / txs as f64);
+    }
+
+    // Warm every fixture's trie cache: the chained fixtures have never had
+    // their roots computed, and a cold first `state_root` walks the whole
+    // trie instead of the block's dirty set — exactly what the running
+    // node's incremental recompute never does.
+    for f in fixtures {
+        std::hint::black_box(f.pre_state.state_root());
+        std::hint::black_box(f.post_state.state_root());
+    }
+
+    let mut applier_us = f64::INFINITY;
+    for _ in 0..CALIBRATION_TRIALS {
+        let started = Instant::now();
+        for f in fixtures {
+            let mut world = f.pre_state.snapshot();
+            for entry in &f.profile.entries {
+                world.apply_writes(&entry.writes);
+            }
+            std::hint::black_box(&world);
+        }
+        applier_us = applier_us.min(started.elapsed().as_secs_f64() * 1e6 / txs as f64);
+    }
+
+    let mut block_us = f64::INFINITY;
+    for _ in 0..CALIBRATION_TRIALS {
+        let started = Instant::now();
+        for f in fixtures {
+            let mut world = f.pre_state.snapshot();
+            for entry in &f.profile.entries {
+                world.apply_writes(&entry.writes);
+            }
+            std::hint::black_box(world.state_root());
+        }
+        block_us = block_us.min(started.elapsed().as_secs_f64() * 1e6 / fixtures.len() as f64);
+    }
+    let mean_txs = txs as f64 / fixtures.len() as f64;
+    let applier_block_us = (block_us - applier_us * mean_txs).max(1.0);
+
+    // Codec: the real wire encoder with the reused scratch buffer, per
+    // block. Sealing needs real roots, so it happens once, outside timing.
+    let sealed: Vec<_> = fixtures
+        .iter()
+        .enumerate()
+        .map(|(i, f)| f.seal(BlockHash::from_low_u64(i as u64), i as u64 + 1))
+        .collect();
+    let mut codec_us = vec![f64::INFINITY; sealed.len()];
+    let mut scratch = encode_block(&sealed[0]);
+    for _ in 0..CALIBRATION_TRIALS {
+        for (i, block) in sealed.iter().enumerate() {
+            let started = Instant::now();
+            scratch = encode_block_into(block, scratch);
+            std::hint::black_box(&scratch);
+            codec_us[i] = codec_us[i].min(started.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+
+    Calibration {
+        gas_per_us,
+        prepare_us,
+        dispatch_us,
+        match_us,
+        applier_us,
+        applier_block_us,
+        codec_us,
+    }
+}
+
+/// Per-block gas-time stage costs over the calibration window.
+struct StageCosts {
+    /// `propose[engine_index][block]`, at [`PROPOSER_THREADS`] threads.
+    propose: Vec<Vec<Gas>>,
+    /// `validate[worker_index][block]`, restructured pipeline.
+    validate: Vec<Vec<Gas>>,
+    /// `codec[block]`, measured µs converted to gas.
+    codec: Vec<Gas>,
+    /// Transactions per block in the window.
+    block_txs: Vec<u64>,
+}
+
+fn stage_costs(fixtures: &[BlockFixture], cal: &Calibration) -> StageCosts {
+    let proposer_model = CostModel::default();
+    // The real proposer seals every block it hands off — incremental state
+    // root over its own post-state plus tx/receipts roots (occ_wsi.rs) —
+    // the same dirty-set MPT work the validator's block stage pays. The
+    // proposer sims model only packing, so the measured per-block root cost
+    // is added on top.
+    let seal_gas = Calibration::gas(cal.applier_block_us * cal.gas_per_us);
+    let propose = ENGINES
+        .iter()
+        .map(|&engine| {
+            fixtures
+                .iter()
+                .map(|f| {
+                    let r = match engine {
+                        ProposerAlgo::OccWsi => simulate_proposer_configured(
+                            &f.pre_state,
+                            &f.env,
+                            &f.txs,
+                            PROPOSER_THREADS,
+                            &proposer_model,
+                            ValidationRule::Wsi,
+                            CommitPath::TwoPhase,
+                        ),
+                        ProposerAlgo::BlockStm => simulate_proposer_block_stm(
+                            &f.pre_state,
+                            &f.env,
+                            &f.txs,
+                            PROPOSER_THREADS,
+                            &proposer_model,
+                        ),
+                    };
+                    assert_eq!(r.committed, f.txs.len(), "{engine:?} commits the block");
+                    r.makespan + seal_gas
+                })
+                .collect()
+        })
+        .collect();
+
+    let validator_model = cal.validator_model();
+    let validate = WORKERS
+        .iter()
+        .map(|&workers| {
+            fixtures
+                .iter()
+                .map(|f| {
+                    let schedule =
+                        Scheduler::new(ConflictGranularity::Account).schedule(&f.profile, workers);
+                    simulate_validator_pipeline(
+                        &[(schedule, &f.profile)],
+                        &PipelineSimConfig {
+                            workers,
+                            appliers: 2,
+                            dispatch: DispatchPolicy::Subgraph,
+                            overlap_verify: true,
+                        },
+                        &validator_model,
+                    )
+                    .makespan
+                })
+                .collect()
+        })
+        .collect();
+
+    let codec = cal
+        .codec_us
+        .iter()
+        .map(|&us| Calibration::gas(us * cal.gas_per_us))
+        .collect();
+    let block_txs = fixtures.iter().map(|f| f.txs.len() as u64).collect();
+    StageCosts {
+        propose,
+        validate,
+        codec,
+        block_txs,
+    }
+}
+
+/// Tiles a per-block window out to [`SIM_BLOCKS`] entries.
+fn tile(window: &[Gas]) -> Vec<Gas> {
+    (0..SIM_BLOCKS).map(|i| window[i % window.len()]).collect()
+}
+
+struct Row {
+    engine: ProposerAlgo,
+    workers: usize,
+    depth: usize,
+    lock_step: bool,
+    committed_tx_s: f64,
+    makespan_us: f64,
+    proposer_occupancy: f64,
+    validator_occupancy: f64,
+    proposer_stall_share: f64,
+}
+
+fn gas_time_rows(costs: &StageCosts, cal: &Calibration) -> Vec<Row> {
+    let total_txs: u64 = (0..SIM_BLOCKS)
+        .map(|i| costs.block_txs[i % costs.block_txs.len()])
+        .sum();
+    let mut rows = Vec::new();
+    for (e, &engine) in ENGINES.iter().enumerate() {
+        for (w, &workers) in WORKERS.iter().enumerate() {
+            for depth in DEPTHS {
+                for lock_step in [false, true] {
+                    let r = simulate_node_loop(&NodeLoopConfig {
+                        propose: tile(&costs.propose[e]),
+                        codec: tile(&costs.codec),
+                        validate: tile(&costs.validate[w]),
+                        depth,
+                        lock_step,
+                    });
+                    let makespan_us = r.makespan as f64 / cal.gas_per_us;
+                    rows.push(Row {
+                        engine,
+                        workers,
+                        depth,
+                        lock_step,
+                        committed_tx_s: total_txs as f64 * 1e6 / makespan_us,
+                        makespan_us,
+                        proposer_occupancy: r.occupancy[0],
+                        validator_occupancy: r.occupancy[2],
+                        proposer_stall_share: r.proposer_stall as f64 / r.makespan.max(1) as f64,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+fn find_tx_s(rows: &[Row], engine: ProposerAlgo, workers: usize, depth: usize, lock: bool) -> f64 {
+    rows.iter()
+        .find(|r| {
+            r.engine == engine && r.workers == workers && r.depth == depth && r.lock_step == lock
+        })
+        .expect("row exists")
+        .committed_tx_s
+}
+
+/// One real node-service run, gated: the process aborts if the run is
+/// unhealthy (head divergence, validation failure, or equivalence mismatch).
+fn run_wall(mode: NodeMode, blocks: u64) -> NodeReport {
+    let report = run_node(NodeConfig {
+        mode,
+        blocks,
+        channel_depth: 2,
+        engine: ProposerAlgo::OccWsi,
+        // One proposer thread: on the single-CPU evaluation host extra
+        // proposer workers only add contention, and the overlap being
+        // measured is between *stages*, not within the proposer.
+        proposer_threads: 1,
+        pipeline: PipelineConfig {
+            workers: 4,
+            ..PipelineConfig::default()
+        },
+        validators: 2,
+        // Injected wire latency: the physically observable overlap on a
+        // single-core host — the proposer packs the next block while the
+        // wire sleeps. The hideable time is capped by the proposer's own
+        // per-block compute (~3.5 ms on this workload), so the delay sits
+        // just under that: much larger and both modes are latency-bound,
+        // much smaller and the win drowns in scheduler noise.
+        latency_us: 2500..3500,
+        // ~64-tx blocks: the workload feeds 64-tx batches and the gas limit
+        // caps packing near that size, so the sustained series measures many
+        // uniform blocks instead of a few giant gas-limit-bound ones whose
+        // compute would dwarf the wire latency.
+        gas_limit: 2_000_000,
+        min_pool_txs: 48,
+        workload: WorkloadConfig {
+            accounts: 400,
+            txs_per_block: 64,
+            tx_jitter: 8,
+            ..WorkloadConfig::default()
+        },
+        check_equivalence: true,
+        ..NodeConfig::default()
+    });
+    assert_eq!(
+        report.committed_blocks, blocks,
+        "{mode:?} commits every block"
+    );
+    let eq = report.equivalence.as_ref().expect("equivalence gate ran");
+    assert!(
+        report.healthy(),
+        "{mode:?} run unhealthy: failures={}, serial={}, node={}",
+        report.validation_failures,
+        eq.serial_root,
+        eq.node_root
+    );
+    report
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_node.json".to_string());
+    let wall_blocks: u64 = std::env::var("BP_NODE_BLOCKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let window = block_count(8).max(2);
+    println!("=== node loop A/B: pipelined overlap vs lock-step ===");
+    println!(
+        "calibration window: {window} chained mainnet-like blocks; \
+         loop model tiled to {SIM_BLOCKS} blocks; wall-clock runs: {wall_blocks} blocks\n"
+    );
+
+    let fixtures = generate_fixtures(WorkloadConfig::default(), window);
+    let cal = calibrate(&fixtures);
+    println!(
+        "calibration: {:.1} gas/µs, codec {:.1} µs/block (mean), prepare {:.3} µs/tx, \
+         dispatch {:.3} µs/tx, match {:.3} µs/tx, apply {:.3} µs/tx, \
+         block validation {:.1} µs/block\n",
+        cal.gas_per_us,
+        mean(&cal.codec_us),
+        cal.prepare_us,
+        cal.dispatch_us,
+        cal.match_us,
+        cal.applier_us,
+        cal.applier_block_us
+    );
+
+    let costs = stage_costs(&fixtures, &cal);
+    let rows = gas_time_rows(&costs, &cal);
+
+    println!("gas-time calibrated node loop (depth 2, occ_wsi engine):");
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "workers", "pipelined tx/s", "lock-step tx/s", "ratio"
+    );
+    for workers in WORKERS {
+        let p = find_tx_s(&rows, ProposerAlgo::OccWsi, workers, 2, false);
+        let l = find_tx_s(&rows, ProposerAlgo::OccWsi, workers, 2, true);
+        println!("{workers:>8} {p:>16.0} {l:>16.0} {:>7.2}x", p / l);
+    }
+
+    let headline = find_tx_s(&rows, ProposerAlgo::OccWsi, 4, 2, false)
+        / find_tx_s(&rows, ProposerAlgo::OccWsi, 4, 2, true);
+    println!("\npipelined vs lock-step at 4 validator workers (calibrated): {headline:.2}x");
+    assert!(
+        headline > 1.0,
+        "pipelining must beat lock-step at 4 workers, got {headline:.3}x"
+    );
+
+    println!("\nwall-clock node service ({wall_blocks} blocks, equivalence gated):");
+    let wall: Vec<NodeReport> = [NodeMode::Pipelined, NodeMode::LockStep]
+        .into_iter()
+        .map(|mode| {
+            let r = run_wall(mode, wall_blocks);
+            println!(
+                "  {:>9}: {:>8.0} tx/s, proposer occupancy {:.0}%, stall {:.0}%, \
+                 equivalence ok over {} blocks",
+                r.mode.label(),
+                r.committed_tx_per_sec,
+                r.proposer.occupancy(r.wall_micros) * 100.0,
+                r.proposer.stall_share(r.wall_micros) * 100.0,
+                r.equivalence.as_ref().map_or(0, |e| e.blocks)
+            );
+            r
+        })
+        .collect();
+    let wall_ratio = wall[0].committed_tx_per_sec / wall[1].committed_tx_per_sec;
+    println!("  wall-clock pipelined vs lock-step: {wall_ratio:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"node_loop\",\n");
+    json.push_str(&format!("  \"calibration_window\": {window},\n"));
+    json.push_str(&format!("  \"sim_blocks\": {SIM_BLOCKS},\n"));
+    json.push_str(&format!("  \"wall_blocks\": {wall_blocks},\n"));
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str(&format!(
+        "  \"calibration\": {{\"gas_per_us\": {:.2}, \"codec_us_mean\": {:.3}, \
+         \"prepare_us\": {:.4}, \"dispatch_us\": {:.4}, \"match_us\": {:.4}, \
+         \"applier_us\": {:.4}, \"applier_block_us\": {:.2}}},\n",
+        cal.gas_per_us,
+        mean(&cal.codec_us),
+        cal.prepare_us,
+        cal.dispatch_us,
+        cal.match_us,
+        cal.applier_us,
+        cal.applier_block_us
+    ));
+    json.push_str(&format!(
+        "  \"pipelined_vs_lockstep_at_4_workers\": {headline:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"wall_clock_pipelined_vs_lockstep\": {wall_ratio:.3},\n"
+    ));
+    json.push_str("  \"equivalence\": {\n");
+    for (i, r) in wall.iter().enumerate() {
+        let eq = r.equivalence.as_ref().expect("gate ran");
+        json.push_str(&format!(
+            "    \"{}\": {{\"blocks\": {}, \"ok\": {}, \"serial_root\": \"{}\", \
+             \"node_root\": \"{}\"}}{}\n",
+            mode_name(r.mode == NodeMode::LockStep),
+            eq.blocks,
+            eq.ok,
+            eq.serial_root,
+            eq.node_root,
+            if i + 1 == wall.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"wall_clock\": [\n");
+    for (i, r) in wall.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"committed_blocks\": {}, \"committed_txs\": {}, \
+             \"committed_tx_s\": {:.1}, \"proposer_occupancy\": {:.3}, \
+             \"proposer_stall_share\": {:.3}, \"codec_occupancy\": {:.3}, \
+             \"validator_occupancy\": {:.3}, \"max_wire_depth\": {}}}{}\n",
+            mode_name(r.mode == NodeMode::LockStep),
+            r.committed_blocks,
+            r.committed_txs,
+            r.committed_tx_per_sec,
+            r.proposer.occupancy(r.wall_micros),
+            r.proposer.stall_share(r.wall_micros),
+            r.codec.occupancy(r.wall_micros),
+            r.validators[0].occupancy(r.wall_micros),
+            r.codec.max_queue_depth,
+            if i + 1 == wall.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"series\": \"gas_time_calibrated\", \"engine\": \"{}\", \
+             \"workers\": {}, \"depth\": {}, \"mode\": \"{}\", \
+             \"committed_tx_s\": {:.1}, \"makespan_us\": {:.0}, \
+             \"proposer_occupancy\": {:.3}, \"validator_occupancy\": {:.3}, \
+             \"proposer_stall_share\": {:.3}}}{}\n",
+            engine_name(r.engine),
+            r.workers,
+            r.depth,
+            mode_name(r.lock_step),
+            r.committed_tx_s,
+            r.makespan_us,
+            r.proposer_occupancy,
+            r.validator_occupancy,
+            r.proposer_stall_share,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write node json");
+    println!("wrote {out_path}");
+}

@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 pub use bloom::{logs_bloom, Bloom};
 pub use chain::ChainStore;
 pub use profile::{BlockProfile, TxProfile};
-pub use wire::{decode_block, encode_block};
+pub use wire::{decode_block, encode_block, encode_block_into, encoded_size_hint};
 
 /// A block header.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]

@@ -15,9 +15,50 @@ use bp_types::{AccessKey, ReadSet, WriteSet};
 
 use crate::{Block, BlockHeader, BlockProfile, TxProfile};
 
+/// Upper bound on the encoded size of `block`, cheap enough to compute per
+/// block. Used to seed the output buffer so encoding never reallocates.
+pub fn encoded_size_hint(block: &Block) -> usize {
+    // Worst-case item sizes: h256 = 33, address = 21, u64 = 9, u256 = 33,
+    // list header = 9. Header: 3 hashes + 1 address + 6 integers + header.
+    const HEADER: usize = 3 * 33 + 21 + 6 * 9 + 9;
+    // Tx: sender + to + value + 3 integers + data header + list header.
+    const TX_FIXED: usize = 21 + 21 + 33 + 3 * 9 + 9 + 9;
+    // Access key: tag + address + slot + list header.
+    const KEY: usize = 9 + 21 + 33 + 9;
+    // Read pair: key + version + pair header; write pair: key + value + hdr.
+    const READ: usize = KEY + 9 + 9;
+    const WRITE: usize = KEY + 33 + 9;
+    let txs: usize = block
+        .transactions
+        .iter()
+        .map(|tx| TX_FIXED + tx.data.len())
+        .sum();
+    let profile: usize = block
+        .profile
+        .entries
+        .iter()
+        // Entry = reads + writes + gas + entry/reads/writes list headers.
+        .map(|e| e.reads.len() * READ + e.writes.len() * WRITE + 9 + 3 * 9)
+        .sum();
+    // Outer list + the two collection headers (or empty markers).
+    HEADER + txs + profile + 4 * 9
+}
+
 /// Encodes a block for broadcast.
 pub fn encode_block(block: &Block) -> Vec<u8> {
-    let mut s = RlpStream::new();
+    encode_block_with(block, RlpStream::with_capacity(encoded_size_hint(block)))
+}
+
+/// Encodes a block into a reusable scratch buffer (cleared first), returning
+/// the encoded bytes in that buffer. Steady-state encode loops pass the Vec
+/// back in each round and amortize the allocation away entirely.
+pub fn encode_block_into(block: &Block, buf: Vec<u8>) -> Vec<u8> {
+    let mut s = RlpStream::from_vec(buf);
+    s.reserve(encoded_size_hint(block));
+    encode_block_with(block, s)
+}
+
+fn encode_block_with(block: &Block, mut s: RlpStream) -> Vec<u8> {
     s.begin_list(3);
     append_header(&mut s, &block.header);
     s.begin_list(block.transactions.len().max(1));
@@ -337,6 +378,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn size_hint_bounds_actual_encoding() {
+        for block in [
+            sample_block(),
+            Block {
+                header: genesis_header(H256::from_low_u64(1)),
+                transactions: vec![],
+                profile: BlockProfile::new(),
+            },
+        ] {
+            let bytes = encode_block(&block);
+            assert!(
+                bytes.len() <= encoded_size_hint(&block),
+                "hint {} < actual {}",
+                encoded_size_hint(&block),
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_buffer_encoding_is_identical_and_allocation_free() {
+        let block = sample_block();
+        let fresh = encode_block(&block);
+        // Round 1 sizes the buffer; round 2 must reuse it without growing.
+        let buf = encode_block_into(&block, Vec::new());
+        assert_eq!(buf, fresh);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        let buf = encode_block_into(&block, buf);
+        assert_eq!(buf, fresh);
+        assert_eq!(buf.capacity(), cap, "steady-state encode grew the buffer");
+        assert_eq!(buf.as_ptr(), ptr, "steady-state encode reallocated");
     }
 
     #[test]

@@ -440,6 +440,19 @@ impl ValidatorPipeline {
         self.starter.index.lock().deltas.get(hash).cloned()
     }
 
+    /// Number of execution jobs queued but not yet claimed by a worker.
+    /// A feed gauge for the node loop: a persistently deep queue means the
+    /// worker pool is the bottleneck stage.
+    pub fn pending_jobs(&self) -> usize {
+        self.starter.job_tx.len()
+    }
+
+    /// Number of applier messages queued but not yet processed. Deep here
+    /// means commitment (state apply + root) is the bottleneck stage.
+    pub fn pending_applies(&self) -> usize {
+        self.starter.applier_tx.len()
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.config.workers

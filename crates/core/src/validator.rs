@@ -263,6 +263,13 @@ impl Validator {
         self.chain.lock().canonical_at(height).map(|b| b.hash())
     }
 
+    /// A clone of the canonical block at `height`. The node loop's
+    /// equivalence gate uses this to replay the committed chain serially
+    /// from genesis and compare final state roots.
+    pub fn canonical_block(&self, height: Height) -> Option<Block> {
+        self.chain.lock().canonical_at(height).cloned()
+    }
+
     /// Direct access to the pipeline (e.g. for multi-block benchmarks).
     pub fn pipeline(&self) -> &ValidatorPipeline {
         &self.pipeline

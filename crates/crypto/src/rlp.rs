@@ -92,6 +92,31 @@ impl RlpStream {
         Self::default()
     }
 
+    /// A fresh encoder whose output buffer starts at `capacity` bytes, for
+    /// callers that can bound the encoded size up front.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            out: Vec::with_capacity(capacity),
+            open: Vec::new(),
+        }
+    }
+
+    /// An encoder that reuses `buf` as its output buffer (cleared first), so
+    /// steady-state encoding loops pay no allocation after warm-up. Recover
+    /// the buffer with [`RlpStream::out`] and pass it back in.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self {
+            out: buf,
+            open: Vec::new(),
+        }
+    }
+
+    /// Reserves room for at least `additional` more output bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.out.reserve(additional);
+    }
+
     /// Opens a list of exactly `len` items. The header is patched in when the
     /// final item is appended.
     pub fn begin_list(&mut self, len: usize) {
@@ -104,10 +129,10 @@ impl RlpStream {
 
     /// Appends a byte-string item.
     pub fn append_bytes(&mut self, bytes: &[u8]) {
-        let mut tmp = Vec::with_capacity(bytes.len() + 9);
-        encode_str_header(bytes.len(), bytes.first().copied(), &mut tmp);
-        tmp.extend_from_slice(bytes);
-        self.append_raw_item(&tmp);
+        self.out.reserve(bytes.len() + 9);
+        encode_str_header(bytes.len(), bytes.first().copied(), &mut self.out);
+        self.out.extend_from_slice(bytes);
+        self.close_lists();
     }
 
     /// Appends an integer in minimal big-endian form.
@@ -150,10 +175,10 @@ impl RlpStream {
             }
             let (start, _) = self.open.pop().expect("stack non-empty");
             let payload_len = self.out.len() - start;
-            let mut header = Vec::with_capacity(9);
-            encode_list_header(payload_len, &mut header);
+            let (header, header_len) = list_header(payload_len);
             // splice header before payload
-            self.out.splice(start..start, header);
+            self.out
+                .splice(start..start, header[..header_len].iter().copied());
         }
     }
 
@@ -179,12 +204,24 @@ fn encode_str_header(len: usize, first: Option<u8>, out: &mut Vec<u8>) {
 }
 
 fn encode_list_header(payload_len: usize, out: &mut Vec<u8>) {
+    let (header, header_len) = list_header(payload_len);
+    out.extend_from_slice(&header[..header_len]);
+}
+
+/// A list header on the stack: (bytes, length used). At most 1 prefix byte
+/// plus 8 big-endian length bytes.
+fn list_header(payload_len: usize) -> ([u8; 9], usize) {
+    let mut header = [0u8; 9];
     if payload_len <= 55 {
-        out.push(0xc0 + payload_len as u8);
+        header[0] = 0xc0 + payload_len as u8;
+        (header, 1)
     } else {
-        let len_bytes = minimal_be(payload_len as u64);
-        out.push(0xf7 + len_bytes.len() as u8);
-        out.extend_from_slice(&len_bytes);
+        let b = (payload_len as u64).to_be_bytes();
+        let first = b.iter().position(|&x| x != 0).unwrap_or(7);
+        let n = 8 - first;
+        header[0] = 0xf7 + n as u8;
+        header[1..1 + n].copy_from_slice(&b[first..]);
+        (header, 1 + n)
     }
 }
 
@@ -507,6 +544,22 @@ mod tests {
         s.append_bytes(b"x");
         let enc = s.out();
         assert_eq!(enc, vec![0xc2, 0xc0, b'x']);
+    }
+
+    #[test]
+    fn buffer_reuse_matches_fresh_encoder() {
+        let encode = |mut s: RlpStream| {
+            s.begin_list(2);
+            s.append_bytes(&[0x7Eu8; 100]);
+            s.append_u64(77);
+            s.out()
+        };
+        let fresh = encode(RlpStream::new());
+        let seeded = encode(RlpStream::with_capacity(256));
+        // Reuse a dirty buffer: contents must not leak into the output.
+        let reused = encode(RlpStream::from_vec(vec![0xFF; 512]));
+        assert_eq!(fresh, seeded);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

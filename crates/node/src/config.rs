@@ -1,0 +1,92 @@
+//! Node-service configuration.
+
+use std::path::PathBuf;
+
+use blockpilot_core::{PipelineConfig, ProposerAlgo};
+use bp_types::Gas;
+use bp_workload::WorkloadConfig;
+
+/// How the proposer paces itself against the validators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeMode {
+    /// The proposer chains height `N+1` on its own proposal post-state and
+    /// starts packing immediately — proposing overlaps validation and
+    /// persistence of earlier heights (the paper's Figure-1 overlap).
+    Pipelined,
+    /// The proposer waits for every validator to commit height `N` before
+    /// packing `N+1` — the serial baseline the overlap is measured against.
+    LockStep,
+}
+
+impl NodeMode {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeMode::Pipelined => "pipelined",
+            NodeMode::LockStep => "lock_step",
+        }
+    }
+}
+
+/// Configuration for one node-service run.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Proposer pacing mode.
+    pub mode: NodeMode,
+    /// Number of heights to propose and commit.
+    pub blocks: u64,
+    /// Capacity of each bounded inter-stage channel (proposer → codec and
+    /// codec → each validator). Depth 1 is maximal backpressure; deeper
+    /// channels let fast stages run ahead.
+    pub channel_depth: usize,
+    /// Proposer execution engine.
+    pub engine: ProposerAlgo,
+    /// Proposer worker threads.
+    pub proposer_threads: usize,
+    /// Block gas limit.
+    pub gas_limit: Gas,
+    /// Per-validator pipeline shape (workers, appliers, dispatch).
+    pub pipeline: PipelineConfig,
+    /// Number of validator nodes fed through in-process wires.
+    pub validators: usize,
+    /// Injected per-link wire latency range in microseconds (empty range =
+    /// no injection). Drawn from a seeded [`bp_net::LinkDelays`].
+    pub latency_us: std::ops::Range<u64>,
+    /// Seed for latency draws.
+    pub seed: u64,
+    /// Transaction workload feeding the pool.
+    pub workload: WorkloadConfig,
+    /// Pool admission cap — the ingest backpressure bound.
+    pub pool_capacity: usize,
+    /// The proposer waits until the pool holds at least this many
+    /// transactions before packing a block (avoids near-empty blocks when
+    /// ingest briefly lags).
+    pub min_pool_txs: usize,
+    /// When set, validator 0 persists its canonical chain to this store
+    /// directory (crash-safe commit cadence under sustained load).
+    pub store_dir: Option<PathBuf>,
+    /// Run the serial-replay equivalence gate after the loop finishes.
+    pub check_equivalence: bool,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            mode: NodeMode::Pipelined,
+            blocks: 20,
+            channel_depth: 2,
+            engine: ProposerAlgo::OccWsi,
+            proposer_threads: 2,
+            gas_limit: 30_000_000,
+            pipeline: PipelineConfig::default(),
+            validators: 2,
+            latency_us: 0..0,
+            seed: 0xB10C_1207,
+            workload: WorkloadConfig::default(),
+            pool_capacity: 1024,
+            min_pool_txs: 1,
+            store_dir: None,
+            check_equivalence: true,
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! The streaming node loop: txpool → proposer → wire codec → validator
+//! pipeline(s) → store, over bounded channels with backpressure.
+//!
+//! Stage layout (one OS thread each):
+//!
+//! ```text
+//!  ingest ──add_batch──▶ TxPool (capacity-bounded)
+//!                          │ pop_many (engine workers)
+//!                        proposer ──Block──▶ codec ──Arc<[u8]>──▶ validator 0 (+ store)
+//!                          ▲        bounded         bounded  └──▶ validator k
+//!                          │ lock-step only: wait for commits
+//!                        CommitBoard ◀── commit_canonical ──┘
+//! ```
+//!
+//! * Every inter-stage channel is **bounded** at `channel_depth`: a slow
+//!   stage fills its input queue and the sender blocks — that blocked time
+//!   is accounted as *stall* in the sender's [`StageStats`], so the report
+//!   names the bottleneck.
+//! * In [`NodeMode::Pipelined`] the proposer chains height `N+1` on its own
+//!   proposal post-state immediately; validation, persistence and the wire
+//!   all run behind it. In [`NodeMode::LockStep`] it additionally waits for
+//!   every validator to commit height `N` first.
+//! * The codec stage encodes each block **once** and hands the bytes to all
+//!   `K` validator wires as a shared `Arc<[u8]>` — refcount bumps, not
+//!   copies — keeping serialization off the proposer's critical path.
+//! * Shutdown is by channel disconnect: the proposer finishing (or
+//!   [`RunningNode::stop`]) drops the head of the chain of senders and each
+//!   stage drains what it already received, so every proposed block is
+//!   validated, committed and (for validator 0 with a store) persisted —
+//!   no lost or duplicated blocks mid-stream.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use blockpilot_core::{BlockStmProposer, OccWsiConfig, OccWsiProposer, ProposerAlgo, Validator};
+use bp_block::wire::{decode_block, encode_block_into};
+use bp_block::{genesis_header, Block, BlockProfile};
+use bp_net::LinkDelays;
+use bp_state::WorldState;
+use bp_txpool::TxPool;
+use bp_types::{BlockHash, Height, H256};
+use bp_workload::WorkloadGen;
+use crossbeam::channel::bounded;
+
+use crate::config::{NodeConfig, NodeMode};
+use crate::stats::{micros_since, StageStats};
+
+/// How long starved stages sleep between polls of an empty pool.
+const POOL_POLL_MICROS: u64 = 50;
+
+/// Highest height each validator has committed, for lock-step pacing and
+/// progress tracking.
+struct CommitBoard {
+    heights: Mutex<Vec<Height>>,
+    advanced: Condvar,
+}
+
+impl CommitBoard {
+    fn new(validators: usize) -> Self {
+        CommitBoard {
+            heights: Mutex::new(vec![0; validators]),
+            advanced: Condvar::new(),
+        }
+    }
+
+    fn record(&self, validator: usize, height: Height) {
+        let mut heights = self.heights.lock().unwrap();
+        heights[validator] = heights[validator].max(height);
+        drop(heights);
+        self.advanced.notify_all();
+    }
+
+    /// Blocks until every validator has committed at least `height`.
+    fn wait_all_at(&self, height: Height) {
+        let mut heights = self.heights.lock().unwrap();
+        while heights.iter().any(|&h| h < height) {
+            heights = self.advanced.wait(heights).unwrap();
+        }
+    }
+
+    fn min(&self) -> Height {
+        *self
+            .heights
+            .lock()
+            .unwrap()
+            .iter()
+            .min()
+            .expect("non-empty")
+    }
+}
+
+/// Per-validator outcome returned by its stage thread.
+struct ValidatorOutcome {
+    stats: StageStats,
+    head: Option<(BlockHash, Height)>,
+    head_root: Option<H256>,
+    /// Canonical chain (heights 1..=head) — collected by validator 0 only,
+    /// for the equivalence gate and tx accounting.
+    chain: Vec<Block>,
+    validation_failures: u64,
+}
+
+/// Result of the serial-replay equivalence gate.
+#[derive(Clone, Debug)]
+pub struct Equivalence {
+    /// Blocks replayed.
+    pub blocks: u64,
+    /// Final state root of the serial replay from genesis.
+    pub serial_root: H256,
+    /// Final state root committed by the (pipelined) validators.
+    pub node_root: H256,
+    /// True iff the two roots agree.
+    pub ok: bool,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// Pacing mode the run used.
+    pub mode: NodeMode,
+    /// Proposer engine the run used.
+    pub engine: ProposerAlgo,
+    /// Heights committed by every validator.
+    pub committed_blocks: u64,
+    /// Transactions in the committed canonical chain.
+    pub committed_txs: u64,
+    /// Wall time of the whole loop, first propose to last commit.
+    pub wall_micros: u64,
+    /// Sustained throughput: committed transactions per wall-clock second.
+    pub committed_tx_per_sec: f64,
+    /// Ingest-stage counters (items = transactions admitted).
+    pub ingest: StageStats,
+    /// Proposer-stage counters (items = blocks proposed; stall = send
+    /// backpressure + lock-step waiting).
+    pub proposer: StageStats,
+    /// Codec-stage counters (items = blocks encoded).
+    pub codec: StageStats,
+    /// Per-validator counters (items = blocks committed).
+    pub validators: Vec<StageStats>,
+    /// Proposer engine aborts summed over all heights.
+    pub proposer_aborts: u64,
+    /// Blocks that failed validation (always 0 in a healthy run).
+    pub validation_failures: u64,
+    /// Head state root agreed by all validators.
+    pub final_root: H256,
+    /// Head (hash, height) per validator.
+    pub heads: Vec<(BlockHash, Height)>,
+    /// Serial-replay gate result (`None` when disabled).
+    pub equivalence: Option<Equivalence>,
+}
+
+impl NodeReport {
+    /// True iff every validator converged to the same head and the
+    /// equivalence gate (when run) passed.
+    pub fn healthy(&self) -> bool {
+        let heads_agree = self.heads.windows(2).all(|w| w[0] == w[1]);
+        heads_agree
+            && self.validation_failures == 0
+            && self.equivalence.as_ref().is_none_or(|e| e.ok)
+    }
+}
+
+/// A node service in flight. Obtain with [`RunningNode::spawn`], end with
+/// [`RunningNode::join`] (runs to the configured height) or
+/// [`RunningNode::stop`] + `join` (clean mid-stream shutdown).
+pub struct RunningNode {
+    stop: Arc<AtomicBool>,
+    board: Arc<CommitBoard>,
+    config: NodeConfig,
+    genesis_state: WorldState,
+    started: Instant,
+    ingest: JoinHandle<StageStats>,
+    proposer: JoinHandle<(StageStats, u64)>,
+    codec: JoinHandle<StageStats>,
+    validators: Vec<JoinHandle<ValidatorOutcome>>,
+}
+
+impl RunningNode {
+    /// Spawns every stage thread and starts the loop.
+    pub fn spawn(config: NodeConfig) -> Self {
+        assert!(config.validators > 0, "need at least one validator");
+        assert!(config.channel_depth > 0, "bounded channels need depth >= 1");
+        assert!(config.blocks > 0, "need at least one height");
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let board = Arc::new(CommitBoard::new(config.validators));
+        let pool = Arc::new(TxPool::with_capacity_limit(config.pool_capacity));
+
+        let workload = WorkloadGen::new(config.workload.clone());
+        let genesis_state = workload.genesis_state();
+        let genesis_hash = Block {
+            header: genesis_header(genesis_state.state_root()),
+            transactions: vec![],
+            profile: BlockProfile::new(),
+        }
+        .hash();
+
+        // Stage channels: proposer → codec, codec → each validator.
+        let (codec_tx, codec_rx) = bounded::<Block>(config.channel_depth);
+        let mut wire_txs = Vec::with_capacity(config.validators);
+        let mut wire_rxs = Vec::with_capacity(config.validators);
+        for _ in 0..config.validators {
+            let (tx, rx) = bounded::<(Height, Arc<[u8]>)>(config.channel_depth);
+            wire_txs.push(tx);
+            wire_rxs.push(rx);
+        }
+
+        let started = Instant::now();
+
+        // --- Ingest stage -------------------------------------------------
+        let ingest = {
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            let mut gen = WorkloadGen::new(config.workload.clone());
+            std::thread::spawn(move || {
+                let mut stats = StageStats::default();
+                let mut batch: Vec<_> = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    if batch.is_empty() {
+                        let t = Instant::now();
+                        batch = gen.next_block_txs();
+                        stats.busy_micros += micros_since(t);
+                    }
+                    let offered = batch.len();
+                    let taken = pool.add_batch(&mut batch);
+                    stats.items += taken as u64;
+                    if taken < offered {
+                        // Pool full: backpressure from the proposer. Sleep
+                        // briefly and re-offer the remainder in order (no
+                        // nonce gaps).
+                        let t = Instant::now();
+                        std::thread::sleep(std::time::Duration::from_micros(POOL_POLL_MICROS));
+                        stats.stall_micros += micros_since(t);
+                    }
+                }
+                stats
+            })
+        };
+
+        // --- Proposer stage ----------------------------------------------
+        let proposer =
+            {
+                let pool = Arc::clone(&pool);
+                let stop = Arc::clone(&stop);
+                let board = Arc::clone(&board);
+                let config = config.clone();
+                let envs = WorkloadGen::new(config.workload.clone());
+                let parent_state = Arc::new(genesis_state.clone());
+                std::thread::spawn(move || {
+                    let mut stats = StageStats::default();
+                    let mut aborts = 0u64;
+                    let mut parent_hash = genesis_hash;
+                    let mut parent_state = parent_state;
+                    for height in 1..=config.blocks {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // Wait for ingest to fill the pool far enough.
+                        let t = Instant::now();
+                        while pool.len() < config.min_pool_txs && !stop.load(Ordering::Acquire) {
+                            std::thread::sleep(std::time::Duration::from_micros(POOL_POLL_MICROS));
+                        }
+                        stats.wait_micros += micros_since(t);
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+
+                        let engine_config = OccWsiConfig {
+                            threads: config.proposer_threads,
+                            gas_limit: config.gas_limit,
+                            env: envs.block_env(height),
+                            max_txs: 0,
+                            commit_path: Default::default(),
+                            algo: config.engine,
+                        };
+                        let t = Instant::now();
+                        let proposal =
+                            match config.engine {
+                                ProposerAlgo::OccWsi => OccWsiProposer::new(engine_config).propose(
+                                    &pool,
+                                    Arc::clone(&parent_state),
+                                    parent_hash,
+                                    height,
+                                ),
+                                ProposerAlgo::BlockStm => BlockStmProposer::new(engine_config)
+                                    .propose(&pool, Arc::clone(&parent_state), parent_hash, height),
+                            };
+                        stats.busy_micros += micros_since(t);
+                        stats.items += 1;
+                        aborts += proposal.stats.aborts;
+
+                        // Chain on our own proposal: the next height packs
+                        // against this post-state while everything downstream
+                        // is still digesting this block.
+                        parent_hash = proposal.block.hash();
+                        parent_state = Arc::new(proposal.post_state);
+
+                        let t = Instant::now();
+                        if codec_tx.send(proposal.block).is_err() {
+                            break; // downstream gone (stop + drain)
+                        }
+                        stats.stall_micros += micros_since(t);
+                        stats.sample_depth(codec_tx.len());
+
+                        if config.mode == NodeMode::LockStep {
+                            let t = Instant::now();
+                            board.wait_all_at(height);
+                            stats.stall_micros += micros_since(t);
+                        }
+                    }
+                    // Dropping codec_tx here starts the drain cascade.
+                    (stats, aborts)
+                })
+            };
+
+        // --- Codec stage --------------------------------------------------
+        let codec = {
+            std::thread::spawn(move || {
+                let mut stats = StageStats::default();
+                let mut scratch: Vec<u8> = Vec::new();
+                loop {
+                    let t = Instant::now();
+                    let Ok(block) = codec_rx.recv() else {
+                        break; // proposer done: drain complete
+                    };
+                    stats.wait_micros += micros_since(t);
+
+                    let t = Instant::now();
+                    let height = block.height();
+                    scratch = encode_block_into(&block, scratch);
+                    // One encode, K receivers: the bytes go out as a shared
+                    // Arc<[u8]> — cloning is a refcount bump, not a copy.
+                    let bytes: Arc<[u8]> = Arc::from(&scratch[..]);
+                    stats.busy_micros += micros_since(t);
+                    stats.items += 1;
+
+                    let t = Instant::now();
+                    for wire in &wire_txs {
+                        if wire.send((height, Arc::clone(&bytes))).is_err() {
+                            break;
+                        }
+                    }
+                    stats.stall_micros += micros_since(t);
+                    let deepest = wire_txs.iter().map(|w| w.len()).max().unwrap_or(0);
+                    stats.sample_depth(deepest);
+                }
+                stats
+            })
+        };
+
+        // --- Validator stages --------------------------------------------
+        let validators = wire_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(k, wire_rx)| {
+                let board = Arc::clone(&board);
+                let config = config.clone();
+                let genesis_state = genesis_state.clone();
+                std::thread::spawn(move || {
+                    let validator = match (&config.store_dir, k) {
+                        (Some(dir), 0) => {
+                            Validator::with_store_at(config.pipeline, genesis_state, dir)
+                                .expect("node store opens")
+                        }
+                        _ => Validator::new(config.pipeline, genesis_state),
+                    };
+                    // Per-link latency: every validator thread builds the
+                    // same seeded sampler and draws only its own link, so
+                    // sequences match a single shared sampler.
+                    let mut delays =
+                        LinkDelays::new(config.validators, config.latency_us, config.seed);
+                    let mut stats = StageStats::default();
+                    let mut failures = 0u64;
+                    loop {
+                        let t = Instant::now();
+                        let Ok((height, bytes)) = wire_rx.recv() else {
+                            break; // wire disconnected: drain complete
+                        };
+                        stats.wait_micros += micros_since(t);
+
+                        let delay = delays.next_delay(k);
+                        if delay > 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(delay));
+                            stats.injected_micros += delay;
+                        }
+
+                        let t = Instant::now();
+                        let block = decode_block(&bytes).expect("wire bytes decode");
+                        let hash = block.hash();
+                        let outcome = validator.receive_block(block).wait();
+                        if outcome.is_valid() && validator.commit_canonical(hash) {
+                            stats.items += 1;
+                        } else {
+                            failures += 1;
+                        }
+                        stats.busy_micros += micros_since(t);
+                        // Record even failed heights so lock-step pacing
+                        // cannot deadlock on a broken block.
+                        board.record(k, height);
+                    }
+                    let head = validator.head();
+                    let head_root = validator.head_state_root();
+                    let chain = if k == 0 {
+                        let top = head.map(|(_, h)| h).unwrap_or(0);
+                        (1..=top)
+                            .filter_map(|h| validator.canonical_block(h))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    ValidatorOutcome {
+                        stats,
+                        head,
+                        head_root,
+                        chain,
+                        validation_failures: failures,
+                    }
+                })
+            })
+            .collect();
+
+        RunningNode {
+            stop,
+            board,
+            config,
+            genesis_state,
+            started,
+            ingest,
+            proposer,
+            codec,
+            validators,
+        }
+    }
+
+    /// Requests a clean mid-stream shutdown: the proposer stops at the next
+    /// height boundary and every stage drains what was already in flight.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Lowest height committed by all validators so far.
+    pub fn committed_height(&self) -> Height {
+        self.board.min()
+    }
+
+    /// Waits for the loop to finish (or drain, after [`RunningNode::stop`])
+    /// and assembles the report.
+    pub fn join(self) -> NodeReport {
+        let RunningNode {
+            stop,
+            board: _,
+            config,
+            genesis_state,
+            started,
+            ingest,
+            proposer,
+            codec,
+            validators,
+        } = self;
+
+        let (proposer_stats, proposer_aborts) = proposer.join().expect("proposer thread");
+        let codec_stats = codec.join().expect("codec thread");
+        let mut outcomes: Vec<ValidatorOutcome> = validators
+            .into_iter()
+            .map(|v| v.join().expect("validator thread"))
+            .collect();
+        let wall_micros = micros_since(started);
+        // Validators are drained: nothing consumes the pool anymore.
+        stop.store(true, Ordering::Release);
+        let ingest_stats = ingest.join().expect("ingest thread");
+
+        let heads: Vec<(BlockHash, Height)> = outcomes
+            .iter()
+            .map(|o| o.head.expect("validator has a head"))
+            .collect();
+        let final_root = outcomes[0].head_root.expect("head has a root");
+        let committed_blocks = heads.iter().map(|&(_, h)| h).min().unwrap_or(0);
+        let chain = std::mem::take(&mut outcomes[0].chain);
+        let committed_txs: u64 = chain.iter().map(|b| b.tx_count() as u64).sum();
+        let validation_failures = outcomes.iter().map(|o| o.validation_failures).sum();
+
+        let equivalence = config.check_equivalence.then(|| {
+            let serial_root = serial_replay_root(&genesis_state, &chain);
+            Equivalence {
+                blocks: chain.len() as u64,
+                serial_root,
+                node_root: final_root,
+                ok: serial_root == final_root,
+            }
+        });
+
+        let committed_tx_per_sec = if wall_micros == 0 {
+            0.0
+        } else {
+            committed_txs as f64 * 1e6 / wall_micros as f64
+        };
+
+        NodeReport {
+            mode: config.mode,
+            engine: config.engine,
+            committed_blocks,
+            committed_txs,
+            wall_micros,
+            committed_tx_per_sec,
+            ingest: ingest_stats,
+            proposer: proposer_stats,
+            codec: codec_stats,
+            validators: outcomes.into_iter().map(|o| o.stats).collect(),
+            proposer_aborts,
+            validation_failures,
+            final_root,
+            heads,
+            equivalence,
+        }
+    }
+}
+
+/// Replays `chain` serially from `genesis` and returns the final state
+/// root — the oracle the pipelined loop must agree with.
+pub fn serial_replay_root(genesis: &WorldState, chain: &[Block]) -> H256 {
+    let mut state = genesis.snapshot();
+    for block in chain {
+        let env = bp_evm::BlockEnv {
+            coinbase: block.header.coinbase,
+            number: block.header.height,
+            timestamp: block.header.timestamp,
+            gas_limit: block.header.gas_limit,
+        };
+        let outcome = bp_baseline::execute_block_serially(&state, &env, &block.transactions)
+            .expect("committed chain replays serially");
+        state = outcome.post_state;
+    }
+    state.state_root()
+}
+
+/// Runs the loop to completion: [`RunningNode::spawn`] + [`RunningNode::join`].
+pub fn run_node(config: NodeConfig) -> NodeReport {
+    RunningNode::spawn(config).join()
+}

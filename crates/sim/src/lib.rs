@@ -22,10 +22,13 @@
 
 #![warn(missing_docs)]
 
+pub mod node;
 pub mod pipeline;
 pub mod proposer;
 pub mod stm;
 pub mod validator;
+
+pub use node::{simulate_node_loop, NodeLoopConfig, NodeLoopResult};
 
 pub use pipeline::{
     simulate_multiblock, simulate_validator_pipeline, MultiBlockSimResult, PipelineSimConfig,

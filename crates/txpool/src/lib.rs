@@ -57,10 +57,33 @@ struct Inner {
     by_sender: HashMap<Address, BTreeMap<u64, TxHash>>,
     // Hashes currently checked out by a worker.
     in_flight: HashSet<TxHash>,
+    // Admission cap (None = unbounded). Bounds memory under sustained
+    // ingest: when the pool is full, `try_add` refuses instead of growing.
+    limit: Option<usize>,
     seq: u64,
 }
 
 impl Inner {
+    /// Inserts a transaction, promoting it if it is the sender's new head.
+    /// Duplicates are ignored. Does not check the admission cap.
+    fn admit(&mut self, tx: Transaction) {
+        let hash = tx.hash();
+        if self.txs.contains_key(&hash) {
+            return;
+        }
+        let sender = tx.sender;
+        let nonce = tx.nonce;
+        self.txs.insert(hash, tx);
+        let is_head = {
+            let queue = self.by_sender.entry(sender).or_default();
+            queue.insert(nonce, hash);
+            *queue.iter().next().expect("just inserted").1 == hash
+        };
+        if is_head {
+            self.promote(&sender);
+        }
+    }
+
     /// Pushes the sender's lowest queued transaction into the ready heap if
     /// it is not already in flight. Stale heap entries are filtered on pop,
     /// so over-promotion is harmless.
@@ -123,37 +146,68 @@ impl Default for TxPool {
 }
 
 impl TxPool {
-    /// An empty pool.
+    /// An empty, unbounded pool.
     pub fn new() -> Self {
+        Self::with_limit(None)
+    }
+
+    /// An empty pool that admits at most `limit` transactions at a time.
+    /// Ingest through [`TxPool::try_add`] / [`TxPool::add_batch`] is refused
+    /// while the pool is full, which is the backpressure signal a sustained
+    /// feed needs to stop outrunning the proposer.
+    pub fn with_capacity_limit(limit: usize) -> Self {
+        Self::with_limit(Some(limit))
+    }
+
+    fn with_limit(limit: Option<usize>) -> Self {
         TxPool {
             inner: Mutex::new(Inner {
                 ready: BinaryHeap::new(),
                 txs: HashMap::new(),
                 by_sender: HashMap::new(),
                 in_flight: HashSet::new(),
+                limit,
                 seq: 0,
             }),
         }
     }
 
-    /// Adds a transaction. Duplicate hashes are ignored.
+    /// Adds a transaction unconditionally (the admission cap is not
+    /// consulted). Duplicate hashes are ignored.
     pub fn add(&self, tx: Transaction) {
+        self.inner.lock().admit(tx);
+    }
+
+    /// Adds a transaction unless the pool is at its admission cap. Returns
+    /// `false` iff the transaction was refused for capacity (duplicates
+    /// count as accepted — they are already present).
+    pub fn try_add(&self, tx: Transaction) -> bool {
         let mut g = self.inner.lock();
-        let hash = tx.hash();
-        if g.txs.contains_key(&hash) {
-            return;
+        if let Some(limit) = g.limit {
+            if g.txs.len() >= limit && !g.txs.contains_key(&tx.hash()) {
+                return false;
+            }
         }
-        let sender = tx.sender;
-        let nonce = tx.nonce;
-        g.txs.insert(hash, tx);
-        let is_head = {
-            let queue = g.by_sender.entry(sender).or_default();
-            queue.insert(nonce, hash);
-            *queue.iter().next().expect("just inserted").1 == hash
+        g.admit(tx);
+        true
+    }
+
+    /// Adds a batch of transactions under a single lock acquisition,
+    /// stopping at the admission cap. Returns how many were taken; the
+    /// caller re-offers the remainder after draining. One acquisition per
+    /// batch keeps sustained ingest from serializing against proposer
+    /// workers' `pop_many`/`commit` traffic.
+    pub fn add_batch(&self, txs: &mut Vec<Transaction>) -> usize {
+        let mut g = self.inner.lock();
+        let room = match g.limit {
+            Some(limit) => limit.saturating_sub(g.txs.len()),
+            None => txs.len(),
         };
-        if is_head {
-            g.promote(&sender);
+        let take = room.min(txs.len());
+        for tx in txs.drain(..take) {
+            g.admit(tx);
         }
+        take
     }
 
     /// Pops the highest-priority eligible transaction (Algorithm 1
@@ -445,6 +499,108 @@ mod tests {
         assert_eq!(pool.pop_many(0).len(), 0);
         assert_eq!(pool.pop_many(100).len(), 6);
         assert_eq!(pool.in_flight(), 10);
+    }
+
+    #[test]
+    fn capacity_limit_refuses_then_admits_after_drain() {
+        let pool = TxPool::with_capacity_limit(2);
+        assert!(pool.try_add(tx(1, 0, 10)));
+        assert!(pool.try_add(tx(2, 0, 10)));
+        assert!(!pool.try_add(tx(3, 0, 10)), "full pool must refuse");
+        // A duplicate of a resident tx is not a capacity violation.
+        assert!(pool.try_add(tx(1, 0, 10)));
+        let t = pool.pop().unwrap();
+        // In-flight still occupies a slot; only commit/discard frees it.
+        assert!(!pool.try_add(tx(3, 0, 10)));
+        pool.commit(&t);
+        assert!(pool.try_add(tx(3, 0, 10)));
+    }
+
+    #[test]
+    fn add_batch_takes_up_to_room_and_leaves_rest() {
+        let pool = TxPool::with_capacity_limit(3);
+        let mut batch: Vec<Transaction> = (0..5u64).map(|s| tx(s, 0, 1)).collect();
+        assert_eq!(pool.add_batch(&mut batch), 3);
+        assert_eq!(batch.len(), 2, "refused txs stay with the caller");
+        assert_eq!(pool.len(), 3);
+        // Drain and re-offer: the remainder goes in.
+        for t in pool.pop_many(3) {
+            pool.commit(&t);
+        }
+        assert_eq!(pool.add_batch(&mut batch), 2);
+        assert!(batch.is_empty());
+    }
+
+    /// Sustained ingest while proposer workers drain: feeders push nonce
+    /// sequences through the capacity-bounded path, drainers pop/commit
+    /// concurrently. Every admitted transaction must eventually commit
+    /// exactly once, in nonce order per sender, with no starved feeder and
+    /// no livelock.
+    #[test]
+    fn concurrent_ingest_vs_drain_commits_everything_once() {
+        use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+        use std::sync::Arc;
+
+        const SENDERS: u64 = 8;
+        const PER_SENDER: u64 = 50;
+        let pool = Arc::new(TxPool::with_capacity_limit(32));
+        let done_feeding = Arc::new(AtomicBool::new(false));
+
+        let feeders: Vec<_> = (0..SENDERS)
+            .map(|s| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for n in 0..PER_SENDER {
+                        // Busy-retry on a full pool: admission must make
+                        // progress as drainers free slots.
+                        while !pool.try_add(tx(s, n, 1 + (s + n) % 7)) {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let drainers: Vec<_> = (0..3)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let done = Arc::clone(&done_feeding);
+                std::thread::spawn(move || {
+                    let mut committed: Vec<(Address, u64)> = Vec::new();
+                    loop {
+                        let batch = pool.pop_many(4);
+                        if batch.is_empty() {
+                            if done.load(AtomicOrdering::Acquire) && pool.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        for t in batch {
+                            committed.push((t.sender, t.nonce));
+                            pool.commit(&t);
+                        }
+                    }
+                    committed
+                })
+            })
+            .collect();
+
+        for f in feeders {
+            f.join().unwrap();
+        }
+        done_feeding.store(true, AtomicOrdering::Release);
+        let mut all: Vec<(Address, u64)> = drainers
+            .into_iter()
+            .flat_map(|d| d.join().unwrap())
+            .collect();
+        let total = all.len();
+        assert_eq!(total as u64, SENDERS * PER_SENDER, "every tx commits");
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "no tx commits twice");
+        assert!(pool.is_empty());
+        assert_eq!(pool.in_flight(), 0);
     }
 
     #[test]

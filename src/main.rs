@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! blockpilot chain   [--blocks N] [--txs N] [--threads N] [--workers N]
+//! blockpilot node    [--blocks N] [--validators N] [--depth N] [--lockstep]
 //! blockpilot network [--nodes N] [--heights N] [--fork-every N]
 //! blockpilot stats   [--blocks N]
 //! ```
@@ -28,11 +29,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("chain") => chain(&args),
+        Some("node") => node(&args),
         Some("network") => network(&args),
         Some("stats") => stats(&args),
         _ => {
-            eprintln!("usage: blockpilot <chain|network|stats> [options]");
+            eprintln!("usage: blockpilot <chain|node|network|stats> [options]");
             eprintln!("  chain   [--blocks N] [--txs N] [--threads N] [--workers N]");
+            eprintln!("  node    [--blocks N] [--validators N] [--depth N] [--lockstep]");
             eprintln!("  network [--nodes N] [--heights N] [--fork-every N]");
             eprintln!("  stats   [--blocks N]");
             std::process::exit(2);
@@ -91,6 +94,59 @@ fn chain(args: &[String]) {
         "\n{total} txs / {blocks} blocks in {dt:?} ({:.0} tx/s end-to-end)",
         total as f64 / dt.as_secs_f64()
     );
+}
+
+/// The streaming node service: proposer, codec and validators on bounded
+/// channels, with the serial-replay equivalence gate.
+fn node(args: &[String]) {
+    use blockpilot::node::{run_node, NodeConfig, NodeMode};
+    let lock_step = args.iter().any(|a| a == "--lockstep");
+    let report = run_node(NodeConfig {
+        mode: if lock_step {
+            NodeMode::LockStep
+        } else {
+            NodeMode::Pipelined
+        },
+        blocks: arg(args, "--blocks", 20),
+        validators: arg(args, "--validators", 2) as usize,
+        channel_depth: arg(args, "--depth", 2) as usize,
+        workload: WorkloadConfig {
+            accounts: 300,
+            txs_per_block: 48,
+            tx_jitter: 8,
+            ..WorkloadConfig::default()
+        },
+        ..NodeConfig::default()
+    });
+    println!(
+        "{}: {} blocks, {} txs in {:.2}s ({:.0} tx/s sustained)",
+        report.mode.label(),
+        report.committed_blocks,
+        report.committed_txs,
+        report.wall_micros as f64 / 1e6,
+        report.committed_tx_per_sec
+    );
+    println!(
+        "proposer occupancy {:.0}%, stall {:.0}%; codec occupancy {:.0}%",
+        report.proposer.occupancy(report.wall_micros) * 100.0,
+        report.proposer.stall_share(report.wall_micros) * 100.0,
+        report.codec.occupancy(report.wall_micros) * 100.0
+    );
+    for (i, v) in report.validators.iter().enumerate() {
+        println!(
+            "validator {i}: {} blocks, occupancy {:.0}%",
+            v.items,
+            v.occupancy(report.wall_micros) * 100.0
+        );
+    }
+    let eq = report.equivalence.as_ref().expect("gate runs by default");
+    println!(
+        "equivalence over {} blocks: {} (root {:?})",
+        eq.blocks,
+        if eq.ok { "ok" } else { "MISMATCH" },
+        eq.node_root
+    );
+    assert!(report.healthy(), "unhealthy node run");
 }
 
 /// Multi-node DiCE simulation.
