@@ -44,6 +44,7 @@ fn bench_dispatch(c: &mut Criterion) {
                     granularity: ConflictGranularity::Account,
                     dispatch,
                     appliers: 2,
+                    deferred_root: false,
                 });
                 pipeline.register_state(parent, Arc::clone(&f.pre_state));
                 b.iter(|| {
@@ -73,6 +74,7 @@ fn bench_applier_pool(c: &mut Criterion) {
                 granularity: ConflictGranularity::Account,
                 dispatch: DispatchPolicy::Subgraph,
                 appliers,
+                deferred_root: false,
             });
             pipeline.register_state(parent, Arc::clone(&a.pre_state));
             b.iter(|| {

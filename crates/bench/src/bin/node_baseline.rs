@@ -41,6 +41,7 @@ use bp_sim::{
     simulate_node_loop, simulate_proposer_block_stm, simulate_proposer_configured,
     simulate_validator_pipeline, CostModel, NodeLoopConfig, PipelineSimConfig, ValidationRule,
 };
+use bp_store::GroupCommitConfig;
 use bp_types::{BlockHash, Gas};
 use bp_workload::WorkloadConfig;
 
@@ -336,7 +337,12 @@ fn tile(window: &[Gas]) -> Vec<Gas> {
 struct Row {
     engine: ProposerAlgo,
     workers: usize,
-    depth: usize,
+    /// Channel depths this row covers. Depths whose loop results are
+    /// byte-identical (common when one stage dominates every block, e.g. the
+    /// validator at workers=1 — deeper buffers cannot help a uniformly slow
+    /// consumer) are merged into one labelled row instead of emitting
+    /// duplicate rows that *look* like the depth knob was dropped.
+    depths: Vec<usize>,
     lock_step: bool,
     committed_tx_s: f64,
     makespan_us: f64,
@@ -352,8 +358,10 @@ fn gas_time_rows(costs: &StageCosts, cal: &Calibration) -> Vec<Row> {
     let mut rows = Vec::new();
     for (e, &engine) in ENGINES.iter().enumerate() {
         for (w, &workers) in WORKERS.iter().enumerate() {
-            for depth in DEPTHS {
-                for lock_step in [false, true] {
+            for lock_step in [false, true] {
+                // Sweep depths, merging equal-makespan neighbours.
+                let mut merged: Vec<Row> = Vec::new();
+                for depth in DEPTHS {
                     let r = simulate_node_loop(&NodeLoopConfig {
                         propose: tile(&costs.propose[e]),
                         codec: tile(&costs.codec),
@@ -362,18 +370,25 @@ fn gas_time_rows(costs: &StageCosts, cal: &Calibration) -> Vec<Row> {
                         lock_step,
                     });
                     let makespan_us = r.makespan as f64 / cal.gas_per_us;
-                    rows.push(Row {
-                        engine,
-                        workers,
-                        depth,
-                        lock_step,
-                        committed_tx_s: total_txs as f64 * 1e6 / makespan_us,
-                        makespan_us,
-                        proposer_occupancy: r.occupancy[0],
-                        validator_occupancy: r.occupancy[2],
-                        proposer_stall_share: r.proposer_stall as f64 / r.makespan.max(1) as f64,
-                    });
+                    match merged.last_mut() {
+                        Some(prev) if prev.makespan_us == makespan_us => {
+                            prev.depths.push(depth);
+                        }
+                        _ => merged.push(Row {
+                            engine,
+                            workers,
+                            depths: vec![depth],
+                            lock_step,
+                            committed_tx_s: total_txs as f64 * 1e6 / makespan_us,
+                            makespan_us,
+                            proposer_occupancy: r.occupancy[0],
+                            validator_occupancy: r.occupancy[2],
+                            proposer_stall_share: r.proposer_stall as f64
+                                / r.makespan.max(1) as f64,
+                        }),
+                    }
                 }
+                rows.extend(merged);
             }
         }
     }
@@ -383,19 +398,79 @@ fn gas_time_rows(costs: &StageCosts, cal: &Calibration) -> Vec<Row> {
 fn find_tx_s(rows: &[Row], engine: ProposerAlgo, workers: usize, depth: usize, lock: bool) -> f64 {
     rows.iter()
         .find(|r| {
-            r.engine == engine && r.workers == workers && r.depth == depth && r.lock_step == lock
+            r.engine == engine
+                && r.workers == workers
+                && r.depths.contains(&depth)
+                && r.lock_step == lock
         })
         .expect("row exists")
         .committed_tx_s
 }
 
+/// One wall-clock configuration of the real node service.
+struct WallVariant {
+    /// Row label in the report and JSON.
+    name: &'static str,
+    mode: NodeMode,
+    /// Bounded channel depth — reaches `NodeConfig::channel_depth` (and, via
+    /// the validator stage's submit-ahead window, the deferred-root overlap).
+    depth: usize,
+    /// Attach a persistent store to validator 0.
+    store: bool,
+    /// Defer state-root checks off the apply path (async commit pipeline).
+    deferred_root: bool,
+    /// Coalesce store fsyncs (requires `store`).
+    group_commit: bool,
+}
+
+const WALL_VARIANTS: [WallVariant; 4] = [
+    WallVariant {
+        name: "pipelined",
+        mode: NodeMode::Pipelined,
+        depth: 2,
+        store: false,
+        deferred_root: false,
+        group_commit: false,
+    },
+    WallVariant {
+        name: "lock_step",
+        mode: NodeMode::LockStep,
+        depth: 2,
+        store: false,
+        deferred_root: false,
+        group_commit: false,
+    },
+    // Store-backed pair: per-commit fsync vs the async commit pipeline
+    // (deferred roots + group commit). Same store profile otherwise, so the
+    // tx/s delta is exactly the root-hash wait and the fsync cadence.
+    WallVariant {
+        name: "pipelined_store",
+        mode: NodeMode::Pipelined,
+        depth: 2,
+        store: true,
+        deferred_root: false,
+        group_commit: false,
+    },
+    WallVariant {
+        name: "pipelined_store_async",
+        mode: NodeMode::Pipelined,
+        depth: 2,
+        store: true,
+        deferred_root: true,
+        group_commit: true,
+    },
+];
+
 /// One real node-service run, gated: the process aborts if the run is
 /// unhealthy (head divergence, validation failure, or equivalence mismatch).
-fn run_wall(mode: NodeMode, blocks: u64) -> NodeReport {
+fn run_wall(variant: &WallVariant, blocks: u64) -> NodeReport {
+    let store_dir = variant
+        .store
+        .then(|| bp_store::store::test_dir(&format!("node-baseline-{}", variant.name)));
     let report = run_node(NodeConfig {
-        mode,
+        mode: variant.mode,
         blocks,
-        channel_depth: 2,
+        channel_depth: variant.depth,
         engine: ProposerAlgo::OccWsi,
         // One proposer thread: on the single-CPU evaluation host extra
         // proposer workers only add contention, and the overlap being
@@ -403,6 +478,7 @@ fn run_wall(mode: NodeMode, blocks: u64) -> NodeReport {
         proposer_threads: 1,
         pipeline: PipelineConfig {
             workers: 4,
+            deferred_root: variant.deferred_root,
             ..PipelineConfig::default()
         },
         validators: 2,
@@ -426,16 +502,23 @@ fn run_wall(mode: NodeMode, blocks: u64) -> NodeReport {
             ..WorkloadConfig::default()
         },
         check_equivalence: true,
+        store_dir: store_dir.clone(),
+        group_commit: variant.group_commit.then(GroupCommitConfig::default),
         ..NodeConfig::default()
     });
+    if let Some(dir) = store_dir {
+        std::fs::remove_dir_all(&dir).ok();
+    }
     assert_eq!(
         report.committed_blocks, blocks,
-        "{mode:?} commits every block"
+        "{} commits every block",
+        variant.name
     );
     let eq = report.equivalence.as_ref().expect("equivalence gate ran");
     assert!(
         report.healthy(),
-        "{mode:?} run unhealthy: failures={}, serial={}, node={}",
+        "{} run unhealthy: failures={}, serial={}, node={}",
+        variant.name,
         report.validation_failures,
         eq.serial_root,
         eq.node_root
@@ -496,14 +579,14 @@ fn main() {
     );
 
     println!("\nwall-clock node service ({wall_blocks} blocks, equivalence gated):");
-    let wall: Vec<NodeReport> = [NodeMode::Pipelined, NodeMode::LockStep]
-        .into_iter()
-        .map(|mode| {
-            let r = run_wall(mode, wall_blocks);
+    let wall: Vec<NodeReport> = WALL_VARIANTS
+        .iter()
+        .map(|variant| {
+            let r = run_wall(variant, wall_blocks);
             println!(
-                "  {:>9}: {:>8.0} tx/s, proposer occupancy {:.0}%, stall {:.0}%, \
+                "  {:>21}: {:>8.0} tx/s, proposer occupancy {:.0}%, stall {:.0}%, \
                  equivalence ok over {} blocks",
-                r.mode.label(),
+                variant.name,
                 r.committed_tx_per_sec,
                 r.proposer.occupancy(r.wall_micros) * 100.0,
                 r.proposer.stall_share(r.wall_micros) * 100.0,
@@ -514,6 +597,10 @@ fn main() {
         .collect();
     let wall_ratio = wall[0].committed_tx_per_sec / wall[1].committed_tx_per_sec;
     println!("  wall-clock pipelined vs lock-step: {wall_ratio:.2}x");
+    // The async commit pipeline (deferred roots + group-commit fsync
+    // batching) against the same store-backed node without it.
+    let async_ratio = wall[3].committed_tx_per_sec / wall[2].committed_tx_per_sec;
+    println!("  wall-clock async commit vs per-commit fsync (store-backed): {async_ratio:.2}x");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -543,13 +630,16 @@ fn main() {
     json.push_str(&format!(
         "  \"wall_clock_pipelined_vs_lockstep\": {wall_ratio:.3},\n"
     ));
+    json.push_str(&format!(
+        "  \"wall_clock_async_commit_vs_per_commit_fsync\": {async_ratio:.3},\n"
+    ));
     json.push_str("  \"equivalence\": {\n");
-    for (i, r) in wall.iter().enumerate() {
+    for (i, (v, r)) in WALL_VARIANTS.iter().zip(&wall).enumerate() {
         let eq = r.equivalence.as_ref().expect("gate ran");
         json.push_str(&format!(
             "    \"{}\": {{\"blocks\": {}, \"ok\": {}, \"serial_root\": \"{}\", \
              \"node_root\": \"{}\"}}{}\n",
-            mode_name(r.mode == NodeMode::LockStep),
+            v.name,
             eq.blocks,
             eq.ok,
             eq.serial_root,
@@ -559,13 +649,20 @@ fn main() {
     }
     json.push_str("  },\n");
     json.push_str("  \"wall_clock\": [\n");
-    for (i, r) in wall.iter().enumerate() {
+    for (i, (v, r)) in WALL_VARIANTS.iter().zip(&wall).enumerate() {
         json.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"committed_blocks\": {}, \"committed_txs\": {}, \
+            "    {{\"variant\": \"{}\", \"mode\": \"{}\", \"depth\": {}, \
+             \"store\": {}, \"deferred_root\": {}, \"group_commit\": {}, \
+             \"committed_blocks\": {}, \"committed_txs\": {}, \
              \"committed_tx_s\": {:.1}, \"proposer_occupancy\": {:.3}, \
              \"proposer_stall_share\": {:.3}, \"codec_occupancy\": {:.3}, \
              \"validator_occupancy\": {:.3}, \"max_wire_depth\": {}}}{}\n",
-            mode_name(r.mode == NodeMode::LockStep),
+            v.name,
+            mode_name(v.mode == NodeMode::LockStep),
+            v.depth,
+            v.store,
+            v.deferred_root,
+            v.group_commit,
             r.committed_blocks,
             r.committed_txs,
             r.committed_tx_per_sec,
@@ -580,15 +677,16 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let depths: Vec<String> = r.depths.iter().map(|d| d.to_string()).collect();
         json.push_str(&format!(
             "    {{\"series\": \"gas_time_calibrated\", \"engine\": \"{}\", \
-             \"workers\": {}, \"depth\": {}, \"mode\": \"{}\", \
+             \"workers\": {}, \"depths\": [{}], \"mode\": \"{}\", \
              \"committed_tx_s\": {:.1}, \"makespan_us\": {:.0}, \
              \"proposer_occupancy\": {:.3}, \"validator_occupancy\": {:.3}, \
              \"proposer_stall_share\": {:.3}}}{}\n",
             engine_name(r.engine),
             r.workers,
-            r.depth,
+            depths.join(", "),
             mode_name(r.lock_step),
             r.committed_tx_s,
             r.makespan_us,

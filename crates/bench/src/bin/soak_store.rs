@@ -91,6 +91,7 @@ fn main() -> Result<(), StoreError> {
         StoreConfig {
             retention_window: Some(window),
             snapshots: true,
+            group_commit: None,
         },
     )?;
     store.initialize(&world, &gblock)?;
@@ -191,6 +192,7 @@ fn main() -> Result<(), StoreError> {
         StoreConfig {
             retention_window: Some(window),
             snapshots: true,
+            group_commit: None,
         },
     )?;
     assert_eq!(reopened.head(), Some(parent.hash()));

@@ -321,6 +321,7 @@ fn run_wall(
         granularity: ConflictGranularity::Account,
         dispatch,
         appliers,
+        deferred_root: false,
     });
     pipeline.register_state(parent, Arc::clone(pre_state));
     let total_txs: usize = sealed.iter().map(|b| b.transactions.len()).sum();
@@ -385,6 +386,7 @@ fn real_overlap(
         granularity: ConflictGranularity::Account,
         dispatch: DispatchPolicy::Subgraph,
         appliers,
+        deferred_root: false,
     });
     pipeline.register_state(parent, Arc::clone(pre_state));
     let t0 = Instant::now();

@@ -33,7 +33,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use bp_block::{receipts_root, tx_root, Block};
-use bp_concurrent::ResultSlots;
+use bp_concurrent::{ResultSlots, RootLatch};
 use bp_evm::{
     execute_transaction_in, AnalysisCache, BlockEnv, CacheStats, Receipt, StateView, Transaction,
     TxError,
@@ -72,6 +72,14 @@ pub struct PipelineConfig {
     /// Applier-pool size: how many blocks can be in block validation
     /// simultaneously.
     pub appliers: usize,
+    /// Deferred-root apply: split block validation into "publish writes +
+    /// schedule root". The applier indexes the post-state and releases the
+    /// next height into execution *before* hashing the state root; the root
+    /// check settles a per-height [`RootLatch`] that the verdict (and thus
+    /// commit publication and every descendant's verdict) still waits on.
+    /// Correctness gates are unchanged — only the wait moves off the
+    /// execution path.
+    pub deferred_root: bool,
 }
 
 impl Default for PipelineConfig {
@@ -81,6 +89,7 @@ impl Default for PipelineConfig {
             granularity: ConflictGranularity::Account,
             dispatch: DispatchPolicy::Subgraph,
             appliers: 2,
+            deferred_root: false,
         }
     }
 }
@@ -282,6 +291,11 @@ struct StateIndex {
     deltas: HashMap<BlockHash, Arc<StateDelta>>,
     waiting: HashMap<BlockHash, Vec<(Block, Sender<ValidationOutcome>)>>,
     invalid: std::collections::HashSet<BlockHash>,
+    /// Deferred-root mode: each applied block's root verdict (`true` = root
+    /// matched the header and every ancestor settled valid). A child's apply
+    /// stage chains on its parent's latch; absence means the parent was a
+    /// trusted registered state.
+    latches: HashMap<BlockHash, Arc<RootLatch<bool>>>,
 }
 
 /// Everything needed to push a prepared block into the worker pool. Shared
@@ -295,6 +309,8 @@ struct Starter {
     index: Arc<Mutex<StateIndex>>,
     /// Code-analysis cache shared by every exec worker across every block.
     cache: Arc<AnalysisCache>,
+    /// See [`PipelineConfig::deferred_root`].
+    deferred_root: bool,
 }
 
 /// The four-stage validator pipeline.
@@ -317,6 +333,7 @@ impl ValidatorPipeline {
             deltas: HashMap::new(),
             waiting: HashMap::new(),
             invalid: std::collections::HashSet::new(),
+            latches: HashMap::new(),
         }));
         let starter = Arc::new(Starter {
             scheduler: Scheduler::new(config.granularity),
@@ -326,6 +343,7 @@ impl ValidatorPipeline {
             applier_tx,
             index,
             cache: AnalysisCache::global(),
+            deferred_root: config.deferred_root,
         });
 
         let mut workers = Vec::with_capacity(config.workers);
@@ -487,6 +505,7 @@ impl ValidatorPipeline {
             applier_tx: dead_applier,
             index: Arc::clone(&self.starter.index),
             cache: Arc::clone(&self.starter.cache),
+            deferred_root: self.starter.deferred_root,
         });
         for _ in 0..self.appliers.len() {
             let _ = applier_tx.send(ApplierMsg::Shutdown);
@@ -705,10 +724,14 @@ impl Starter {
 }
 
 fn apply_block(task: Arc<BlockTask>, exec: Duration, starter: &Starter) {
+    if starter.deferred_root {
+        apply_block_deferred(task, exec, starter);
+        return;
+    }
     let t0 = Instant::now();
     let block = &task.block;
     let hash = block.hash();
-    let result = validate_and_apply(&task);
+    let result = validate_and_apply(&task, true);
     let validate = t0.elapsed();
 
     let queue_wait = task
@@ -771,14 +794,152 @@ fn apply_block(task: Arc<BlockTask>, exec: Duration, starter: &Starter) {
     });
 }
 
+/// Deferred-root apply: "publish writes + schedule root".
+///
+/// The block's writes are applied and all non-root checks run exactly as in
+/// the serial path; the post-state is then indexed and parked children are
+/// released *before* the state root is hashed, so execution of height N+1
+/// overlaps the root of height N. The root check settles this block's
+/// [`RootLatch`]; the verdict additionally chains on the parent's latch, so
+/// an invalid ancestor still poisons every descendant.
+///
+/// Why this cannot deadlock or misorder: a block reaches the applier only
+/// after its parent *published* (children are released at publish time), and
+/// every publish-path call settles its own latch before returning. Latch
+/// waits therefore only ever chain parent-ward, up a chain of already
+/// published blocks, ending at a trusted registered state (no latch). The
+/// earliest published-but-unsettled block waits only on settled latches, so
+/// the chain always drains — and every verdict, commit publication, and
+/// header check still happens after the roots it depends on are known.
+fn apply_block_deferred(task: Arc<BlockTask>, exec: Duration, starter: &Starter) {
+    let t0 = Instant::now();
+    let block = &task.block;
+    let hash = block.hash();
+    let parent = block.header.parent_hash;
+    let result = validate_and_apply(&task, false);
+    let latch = Arc::new(RootLatch::<bool>::new());
+
+    let queue_wait = task
+        .exec_start
+        .get()
+        .map(|s| s.duration_since(task.submitted))
+        .unwrap_or_default();
+    let cache_delta = task.cache.stats().since(&task.cache_base);
+    let outcome = |result: Result<(), ValidationError>,
+                   post_state: Option<Arc<WorldState>>,
+                   receipts: Vec<Receipt>,
+                   validate: Duration| ValidationOutcome {
+        block_hash: hash,
+        height: block.height(),
+        result,
+        post_state,
+        receipts,
+        timings: StageTimings {
+            prepare: task.prepare,
+            queue_wait,
+            execute: exec,
+            validate,
+        },
+        executed_txs: task.executed.load(Ordering::Relaxed),
+        aborted_early: task.cancelled.load(Ordering::Relaxed),
+        analysis_hits: cache_delta.hits,
+        analysis_misses: cache_delta.misses,
+    };
+
+    let (state, receipts, delta) = match result {
+        Ok(parts) => parts,
+        Err(e) => {
+            // Failed before the root was even needed: settle the latch and
+            // mark the subtree invalid exactly as the serial path does.
+            let ready = {
+                let mut idx = starter.index.lock();
+                idx.invalid.insert(hash);
+                idx.latches.insert(hash, Arc::clone(&latch));
+                idx.waiting.remove(&hash).unwrap_or_default()
+            };
+            latch.set(false);
+            for (child, child_verdict) in ready {
+                let _ = child_verdict.send(rejection_outcome(
+                    child.hash(),
+                    child.height(),
+                    ValidationError::ParentInvalid,
+                ));
+            }
+            let _ = task
+                .verdict
+                .send(outcome(Err(e), None, vec![], t0.elapsed()));
+            return;
+        }
+    };
+
+    // Publish writes: index the post-state and release the next height into
+    // execution. The root of this block is still unhashed — descendants
+    // observe it only through the latch.
+    let state = Arc::new(state);
+    let (parent_latch, ready) = {
+        let mut idx = starter.index.lock();
+        idx.states.insert(hash, Arc::clone(&state));
+        idx.deltas.insert(hash, Arc::new(delta));
+        idx.latches.insert(hash, Arc::clone(&latch));
+        (
+            idx.latches.get(&parent).cloned(),
+            idx.waiting.remove(&hash).unwrap_or_default(),
+        )
+    };
+    for (child, child_verdict) in ready {
+        starter.start_block(child, child_verdict);
+    }
+
+    // Schedule root: hash first (the expensive part, overlapped with the
+    // children just released), then chain on the parent's verdict.
+    let root_ok = state.state_root() == block.header.state_root;
+    let parent_ok = parent_latch.map(|l| l.wait()).unwrap_or(true);
+    let ok = root_ok && parent_ok;
+    if !ok {
+        // Un-publish: the optimistically indexed state never becomes
+        // canonical. In-flight descendants fail through their own parent
+        // latch; late submitters see the invalid mark.
+        let ready = {
+            let mut idx = starter.index.lock();
+            idx.states.remove(&hash);
+            idx.deltas.remove(&hash);
+            idx.invalid.insert(hash);
+            idx.waiting.remove(&hash).unwrap_or_default()
+        };
+        for (child, child_verdict) in ready {
+            let _ = child_verdict.send(rejection_outcome(
+                child.hash(),
+                child.height(),
+                ValidationError::ParentInvalid,
+            ));
+        }
+    }
+    latch.set(ok);
+    let result = if !parent_ok {
+        Err(ValidationError::ParentInvalid)
+    } else if !root_ok {
+        Err(ValidationError::StateRootMismatch)
+    } else {
+        Ok(())
+    };
+    let post_state = ok.then_some(state);
+    let receipts = if ok { receipts } else { vec![] };
+    let _ = task
+        .verdict
+        .send(outcome(result, post_state, receipts, t0.elapsed()));
+}
+
 /// Block validation: drain the execution results in block order, apply
 /// writes, and check the block-level commitments. Per-transaction footprint
 /// checks (Algorithm 2) already ran inside the workers; a recorded abort
 /// short-circuits here. On success, the block's written keys are distilled
 /// into a [`StateDelta`] — the diff layer the snapshot tree stacks over the
-/// parent state.
+/// parent state. With `check_root: false` (the deferred-root apply stage)
+/// the state-root comparison is skipped here and settled later against the
+/// block's [`RootLatch`].
 fn validate_and_apply(
     task: &BlockTask,
+    check_root: bool,
 ) -> Result<(WorldState, Vec<Receipt>, StateDelta), ValidationError> {
     let block = &task.block;
     if let Some(err) = &task.header_error {
@@ -823,7 +984,7 @@ fn validate_and_apply(
         world.set_balance(block.header.coinbase, cb + fees);
         written.insert(AccessKey::Balance(block.header.coinbase));
     }
-    if world.state_root() != block.header.state_root {
+    if check_root && world.state_root() != block.header.state_root {
         return Err(ValidationError::StateRootMismatch);
     }
     let delta = world.delta_for_keys(written.iter());
@@ -1149,6 +1310,130 @@ mod tests {
             o3.post_state.unwrap().state_root(),
             b3.post_state.state_root()
         );
+        pipeline.shutdown();
+    }
+
+    fn deferred_pipeline(
+        workers: usize,
+        world: &Arc<WorldState>,
+    ) -> (ValidatorPipeline, BlockHash) {
+        let pipeline = ValidatorPipeline::new(PipelineConfig {
+            workers,
+            deferred_root: true,
+            ..PipelineConfig::default()
+        });
+        let genesis = BlockHash::from_low_u64(1);
+        pipeline.register_state(genesis, Arc::clone(world));
+        (pipeline, genesis)
+    }
+
+    #[test]
+    fn deferred_root_validates_honest_chain() {
+        let world = Arc::new(funded_world(10));
+        let (pipeline, genesis) = deferred_pipeline(4, &world);
+        let b1 = propose_transfers(&world, genesis, 1, 1..8, 0);
+        let s1 = Arc::new(b1.post_state.clone());
+        let b2 = propose_transfers(&s1, b1.block.hash(), 2, 1..8, 1);
+        let s2 = Arc::new(b2.post_state.clone());
+        let b3 = propose_transfers(&s2, b2.block.hash(), 3, 1..8, 2);
+        let h3 = pipeline.submit(b3.block.clone());
+        let h1 = pipeline.submit(b1.block.clone());
+        let h2 = pipeline.submit(b2.block.clone());
+        assert!(h1.wait().is_valid());
+        assert!(h2.wait().is_valid());
+        let o3 = h3.wait();
+        assert!(o3.is_valid(), "{:?}", o3.result);
+        assert_eq!(
+            o3.post_state.unwrap().state_root(),
+            b3.post_state.state_root()
+        );
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn deferred_root_rejects_tampered_root_and_descendants() {
+        let world = Arc::new(funded_world(10));
+        let (pipeline, genesis) = deferred_pipeline(2, &world);
+        let mut b1 = propose_transfers(&world, genesis, 1, 1..5, 0);
+        b1.block.header.state_root = bp_types::H256::from_low_u64(0xBAD);
+        let s1 = Arc::new(b1.post_state.clone());
+        let b2 = propose_transfers(&s1, b1.block.hash(), 2, 1..5, 1);
+        let s2 = Arc::new(b2.post_state.clone());
+        let b3 = propose_transfers(&s2, b2.block.hash(), 3, 1..5, 2);
+        let h2 = pipeline.submit(b2.block.clone());
+        let h3 = pipeline.submit(b3.block.clone());
+        let h1 = pipeline.submit(b1.block.clone());
+        assert_eq!(h1.wait().result, Err(ValidationError::StateRootMismatch));
+        // The child may have been released optimistically before the parent's
+        // root settled — its verdict must still be ParentInvalid, and the
+        // grandchild's too, whether it executed or parked.
+        assert_eq!(h2.wait().result, Err(ValidationError::ParentInvalid));
+        assert_eq!(h3.wait().result, Err(ValidationError::ParentInvalid));
+        // The tampered subtree never becomes visible state.
+        assert!(pipeline.state_of(&b1.block.hash()).is_none());
+        assert!(pipeline.state_of(&b2.block.hash()).is_none());
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn deferred_root_matches_serial_verdicts_and_roots() {
+        // A/B the two apply modes over the same 4-block chain.
+        let world = Arc::new(funded_world(12));
+        let mut blocks = Vec::new();
+        let mut base = Arc::clone(&world);
+        let mut parent = BlockHash::from_low_u64(1);
+        for height in 1..=4 {
+            let p = propose_transfers(&base, parent, height, 1..10, height - 1);
+            parent = p.block.hash();
+            base = Arc::new(p.post_state.clone());
+            blocks.push(p);
+        }
+        for deferred in [false, true] {
+            let pipeline = ValidatorPipeline::new(PipelineConfig {
+                workers: 3,
+                deferred_root: deferred,
+                ..PipelineConfig::default()
+            });
+            pipeline.register_state(BlockHash::from_low_u64(1), Arc::clone(&world));
+            let handles: Vec<_> = blocks
+                .iter()
+                .map(|p| pipeline.submit(p.block.clone()))
+                .collect();
+            for (handle, proposal) in handles.into_iter().zip(&blocks) {
+                let outcome = handle.wait();
+                assert!(
+                    outcome.is_valid(),
+                    "deferred={deferred}: {:?}",
+                    outcome.result
+                );
+                assert_eq!(
+                    outcome.post_state.unwrap().state_root(),
+                    proposal.post_state.state_root(),
+                    "deferred={deferred}"
+                );
+            }
+            pipeline.shutdown();
+        }
+    }
+
+    #[test]
+    fn deferred_root_single_applier_does_not_deadlock() {
+        let world = Arc::new(funded_world(8));
+        let pipeline = ValidatorPipeline::new(PipelineConfig {
+            workers: 2,
+            appliers: 1,
+            deferred_root: true,
+            ..PipelineConfig::default()
+        });
+        let genesis = BlockHash::from_low_u64(1);
+        pipeline.register_state(genesis, Arc::clone(&world));
+        let b1 = propose_transfers(&world, genesis, 1, 1..6, 0);
+        let s1 = Arc::new(b1.post_state.clone());
+        let b2 = propose_transfers(&s1, b1.block.hash(), 2, 1..6, 1);
+        let h1 = pipeline.submit(b1.block.clone());
+        let h2 = pipeline.submit(b2.block.clone());
+        assert!(h1.wait().is_valid());
+        assert!(h2.wait().is_valid());
         pipeline.shutdown();
     }
 

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use bp_block::{genesis_header, Block, BlockProfile, ChainStore};
 use bp_state::WorldState;
-use bp_store::{Store, StoreConfig, StoreError};
+use bp_store::{GroupCommitConfig, Store, StoreConfig, StoreError};
 use bp_types::{BlockHash, Height, H256};
 use parking_lot::Mutex;
 
@@ -60,11 +60,26 @@ impl Validator {
         genesis_state: WorldState,
         dir: impl AsRef<Path>,
     ) -> Result<Self, StoreError> {
+        Self::with_store_profile(config, genesis_state, dir, None)
+    }
+
+    /// Like [`Validator::with_store_at`], additionally coalescing durable
+    /// commits into fsync batches when `group_commit` is set (see
+    /// [`bp_store::GroupCommitConfig`]). Deferred commits are flushed by
+    /// [`Validator::into_store`]; a crash mid-batch rolls the store back to
+    /// the last batch boundary, from which recovery replays as usual.
+    pub fn with_store_profile(
+        config: PipelineConfig,
+        genesis_state: WorldState,
+        dir: impl AsRef<Path>,
+        group_commit: Option<GroupCommitConfig>,
+    ) -> Result<Self, StoreError> {
         let store = Store::open_with(
             dir,
             StoreConfig {
                 retention_window: Some(ROOT_RETENTION),
                 snapshots: true,
+                group_commit,
             },
         )?;
         Self::with_store(config, genesis_state, store)
@@ -282,8 +297,14 @@ impl Validator {
 
     /// Tears the validator down, returning its store (if any) with all
     /// committed state durable — the handle a restarted node reopens from.
+    /// Under group commit this closes the open batch first, so deferred
+    /// commits land before the handle changes hands.
     pub fn into_store(self) -> Option<Store> {
-        self.store.map(|ctx| ctx.into_inner().store)
+        self.store.map(|ctx| {
+            let mut store = ctx.into_inner().store;
+            store.flush().expect("final store flush failed");
+            store
+        })
     }
 
     /// Durably records a newly canonical block: block bytes, its post-state

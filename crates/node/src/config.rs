@@ -3,6 +3,7 @@
 use std::path::PathBuf;
 
 use blockpilot_core::{PipelineConfig, ProposerAlgo};
+use bp_store::GroupCommitConfig;
 use bp_types::Gas;
 use bp_workload::WorkloadConfig;
 
@@ -65,6 +66,10 @@ pub struct NodeConfig {
     /// When set, validator 0 persists its canonical chain to this store
     /// directory (crash-safe commit cadence under sustained load).
     pub store_dir: Option<PathBuf>,
+    /// With a store attached, coalesce consecutive durable commits into one
+    /// fsync batch (see [`GroupCommitConfig`]). The open batch is flushed on
+    /// shutdown; a crash mid-batch rolls back to the last batch boundary.
+    pub group_commit: Option<GroupCommitConfig>,
     /// Run the serial-replay equivalence gate after the loop finishes.
     pub check_equivalence: bool,
 }
@@ -86,6 +91,7 @@ impl Default for NodeConfig {
             pool_capacity: 1024,
             min_pool_txs: 1,
             store_dir: None,
+            group_commit: None,
             check_equivalence: true,
         }
     }

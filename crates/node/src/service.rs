@@ -359,11 +359,15 @@ impl RunningNode {
                 let config = config.clone();
                 let genesis_state = genesis_state.clone();
                 std::thread::spawn(move || {
+                    let deferred_root = config.pipeline.deferred_root;
                     let validator = match (&config.store_dir, k) {
-                        (Some(dir), 0) => {
-                            Validator::with_store_at(config.pipeline, genesis_state, dir)
-                                .expect("node store opens")
-                        }
+                        (Some(dir), 0) => Validator::with_store_profile(
+                            config.pipeline,
+                            genesis_state,
+                            dir,
+                            config.group_commit,
+                        )
+                        .expect("node store opens"),
                         _ => Validator::new(config.pipeline, genesis_state),
                     };
                     // Per-link latency: every validator thread builds the
@@ -373,6 +377,42 @@ impl RunningNode {
                         LinkDelays::new(config.validators, config.latency_us, config.seed);
                     let mut stats = StageStats::default();
                     let mut failures = 0u64;
+                    // With deferred roots the pipeline releases height N+1
+                    // into execution while N's root still hashes, so the
+                    // stage submits ahead through a small in-flight window
+                    // instead of waiting each verdict before the next recv.
+                    // Commits still land strictly in height order (FIFO
+                    // drain). Without deferral a window > 1 only buffers
+                    // blocks the pipeline would serialize anyway, so keep
+                    // the classic submit-wait-commit loop.
+                    let window = if deferred_root {
+                        config.channel_depth.max(2)
+                    } else {
+                        1
+                    };
+                    type Inflight = std::collections::VecDeque<(
+                        Height,
+                        BlockHash,
+                        blockpilot_core::ValidationHandle,
+                    )>;
+                    let mut inflight: Inflight = Inflight::new();
+                    let drain_one =
+                        |inflight: &mut Inflight, stats: &mut StageStats, failures: &mut u64| {
+                            let Some((height, hash, handle)) = inflight.pop_front() else {
+                                return;
+                            };
+                            let t = Instant::now();
+                            let outcome = handle.wait();
+                            if outcome.is_valid() && validator.commit_canonical(hash) {
+                                stats.items += 1;
+                            } else {
+                                *failures += 1;
+                            }
+                            stats.busy_micros += micros_since(t);
+                            // Record even failed heights so lock-step pacing
+                            // cannot deadlock on a broken block.
+                            board.record(k, height);
+                        };
                     loop {
                         let t = Instant::now();
                         let Ok((height, bytes)) = wire_rx.recv() else {
@@ -389,16 +429,15 @@ impl RunningNode {
                         let t = Instant::now();
                         let block = decode_block(&bytes).expect("wire bytes decode");
                         let hash = block.hash();
-                        let outcome = validator.receive_block(block).wait();
-                        if outcome.is_valid() && validator.commit_canonical(hash) {
-                            stats.items += 1;
-                        } else {
-                            failures += 1;
-                        }
+                        let handle = validator.receive_block(block);
                         stats.busy_micros += micros_since(t);
-                        // Record even failed heights so lock-step pacing
-                        // cannot deadlock on a broken block.
-                        board.record(k, height);
+                        inflight.push_back((height, hash, handle));
+                        while inflight.len() >= window.max(1) {
+                            drain_one(&mut inflight, &mut stats, &mut failures);
+                        }
+                    }
+                    while !inflight.is_empty() {
+                        drain_one(&mut inflight, &mut stats, &mut failures);
                     }
                     let head = validator.head();
                     let head_root = validator.head_state_root();
@@ -410,6 +449,9 @@ impl RunningNode {
                     } else {
                         Vec::new()
                     };
+                    // Close any open group-commit batch: deferred commits
+                    // must be durable before the run is reported done.
+                    let _ = validator.into_store();
                     ValidatorOutcome {
                         stats,
                         head,

@@ -133,6 +133,53 @@ fn clean_shutdown_drains_in_flight_blocks_and_store_agrees() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The async commit pipeline end-to-end: deferred state roots (execution of
+/// height N+1 overlaps N's root hash) plus group commit (one fsync batch per
+/// few heights), with the store flushed on shutdown. The run must stay
+/// equivalent to serial replay, and a cold reopen must land on the reported
+/// head — i.e. the final flush made the whole batch durable.
+#[test]
+fn deferred_root_and_group_commit_match_serial_and_persist() {
+    let dir = bp_store::store::test_dir("node-deferred-gc");
+    let report = run_node(NodeConfig {
+        blocks: 8,
+        store_dir: Some(dir.clone()),
+        group_commit: Some(bp_store::GroupCommitConfig {
+            max_blocks: 4,
+            max_bytes: 64 << 20,
+        }),
+        pipeline: PipelineConfig {
+            workers: 2,
+            deferred_root: true,
+            ..PipelineConfig::default()
+        },
+        ..small_config()
+    });
+    assert_eq!(report.committed_blocks, 8);
+    assert_eq!(report.validation_failures, 0);
+    let eq = report.equivalence.as_ref().expect("gate ran");
+    assert!(
+        eq.ok,
+        "serial {:?} != node {:?}",
+        eq.serial_root, eq.node_root
+    );
+    assert!(report.healthy());
+
+    let genesis = WorkloadGen::new(small_workload()).genesis_state();
+    let reopened = Validator::with_store_at(
+        PipelineConfig {
+            workers: 2,
+            ..PipelineConfig::default()
+        },
+        genesis,
+        &dir,
+    )
+    .expect("store reopens");
+    assert_eq!(reopened.head().expect("reopened head"), report.heads[0]);
+    assert_eq!(reopened.head_state_root().unwrap(), report.final_root);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn four_validators_with_jittered_links_converge() {
     let report = run_node(NodeConfig {

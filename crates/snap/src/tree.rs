@@ -68,6 +68,12 @@ struct TreeInner {
     base: FlatBase,
     layers: HashMap<H256, Arc<DiffLayer>>,
     persist: Option<Persist>,
+    /// With deferred sync on, [`SnapTree::add_layer`] appends to the journal
+    /// without fsyncing it or swapping the meta; [`SnapTree::sync`] makes the
+    /// accumulated tail durable in one batch. A crash between syncs reverts
+    /// to the last synced journal length (the meta still records it), exactly
+    /// like an unsynced store-log tail.
+    deferred_sync: bool,
 }
 
 /// The snapshot tree. Cheap to clone (shares the inner tree); all methods
@@ -96,6 +102,7 @@ impl SnapTree {
                 base: FlatBase::memory(),
                 layers: HashMap::new(),
                 persist: None,
+                deferred_sync: false,
             })),
         }
     }
@@ -178,6 +185,7 @@ impl SnapTree {
                     layers_len: m.layers_len,
                     journal,
                 }),
+                deferred_sync: false,
             })),
         };
         {
@@ -261,11 +269,14 @@ impl SnapTree {
             height,
             delta,
         };
+        let deferred = inner.deferred_sync;
         if inner.persist.is_some() {
             let encoded = encode_record(&record);
             let p = inner.persist.as_mut().unwrap();
             p.journal.write_all(&encoded)?;
-            p.journal.sync_data()?;
+            if !deferred {
+                p.journal.sync_data()?;
+            }
             p.layers_len += encoded.len() as u64;
         }
         inner.layers.insert(
@@ -277,10 +288,44 @@ impl SnapTree {
                 delta: record.delta,
             }),
         );
-        if inner.persist.is_some() {
+        if inner.persist.is_some() && !deferred {
             write_meta(&mut inner)?;
         }
         Ok(true)
+    }
+
+    /// Switches deferred-sync mode: layer appends go to the journal without
+    /// an fsync or meta swap, and [`SnapTree::sync`] batches them durable.
+    /// The group-commit store enables this so per-block layer appends stay
+    /// buffered until the batch boundary.
+    pub fn set_deferred_sync(&self, on: bool) {
+        self.inner.write().unwrap().deferred_sync = on;
+    }
+
+    /// Makes every buffered layer append durable: fsync the journal, then
+    /// swap the meta to record the new length. A no-op for in-memory trees.
+    /// Callers coalescing commits must invoke this *before* publishing any
+    /// external pointer (e.g. the store manifest) to state the layers are
+    /// part of.
+    pub fn sync(&self) -> Result<(), SnapError> {
+        let mut inner = self.inner.write().unwrap();
+        if inner.persist.is_some() {
+            inner.persist.as_mut().unwrap().journal.sync_data()?;
+            write_meta(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Bytes appended to the layer journal (including a not-yet-synced
+    /// deferred tail). 0 for in-memory trees.
+    pub fn journal_len(&self) -> u64 {
+        self.inner
+            .read()
+            .unwrap()
+            .persist
+            .as_ref()
+            .map(|p| p.layers_len)
+            .unwrap_or(0)
     }
 
     /// Keeps the newest `keep` layers on the chain ending at `head` and

@@ -246,6 +246,133 @@ impl Trie {
         (root, out)
     }
 
+    /// Applies a batch of inserts (`Some(value)`) and removals (`None`) and
+    /// hashes the touched subtrees on up to `threads` scoped workers.
+    ///
+    /// The trie's radix structure makes the sharding exact: updates are
+    /// partitioned by their first nibble, and when the root is a branch each
+    /// of its 16 subtrees absorbs its shard independently — no two shards
+    /// touch the same node, so each worker path-copies and re-encodes its
+    /// subtree in isolation and the single-threaded merge step only has to
+    /// re-encode the root branch from 16 memoized child commitments.
+    ///
+    /// The result is **identical** to applying the updates one by one:
+    /// MPT structure is a pure function of the key set, so the root hash,
+    /// the memoized node set ([`Trie::commit_nodes`]) and every future
+    /// incremental commit are byte-for-byte the same as the serial path.
+    /// Keys must be distinct; update order within the batch is immaterial.
+    ///
+    /// With `threads < 2`, a small batch, or a non-branch root that a seed
+    /// pass cannot split (keys sharing a first nibble), this degrades to the
+    /// serial loop.
+    pub fn apply_batch(&mut self, mut updates: Vec<(Vec<u8>, Option<Vec<u8>>)>, threads: usize) {
+        /// Below this many updates the fan-out overhead outweighs the
+        /// subtree hashing it would parallelize.
+        const PARALLEL_BATCH_THRESHOLD: usize = 33;
+        if threads < 2 || updates.len() < PARALLEL_BATCH_THRESHOLD {
+            self.apply_serial(updates);
+            return;
+        }
+        if !matches!(self.root.node(), Node::Branch { .. }) {
+            // Bootstrap: a fresh (or single-path) trie has no branch to
+            // shard on. Seed it with a prefix of the batch — with hashed
+            // keys a handful of inserts split the root — then shard the
+            // rest. Removals can't create a branch, so seed with inserts.
+            let seed = updates.len().min(32);
+            let rest = updates.split_off(seed);
+            self.apply_serial(updates);
+            updates = rest;
+            if updates.is_empty() || !matches!(self.root.node(), Node::Branch { .. }) {
+                self.apply_serial(updates);
+                return;
+            }
+        }
+        let Node::Branch {
+            mut children,
+            mut value,
+        } = std::mem::replace(&mut self.root, NodeRef::empty()).take()
+        else {
+            unreachable!("checked branch root above");
+        };
+        let mut shards: [Vec<(Nibbles, Option<Vec<u8>>)>; 16] = std::array::from_fn(|_| Vec::new());
+        for (key, update) in updates {
+            let path = Nibbles::from_bytes(&key);
+            if path.is_empty() {
+                // A root-valued key lives on the branch itself, not in any
+                // subtree (unreachable for hashed keys, handled for parity
+                // with the serial path).
+                value = update.filter(|v| !v.is_empty());
+            } else {
+                shards[path.at(0) as usize].push((path, update));
+            }
+        }
+        // Round-robin the 16 subtrees over the workers; each worker applies
+        // its shards and forces the subtree commitment (`enc`) so the
+        // expensive hashing happens inside the parallel region.
+        let workers = threads.min(16);
+        type SubtreeJob = (usize, NodeRef, Vec<(Nibbles, Option<Vec<u8>>)>);
+        let mut jobs: Vec<Vec<SubtreeJob>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut next = 0;
+        for (idx, shard) in shards.into_iter().enumerate() {
+            if shard.is_empty() {
+                continue;
+            }
+            let child = std::mem::replace(&mut children[idx], NodeRef::empty());
+            jobs[next % workers].push((idx, child, shard));
+            next += 1;
+        }
+        let done: Vec<Vec<(usize, NodeRef)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .filter(|job| !job.is_empty())
+                .map(|job| {
+                    scope.spawn(move || {
+                        job.into_iter()
+                            .map(|(idx, child, shard)| {
+                                let mut node = child.take();
+                                for (path, update) in shard {
+                                    node = match update {
+                                        // Empty values delete, as in
+                                        // `Trie::insert`.
+                                        Some(v) if !v.is_empty() => {
+                                            insert_at(node, path.slice_from(1), v)
+                                        }
+                                        _ => remove_at(node, &path, 1).0,
+                                    };
+                                }
+                                let subtree = NodeRef::new(node);
+                                if !subtree.is_empty_node() {
+                                    subtree.enc();
+                                }
+                                (idx, subtree)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trie commit worker panicked"))
+                .collect()
+        });
+        for (idx, subtree) in done.into_iter().flatten() {
+            children[idx] = subtree;
+        }
+        self.root = NodeRef::new(normalize_branch(children, value));
+    }
+
+    /// The serial equivalent of [`Trie::apply_batch`].
+    fn apply_serial(&mut self, updates: Vec<(Vec<u8>, Option<Vec<u8>>)>) {
+        for (key, update) in updates {
+            match update {
+                Some(value) => self.insert(&key, value),
+                None => {
+                    self.remove(&key);
+                }
+            }
+        }
+    }
+
     /// Reconstructs a trie from its root hash, resolving hashed children
     /// through `resolver`. The inverse of [`Trie::commit_nodes`]: a round
     /// trip reproduces the identical contents and root hash.
@@ -1198,6 +1325,92 @@ mod tests {
         nodes_inc.sort();
         nodes_cold.sort();
         assert_eq!(nodes_inc, nodes_cold);
+    }
+
+    /// Hashed (keccak-style) keys, as the account and storage tries use.
+    fn hashed_key(i: u64) -> Vec<u8> {
+        keccak256(&i.to_be_bytes()).as_bytes().to_vec()
+    }
+
+    #[test]
+    fn apply_batch_fresh_build_matches_serial_across_thread_counts() {
+        let updates: Vec<(Vec<u8>, Option<Vec<u8>>)> = (0..300u64)
+            .map(|i| (hashed_key(i), Some(format!("value-{i}").into_bytes())))
+            .collect();
+        let mut reference = Trie::new();
+        reference.apply_serial(updates.clone());
+        let (ref_root, mut ref_nodes) = reference.commit_nodes();
+        ref_nodes.sort();
+        for threads in [1, 2, 3, 5, 8, 16] {
+            let mut t = Trie::new();
+            t.apply_batch(updates.clone(), threads);
+            let (root, mut nodes) = t.commit_nodes();
+            assert_eq!(root, ref_root, "root diverged at {threads} threads");
+            nodes.sort();
+            assert_eq!(nodes, ref_nodes, "node set diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn apply_batch_incremental_mix_matches_serial() {
+        // Warm trie + a batch mixing overwrites, inserts, removals of
+        // present and absent keys, and empty-value inserts (deletes).
+        let build = |threads: usize| {
+            let mut t = Trie::new();
+            t.apply_batch(
+                (0..200u64)
+                    .map(|i| (hashed_key(i), Some(vec![1, 2, 3])))
+                    .collect(),
+                threads,
+            );
+            let _ = t.commit_nodes(); // warm the memo
+            let batch: Vec<(Vec<u8>, Option<Vec<u8>>)> = (0..300u64)
+                .map(|i| {
+                    let update = match i % 4 {
+                        0 => Some(format!("over-{i}").into_bytes()),
+                        1 => None,
+                        2 => Some(Vec::new()),
+                        _ => Some(vec![7; 40]),
+                    };
+                    (hashed_key(i), update)
+                })
+                .collect();
+            t.apply_batch(batch, threads);
+            t
+        };
+        let reference = build(1);
+        let (ref_root, mut ref_nodes) = reference.commit_nodes();
+        ref_nodes.sort();
+        for threads in [2, 4, 16] {
+            let t = build(threads);
+            let (root, mut nodes) = t.commit_nodes();
+            assert_eq!(root, ref_root, "root diverged at {threads} threads");
+            nodes.sort();
+            assert_eq!(nodes, ref_nodes, "node set diverged at {threads} threads");
+            assert_eq!(t.iter(), reference.iter());
+        }
+    }
+
+    #[test]
+    fn apply_batch_below_threshold_and_drain_to_empty() {
+        let updates: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+            (0..10u64).map(|i| (hashed_key(i), Some(vec![9]))).collect();
+        let mut t = Trie::new();
+        t.apply_batch(updates.clone(), 8);
+        let mut reference = Trie::new();
+        reference.apply_serial(updates);
+        assert_eq!(t.root_hash(), reference.root_hash());
+        // Parallel removal of everything must land back on the empty root.
+        let mut full = Trie::new();
+        full.apply_batch(
+            (0..100u64)
+                .map(|i| (hashed_key(i), Some(vec![1])))
+                .collect(),
+            4,
+        );
+        full.apply_batch((0..100u64).map(|i| (hashed_key(i), None)).collect(), 4);
+        assert!(full.is_empty());
+        assert_eq!(full.root_hash(), empty_root());
     }
 
     #[test]

@@ -146,6 +146,9 @@ pub struct WorldState {
     /// Base state that reads fall through to when `accounts` misses.
     base: Option<Arc<dyn StateReader>>,
     tracker: Mutex<CommitTracker>,
+    /// Worker cap for parallel commitment (storage-trie hashing and the
+    /// sharded account-trie batch apply). `0` ⇒ all available cores.
+    commit_threads: usize,
 }
 
 impl Clone for WorldState {
@@ -161,6 +164,7 @@ impl Clone for WorldState {
                 dirty: tracker.dirty.clone(),
                 commit: tracker.commit.clone(),
             }),
+            commit_threads: self.commit_threads,
         }
     }
 }
@@ -199,7 +203,27 @@ impl WorldState {
                     storage_tries: HashMap::default(),
                 })),
             }),
+            commit_threads: 0,
         }
+    }
+
+    /// Caps the worker threads used by parallel commitment ([`state_root`] /
+    /// [`commit_tries`]): storage-trie hashing and the sharded account-trie
+    /// apply both fan out to at most this many scoped workers. `0` (the
+    /// default) means all available cores; `1` forces the serial path.
+    /// The cap survives [`snapshot`]/`clone` so a pipeline configures it
+    /// once on the genesis world.
+    ///
+    /// [`state_root`]: WorldState::state_root
+    /// [`commit_tries`]: WorldState::commit_tries
+    /// [`snapshot`]: WorldState::snapshot
+    pub fn set_commit_threads(&mut self, threads: usize) {
+        self.commit_threads = threads;
+    }
+
+    /// The configured parallel-commit worker cap (`0` = all cores).
+    pub fn commit_threads(&self) -> usize {
+        self.commit_threads
     }
 
     /// Converts a resident world into a base-backed one: commits (so the
@@ -654,19 +678,21 @@ impl WorldState {
             &self.accounts,
             &commit.storage_tries,
             self.base.as_deref(),
+            self.commit_threads,
         );
+        // Fold the per-account updates into a single batch so the account
+        // trie can shard them by path prefix and hash the touched subtrees
+        // in parallel (`Trie::apply_batch` is exact: same structure, same
+        // node set, same root as the one-by-one loop).
+        let mut batch: Vec<(Vec<u8>, Option<Vec<u8>>)> = Vec::with_capacity(updates.len());
         for update in updates {
             match update {
                 AccountUpdate::Remove(addr) => {
-                    commit
-                        .account_trie
-                        .remove(keccak256(addr.as_bytes()).as_bytes());
+                    batch.push((keccak256(addr.as_bytes()).as_bytes().to_vec(), None));
                     commit.storage_tries.remove(&addr);
                 }
                 AccountUpdate::Upsert(addr, storage_trie, body) => {
-                    commit
-                        .account_trie
-                        .insert(keccak256(addr.as_bytes()).as_bytes(), body);
+                    batch.push((keccak256(addr.as_bytes()).as_bytes().to_vec(), Some(body)));
                     if storage_trie.is_empty() {
                         commit.storage_tries.remove(&addr);
                     } else {
@@ -675,6 +701,8 @@ impl WorldState {
                 }
             }
         }
+        let threads = effective_threads(self.commit_threads, batch.len());
+        commit.account_trie.apply_batch(batch, threads);
         commit.root = commit.account_trie.root_hash();
         debug_assert_eq!(
             commit.root,
@@ -711,6 +739,19 @@ fn materialize<'a>(
     Arc::make_mut(entry)
 }
 
+/// Resolves a configured worker cap (`0` = auto) against the machine and the
+/// batch at hand.
+fn effective_threads(commit_threads: usize, items: usize) -> usize {
+    let cap = if commit_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        commit_threads
+    };
+    cap.min(items.max(1))
+}
+
 /// The effect of one dirty account on the account trie.
 enum AccountUpdate {
     /// Account is empty or absent: drop it (EIP-161).
@@ -727,14 +768,13 @@ fn compute_updates(
     accounts: &HashMap<Address, Arc<AccountState>>,
     prev_tries: &HashMap<Address, Trie>,
     base: Option<&dyn StateReader>,
+    commit_threads: usize,
 ) -> Vec<AccountUpdate> {
     /// Below this many dirty accounts, thread spawn overhead outweighs the
     /// hashing it would parallelize.
     const PARALLEL_THRESHOLD: usize = 33;
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(dirty.len().div_ceil(8).max(1));
+    let workers =
+        effective_threads(commit_threads, dirty.len()).min(dirty.len().div_ceil(8).max(1));
     if dirty.len() < PARALLEL_THRESHOLD || workers < 2 {
         return dirty
             .iter()

@@ -1,0 +1,180 @@
+//! Property tests for parallel trie commitment: sharded `apply_batch` and
+//! the world's threaded `commit_tries` must be byte-for-byte equivalent to
+//! the serial path — same root as the from-scratch `rebuild_root` oracle,
+//! same memoized commit-node set — for any dirty fraction and any worker
+//! count in 1..=16.
+
+use std::collections::HashMap;
+
+use bp_state::trie::Trie;
+use bp_state::WorldState;
+use bp_types::{Address, H256, U256};
+use proptest::prelude::*;
+
+/// A batch of trie updates: `Some` inserts, `None` removes. Keys collide
+/// freely across batches (that's the interesting case) but are deduped
+/// within one batch — `apply_batch` requires distinct keys.
+fn arb_batch() -> impl Strategy<Value = Vec<(Vec<u8>, Option<Vec<u8>>)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(any::<u8>(), 1..6),
+            prop::option::of(prop::collection::vec(any::<u8>(), 1..12)),
+        ),
+        0..80,
+    )
+    .prop_map(|pairs| {
+        let mut seen: HashMap<Vec<u8>, Option<Vec<u8>>> = HashMap::new();
+        for (k, v) in pairs {
+            seen.insert(k, v);
+        }
+        seen.into_iter().collect()
+    })
+}
+
+fn sorted_nodes(mut nodes: Vec<(H256, Vec<u8>)>) -> Vec<(H256, Vec<u8>)> {
+    nodes.sort();
+    nodes
+}
+
+proptest! {
+    /// `apply_batch` at any thread count equals the one-by-one serial
+    /// mutation sequence: same root, same per-reference commit-node set,
+    /// and the same answers to point reads.
+    #[test]
+    fn apply_batch_equals_serial_mutation(
+        base in arb_batch(),
+        batch in arb_batch(),
+        threads in 1usize..=16,
+    ) {
+        let mut serial = Trie::new();
+        for (k, v) in &base {
+            match v {
+                Some(v) => serial.insert(k, v.clone()),
+                None => serial.remove(k),
+            }
+        }
+        let mut parallel = serial.clone();
+
+        for (k, v) in &batch {
+            match v {
+                Some(v) => serial.insert(k, v.clone()),
+                None => serial.remove(k),
+            }
+        }
+        parallel.apply_batch(batch.clone(), threads);
+
+        prop_assert_eq!(parallel.root_hash(), serial.root_hash(), "threads {}", threads);
+        let (p_root, p_nodes) = parallel.commit_nodes();
+        let (s_root, s_nodes) = serial.commit_nodes();
+        prop_assert_eq!(p_root, s_root);
+        prop_assert_eq!(sorted_nodes(p_nodes), sorted_nodes(s_nodes));
+        for (k, _) in &batch {
+            prop_assert_eq!(parallel.get(k), serial.get(k));
+        }
+    }
+
+    /// Two successive parallel batches (warm memo) still match a cold serial
+    /// build of the final contents — the memo carries no thread-count
+    /// residue from one commit to the next.
+    #[test]
+    fn repeated_parallel_batches_match_cold_build(
+        first in arb_batch(),
+        second in arb_batch(),
+        t1 in 1usize..=16,
+        t2 in 1usize..=16,
+    ) {
+        let mut warm = Trie::new();
+        warm.apply_batch(first.clone(), t1);
+        let _ = warm.commit_nodes(); // prime the memo between batches
+        warm.apply_batch(second.clone(), t2);
+
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        for (k, v) in first.into_iter().chain(second) {
+            match v {
+                Some(v) => {
+                    model.insert(k, v);
+                }
+                None => {
+                    model.remove(&k);
+                }
+            }
+        }
+        let mut cold = Trie::new();
+        for (k, v) in &model {
+            cold.insert(k, v.clone());
+        }
+
+        let (w_root, w_nodes) = warm.commit_nodes();
+        let (c_root, c_nodes) = cold.commit_nodes();
+        prop_assert_eq!(w_root, c_root, "t1 {} t2 {}", t1, t2);
+        prop_assert_eq!(sorted_nodes(w_nodes), sorted_nodes(c_nodes));
+    }
+}
+
+/// World-level mutations: a population of accounts, then a dirty subset
+/// (balance/nonce/storage writes, some accounts zeroed back to empty).
+#[derive(Clone, Debug)]
+struct WorldOps {
+    accounts: u64,
+    dirty: Vec<(u64, u64, Option<u64>)>, // (account index, balance, storage slot)
+}
+
+fn arb_world_ops() -> impl Strategy<Value = WorldOps> {
+    (
+        4u64..200,
+        prop::collection::vec(
+            (any::<u64>(), any::<u64>(), prop::option::of(0u64..8)),
+            1..60,
+        ),
+    )
+        .prop_map(|(accounts, raw)| WorldOps {
+            accounts,
+            dirty: raw
+                .into_iter()
+                .map(|(i, bal, slot)| (i % (accounts * 2), bal, slot))
+                .collect(),
+        })
+}
+
+fn apply_ops(world: &mut WorldState, ops: &WorldOps) {
+    for &(idx, balance, slot) in &ops.dirty {
+        let addr = Address::from_index(idx + 1);
+        world.set_balance(addr, U256::from(balance));
+        if let Some(slot) = slot {
+            let key = H256::from_low_u64(slot);
+            world.set_storage(addr, key, U256::from(balance / 2));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The world's threaded commit path — sharded account-trie apply plus
+    /// parallel storage-trie hashing — equals both the serial commit and
+    /// the from-scratch `rebuild_root` oracle, with identical node sets.
+    #[test]
+    fn world_commit_threads_equal_serial_and_oracle(
+        ops in arb_world_ops(),
+        threads in 2usize..=16,
+    ) {
+        let mut serial = WorldState::new();
+        serial.set_commit_threads(1);
+        for i in 1..=ops.accounts {
+            serial.set_balance(Address::from_index(i), U256::from(1_000 + i));
+        }
+        // Prime the incremental memo, then dirty a subset on top of it.
+        let _ = serial.commit_tries();
+        let mut parallel = serial.clone();
+        parallel.set_commit_threads(threads);
+
+        apply_ops(&mut serial, &ops);
+        apply_ops(&mut parallel, &ops);
+
+        let (s_root, s_nodes) = serial.commit_tries();
+        let (p_root, p_nodes) = parallel.commit_tries();
+        prop_assert_eq!(p_root, s_root, "threads {}", threads);
+        prop_assert_eq!(p_root, serial.rebuild_root());
+        prop_assert_eq!(sorted_nodes(p_nodes), sorted_nodes(s_nodes));
+    }
+}

@@ -156,6 +156,13 @@ impl FileBackend {
         self.len += record.len() as u64;
         Ok(())
     }
+
+    /// Byte length of the log including not-yet-synced appends. The
+    /// group-commit batcher reads this to size the pending batch without
+    /// forcing an fsync.
+    pub fn pending_len(&self) -> u64 {
+        self.len
+    }
 }
 
 /// Replays a committed log prefix into the node map.

@@ -112,6 +112,13 @@ impl BlockLog {
         self.index.len()
     }
 
+    /// Byte length of the log including not-yet-synced appends. The
+    /// group-commit batcher reads this to size the pending batch without
+    /// forcing an fsync.
+    pub fn pending_len(&self) -> u64 {
+        self.len
+    }
+
     /// Makes all appends durable; returns the durable byte length for the
     /// manifest.
     pub fn sync(&mut self) -> Result<u64, StoreError> {

@@ -48,7 +48,7 @@ pub use blocklog::BlockLog;
 pub use manifest::ManifestData;
 pub use nodestore::NodeStore;
 pub use snapshot::{decode_world, encode_world};
-pub use store::{Store, StoreConfig};
+pub use store::{GroupCommitConfig, Store, StoreConfig};
 
 use bp_types::H256;
 

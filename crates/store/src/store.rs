@@ -33,6 +33,29 @@ const NODES_FILE: &str = "nodes.log";
 const GENESIS_FILE: &str = "genesis.bin";
 const SNAP_DIR: &str = "snap";
 
+/// Bounds for coalescing consecutive [`Store::commit`]s into one fsync
+/// batch. A batch closes (and durably lands) as soon as *either* bound is
+/// reached, or on an explicit [`Store::flush`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Close the batch after this many deferred commits (1 degenerates to
+    /// per-commit fsync; 0 is treated as 1).
+    pub max_blocks: usize,
+    /// Close the batch once the bytes appended since the last boundary
+    /// (block log + node log + snapshot layer journal) reach this bound, so
+    /// a burst of heavy blocks cannot grow the at-risk window unboundedly.
+    pub max_bytes: u64,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig {
+            max_blocks: 8,
+            max_bytes: 4 << 20,
+        }
+    }
+}
+
 /// Tunables for a [`Store`].
 #[derive(Clone, Debug, Default)]
 pub struct StoreConfig {
@@ -45,6 +68,13 @@ pub struct StoreConfig {
     /// `<dir>/snap`, giving execution a disk-backed read path that does not
     /// require the whole state resident in memory.
     pub snapshots: bool,
+    /// Coalesce consecutive commits into one fsync batch. `None` (the
+    /// default) keeps the classic commit-per-block durability: every
+    /// [`Store::commit`] fsyncs and swaps the manifest. With a config set,
+    /// commits inside a batch only advance the in-memory head; the batch
+    /// boundary runs the full durable path, and a crash mid-batch rolls the
+    /// store back to the last boundary (never a torn record).
+    pub group_commit: Option<GroupCommitConfig>,
 }
 
 /// A node's persistent block/state store.
@@ -59,6 +89,12 @@ pub struct Store {
     next_generation: u64,
     config: StoreConfig,
     snaps: Option<SnapTree>,
+    /// Commits deferred since the last durable batch boundary (always 0
+    /// without group commit).
+    pending_commits: usize,
+    /// Total log bytes (blocks + nodes + snap journal) at the last durable
+    /// boundary; the difference to the current totals sizes the open batch.
+    batch_base_bytes: u64,
 }
 
 impl Store {
@@ -104,10 +140,16 @@ impl Store {
             Err(e) => return Err(e.into()),
         };
         let snaps = if config.snapshots {
-            Some(SnapTree::open(&dir.join(SNAP_DIR))?)
+            let snaps = SnapTree::open(&dir.join(SNAP_DIR))?;
+            if config.group_commit.is_some() {
+                snaps.set_deferred_sync(true);
+            }
+            Some(snaps)
         } else {
             None
         };
+        let batch_base_bytes =
+            blocks_len + nodes_len + snaps.as_ref().map(|s| s.journal_len()).unwrap_or(0);
         Ok(Store {
             dir,
             blocks,
@@ -118,6 +160,8 @@ impl Store {
             next_generation,
             config,
             snaps,
+            pending_commits: 0,
+            batch_base_bytes,
         })
     }
 
@@ -149,7 +193,10 @@ impl Store {
         if let Some(snaps) = &self.snaps {
             snaps.seed(&genesis_state.full_delta(), root, 0)?;
         }
-        self.commit(genesis_block.hash())
+        // Genesis must be durable before the store is usable, even under
+        // group commit.
+        self.commit(genesis_block.hash())?;
+        self.flush()
     }
 
     /// The genesis world-state snapshot, if initialized.
@@ -204,10 +251,57 @@ impl Store {
     /// newest `K` are pruned first (trie nodes released, snapshot diff
     /// layers flattened into the flat base), so the manifest that lands
     /// already reflects the bounded retained set.
+    ///
+    /// With [`StoreConfig::group_commit`] set, the commit is *deferred*
+    /// unless it closes the batch: the in-memory head advances but nothing
+    /// is fsynced, and `Ok(())` means "will be durable at the next boundary
+    /// or [`Store::flush`]". A crash mid-batch rolls back to the previous
+    /// boundary's head.
     pub fn commit(&mut self, head: BlockHash) -> Result<(), StoreError> {
         if !self.blocks.contains(&head) {
             return Err(StoreError::MissingBlock(head));
         }
+        if let Some(gc) = self.config.group_commit {
+            self.pending_commits += 1;
+            self.head = Some(head);
+            let batch_bytes = self.total_log_bytes().saturating_sub(self.batch_base_bytes);
+            if self.pending_commits < gc.max_blocks.max(1) && batch_bytes < gc.max_bytes {
+                return Ok(());
+            }
+        }
+        self.commit_boundary(head)
+    }
+
+    /// Closes any open group-commit batch, making every deferred commit
+    /// durable. A no-op when nothing is pending. Call on shutdown (and
+    /// before handing the directory to another process).
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        if self.pending_commits == 0 {
+            return Ok(());
+        }
+        let head = self.head.expect("pending commits imply a head");
+        self.commit_boundary(head)
+    }
+
+    /// Commits deferred in the currently open batch (0 without group
+    /// commit).
+    pub fn pending_commits(&self) -> usize {
+        self.pending_commits
+    }
+
+    /// All appended log bytes, synced or not: block log + node log + snap
+    /// layer journal.
+    fn total_log_bytes(&self) -> u64 {
+        self.blocks.pending_len()
+            + self.nodes.backend().pending_len()
+            + self.snaps.as_ref().map(|s| s.journal_len()).unwrap_or(0)
+    }
+
+    /// The full durable path: retention prune, data fsyncs (snap journal
+    /// first, then the logs), manifest swap. Ordering matters — every byte
+    /// the manifest's lengths describe must be durable before the
+    /// generation swap publishes them.
+    fn commit_boundary(&mut self, head: BlockHash) -> Result<(), StoreError> {
         if let Some(window) = self.config.retention_window {
             let window = window.max(1);
             while self.nodes.roots().len() > window {
@@ -226,6 +320,15 @@ impl Store {
                 }
             }
         }
+        if let Some(snaps) = &self.snaps {
+            if self.config.group_commit.is_some() {
+                // Deferred layer appends: fsync the journal and swap the
+                // snap meta before the store manifest lands, so the snap
+                // tree is never *behind* the manifest it supports. (Ahead
+                // is benign: layers above the head reattach on replay.)
+                snaps.sync()?;
+            }
+        }
         let blocks_len = self.blocks.sync()?;
         let nodes_len = self.nodes.sync()?;
         let data = ManifestData {
@@ -239,6 +342,8 @@ impl Store {
         self.head = Some(head);
         self.next_slot = 1 - self.next_slot;
         self.next_generation += 1;
+        self.pending_commits = 0;
+        self.batch_base_bytes = self.total_log_bytes();
         Ok(())
     }
 
@@ -528,6 +633,7 @@ mod tests {
         let config = StoreConfig {
             retention_window: Some(3),
             snapshots: true,
+            group_commit: None,
         };
         let head;
         let head_root;
@@ -581,6 +687,92 @@ mod tests {
                 U256::from(seq + 1)
             );
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Reopens `dir` with `config` and returns the durable head — what a
+    /// crash right now would recover to.
+    fn durable_head(dir: &Path, config: &StoreConfig) -> Option<BlockHash> {
+        let scratch = test_dir("store-gc-probe");
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            if entry.file_type().unwrap().is_file() {
+                std::fs::copy(entry.path(), scratch.join(entry.file_name())).unwrap();
+            }
+        }
+        let head = Store::open_with(&scratch, config.clone()).unwrap().head();
+        std::fs::remove_dir_all(&scratch).unwrap();
+        head
+    }
+
+    #[test]
+    fn group_commit_coalesces_until_block_bound() {
+        let dir = test_dir("store-gc-blocks");
+        let config = StoreConfig {
+            group_commit: Some(GroupCommitConfig {
+                max_blocks: 3,
+                max_bytes: u64::MAX,
+            }),
+            ..StoreConfig::default()
+        };
+        let mut world = genesis_world(5);
+        let gblock = genesis_block(&world);
+        let mut store = Store::open_with(&dir, config.clone()).unwrap();
+        // initialize flushes: genesis is durable even under group commit.
+        store.initialize(&world, &gblock).unwrap();
+        assert_eq!(store.pending_commits(), 0);
+        assert_eq!(durable_head(&dir, &config), Some(gblock.hash()));
+
+        let mut parent = gblock.clone();
+        let mut hashes = Vec::new();
+        for seq in 1..=4u64 {
+            let b = child_block(&parent, &mut world, seq);
+            store.put_block(&b).unwrap();
+            let (root, nodes) = world.commit_tries();
+            store.commit_root(root, &nodes).unwrap();
+            store.commit(b.hash()).unwrap();
+            hashes.push(b.hash());
+            parent = b;
+        }
+        // b1, b2 deferred; b3 closed the batch; b4 opened a new one.
+        assert_eq!(store.pending_commits(), 1);
+        assert_eq!(store.head(), Some(hashes[3]), "in-memory head runs ahead");
+        assert_eq!(
+            durable_head(&dir, &config),
+            Some(hashes[2]),
+            "durable head is the last batch boundary"
+        );
+
+        store.flush().unwrap();
+        assert_eq!(store.pending_commits(), 0);
+        assert_eq!(durable_head(&dir, &config), Some(hashes[3]));
+        // Idempotent when nothing is pending.
+        store.flush().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_byte_bound_closes_the_batch() {
+        let dir = test_dir("store-gc-bytes");
+        let config = StoreConfig {
+            group_commit: Some(GroupCommitConfig {
+                max_blocks: usize::MAX,
+                max_bytes: 1, // any appended byte closes the batch
+            }),
+            ..StoreConfig::default()
+        };
+        let mut world = genesis_world(5);
+        let gblock = genesis_block(&world);
+        let mut store = Store::open_with(&dir, config.clone()).unwrap();
+        store.initialize(&world, &gblock).unwrap();
+        let b1 = child_block(&gblock, &mut world, 1);
+        store.put_block(&b1).unwrap();
+        let (root, nodes) = world.commit_tries();
+        store.commit_root(root, &nodes).unwrap();
+        store.commit(b1.hash()).unwrap();
+        // The block's own bytes tripped the bound: nothing stays pending.
+        assert_eq!(store.pending_commits(), 0);
+        assert_eq!(durable_head(&dir, &config), Some(b1.hash()));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

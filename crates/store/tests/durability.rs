@@ -6,9 +6,9 @@ use std::fs::OpenOptions;
 use std::path::Path;
 
 use bp_block::{genesis_header, Block, BlockProfile};
-use bp_state::WorldState;
+use bp_state::{StateDelta, WorldState};
 use bp_store::store::test_dir;
-use bp_store::Store;
+use bp_store::{GroupCommitConfig, Store, StoreConfig};
 use bp_types::{Address, U256};
 
 fn genesis_world() -> WorldState {
@@ -44,7 +44,11 @@ fn copy_store(src: &Path, dst: &Path) {
     std::fs::create_dir_all(dst).unwrap();
     for entry in std::fs::read_dir(src).unwrap() {
         let entry = entry.unwrap();
-        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        if entry.file_type().unwrap().is_dir() {
+            copy_store(&entry.path(), &dst.join(entry.file_name()));
+        } else {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
     }
 }
 
@@ -150,4 +154,130 @@ fn truncating_last_node_records_recovers_previous_head() {
         std::fs::remove_dir_all(&scratch).unwrap();
     }
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The group-commit crash contract, byte by byte. Two durable boundaries
+/// bracket a coalesced batch (b3, b4 deferred, never flushed); a crash at
+/// *any* byte of the unsynced tails of the block log, the node log, or the
+/// snapshot layer journal must recover to the b2 boundary — with the trie
+/// store and the snapshot tree agreeing on that head's root — and never
+/// expose b3 or b4.
+#[test]
+fn crash_inside_coalesced_batch_rolls_back_to_boundary() {
+    let dir = test_dir("crash-group-commit");
+    let config = StoreConfig {
+        retention_window: None,
+        snapshots: true,
+        group_commit: Some(GroupCommitConfig {
+            max_blocks: 100, // only the explicit flush closes a batch
+            max_bytes: u64::MAX,
+        }),
+    };
+    let mut world = genesis_world();
+    let gblock = genesis_block(&world);
+    let mut store = Store::open_with(&dir, config.clone()).unwrap();
+    store.initialize(&world, &gblock).unwrap();
+
+    // One block = one balance write; its snap delta mirrors it.
+    let advance = |store: &mut Store, parent: &Block, seq: u64, world: &mut WorldState| {
+        let parent_root = world.state_root();
+        let b = child_block(parent, world, seq);
+        store.put_block(&b).unwrap();
+        let (root, nodes) = world.commit_tries();
+        store.commit_root(root, &nodes).unwrap();
+        let mut delta = StateDelta::default();
+        delta.accounts.insert(
+            Address::from_index(900 + seq),
+            Some(bp_state::BaseAccount {
+                nonce: 0,
+                balance: U256::from(seq + 1),
+                code: std::sync::Arc::new(Vec::new()),
+            }),
+        );
+        store.snap_add_layer(root, parent_root, seq, delta).unwrap();
+        store.commit(b.hash()).unwrap();
+        (b, root)
+    };
+
+    let (b1, _root1) = advance(&mut store, &gblock, 1, &mut world);
+    let (b2, root2) = advance(&mut store, &b1, 2, &mut world);
+    store.flush().unwrap(); // durable boundary: head b2
+    let lens_at_boundary = file_lens(&dir);
+
+    let (b3, root3) = advance(&mut store, &b2, 3, &mut world);
+    let (b4, root4) = advance(&mut store, &b3, 4, &mut world);
+    assert_eq!(store.pending_commits(), 2, "b3 and b4 stayed deferred");
+    assert_eq!(store.head(), Some(b4.hash()), "in-memory head ran ahead");
+    let lens_after_batch = file_lens(&dir);
+    drop(store); // crash: the batch tail was never fsynced or manifested
+
+    let journal = snap_journal_name(&dir);
+    for file in ["blocks.log", "nodes.log", journal.as_str()] {
+        let lo = lens_at_boundary[file];
+        let hi = lens_after_batch[file];
+        assert!(hi > lo, "{file}: batch appended nothing?");
+        for cut in lo..hi {
+            let scratch = test_dir("crash-gc-cut");
+            copy_store(&dir, &scratch);
+            truncate(&scratch.join(file), cut);
+            let recovered = Store::open_with(&scratch, config.clone())
+                .unwrap_or_else(|e| panic!("{file} cut {cut}: recovery failed: {e}"));
+            assert_eq!(
+                recovered.head(),
+                Some(b2.hash()),
+                "{file} cut {cut}: head is not the batch boundary"
+            );
+            assert!(!recovered.has_block(&b3.hash()), "{file} cut {cut}");
+            assert!(!recovered.has_block(&b4.hash()), "{file} cut {cut}");
+            assert!(recovered.contains_root(&root2), "{file} cut {cut}");
+            assert!(!recovered.contains_root(&root3), "{file} cut {cut}");
+            assert!(!recovered.contains_root(&root4), "{file} cut {cut}");
+            assert_eq!(recovered.open_trie(root2).unwrap().root_hash(), root2);
+            // Store and snapshot tree agree on the recovered head state.
+            let snaps = recovered.snapshots().expect("snapshots enabled");
+            assert!(snaps.has_root(root2), "{file} cut {cut}: snap lost head");
+            std::fs::remove_dir_all(&scratch).unwrap();
+        }
+    }
+
+    // Without any cut the full files still only recover to the boundary:
+    // the batch tail was never published by a manifest.
+    let recovered = Store::open_with(&dir, config).unwrap();
+    assert_eq!(recovered.head(), Some(b2.hash()));
+    assert!(!recovered.has_block(&b3.hash()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Byte lengths of the three append streams, keyed by the names used in the
+/// cut loop (the snap journal keyed by its `snap/<name>` relative path).
+fn file_lens(dir: &Path) -> std::collections::HashMap<String, u64> {
+    let mut lens = std::collections::HashMap::new();
+    for name in ["blocks.log", "nodes.log"] {
+        lens.insert(
+            name.to_string(),
+            std::fs::metadata(dir.join(name)).unwrap().len(),
+        );
+    }
+    let journal = snap_journal_name(dir);
+    lens.insert(
+        journal.clone(),
+        std::fs::metadata(dir.join(&journal)).unwrap().len(),
+    );
+    lens
+}
+
+/// Relative path of the current snapshot layer journal (`snap/layers.N.log`).
+fn snap_journal_name(dir: &Path) -> String {
+    let mut found = None;
+    for entry in std::fs::read_dir(dir.join("snap")).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        if name.starts_with("layers.") && name.ends_with(".log") {
+            assert!(
+                found.is_none(),
+                "multiple layer journals: {found:?}, {name}"
+            );
+            found = Some(name);
+        }
+    }
+    format!("snap/{}", found.expect("layer journal exists"))
 }

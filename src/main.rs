@@ -4,9 +4,13 @@
 //! ```text
 //! blockpilot chain   [--blocks N] [--txs N] [--threads N] [--workers N]
 //! blockpilot node    [--blocks N] [--validators N] [--depth N] [--lockstep]
+//!                    [--deferred-root] [--store DIR] [--group-commit [N]]
 //! blockpilot network [--nodes N] [--heights N] [--fork-every N]
 //! blockpilot stats   [--blocks N]
 //! ```
+//!
+//! `node` prints a JSON summary on shutdown with the run counters and every
+//! stage's occupancy/stall/queue-depth stats.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -36,6 +40,7 @@ fn main() {
             eprintln!("usage: blockpilot <chain|node|network|stats> [options]");
             eprintln!("  chain   [--blocks N] [--txs N] [--threads N] [--workers N]");
             eprintln!("  node    [--blocks N] [--validators N] [--depth N] [--lockstep]");
+            eprintln!("          [--deferred-root] [--store DIR] [--group-commit [N]]");
             eprintln!("  network [--nodes N] [--heights N] [--fork-every N]");
             eprintln!("  stats   [--blocks N]");
             std::process::exit(2);
@@ -100,7 +105,25 @@ fn chain(args: &[String]) {
 /// channels, with the serial-replay equivalence gate.
 fn node(args: &[String]) {
     use blockpilot::node::{run_node, NodeConfig, NodeMode};
+    use blockpilot::store::GroupCommitConfig;
     let lock_step = args.iter().any(|a| a == "--lockstep");
+    let deferred_root = args.iter().any(|a| a == "--deferred-root");
+    let group_commit = args
+        .iter()
+        .any(|a| a == "--group-commit")
+        .then(|| GroupCommitConfig {
+            max_blocks: arg(args, "--group-commit", 8) as usize,
+            ..GroupCommitConfig::default()
+        });
+    let store_dir = args
+        .iter()
+        .position(|a| a == "--store")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if group_commit.is_some() && store_dir.is_none() {
+        eprintln!("--group-commit requires --store DIR (nothing to fsync otherwise)");
+        std::process::exit(2);
+    }
     let report = run_node(NodeConfig {
         mode: if lock_step {
             NodeMode::LockStep
@@ -110,6 +133,12 @@ fn node(args: &[String]) {
         blocks: arg(args, "--blocks", 20),
         validators: arg(args, "--validators", 2) as usize,
         channel_depth: arg(args, "--depth", 2) as usize,
+        pipeline: PipelineConfig {
+            deferred_root,
+            ..PipelineConfig::default()
+        },
+        store_dir,
+        group_commit,
         workload: WorkloadConfig {
             accounts: 300,
             txs_per_block: 48,
@@ -146,7 +175,64 @@ fn node(args: &[String]) {
         if eq.ok { "ok" } else { "MISMATCH" },
         eq.node_root
     );
+    println!("{}", node_summary_json(&report));
     assert!(report.healthy(), "unhealthy node run");
+}
+
+/// Machine-readable shutdown summary: one JSON object with the run counters
+/// and every stage's [`StageStats`], so CI and scripts can gate on the same
+/// numbers the human-readable lines show.
+fn node_summary_json(report: &blockpilot::node::NodeReport) -> String {
+    fn stage(name: &str, s: &blockpilot::node::StageStats, wall: u64) -> String {
+        format!(
+            "    {{\"stage\": \"{name}\", \"items\": {}, \"busy_micros\": {}, \
+             \"wait_micros\": {}, \"stall_micros\": {}, \"injected_micros\": {}, \
+             \"max_queue_depth\": {}, \"occupancy\": {:.4}, \"stall_share\": {:.4}}}",
+            s.items,
+            s.busy_micros,
+            s.wait_micros,
+            s.stall_micros,
+            s.injected_micros,
+            s.max_queue_depth,
+            s.occupancy(wall),
+            s.stall_share(wall),
+        )
+    }
+    let wall = report.wall_micros;
+    let mut stages = vec![
+        stage("ingest", &report.ingest, wall),
+        stage("proposer", &report.proposer, wall),
+        stage("codec", &report.codec, wall),
+    ];
+    for (i, v) in report.validators.iter().enumerate() {
+        stages.push(stage(&format!("validator-{i}"), v, wall));
+    }
+    let equivalence = match &report.equivalence {
+        Some(eq) => format!(
+            "{{\"blocks\": {}, \"ok\": {}, \"serial_root\": \"{:?}\", \"node_root\": \"{:?}\"}}",
+            eq.blocks, eq.ok, eq.serial_root, eq.node_root
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\n  \"mode\": \"{}\", \"engine\": \"{:?}\",\n  \
+         \"committed_blocks\": {}, \"committed_txs\": {}, \"wall_micros\": {},\n  \
+         \"committed_tx_per_sec\": {:.1}, \"proposer_aborts\": {}, \
+         \"validation_failures\": {},\n  \"final_root\": \"{:?}\", \"healthy\": {},\n  \
+         \"equivalence\": {},\n  \"stages\": [\n{}\n  ]\n}}",
+        report.mode.label(),
+        report.engine,
+        report.committed_blocks,
+        report.committed_txs,
+        wall,
+        report.committed_tx_per_sec,
+        report.proposer_aborts,
+        report.validation_failures,
+        report.final_root,
+        report.healthy(),
+        equivalence,
+        stages.join(",\n"),
+    )
 }
 
 /// Multi-node DiCE simulation.

@@ -55,6 +55,7 @@ fn wide_pipeline(appliers: usize) -> ValidatorPipeline {
         granularity: ConflictGranularity::Account,
         dispatch: DispatchPolicy::Subgraph,
         appliers,
+        deferred_root: false,
     })
 }
 

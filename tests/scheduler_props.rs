@@ -283,6 +283,7 @@ proptest! {
             granularity: ConflictGranularity::Account,
             dispatch: DispatchPolicy::Subgraph,
             appliers,
+            deferred_root: false,
         });
         pipeline.register_state(parent, Arc::clone(&base));
         let n = proposal.block.transactions.len();
@@ -314,6 +315,7 @@ proptest! {
                 granularity: ConflictGranularity::Account,
                 dispatch,
                 appliers: 2,
+                deferred_root: false,
             });
             pipeline.register_state(parent, Arc::clone(&base));
             let outcome = pipeline.validate_block(proposal.block.clone());
